@@ -1,0 +1,140 @@
+// Ablation D: conditional coverage. Split conformal guarantees coverage
+// *marginally* over the workload; inside slices (queries with many
+// predicates, low-selectivity bands) it can systematically over- or
+// under-cover. This bench compares S-CP against the two conditional
+// remedies from the paper's future-work discussion — Mondrian
+// (group-conditional) CP grouped by predicate count, and localized CP
+// (k-NN calibration neighborhoods) — reporting coverage and width per
+// slice.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "conformal/localized.h"
+#include "conformal/mondrian.h"
+#include "conformal/split.h"
+#include "harness/report.h"
+
+namespace confcard {
+namespace {
+
+struct SliceStat {
+  double covered = 0.0;
+  double width = 0.0;
+  double count = 0.0;
+};
+
+void Run() {
+  bench::PrintScaleNote();
+  PrintExperimentHeader("Ablation D",
+                        "conditional coverage: S-CP vs Mondrian CP vs "
+                        "localized CP (MSCN)");
+
+  Table table = MakeDmv(bench::DefaultRows()).value();
+  const double n = static_cast<double>(table.num_rows());
+  bench::Splits s = bench::MakeSplits(table);
+
+  MscnEstimator mscn(bench::MscnDefaults());
+  CONFCARD_CHECK(mscn.Train(table, s.train).ok());
+  FlatQueryFeaturizer featurizer(table);
+
+  auto estimates = [&](const Workload& wl) {
+    std::vector<double> out;
+    for (const LabeledQuery& lq : wl) {
+      out.push_back(mscn.EstimateCardinality(lq.query));
+    }
+    return out;
+  };
+  auto features = [&](const Workload& wl) {
+    std::vector<std::vector<float>> out;
+    for (const LabeledQuery& lq : wl) {
+      out.push_back(featurizer.Featurize(lq.query));
+    }
+    return out;
+  };
+  auto truths = [&](const Workload& wl) {
+    std::vector<double> out;
+    for (const LabeledQuery& lq : wl) out.push_back(lq.cardinality);
+    return out;
+  };
+
+  const auto calib_est = estimates(s.calib);
+  const auto calib_feat = features(s.calib);
+  const auto calib_truth = truths(s.calib);
+  const auto test_est = estimates(s.test);
+  const auto test_feat = features(s.test);
+
+  auto scoring = MakeScoring(ScoreKind::kResidual);
+  SplitConformal scp(scoring, 0.1);
+  CONFCARD_CHECK(scp.Calibrate(calib_est, calib_truth).ok());
+
+  MondrianConformal::Options mopts;
+  mopts.alpha = 0.1;
+  MondrianConformal mondrian(
+      scoring, GroupByPredicateCount(table.num_columns()), mopts);
+  CONFCARD_CHECK(
+      mondrian.Calibrate(calib_feat, calib_est, calib_truth).ok());
+
+  LocalizedConformal::Options lopts;
+  lopts.alpha = 0.1;
+  lopts.k = std::max<size_t>(64, s.calib.size() / 5);
+  LocalizedConformal lcp(scoring, lopts);
+  CONFCARD_CHECK(lcp.Calibrate(calib_feat, calib_est, calib_truth).ok());
+
+  // Slices: by predicate count.
+  auto slice_of = [&](const Query& q) {
+    return std::min<size_t>(q.predicates.size(), 4);
+  };
+  const char* kSliceNames[] = {"0 preds", "1 pred", "2 preds", "3 preds",
+                               "4+ preds"};
+
+  struct MethodSlices {
+    const char* name;
+    SliceStat slices[5];
+  };
+  MethodSlices methods[3] = {{"s-cp", {}}, {"mondrian", {}}, {"lcp", {}}};
+
+  for (size_t i = 0; i < s.test.size(); ++i) {
+    const size_t sl = slice_of(s.test[i].query);
+    const double truth = s.test[i].cardinality;
+    Interval ivs[3] = {
+        ClipToCardinality(scp.Predict(test_est[i]), n),
+        ClipToCardinality(mondrian.Predict(test_est[i], test_feat[i]), n),
+        ClipToCardinality(lcp.Predict(test_est[i], test_feat[i]), n)};
+    for (int m = 0; m < 3; ++m) {
+      SliceStat& st = methods[m].slices[sl];
+      st.covered += ivs[m].Contains(truth) ? 1.0 : 0.0;
+      st.width += ivs[m].width() / n;
+      st.count += 1.0;
+    }
+  }
+
+  std::printf("%-10s", "slice");
+  for (const auto& m : methods) {
+    std::printf(" %10s(cov) %10s(w)", m.name, m.name);
+  }
+  std::printf("\n");
+  for (size_t sl = 0; sl < 5; ++sl) {
+    if (methods[0].slices[sl].count < 1.0) continue;
+    std::printf("%-10s", kSliceNames[sl]);
+    for (const auto& m : methods) {
+      const SliceStat& st = m.slices[sl];
+      std::printf(" %15.3f %12.4f", st.covered / st.count,
+                  st.width / st.count);
+    }
+    std::printf("  (n=%.0f)\n", methods[0].slices[sl].count);
+  }
+  std::printf("\nexpected shape: all methods hold ~0.9 marginally, but "
+              "S-CP's per-slice coverage wobbles more; Mondrian pins each "
+              "predicate-count slice at ~0.9; LCP adapts widths per "
+              "region\n");
+}
+
+}  // namespace
+}  // namespace confcard
+
+int main() {
+  confcard::Run();
+  return 0;
+}

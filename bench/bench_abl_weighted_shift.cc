@@ -1,0 +1,139 @@
+// Ablation E: weighted conformal prediction under covariate shift.
+// Figure 11 shows coverage collapsing when the test workload differs
+// from calibration. When the shift is a *covariate* shift with a known
+// (or estimable) likelihood ratio — here, the workload's predicate-count
+// mix changes, a statistic a DBA can measure — weighted CP reweights the
+// calibration scores and restores coverage. This implements the remedy
+// the paper's discussion asks for.
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_common.h"
+#include "conformal/weighted.h"
+#include "harness/report.h"
+
+namespace confcard {
+namespace {
+
+void Run() {
+  bench::PrintScaleNote();
+  PrintExperimentHeader("Ablation E",
+                        "weighted CP under a predicate-count covariate "
+                        "shift (MSCN)");
+
+  Table table = MakeDmv(bench::DefaultRows()).value();
+  const double n = static_cast<double>(table.num_rows());
+
+  // Calibration: the usual 1-6 predicate mix. Test: heavy conjunctions
+  // only (4-6 predicates) — a different residual regime, so the global
+  // delta is mis-sized for the shifted workload.
+  WorkloadConfig wc;
+  wc.max_selectivity = 0.2;
+  wc.num_queries = bench::TrainQueries();
+  wc.seed = 1;
+  wc.max_predicates = 6;
+  Workload train = GenerateWorkload(table, wc).value();
+  wc.num_queries = bench::CalibQueries();
+  wc.seed = 2;
+  Workload calib = GenerateWorkload(table, wc).value();
+  WorkloadConfig shifted = wc;
+  shifted.min_predicates = 4;
+  shifted.max_predicates = 6;
+  shifted.num_queries = bench::TestQueries();
+  shifted.seed = 3;
+  Workload test = GenerateWorkload(table, shifted).value();
+
+  MscnEstimator mscn(bench::MscnDefaults());
+  CONFCARD_CHECK(mscn.Train(table, train).ok());
+  FlatQueryFeaturizer featurizer(table);
+
+  // The likelihood ratio over the shift statistic (predicate count):
+  // w(k) = p_test(k) / p_calib(k), estimated from the two workload
+  // mixes — exactly what a deployment can measure from its query log.
+  std::unordered_map<int, double> p_calib, p_test;
+  for (const LabeledQuery& lq : calib) {
+    p_calib[static_cast<int>(lq.query.predicates.size())] += 1.0;
+  }
+  for (const LabeledQuery& lq : test) {
+    p_test[static_cast<int>(lq.query.predicates.size())] += 1.0;
+  }
+  for (auto& [k, v] : p_calib) v /= static_cast<double>(calib.size());
+  for (auto& [k, v] : p_test) v /= static_cast<double>(test.size());
+
+  const size_t num_cols = table.num_columns();
+  auto pred_count = [num_cols](const std::vector<float>& f) {
+    int count = 0;
+    for (size_t c = 0; c < num_cols; ++c) {
+      if (f[5 * c] > 0.5f) ++count;
+    }
+    return count;
+  };
+  auto weight = [&](const std::vector<float>& f) {
+    const int k = pred_count(f);
+    auto ct = p_test.find(k);
+    auto cc = p_calib.find(k);
+    const double pt = ct == p_test.end() ? 0.0 : ct->second;
+    const double pc = cc == p_calib.end() ? 1e-6 : cc->second;
+    return pt / pc;
+  };
+
+  auto features = [&](const Workload& wl) {
+    std::vector<std::vector<float>> out;
+    for (const LabeledQuery& lq : wl) {
+      out.push_back(featurizer.Featurize(lq.query));
+    }
+    return out;
+  };
+  std::vector<double> calib_est, calib_truth;
+  for (const LabeledQuery& lq : calib) {
+    calib_est.push_back(mscn.EstimateCardinality(lq.query));
+    calib_truth.push_back(lq.cardinality);
+  }
+  const auto calib_feat = features(calib);
+  const auto test_feat = features(test);
+
+  auto scoring = MakeScoring(ScoreKind::kResidual);
+  WeightedConformal weighted(scoring, weight, 0.1);
+  CONFCARD_CHECK(
+      weighted.Calibrate(calib_feat, calib_est, calib_truth).ok());
+  WeightedConformal plain(
+      scoring, [](const std::vector<float>&) { return 1.0; }, 0.1);
+  CONFCARD_CHECK(plain.Calibrate(calib_feat, calib_est, calib_truth).ok());
+
+  double cov_w = 0, cov_p = 0, width_w = 0, width_p = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    const double est = mscn.EstimateCardinality(test[i].query);
+    Interval iw =
+        ClipToCardinality(weighted.Predict(est, test_feat[i]), n);
+    Interval ip = ClipToCardinality(plain.Predict(est, test_feat[i]), n);
+    cov_w += iw.Contains(test[i].cardinality) ? 1 : 0;
+    cov_p += ip.Contains(test[i].cardinality) ? 1 : 0;
+    width_w += iw.width() / n;
+    width_p += ip.width() / n;
+  }
+  const double m = static_cast<double>(test.size());
+  std::printf("%-22s %10s %12s\n", "method", "coverage", "mean_w(sel)");
+  std::printf("%-22s %10.4f %12.6f\n", "s-cp (unweighted)", cov_p / m,
+              width_p / m);
+  std::printf("%-22s %10.4f %12.6f\n", "weighted cp", cov_w / m,
+              width_w / m);
+  std::printf("effective calibration sample size under the shift: %.0f "
+              "of %zu\n",
+              weighted.EffectiveSampleSize(), calib.size());
+  std::printf("\nexpected shape: the unweighted method mis-covers on the "
+              "shifted workload (here typically over-covering: heavy "
+              "conjunctions have smaller residuals, so the global delta "
+              "is too wide for them); weighted CP re-centers coverage at "
+              "~0.9 with appropriately sized intervals. The under-"
+              "coverage direction is exercised by the weighted_test "
+              "unit tests.\n");
+}
+
+}  // namespace
+}  // namespace confcard
+
+int main() {
+  confcard::Run();
+  return 0;
+}

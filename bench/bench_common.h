@@ -1,0 +1,98 @@
+// Shared setup for the experiment binaries: default model
+// hyper-parameters (mirroring the "best hyper-parameters from [51]"
+// convention of the paper, tuned here for CPU scale), workload-split
+// construction, and scale-aware sizes.
+#ifndef CONFCARD_BENCH_BENCH_COMMON_H_
+#define CONFCARD_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "ce/lwnn.h"
+#include "ce/mscn.h"
+#include "ce/naru.h"
+#include "common/check.h"
+#include "data/datasets.h"
+#include "harness/scale.h"
+#include "harness/single_table.h"
+#include "query/workload.h"
+
+namespace confcard {
+namespace bench {
+
+/// Default row count for single-table experiments.
+inline size_t DefaultRows() { return Scaled(40000, 2000); }
+
+/// Default workload sizes (50-50 train/calibration split per the paper;
+/// the split experiment of Figure 12 varies this).
+inline size_t TrainQueries() { return Scaled(1500, 100); }
+inline size_t CalibQueries() { return Scaled(1500, 100); }
+inline size_t TestQueries() { return Scaled(800, 100); }
+
+/// Three disjoint-seed workload splits over `table`. `max_selectivity`
+/// defaults to the paper's low-selectivity focus.
+struct Splits {
+  Workload train;
+  Workload calib;
+  Workload test;
+};
+
+inline Splits MakeSplits(const Table& table, double max_selectivity = 0.2,
+                         uint64_t seed_base = 1,
+                         size_t train_n = TrainQueries(),
+                         size_t calib_n = CalibQueries(),
+                         size_t test_n = TestQueries()) {
+  WorkloadConfig wc;
+  wc.max_selectivity = max_selectivity;
+  wc.num_queries = train_n;
+  wc.seed = seed_base;
+  Splits s;
+  s.train = GenerateWorkload(table, wc).value();
+  wc.num_queries = calib_n;
+  wc.seed = seed_base + 1;
+  s.calib = GenerateWorkload(table, wc).value();
+  wc.num_queries = test_n;
+  wc.seed = seed_base + 2;
+  s.test = GenerateWorkload(table, wc).value();
+  return s;
+}
+
+/// MSCN with the tuned defaults used across experiments.
+inline MscnEstimator::Options MscnDefaults() {
+  MscnEstimator::Options o;
+  o.model.epochs = 60;
+  o.model.set_hidden = 96;
+  o.model.final_hidden = 96;
+  return o;
+}
+
+/// LW-NN defaults: deliberately lightweight (coarse histograms, small
+/// net), matching its role as the least accurate model in the paper.
+inline LwnnEstimator::Options LwnnDefaults() {
+  LwnnEstimator::Options o;
+  o.histogram_buckets = 12;
+  o.hidden1 = 32;
+  o.hidden2 = 16;
+  o.epochs = 30;
+  return o;
+}
+
+/// Naru defaults scaled for CPU inference.
+inline NaruConfig NaruDefaults() {
+  NaruConfig c;
+  c.hidden = 64;
+  c.epochs = 6;
+  c.num_samples = 32;
+  c.max_train_rows = Scaled(40000, 2000);
+  return c;
+}
+
+inline void PrintScaleNote() {
+  std::printf("scale=%.2f (set CONFCARD_SCALE to change workload sizes)\n",
+              BenchScale());
+}
+
+}  // namespace bench
+}  // namespace confcard
+
+#endif  // CONFCARD_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,59 @@
+// Figure 3: join queries on the DSB/TPC-DS-like star schema with MSCN.
+// The paper's setting: 15 SPJ templates, 1000 queries each (scaled),
+// split 50:25:25 into train/calibration/test. Expected shape: same
+// method trends and relative ranking as the single-table experiments.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/multitable.h"
+#include "harness/join_harness.h"
+#include "harness/report.h"
+#include "query/join_workload.h"
+
+namespace confcard {
+namespace {
+
+void Run() {
+  bench::PrintScaleNote();
+  PrintExperimentHeader("Figure 3",
+                        "Join queries on DSB/TPC-DS star schema (MSCN)");
+
+  Database db = MakeDsbLike(bench::Scaled(40000, 4000)).value();
+  auto templates = DsbTemplates();
+
+  // 50:25:25 split, per the paper's DSB setup.
+  JoinWorkloadConfig jc;
+  jc.queries_per_template = bench::Scaled(60, 8);
+  jc.seed = 1;
+  JoinWorkload train = GenerateJoinWorkload(db, templates, jc).value();
+  jc.queries_per_template = bench::Scaled(30, 4);
+  jc.seed = 2;
+  JoinWorkload calib = GenerateJoinWorkload(db, templates, jc).value();
+  jc.seed = 3;
+  JoinWorkload test = GenerateJoinWorkload(db, templates, jc).value();
+  std::printf("templates=%zu train=%zu calib=%zu test=%zu\n",
+              templates.size(), train.size(), calib.size(), test.size());
+
+  MscnConfig mc;
+  mc.epochs = 40;
+  MscnJoinEstimator mscn(mc);
+  CONFCARD_CHECK(mscn.Train(db, train).ok());
+
+  JoinHarness::Options opts;
+  JoinHarness harness(db, train, calib, test, opts);
+  std::vector<MethodResult> results;
+  results.push_back(harness.RunScp(mscn));
+  results.push_back(harness.RunLwScp(mscn));
+  results.push_back(harness.RunCqr(mscn));
+  results.push_back(harness.RunJkCv(mscn, mscn));
+  PrintMethodTable(results);
+}
+
+}  // namespace
+}  // namespace confcard
+
+int main() {
+  confcard::Run();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 4: join queries in the spirit of JOB over the IMDB-like
+// snowflake schema, with correlated predicate literals (JOB's queries
+// are hand-written around real co-occurrences). MSCN wrapped by the four
+// PI methods; expected shape matches Figure 3 / single-table trends.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/multitable.h"
+#include "harness/join_harness.h"
+#include "harness/report.h"
+#include "query/join_workload.h"
+
+namespace confcard {
+namespace {
+
+void Run() {
+  bench::PrintScaleNote();
+  PrintExperimentHeader("Figure 4",
+                        "Join queries on the IMDB/JOB-like schema (MSCN)");
+
+  Database db = MakeImdbLike(bench::Scaled(10000, 1500)).value();
+  auto templates = JobTemplates();
+
+  JoinWorkloadConfig jc;
+  jc.correlated_literals = true;
+  jc.queries_per_template = bench::Scaled(80, 10);
+  jc.seed = 1;
+  JoinWorkload train = GenerateJoinWorkload(db, templates, jc).value();
+  jc.queries_per_template = bench::Scaled(40, 5);
+  jc.seed = 2;
+  JoinWorkload calib = GenerateJoinWorkload(db, templates, jc).value();
+  jc.seed = 3;
+  JoinWorkload test = GenerateJoinWorkload(db, templates, jc).value();
+  std::printf("templates=%zu train=%zu calib=%zu test=%zu\n",
+              templates.size(), train.size(), calib.size(), test.size());
+
+  MscnConfig mc;
+  mc.epochs = 40;
+  MscnJoinEstimator mscn(mc);
+  CONFCARD_CHECK(mscn.Train(db, train).ok());
+
+  JoinHarness harness(db, train, calib, test, {});
+  std::vector<MethodResult> results;
+  results.push_back(harness.RunScp(mscn));
+  results.push_back(harness.RunLwScp(mscn));
+  results.push_back(harness.RunCqr(mscn));
+  results.push_back(harness.RunJkCv(mscn, mscn));
+  PrintMethodTable(results);
+}
+
+}  // namespace
+}  // namespace confcard
+
+int main() {
+  confcard::Run();
+  return 0;
+}

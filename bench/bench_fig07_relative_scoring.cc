@@ -1,0 +1,79 @@
+// Figure 7: relative error as the conformal scoring function. Expected
+// shape: tighter than residual scoring (Figure 1), wider than q-error
+// scoring (Figure 6), coverage unchanged.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "harness/report.h"
+
+namespace confcard {
+namespace {
+
+void Run() {
+  bench::PrintScaleNote();
+  PrintExperimentHeader("Figure 7",
+                        "relative-error scoring function (all models)");
+
+  Table table = MakeDmv(bench::DefaultRows()).value();
+  bench::Splits s = bench::MakeSplits(table);
+
+  std::vector<MethodResult> results;
+  MscnEstimator mscn(bench::MscnDefaults());
+  CONFCARD_CHECK(mscn.Train(table, s.train).ok());
+  NaruEstimator naru(bench::NaruDefaults());
+  CONFCARD_CHECK(naru.Train(table).ok());
+  LwnnEstimator lwnn(bench::LwnnDefaults());
+  CONFCARD_CHECK(lwnn.Train(table, s.train).ok());
+
+  for (ScoreKind kind :
+       {ScoreKind::kResidual, ScoreKind::kRelative, ScoreKind::kQError}) {
+    SingleTableHarness::Options opts;
+    opts.score = kind;
+    SingleTableHarness harness(table, s.train, s.calib, s.test, opts);
+    for (const CardinalityEstimator* model :
+         std::initializer_list<const CardinalityEstimator*>{&mscn, &naru,
+                                                            &lwnn}) {
+      MethodResult r = harness.RunScp(*model);
+      r.method = std::string("s-cp(") + ScoreKindToString(kind) + ")";
+      results.push_back(r);
+    }
+  }
+  PrintMethodTable(results);
+  const double n = static_cast<double>(table.num_rows());
+  std::printf("\nmedian width on low-selectivity queries (truth < 0.02N):\n");
+  std::printf("  %-8s", "model");
+  for (const char* sc : {"residual", "relative", "q-error"}) {
+    std::printf(" %12s", sc);
+  }
+  std::printf("\n");
+  for (size_t m = 0; m < 3; ++m) {
+    std::printf("  %-8s", results[m].model.c_str());
+    for (size_t k = 0; k < 3; ++k) {
+      const MethodResult& r = results[k * 3 + m];
+      std::vector<double> widths;
+      for (const PiRow& row : r.rows) {
+        if (row.truth / n < 0.02) widths.push_back(row.width() / n);
+      }
+      std::sort(widths.begin(), widths.end());
+      std::printf(" %12.6f",
+                  widths.empty() ? 0.0 : widths[widths.size() / 2]);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nexpected ordering of median widths per model: residual > "
+      "relative > q-error.\nnote: relative scoring degrades to a "
+      "near-trivial upper bound whenever >= alpha of the calibration "
+      "queries are overestimated by >= 2x (delta >= 1 makes the upper "
+      "inversion unbounded); the lower bounds stay informative.\n");
+}
+
+}  // namespace
+}  // namespace confcard
+
+int main() {
+  confcard::Run();
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Section IV overheads: microbenchmarks of the PI machinery itself —
+// conformal quantile computation, per-query inference for each method's
+// interval arithmetic, the GBDT difficulty lookup of LW-S-CP, online
+// updates, and the exchangeability martingale. The paper's claims: S-CP
+// and JK-CV+ inference is one add/subtract; LW-S-CP pays one lightweight
+// model evaluation (< 0.1 ms); CQR pays two extra model forwards
+// (benchmarked through the MSCN forward pass).
+#include <benchmark/benchmark.h>
+
+#include "ce/mscn.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "conformal/exchangeability.h"
+#include "conformal/locally_weighted.h"
+#include "conformal/online.h"
+#include "conformal/split.h"
+#include "data/datasets.h"
+#include "query/workload.h"
+
+namespace confcard {
+namespace {
+
+std::vector<double> RandomScores(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.NextDouble() * 1000.0;
+  return v;
+}
+
+void BM_ConformalQuantile(benchmark::State& state) {
+  auto scores = RandomScores(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ConformalQuantile(scores, 0.1));
+  }
+}
+BENCHMARK(BM_ConformalQuantile)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ScpCalibrate(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto est = RandomScores(n, 2);
+  auto truth = RandomScores(n, 3);
+  for (auto _ : state) {
+    SplitConformal scp(MakeScoring(ScoreKind::kResidual), 0.1);
+    benchmark::DoNotOptimize(scp.Calibrate(est, truth).ok());
+  }
+}
+BENCHMARK(BM_ScpCalibrate)->Arg(1000)->Arg(10000);
+
+void BM_ScpPredict(benchmark::State& state) {
+  auto est = RandomScores(1000, 4);
+  auto truth = RandomScores(1000, 5);
+  SplitConformal scp(MakeScoring(ScoreKind::kResidual), 0.1);
+  (void)scp.Calibrate(est, truth);
+  double x = 500.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scp.Predict(x));
+    x += 1.0;
+  }
+}
+BENCHMARK(BM_ScpPredict);
+
+void BM_LwScpPredict(benchmark::State& state) {
+  // Difficulty = GBDT over 20-dim features (the paper's xgboost role).
+  Rng rng(6);
+  const size_t n = 2000, dim = 20;
+  std::vector<std::vector<float>> feats(n, std::vector<float>(dim));
+  std::vector<double> est(n), truth(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (auto& f : feats[i]) f = static_cast<float>(rng.NextDouble());
+    est[i] = rng.NextDouble() * 1000;
+    truth[i] = est[i] + 50 * rng.NextGaussian();
+  }
+  LocallyWeightedConformal::Options opts;
+  LocallyWeightedConformal lw(opts);
+  (void)lw.FitDifficulty(feats, est, truth);
+  (void)lw.Calibrate(feats, est, truth);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lw.Predict(est[i % n], feats[i % n]));
+    ++i;
+  }
+}
+BENCHMARK(BM_LwScpPredict);
+
+void BM_OnlineObserve(benchmark::State& state) {
+  OnlineConformal::Options opts;
+  opts.window = 10000;
+  OnlineConformal oc(MakeScoring(ScoreKind::kResidual), opts);
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    oc.Observe(0.0, rng.NextGaussian());
+  }
+  for (auto _ : state) {
+    oc.Observe(0.0, rng.NextGaussian());
+    benchmark::DoNotOptimize(oc.delta());
+  }
+}
+BENCHMARK(BM_OnlineObserve);
+
+void BM_ExchangeabilityObserve(benchmark::State& state) {
+  ExchangeabilityTest test;
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    test.Observe(rng.NextDouble());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(test.Observe(rng.NextDouble()));
+  }
+}
+BENCHMARK(BM_ExchangeabilityObserve);
+
+// CQR's marginal inference cost = one extra model forward per quantile
+// head; measured through the real MSCN forward pass.
+void BM_MscnForward(benchmark::State& state) {
+  static Table* table = new Table(MakeDmv(5000, 3).value());
+  static MscnEstimator* mscn = [] {
+    WorkloadConfig wc;
+    wc.num_queries = 300;
+    wc.seed = 1;
+    Workload train = GenerateWorkload(*table, wc).value();
+    MscnEstimator::Options o;
+    o.model.epochs = 5;
+    auto* m = new MscnEstimator(o);
+    (void)m->Train(*table, train);
+    return m;
+  }();
+  Query q;
+  q.predicates = {Predicate::Eq(0, 1.0), Predicate::Between(10, 0, 1000)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mscn->EstimateCardinality(q));
+  }
+}
+BENCHMARK(BM_MscnForward);
+
+}  // namespace
+}  // namespace confcard
+
+BENCHMARK_MAIN();

@@ -1,0 +1,214 @@
+// A command-line driver over the whole public API: pick a dataset (or a
+// CSV file), a model, PI methods, a coverage level — get the evaluation
+// table and a sample of intervals. Handy for exploring trade-offs
+// without writing code.
+//
+//   confcard_cli --dataset=dmv --model=mscn --method=all --alpha=0.1
+//   confcard_cli --csv=orders.csv --model=lwnn --method=scp,lw
+//   confcard_cli --dataset=census --model=naru --score=qerror --rows=20000
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ce/histogram.h"
+#include "ce/lwnn.h"
+#include "ce/mscn.h"
+#include "ce/naru.h"
+#include "ce/sampling.h"
+#include "data/csv_table.h"
+#include "data/datasets.h"
+#include "harness/report.h"
+#include "harness/single_table.h"
+#include "query/workload.h"
+
+using namespace confcard;
+
+namespace {
+
+struct Args {
+  std::string dataset = "dmv";
+  std::string csv;
+  std::string model = "mscn";
+  std::string method = "all";  // comma-separated: scp,lw,cqr,jk
+  std::string score = "residual";
+  double alpha = 0.1;
+  size_t rows = 30000;
+  size_t train = 1000;
+  size_t calib = 1000;
+  size_t test = 600;
+  uint64_t seed = 1;
+  bool series = false;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: confcard_cli [--dataset=dmv|census|forest|power]\n"
+      "                    [--csv=path] [--rows=N]\n"
+      "                    [--model=mscn|naru|lwnn|histogram|sampling]\n"
+      "                    [--method=all|scp,lw,cqr,jk]\n"
+      "                    [--score=residual|qerror|relative]\n"
+      "                    [--alpha=0.1] [--train=N] [--calib=N] "
+      "[--test=N]\n"
+      "                    [--seed=N] [--series]\n");
+  return 2;
+}
+
+bool Contains(const std::string& list, const std::string& item) {
+  if (list == "all") return true;
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    if (list.substr(pos, comma - pos) == item) return true;
+    pos = comma + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (ParseFlag(argv[i], "--dataset", &v)) args.dataset = v;
+    else if (ParseFlag(argv[i], "--csv", &v)) args.csv = v;
+    else if (ParseFlag(argv[i], "--model", &v)) args.model = v;
+    else if (ParseFlag(argv[i], "--method", &v)) args.method = v;
+    else if (ParseFlag(argv[i], "--score", &v)) args.score = v;
+    else if (ParseFlag(argv[i], "--alpha", &v)) args.alpha = std::atof(v.c_str());
+    else if (ParseFlag(argv[i], "--rows", &v)) args.rows = std::strtoull(v.c_str(), nullptr, 10);
+    else if (ParseFlag(argv[i], "--train", &v)) args.train = std::strtoull(v.c_str(), nullptr, 10);
+    else if (ParseFlag(argv[i], "--calib", &v)) args.calib = std::strtoull(v.c_str(), nullptr, 10);
+    else if (ParseFlag(argv[i], "--test", &v)) args.test = std::strtoull(v.c_str(), nullptr, 10);
+    else if (ParseFlag(argv[i], "--seed", &v)) args.seed = std::strtoull(v.c_str(), nullptr, 10);
+    else if (std::strcmp(argv[i], "--series") == 0) args.series = true;
+    else return Usage();
+  }
+  if (args.alpha <= 0.0 || args.alpha >= 1.0) return Usage();
+
+  // 1. Data.
+  std::unique_ptr<Table> table;
+  if (!args.csv.empty()) {
+    auto loaded = LoadTableFromCsv(args.csv, "csv");
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "csv load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    table = std::make_unique<Table>(std::move(loaded->table));
+  } else {
+    Result<Table> made = Status::InvalidArgument("");
+    if (args.dataset == "dmv") made = MakeDmv(args.rows, args.seed);
+    else if (args.dataset == "census") made = MakeCensus(args.rows, args.seed);
+    else if (args.dataset == "forest") made = MakeForest(args.rows, args.seed);
+    else if (args.dataset == "power") made = MakePower(args.rows, args.seed);
+    else return Usage();
+    if (!made.ok()) {
+      std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+      return 1;
+    }
+    table = std::make_unique<Table>(std::move(made).value());
+  }
+  std::printf("table: %s (%zu rows, %zu columns)\n", table->name().c_str(),
+              table->num_rows(), table->num_columns());
+
+  // 2. Workloads.
+  WorkloadConfig wc;
+  wc.max_selectivity = 0.5;
+  wc.num_queries = args.train;
+  wc.seed = args.seed + 1;
+  Workload train = GenerateWorkload(*table, wc).value();
+  wc.num_queries = args.calib;
+  wc.seed = args.seed + 2;
+  Workload calib = GenerateWorkload(*table, wc).value();
+  wc.num_queries = args.test;
+  wc.seed = args.seed + 3;
+  Workload test = GenerateWorkload(*table, wc).value();
+  std::printf("workloads: train=%zu calib=%zu test=%zu\n", train.size(),
+              calib.size(), test.size());
+
+  // 3. Model.
+  std::unique_ptr<CardinalityEstimator> model;
+  SupervisedEstimator* supervised = nullptr;
+  if (args.model == "mscn") {
+    MscnEstimator::Options o;
+    o.model.epochs = 60;
+    o.model.set_hidden = 96;
+    o.model.final_hidden = 96;
+    auto m = std::make_unique<MscnEstimator>(o);
+    if (!m->Train(*table, train).ok()) return 1;
+    supervised = m.get();
+    model = std::move(m);
+  } else if (args.model == "lwnn") {
+    auto m = std::make_unique<LwnnEstimator>();
+    if (!m->Train(*table, train).ok()) return 1;
+    supervised = m.get();
+    model = std::move(m);
+  } else if (args.model == "naru") {
+    auto m = std::make_unique<NaruEstimator>();
+    if (!m->Train(*table).ok()) return 1;
+    model = std::move(m);
+  } else if (args.model == "histogram") {
+    model = std::make_unique<HistogramEstimator>(*table);
+  } else if (args.model == "sampling") {
+    model = std::make_unique<SamplingEstimator>(*table, 1000);
+  } else {
+    return Usage();
+  }
+
+  // 4. PI methods.
+  SingleTableHarness::Options opts;
+  opts.alpha = args.alpha;
+  if (args.score == "residual") opts.score = ScoreKind::kResidual;
+  else if (args.score == "qerror") opts.score = ScoreKind::kQError;
+  else if (args.score == "relative") opts.score = ScoreKind::kRelative;
+  else return Usage();
+
+  SingleTableHarness harness(*table, train, calib, test, opts);
+  std::vector<MethodResult> results;
+  if (Contains(args.method, "scp")) {
+    results.push_back(harness.RunScp(*model));
+  }
+  if (Contains(args.method, "lw")) {
+    results.push_back(harness.RunLwScp(*model));
+  }
+  if (Contains(args.method, "cqr")) {
+    if (supervised == nullptr) {
+      std::fprintf(stderr,
+                   "note: cqr needs a supervised model (mscn/lwnn); "
+                   "skipping\n");
+    } else {
+      results.push_back(harness.RunCqr(*supervised));
+    }
+  }
+  if (Contains(args.method, "jk")) {
+    if (supervised == nullptr) {
+      results.push_back(harness.RunJkCvFixedModel(*model));
+    } else {
+      results.push_back(
+          harness.RunJkCv(*supervised, *model, /*simplified=*/true));
+    }
+  }
+  if (results.empty()) return Usage();
+
+  PrintMethodTable(results);
+  if (args.series) {
+    for (const MethodResult& r : results) {
+      PrintSeries(r, static_cast<double>(table->num_rows()), 15);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Side-by-side comparison of every estimator in the library — two
+// traditional baselines (1-D histograms with independence, uniform
+// sampling) and the three learned models of the paper (MSCN, Naru,
+// LW-NN) — by accuracy (median/P95 q-error) and by the width of their
+// 90% split-conformal prediction intervals. Reproduces the qualitative
+// claim that more accurate models earn tighter intervals.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "ce/histogram.h"
+#include "ce/lwnn.h"
+#include "ce/mscn.h"
+#include "ce/naru.h"
+#include "ce/sampling.h"
+#include "common/stats.h"
+#include "conformal/split.h"
+#include "data/datasets.h"
+#include "query/workload.h"
+
+using namespace confcard;
+
+namespace {
+
+void Evaluate(const CardinalityEstimator& model, const Workload& calib,
+              const Workload& test, double num_rows) {
+  std::vector<double> est_c, truth_c;
+  for (const LabeledQuery& lq : calib) {
+    est_c.push_back(model.EstimateCardinality(lq.query));
+    truth_c.push_back(lq.cardinality);
+  }
+  SplitConformal scp(MakeScoring(ScoreKind::kResidual), 0.1);
+  if (!scp.Calibrate(est_c, truth_c).ok()) return;
+
+  std::vector<double> qerrs;
+  size_t covered = 0;
+  for (const LabeledQuery& lq : test) {
+    double est = model.EstimateCardinality(lq.query);
+    double e = std::max(est, 1.0), t = std::max(lq.cardinality, 1.0);
+    qerrs.push_back(std::max(e / t, t / e));
+    Interval iv = ClipToCardinality(scp.Predict(est), num_rows);
+    covered += iv.Contains(lq.cardinality) ? 1 : 0;
+  }
+  std::printf("%-14s %12.2f %12.2f %14.4f %12.3f\n",
+              model.name().c_str(), Percentile(qerrs, 50.0),
+              Percentile(qerrs, 95.0),
+              2.0 * scp.delta() / num_rows,
+              static_cast<double>(covered) /
+                  static_cast<double>(test.size()));
+}
+
+}  // namespace
+
+int main() {
+  Table table = MakeDmv(30000).value();
+  const double n = static_cast<double>(table.num_rows());
+
+  WorkloadConfig cfg;
+  cfg.num_queries = 1500;
+  cfg.seed = 1;
+  Workload train = GenerateWorkload(table, cfg).value();
+  cfg.seed = 2;
+  Workload calib = GenerateWorkload(table, cfg).value();
+  cfg.num_queries = 600;
+  cfg.seed = 3;
+  Workload test = GenerateWorkload(table, cfg).value();
+
+  std::printf("%-14s %12s %12s %14s %12s\n", "model", "q-err p50",
+              "q-err p95", "PI width(sel)", "coverage");
+
+  HistogramEstimator hist(table);
+  Evaluate(hist, calib, test, n);
+
+  SamplingEstimator sample(table, 1000);
+  Evaluate(sample, calib, test, n);
+
+  LwnnEstimator lwnn;
+  if (lwnn.Train(table, train).ok()) Evaluate(lwnn, calib, test, n);
+
+  MscnEstimator::Options mo;
+  mo.model.epochs = 60;
+  mo.model.set_hidden = 96;
+  mo.model.final_hidden = 96;
+  MscnEstimator mscn(mo);
+  if (mscn.Train(table, train).ok()) Evaluate(mscn, calib, test, n);
+
+  NaruConfig nc;
+  nc.epochs = 6;
+  NaruEstimator naru(nc);
+  if (naru.Train(table).ok()) Evaluate(naru, calib, test, n);
+
+  std::printf("\nall rows should sit at coverage ~0.9; more accurate "
+              "models get tighter intervals\n");
+  return 0;
+}

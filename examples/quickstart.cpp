@@ -1,0 +1,74 @@
+// Quickstart: wrap a learned cardinality estimator with split conformal
+// prediction in ~40 lines.
+//
+//   1. build (or load) a table,
+//   2. label a training and a calibration workload with exact counts,
+//   3. train any estimator (MSCN here),
+//   4. calibrate SplitConformal on the calibration residuals,
+//   5. ask for [lo, hi] alongside every estimate.
+#include <cstdio>
+
+#include "ce/mscn.h"
+#include "conformal/split.h"
+#include "data/datasets.h"
+#include "exec/scan.h"
+#include "query/workload.h"
+
+using namespace confcard;
+
+int main() {
+  // 1. A DMV-like table (swap in your own confcard::Table).
+  Table table = MakeDmv(/*num_rows=*/30000).value();
+
+  // 2. Labeled workloads: the generator computes exact cardinalities.
+  WorkloadConfig cfg;
+  cfg.num_queries = 800;
+  cfg.seed = 1;
+  Workload train = GenerateWorkload(table, cfg).value();
+  cfg.num_queries = 800;
+  cfg.seed = 2;
+  Workload calib = GenerateWorkload(table, cfg).value();
+
+  // 3. Train the model (hyper-parameters as used by the benches).
+  MscnEstimator::Options options;
+  options.model.epochs = 60;
+  options.model.set_hidden = 96;
+  options.model.final_hidden = 96;
+  MscnEstimator model(options);
+  Status st = model.Train(table, train);
+  if (!st.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // 4. Calibrate a 90%-coverage split conformal wrapper.
+  std::vector<double> estimates, truths;
+  for (const LabeledQuery& lq : calib) {
+    estimates.push_back(model.EstimateCardinality(lq.query));
+    truths.push_back(lq.cardinality);
+  }
+  SplitConformal scp(MakeScoring(ScoreKind::kQError), /*alpha=*/0.1);
+  st = scp.Calibrate(estimates, truths);
+  if (!st.ok()) {
+    std::fprintf(stderr, "calibration failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("calibrated q-error delta = %.2f\n", scp.delta());
+
+  // 5. Point estimate + prediction interval for new queries.
+  cfg.num_queries = 10;
+  cfg.seed = 3;
+  Workload demo = GenerateWorkload(table, cfg).value();
+  std::printf("%-40s %10s %10s %20s\n", "query", "truth", "estimate",
+              "90% interval");
+  for (const LabeledQuery& lq : demo) {
+    double est = model.EstimateCardinality(lq.query);
+    Interval iv = ClipToCardinality(
+        scp.Predict(est), static_cast<double>(table.num_rows()));
+    std::printf("%-40.40s %10.0f %10.0f [%8.0f, %8.0f]%s\n",
+                ToString(lq.query).c_str(), lq.cardinality, est, iv.lo,
+                iv.hi, iv.Contains(lq.cardinality) ? "" : "  <-- missed");
+  }
+  return 0;
+}

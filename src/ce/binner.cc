@@ -1,0 +1,94 @@
+#include "ce/binner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace confcard {
+
+ColumnBinner::ColumnBinner(const Column& column, int max_numeric_bins) {
+  CONFCARD_CHECK(max_numeric_bins >= 1);
+  min_ = column.min_value();
+  max_ = column.max_value();
+  if (column.is_categorical()) {
+    categorical_ = true;
+    num_bins_ = static_cast<int>(column.domain_size());
+    return;
+  }
+  // Equi-depth edges over the sorted data; duplicates collapse so bins
+  // stay non-empty and strictly increasing.
+  std::vector<double> sorted = column.data();
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.empty()) {
+    num_bins_ = 1;
+    return;
+  }
+  const int target = max_numeric_bins;
+  for (int b = 1; b < target; ++b) {
+    size_t idx = static_cast<size_t>(static_cast<double>(b) / target *
+                                     static_cast<double>(sorted.size()));
+    if (idx >= sorted.size()) idx = sorted.size() - 1;
+    double edge = sorted[idx];
+    if (edge >= max_) continue;  // keep the last bin non-degenerate
+    if (edges_.empty() || edge > edges_.back()) edges_.push_back(edge);
+  }
+  num_bins_ = static_cast<int>(edges_.size()) + 1;
+}
+
+int ColumnBinner::BinOf(double value) const {
+  if (categorical_) {
+    int code = static_cast<int>(value);
+    if (code < 0) return 0;
+    if (code >= num_bins_) return num_bins_ - 1;
+    return code;
+  }
+  // bin i covers (edges_[i-1], edges_[i]]: index of first edge >= value.
+  auto it = std::lower_bound(edges_.begin(), edges_.end(), value);
+  return static_cast<int>(it - edges_.begin());
+}
+
+std::pair<int, int> ColumnBinner::BinRange(double lo, double hi) const {
+  if (hi < lo) return {1, 0};
+  if (categorical_) {
+    int blo = static_cast<int>(std::ceil(lo));
+    int bhi = static_cast<int>(std::floor(hi));
+    blo = std::max(blo, 0);
+    bhi = std::min(bhi, num_bins_ - 1);
+    return {blo, bhi};
+  }
+  if (hi < min_ || lo > max_) return {1, 0};
+  return {BinOf(std::max(lo, min_)), BinOf(std::min(hi, max_))};
+}
+
+TableBinner::TableBinner(const Table& table, int max_numeric_bins) {
+  binners_.reserve(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    binners_.emplace_back(table.column(c), max_numeric_bins);
+  }
+}
+
+size_t TableBinner::TotalBins() const {
+  size_t total = 0;
+  for (const ColumnBinner& b : binners_) {
+    total += static_cast<size_t>(b.num_bins());
+  }
+  return total;
+}
+
+std::vector<int> TableBinner::BinRow(const Table& table, size_t row) const {
+  std::vector<int> out(binners_.size());
+  for (size_t c = 0; c < binners_.size(); ++c) {
+    out[c] = binners_[c].BinOf(table.At(row, c));
+  }
+  return out;
+}
+
+std::pair<int, int> TableBinner::PredicateBins(const Predicate& pred) const {
+  CONFCARD_DCHECK(pred.column >= 0 &&
+                  static_cast<size_t>(pred.column) < binners_.size());
+  return binners_[static_cast<size_t>(pred.column)].BinRange(pred.lo,
+                                                             pred.hi);
+}
+
+}  // namespace confcard

@@ -1,0 +1,72 @@
+// Per-column discretization: categorical columns keep their codes;
+// numeric columns are quantized to equi-depth bins. Naru's autoregressive
+// model and the featurizers operate on the resulting finite domains.
+#ifndef CONFCARD_CE_BINNER_H_
+#define CONFCARD_CE_BINNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/table.h"
+#include "query/predicate.h"
+
+namespace confcard {
+
+/// Discretizer for one column.
+class ColumnBinner {
+ public:
+  /// Builds the binner from column contents. Numeric columns get at most
+  /// `max_numeric_bins` equi-depth bins (fewer when the column has fewer
+  /// distinct values); categorical columns are identity-mapped.
+  ColumnBinner(const Column& column, int max_numeric_bins);
+
+  /// Number of discrete bins.
+  int num_bins() const { return num_bins_; }
+
+  /// Bin index of a value (values outside the observed range clamp to
+  /// the first/last bin).
+  int BinOf(double value) const;
+
+  /// Smallest/largest bin index overlapping [lo, hi], or an empty range
+  /// (first > second) when nothing overlaps.
+  std::pair<int, int> BinRange(double lo, double hi) const;
+
+  bool is_categorical() const { return categorical_; }
+
+ private:
+  bool categorical_ = false;
+  int num_bins_ = 1;
+  // For numeric columns: ascending bin boundaries; bin i covers
+  // (edges_[i-1], edges_[i]] with edges_[-1] = -inf. edges_ has
+  // num_bins_ - 1 entries; the last bin is unbounded above within the
+  // column range.
+  std::vector<double> edges_;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Binners for all columns of a table.
+class TableBinner {
+ public:
+  TableBinner(const Table& table, int max_numeric_bins = 32);
+
+  const ColumnBinner& column(size_t i) const { return binners_[i]; }
+  size_t num_columns() const { return binners_.size(); }
+
+  /// Total one-hot width: sum of per-column bin counts.
+  size_t TotalBins() const;
+
+  /// Per-column bin index of one table row.
+  std::vector<int> BinRow(const Table& table, size_t row) const;
+
+  /// Maps a predicate to the inclusive bin range it may touch on its
+  /// column. Equality on a numeric value maps to that value's bin.
+  std::pair<int, int> PredicateBins(const Predicate& pred) const;
+
+ private:
+  std::vector<ColumnBinner> binners_;
+};
+
+}  // namespace confcard
+
+#endif  // CONFCARD_CE_BINNER_H_

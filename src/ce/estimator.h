@@ -1,0 +1,83 @@
+// Estimator interfaces. The conformal layer treats estimators as black
+// boxes (the paper's "no changes to the underlying model" desideratum);
+// the narrower interfaces below expose exactly the two hooks the paper's
+// methods need beyond prediction: retraining on a sub-workload (JK-CV+)
+// and swapping the training loss for a pinball loss (CQR).
+#ifndef CONFCARD_CE_ESTIMATOR_H_
+#define CONFCARD_CE_ESTIMATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "data/table.h"
+#include "query/predicate.h"
+
+namespace confcard {
+
+/// Black-box single-table cardinality estimator.
+class CardinalityEstimator {
+ public:
+  CardinalityEstimator() : instance_id_(NextInstanceId()) {}
+  virtual ~CardinalityEstimator() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Estimated COUNT(*) for `query`, in tuples (>= 0).
+  virtual double EstimateCardinality(const Query& query) const = 0;
+
+  /// Process-unique id of this estimator instance. Used by caches in
+  /// place of the object address, which can be reused after destruction
+  /// (e.g., models re-created in a loop at the same stack slot).
+  uint64_t instance_id() const { return instance_id_; }
+
+ private:
+  static uint64_t NextInstanceId() {
+    static std::atomic<uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t instance_id_;
+};
+
+/// Training loss selector for supervised estimators. kDefault is the
+/// model's published loss (mean q-error for MSCN, MSE for LW-NN);
+/// kPinball turns the model into a tau-quantile regressor — the loss
+/// modification CQR requires (Section III-F).
+struct LossSpec {
+  enum Kind { kDefault, kPinball } kind = kDefault;
+  double tau = 0.5;
+
+  static LossSpec Default() { return {kDefault, 0.5}; }
+  static LossSpec Pinball(double tau) { return {kPinball, tau}; }
+};
+
+/// A query-driven estimator trained on a labeled workload. Exposes the
+/// retraining hooks used by Jackknife+ (fold retraining on sub-
+/// workloads) and CQR (quantile-loss twins).
+class SupervisedEstimator : public CardinalityEstimator {
+ public:
+  /// Trains on (a subset of) the labeled workload. `table` supplies the
+  /// statistics featurizers need (domains, histograms, sample bitmaps).
+  virtual Status Train(const Table& table, const Workload& workload) = 0;
+
+  /// Fresh untrained copy with identical architecture/hyper-parameters
+  /// but an independent seed (`seed_offset` decorrelates ensemble
+  /// members and fold models).
+  virtual std::unique_ptr<SupervisedEstimator> CloneArchitecture(
+      uint64_t seed_offset) const = 0;
+
+  /// Selects the training loss for subsequent Train calls.
+  virtual void SetLoss(const LossSpec& loss) = 0;
+};
+
+/// A data-driven estimator trained directly on the table (no workload).
+class DataDrivenEstimator : public CardinalityEstimator {
+ public:
+  virtual Status Train(const Table& table) = 0;
+};
+
+}  // namespace confcard
+
+#endif  // CONFCARD_CE_ESTIMATOR_H_

@@ -1,0 +1,226 @@
+#include "ce/featurizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace confcard {
+namespace {
+
+constexpr double kMinSpan = 1e-9;
+
+}  // namespace
+
+FlatQueryFeaturizer::FlatQueryFeaturizer(const Table& table)
+    : num_columns_(table.num_columns()) {
+  col_min_.resize(num_columns_);
+  col_span_.resize(num_columns_);
+  for (size_t c = 0; c < num_columns_; ++c) {
+    col_min_[c] = table.column(c).min_value();
+    col_span_[c] = std::max(
+        table.column(c).max_value() - table.column(c).min_value(), kMinSpan);
+  }
+}
+
+std::vector<float> FlatQueryFeaturizer::Featurize(const Query& query) const {
+  std::vector<float> out(dim(), 0.0f);
+  // Unconstrained columns read as the full range [0, 1].
+  for (size_t c = 0; c < num_columns_; ++c) {
+    out[5 * c + 2] = 0.0f;  // lo
+    out[5 * c + 3] = 1.0f;  // hi
+    out[5 * c + 4] = 1.0f;  // width
+  }
+  for (const Predicate& p : query.predicates) {
+    CONFCARD_DCHECK(p.column >= 0 &&
+                    static_cast<size_t>(p.column) < num_columns_);
+    const size_t c = static_cast<size_t>(p.column);
+    double lo = (p.lo - col_min_[c]) / col_span_[c];
+    double hi = (p.hi - col_min_[c]) / col_span_[c];
+    lo = std::clamp(lo, 0.0, 1.0);
+    hi = std::clamp(hi, 0.0, 1.0);
+    out[5 * c + 0] = 1.0f;
+    out[5 * c + 1] = p.op == PredOp::kEq ? 1.0f : 0.0f;
+    out[5 * c + 2] = static_cast<float>(lo);
+    out[5 * c + 3] = static_cast<float>(hi);
+    out[5 * c + 4] = static_cast<float>(hi - lo);
+  }
+  out[5 * num_columns_] = static_cast<float>(query.predicates.size()) /
+                          static_cast<float>(num_columns_);
+  return out;
+}
+
+MscnFeaturizer::MscnFeaturizer(const Table& table,
+                               const SamplingEstimator* bitmap_source)
+    : bitmap_source_(bitmap_source),
+      num_columns_(table.num_columns()),
+      log_rows_(std::log(static_cast<double>(table.num_rows()) + 1.0)) {
+  table_dim_ =
+      2 + (bitmap_source_ != nullptr ? bitmap_source_->sample_size() : 0);
+  pred_dim_ = num_columns_ + 2 + 2;  // col one-hot, op one-hot, lo/hi
+  col_min_.resize(num_columns_);
+  col_span_.resize(num_columns_);
+  for (size_t c = 0; c < num_columns_; ++c) {
+    col_min_[c] = table.column(c).min_value();
+    col_span_[c] = std::max(
+        table.column(c).max_value() - table.column(c).min_value(), kMinSpan);
+  }
+}
+
+MscnInput MscnFeaturizer::Featurize(const Query& query) const {
+  MscnInput in;
+  std::vector<float> tf(table_dim_, 0.0f);
+  tf[0] = 1.0f;
+  tf[1] = static_cast<float>(log_rows_ / 30.0);
+  if (bitmap_source_ != nullptr) {
+    std::vector<uint8_t> bitmap = bitmap_source_->SampleBitmap(query);
+    for (size_t i = 0; i < bitmap.size(); ++i) {
+      tf[2 + i] = static_cast<float>(bitmap[i]);
+    }
+  }
+  in.tables.push_back(std::move(tf));
+
+  for (const Predicate& p : query.predicates) {
+    std::vector<float> pf(pred_dim_, 0.0f);
+    const size_t c = static_cast<size_t>(p.column);
+    pf[c] = 1.0f;
+    pf[num_columns_ + (p.op == PredOp::kEq ? 0 : 1)] = 1.0f;
+    double lo = std::clamp((p.lo - col_min_[c]) / col_span_[c], 0.0, 1.0);
+    double hi = std::clamp((p.hi - col_min_[c]) / col_span_[c], 0.0, 1.0);
+    pf[num_columns_ + 2] = static_cast<float>(lo);
+    pf[num_columns_ + 3] = static_cast<float>(hi);
+    in.predicates.push_back(std::move(pf));
+  }
+  return in;
+}
+
+MscnJoinFeaturizer::MscnJoinFeaturizer(const Database& db) : db_(&db) {
+  for (const Table& t : db.tables()) {
+    table_names_.push_back(t.name());
+    col_offsets_.push_back(total_columns_);
+    total_columns_ += t.num_columns();
+  }
+  table_dim_ = table_names_.size() + 1;  // one-hot + log size
+  join_dim_ = std::max<size_t>(1, db.join_edges().size());
+  pred_dim_ = total_columns_ + 2 + 2;
+
+  col_min_.resize(total_columns_);
+  col_span_.resize(total_columns_);
+  size_t slot = 0;
+  for (const Table& t : db.tables()) {
+    for (size_t c = 0; c < t.num_columns(); ++c, ++slot) {
+      col_min_[slot] = t.column(c).min_value();
+      col_span_[slot] =
+          std::max(t.column(c).max_value() - t.column(c).min_value(),
+                   kMinSpan);
+    }
+  }
+}
+
+int MscnJoinFeaturizer::TableIndex(const std::string& name) const {
+  for (size_t i = 0; i < table_names_.size(); ++i) {
+    if (table_names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int MscnJoinFeaturizer::EdgeIndex(const JoinEdge& e) const {
+  const auto& edges = db_->join_edges();
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const JoinEdge& d = edges[i];
+    const bool same = d.left_table == e.left_table &&
+                      d.left_column == e.left_column &&
+                      d.right_table == e.right_table &&
+                      d.right_column == e.right_column;
+    const bool flipped = d.left_table == e.right_table &&
+                         d.left_column == e.right_column &&
+                         d.right_table == e.left_table &&
+                         d.right_column == e.left_column;
+    if (same || flipped) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int MscnJoinFeaturizer::ColumnSlot(const std::string& table,
+                                   int column) const {
+  int ti = TableIndex(table);
+  if (ti < 0) return -1;
+  return static_cast<int>(col_offsets_[static_cast<size_t>(ti)]) + column;
+}
+
+MscnInput MscnJoinFeaturizer::Featurize(const JoinQuery& query) const {
+  MscnInput in;
+  for (const std::string& t : query.tables) {
+    std::vector<float> tf(table_dim_, 0.0f);
+    int ti = TableIndex(t);
+    CONFCARD_DCHECK(ti >= 0);
+    tf[static_cast<size_t>(ti)] = 1.0f;
+    tf[table_names_.size()] = static_cast<float>(
+        std::log(static_cast<double>(db_->table(t).num_rows()) + 1.0) /
+        30.0);
+    in.tables.push_back(std::move(tf));
+  }
+  for (const JoinEdge& e : query.joins) {
+    std::vector<float> jf(join_dim_, 0.0f);
+    int ei = EdgeIndex(e);
+    if (ei >= 0) jf[static_cast<size_t>(ei)] = 1.0f;
+    in.joins.push_back(std::move(jf));
+  }
+  for (const TablePredicate& tp : query.predicates) {
+    std::vector<float> pf(pred_dim_, 0.0f);
+    int slot = ColumnSlot(tp.table, tp.pred.column);
+    CONFCARD_DCHECK(slot >= 0);
+    pf[static_cast<size_t>(slot)] = 1.0f;
+    pf[total_columns_ + (tp.pred.op == PredOp::kEq ? 0 : 1)] = 1.0f;
+    const size_t s = static_cast<size_t>(slot);
+    double lo =
+        std::clamp((tp.pred.lo - col_min_[s]) / col_span_[s], 0.0, 1.0);
+    double hi =
+        std::clamp((tp.pred.hi - col_min_[s]) / col_span_[s], 0.0, 1.0);
+    pf[total_columns_ + 2] = static_cast<float>(lo);
+    pf[total_columns_ + 3] = static_cast<float>(hi);
+    in.predicates.push_back(std::move(pf));
+  }
+  return in;
+}
+
+size_t MscnJoinFeaturizer::flat_dim() const {
+  return table_names_.size() + db_->join_edges().size() +
+         5 * total_columns_;
+}
+
+std::vector<float> MscnJoinFeaturizer::FlatFeaturize(
+    const JoinQuery& query) const {
+  std::vector<float> out(flat_dim(), 0.0f);
+  for (const std::string& t : query.tables) {
+    int ti = TableIndex(t);
+    if (ti >= 0) out[static_cast<size_t>(ti)] = 1.0f;
+  }
+  const size_t join_base = table_names_.size();
+  for (const JoinEdge& e : query.joins) {
+    int ei = EdgeIndex(e);
+    if (ei >= 0) out[join_base + static_cast<size_t>(ei)] = 1.0f;
+  }
+  const size_t pred_base = join_base + db_->join_edges().size();
+  for (size_t s = 0; s < total_columns_; ++s) {
+    out[pred_base + 5 * s + 3] = 1.0f;  // hi
+    out[pred_base + 5 * s + 4] = 1.0f;  // width
+  }
+  for (const TablePredicate& tp : query.predicates) {
+    int slot = ColumnSlot(tp.table, tp.pred.column);
+    if (slot < 0) continue;
+    const size_t s = static_cast<size_t>(slot);
+    double lo =
+        std::clamp((tp.pred.lo - col_min_[s]) / col_span_[s], 0.0, 1.0);
+    double hi =
+        std::clamp((tp.pred.hi - col_min_[s]) / col_span_[s], 0.0, 1.0);
+    out[pred_base + 5 * s + 0] = 1.0f;
+    out[pred_base + 5 * s + 1] = tp.pred.op == PredOp::kEq ? 1.0f : 0.0f;
+    out[pred_base + 5 * s + 2] = static_cast<float>(lo);
+    out[pred_base + 5 * s + 3] = static_cast<float>(hi);
+    out[pred_base + 5 * s + 4] = static_cast<float>(hi - lo);
+  }
+  return out;
+}
+
+}  // namespace confcard

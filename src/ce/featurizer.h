@@ -1,0 +1,107 @@
+// Query featurization: flat vectors (for the GBDT difficulty model and
+// generic consumers) and MSCN's set-structured inputs, for both
+// single-table and join queries.
+#ifndef CONFCARD_CE_FEATURIZER_H_
+#define CONFCARD_CE_FEATURIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "ce/sampling.h"
+#include "data/multitable.h"
+#include "data/table.h"
+#include "query/join_query.h"
+#include "query/predicate.h"
+
+namespace confcard {
+
+/// Fixed-length featurization of single-table conjunctive queries:
+/// per column [has_predicate, is_equality, lo_norm, hi_norm, width_norm]
+/// plus a trailing predicate-count feature. Literals are min-max
+/// normalized per column.
+class FlatQueryFeaturizer {
+ public:
+  explicit FlatQueryFeaturizer(const Table& table);
+
+  size_t dim() const { return 5 * num_columns_ + 1; }
+  std::vector<float> Featurize(const Query& query) const;
+
+ private:
+  size_t num_columns_;
+  std::vector<double> col_min_;
+  std::vector<double> col_span_;  // max - min, floored at a tiny epsilon
+};
+
+/// MSCN's input: three sets of fixed-width vectors (table set, join set,
+/// predicate set), averaged per set by the model after a shared per-set
+/// MLP.
+struct MscnInput {
+  std::vector<std::vector<float>> tables;
+  std::vector<std::vector<float>> joins;
+  std::vector<std::vector<float>> predicates;
+};
+
+/// Featurizer for single-table MSCN. The table vector carries the
+/// materialized-sample bitmap (as in the original MSCN), the join set is
+/// empty, and each predicate contributes column one-hot + operator
+/// one-hot + normalized bounds.
+class MscnFeaturizer {
+ public:
+  /// `bitmap_source` supplies per-query sample bitmaps; may be null to
+  /// train MSCN without bitmaps (pure query featurization).
+  MscnFeaturizer(const Table& table, const SamplingEstimator* bitmap_source);
+
+  size_t table_dim() const { return table_dim_; }
+  size_t join_dim() const { return 1; }  // unused placeholder width
+  size_t predicate_dim() const { return pred_dim_; }
+
+  MscnInput Featurize(const Query& query) const;
+
+ private:
+  const SamplingEstimator* bitmap_source_;
+  size_t num_columns_;
+  size_t table_dim_;
+  size_t pred_dim_;
+  double log_rows_;
+  std::vector<double> col_min_;
+  std::vector<double> col_span_;
+};
+
+/// Featurizer for join queries over a Database: table one-hots, join
+/// edge one-hots, and predicates with a global (table, column) one-hot.
+class MscnJoinFeaturizer {
+ public:
+  explicit MscnJoinFeaturizer(const Database& db);
+
+  size_t table_dim() const { return table_dim_; }
+  size_t join_dim() const { return join_dim_; }
+  size_t predicate_dim() const { return pred_dim_; }
+
+  MscnInput Featurize(const JoinQuery& query) const;
+
+  /// Flat concatenation (tables/joins as multi-hot + per-column
+  /// predicate slots), for the GBDT difficulty model on join workloads.
+  std::vector<float> FlatFeaturize(const JoinQuery& query) const;
+  size_t flat_dim() const;
+
+ private:
+  int TableIndex(const std::string& name) const;
+  int EdgeIndex(const JoinEdge& e) const;
+  /// Global column slot of (table, column-index).
+  int ColumnSlot(const std::string& table, int column) const;
+
+  const Database* db_;
+  std::vector<std::string> table_names_;
+  std::vector<size_t> col_offsets_;  // per table, into global column slots
+  size_t total_columns_ = 0;
+  size_t table_dim_ = 0;
+  size_t join_dim_ = 0;
+  size_t pred_dim_ = 0;
+  // Normalization per global column slot.
+  std::vector<double> col_min_;
+  std::vector<double> col_span_;
+};
+
+}  // namespace confcard
+
+#endif  // CONFCARD_CE_FEATURIZER_H_

@@ -1,0 +1,182 @@
+#include "ce/mscn.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace confcard {
+
+namespace {
+// 'CMS1' — confcard mscn archive.
+constexpr uint32_t kMscnMagic = 0x434D5331;
+constexpr uint32_t kMscnVersion = 1;
+}  // namespace
+
+MscnEstimator::MscnEstimator() : MscnEstimator(Options{}) {}
+
+MscnEstimator::MscnEstimator(Options options) : options_(options) {}
+
+Status MscnEstimator::Train(const Table& table, const Workload& workload) {
+  if (workload.empty()) {
+    return Status::InvalidArgument("mscn: empty training workload");
+  }
+  num_rows_ = static_cast<double>(table.num_rows());
+  if (options_.bitmap_size > 0) {
+    sampler_ = std::make_unique<SamplingEstimator>(
+        table, options_.bitmap_size, options_.model.seed ^ 0xB17Eull);
+  } else {
+    sampler_.reset();
+  }
+  featurizer_ = std::make_unique<MscnFeaturizer>(table, sampler_.get());
+  model_ = std::make_unique<MscnModel>(featurizer_->table_dim(),
+                                       featurizer_->join_dim(),
+                                       featurizer_->predicate_dim(),
+                                       options_.model);
+
+  std::vector<MscnInput> inputs;
+  std::vector<double> targets;
+  inputs.reserve(workload.size());
+  targets.reserve(workload.size());
+  for (const LabeledQuery& lq : workload) {
+    inputs.push_back(featurizer_->Featurize(lq.query));
+    targets.push_back(std::log(lq.cardinality + 1.0));
+  }
+  return model_->Train(inputs, targets);
+}
+
+double MscnEstimator::EstimateCardinality(const Query& query) const {
+  CONFCARD_CHECK_MSG(model_ != nullptr, "mscn: not trained");
+  double log_card = model_->PredictLogCard(featurizer_->Featurize(query));
+  // A single-table count can never exceed the table size; clamping also
+  // guards against exp() blow-ups on out-of-distribution queries.
+  return std::clamp(std::exp(log_card) - 1.0, 0.0, num_rows_);
+}
+
+Status MscnEstimator::SaveToFile(const std::string& path) const {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition("mscn: not trained");
+  }
+  ArchiveWriter w(kMscnMagic, kMscnVersion);
+  const MscnConfig& mc = options_.model;
+  w.WriteU64(mc.set_hidden);
+  w.WriteU64(mc.final_hidden);
+  w.WriteI32(mc.epochs);
+  w.WriteU64(mc.batch_size);
+  w.WriteDouble(mc.lr);
+  w.WriteI32(mc.loss.kind == LossSpec::kPinball ? 1 : 0);
+  w.WriteDouble(mc.loss.tau);
+  w.WriteU64(mc.seed);
+  w.WriteU64(options_.bitmap_size);
+  w.WriteDouble(num_rows_);
+  // Featurization dims, validated at load.
+  w.WriteU64(featurizer_->table_dim());
+  w.WriteU64(featurizer_->predicate_dim());
+  model_->SerializeParams(&w);
+  return w.SaveToFile(path);
+}
+
+Result<MscnEstimator> MscnEstimator::LoadFromFile(const Table& table,
+                                                  const std::string& path) {
+  CONFCARD_ASSIGN_OR_RETURN(
+      ArchiveReader r,
+      ArchiveReader::FromFile(path, kMscnMagic, kMscnVersion));
+  Options opts;
+  opts.model.set_hidden = static_cast<size_t>(r.ReadU64());
+  opts.model.final_hidden = static_cast<size_t>(r.ReadU64());
+  opts.model.epochs = r.ReadI32();
+  opts.model.batch_size = static_cast<size_t>(r.ReadU64());
+  opts.model.lr = r.ReadDouble();
+  opts.model.loss.kind =
+      r.ReadI32() == 1 ? LossSpec::kPinball : LossSpec::kDefault;
+  opts.model.loss.tau = r.ReadDouble();
+  opts.model.seed = r.ReadU64();
+  opts.bitmap_size = static_cast<size_t>(r.ReadU64());
+  const double num_rows = r.ReadDouble();
+  const uint64_t table_dim = r.ReadU64();
+  const uint64_t pred_dim = r.ReadU64();
+  CONFCARD_RETURN_NOT_OK(r.status());
+
+  MscnEstimator est(opts);
+  est.num_rows_ = static_cast<double>(table.num_rows());
+  if (est.num_rows_ != num_rows) {
+    return Status::InvalidArgument(
+        "mscn archive was trained on a table with a different row count");
+  }
+  if (opts.bitmap_size > 0) {
+    est.sampler_ = std::make_unique<SamplingEstimator>(
+        table, opts.bitmap_size, opts.model.seed ^ 0xB17Eull);
+  }
+  est.featurizer_ =
+      std::make_unique<MscnFeaturizer>(table, est.sampler_.get());
+  if (est.featurizer_->table_dim() != table_dim ||
+      est.featurizer_->predicate_dim() != pred_dim) {
+    return Status::InvalidArgument(
+        "mscn archive featurization does not match this table");
+  }
+  est.model_ = std::make_unique<MscnModel>(
+      est.featurizer_->table_dim(), est.featurizer_->join_dim(),
+      est.featurizer_->predicate_dim(), opts.model);
+  CONFCARD_RETURN_NOT_OK(est.model_->DeserializeParams(&r));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in mscn archive");
+  }
+  return est;
+}
+
+std::unique_ptr<SupervisedEstimator> MscnEstimator::CloneArchitecture(
+    uint64_t seed_offset) const {
+  Options opts = options_;
+  opts.model.seed += seed_offset;
+  return std::make_unique<MscnEstimator>(opts);
+}
+
+uint64_t MscnJoinEstimator::NextInstanceId() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+MscnJoinEstimator::MscnJoinEstimator(MscnConfig config) : config_(config) {}
+
+Status MscnJoinEstimator::Train(const Database& db,
+                                const JoinWorkload& workload) {
+  if (workload.empty()) {
+    return Status::InvalidArgument("mscn-join: empty training workload");
+  }
+  featurizer_ = std::make_unique<MscnJoinFeaturizer>(db);
+  model_ = std::make_unique<MscnModel>(featurizer_->table_dim(),
+                                       featurizer_->join_dim(),
+                                       featurizer_->predicate_dim(),
+                                       config_);
+  std::vector<MscnInput> inputs;
+  std::vector<double> targets;
+  inputs.reserve(workload.size());
+  targets.reserve(workload.size());
+  for (const LabeledJoinQuery& lq : workload) {
+    inputs.push_back(featurizer_->Featurize(lq.query));
+    targets.push_back(std::log(lq.cardinality + 1.0));
+  }
+  return model_->Train(inputs, targets);
+}
+
+double MscnJoinEstimator::EstimateCardinality(const JoinQuery& query) const {
+  CONFCARD_CHECK_MSG(model_ != nullptr, "mscn-join: not trained");
+  double log_card = model_->PredictLogCard(featurizer_->Featurize(query));
+  return std::max(0.0, std::exp(log_card) - 1.0);
+}
+
+std::unique_ptr<MscnJoinEstimator> MscnJoinEstimator::CloneArchitecture(
+    uint64_t seed_offset) const {
+  MscnConfig cfg = config_;
+  cfg.seed += seed_offset;
+  return std::make_unique<MscnJoinEstimator>(cfg);
+}
+
+std::vector<float> MscnJoinEstimator::FlatFeatures(
+    const JoinQuery& query) const {
+  CONFCARD_CHECK_MSG(featurizer_ != nullptr, "mscn-join: not trained");
+  return featurizer_->FlatFeaturize(query);
+}
+
+}  // namespace confcard

@@ -1,0 +1,224 @@
+#include "ce/mscn_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+
+namespace confcard {
+namespace {
+
+// Packs one set kind across the batch into a single tensor; records
+// per-sample offsets.
+nn::Tensor PackSet(const std::vector<const MscnInput*>& batch,
+                   const std::vector<std::vector<float>> MscnInput::*member,
+                   size_t dim, std::vector<size_t>* offsets) {
+  offsets->clear();
+  offsets->push_back(0);
+  size_t total = 0;
+  for (const MscnInput* in : batch) {
+    total += (in->*member).size();
+    offsets->push_back(total);
+  }
+  nn::Tensor packed(std::max<size_t>(total, 1), dim);
+  size_t row = 0;
+  for (const MscnInput* in : batch) {
+    for (const auto& vec : in->*member) {
+      CONFCARD_DCHECK(vec.size() == dim);
+      std::copy(vec.begin(), vec.end(), packed.RowPtr(row));
+      ++row;
+    }
+  }
+  return packed;
+}
+
+// Mean-pools per-sample segments of `elems` into a (B, dim) tensor.
+nn::Tensor PoolMean(const nn::Tensor& elems,
+                    const std::vector<size_t>& offsets, size_t batch) {
+  nn::Tensor out(batch, elems.cols());
+  for (size_t b = 0; b < batch; ++b) {
+    const size_t lo = offsets[b], hi = offsets[b + 1];
+    if (hi == lo) continue;  // empty set pools to zero
+    float* orow = out.RowPtr(b);
+    for (size_t r = lo; r < hi; ++r) {
+      const float* erow = elems.RowPtr(r);
+      for (size_t c = 0; c < elems.cols(); ++c) orow[c] += erow[c];
+    }
+    const float inv = 1.0f / static_cast<float>(hi - lo);
+    for (size_t c = 0; c < elems.cols(); ++c) orow[c] *= inv;
+  }
+  return out;
+}
+
+// Distributes pooled gradients back to set elements (inverse of
+// PoolMean).
+nn::Tensor UnpoolMean(const nn::Tensor& grad_pooled,
+                      const std::vector<size_t>& offsets,
+                      size_t total_elems) {
+  nn::Tensor out(std::max<size_t>(total_elems, 1), grad_pooled.cols());
+  const size_t batch = grad_pooled.rows();
+  for (size_t b = 0; b < batch; ++b) {
+    const size_t lo = offsets[b], hi = offsets[b + 1];
+    if (hi == lo) continue;
+    const float inv = 1.0f / static_cast<float>(hi - lo);
+    const float* grow = grad_pooled.RowPtr(b);
+    for (size_t r = lo; r < hi; ++r) {
+      float* orow = out.RowPtr(r);
+      for (size_t c = 0; c < grad_pooled.cols(); ++c) {
+        orow[c] = grow[c] * inv;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MscnModel::MscnModel(size_t table_dim, size_t join_dim, size_t pred_dim,
+                     const MscnConfig& config)
+    : config_(config),
+      table_dim_(table_dim),
+      join_dim_(join_dim),
+      pred_dim_(pred_dim) {
+  Rng rng(config.seed);
+  const size_t h = config.set_hidden;
+  table_mlp_ = std::make_unique<nn::Mlp>(
+      std::vector<size_t>{table_dim, h, h}, rng);
+  join_mlp_ =
+      std::make_unique<nn::Mlp>(std::vector<size_t>{join_dim, h, h}, rng);
+  pred_mlp_ =
+      std::make_unique<nn::Mlp>(std::vector<size_t>{pred_dim, h, h}, rng);
+  out_mlp_ = std::make_unique<nn::Mlp>(
+      std::vector<size_t>{3 * h, config.final_hidden, 1}, rng);
+}
+
+std::vector<nn::Parameter*> MscnModel::Parameters() {
+  std::vector<nn::Parameter*> out;
+  for (nn::Mlp* m : {table_mlp_.get(), join_mlp_.get(), pred_mlp_.get(),
+                     out_mlp_.get()}) {
+    for (nn::Parameter* p : m->Parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+nn::Tensor MscnModel::Forward(const std::vector<const MscnInput*>& batch) {
+  batch_size_ = batch.size();
+  const size_t h = config_.set_hidden;
+
+  nn::Tensor pooled(batch_size_, 3 * h);
+
+  auto run_set = [&](const std::vector<std::vector<float>> MscnInput::*member,
+                     nn::Mlp* mlp, size_t dim, SetScratch* scratch,
+                     size_t out_offset) {
+    nn::Tensor packed = PackSet(batch, member, dim, &scratch->offsets);
+    scratch->any = scratch->offsets.back() > 0;
+    if (!scratch->any) return;  // all sets empty: pooled stays zero
+    nn::Tensor hidden = mlp->Forward(packed);
+    nn::Tensor mean = PoolMean(hidden, scratch->offsets, batch_size_);
+    for (size_t b = 0; b < batch_size_; ++b) {
+      std::copy(mean.RowPtr(b), mean.RowPtr(b) + h,
+                pooled.RowPtr(b) + out_offset);
+    }
+  };
+
+  run_set(&MscnInput::tables, table_mlp_.get(), table_dim_, &table_scratch_,
+          0);
+  run_set(&MscnInput::joins, join_mlp_.get(), join_dim_, &join_scratch_, h);
+  run_set(&MscnInput::predicates, pred_mlp_.get(), pred_dim_,
+          &pred_scratch_, 2 * h);
+
+  return out_mlp_->Forward(pooled);
+}
+
+void MscnModel::Backward(const nn::Tensor& grad_pred) {
+  nn::Tensor grad_pooled = out_mlp_->Backward(grad_pred);
+  const size_t h = config_.set_hidden;
+
+  auto back_set = [&](nn::Mlp* mlp, SetScratch* scratch, size_t offset) {
+    if (!scratch->any) return;
+    nn::Tensor grad_mean(batch_size_, h);
+    for (size_t b = 0; b < batch_size_; ++b) {
+      std::copy(grad_pooled.RowPtr(b) + offset,
+                grad_pooled.RowPtr(b) + offset + h, grad_mean.RowPtr(b));
+    }
+    nn::Tensor grad_elems =
+        UnpoolMean(grad_mean, scratch->offsets, scratch->offsets.back());
+    mlp->Backward(grad_elems);
+  };
+
+  back_set(table_mlp_.get(), &table_scratch_, 0);
+  back_set(join_mlp_.get(), &join_scratch_, h);
+  back_set(pred_mlp_.get(), &pred_scratch_, 2 * h);
+}
+
+Status MscnModel::Train(const std::vector<MscnInput>& inputs,
+                        const std::vector<double>& log_targets) {
+  if (inputs.empty()) return Status::InvalidArgument("empty training set");
+  if (inputs.size() != log_targets.size()) {
+    return Status::InvalidArgument("inputs/targets size mismatch");
+  }
+  nn::Adam adam(Parameters(), config_.lr);
+  Rng rng(config_.seed ^ 0xA5A5A5A5ULL);
+
+  std::vector<size_t> order(inputs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  const size_t bs = std::max<size_t>(1, config_.batch_size);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    // Step decay stabilizes the heavy-tailed q-error loss: full rate for
+    // the first half of training, then halved twice.
+    double lr = config_.lr;
+    if (epoch >= config_.epochs / 2) lr *= 0.5;
+    if (epoch >= 3 * config_.epochs / 4) lr *= 0.5;
+    adam.set_lr(lr);
+    rng.Shuffle(order);
+    for (size_t start = 0; start < order.size(); start += bs) {
+      const size_t end = std::min(order.size(), start + bs);
+      std::vector<const MscnInput*> batch;
+      std::vector<float> targets;
+      batch.reserve(end - start);
+      for (size_t i = start; i < end; ++i) {
+        batch.push_back(&inputs[order[i]]);
+        targets.push_back(static_cast<float>(log_targets[order[i]]));
+      }
+      nn::Tensor pred = Forward(batch);
+      nn::Tensor grad;
+      if (config_.loss.kind == LossSpec::kPinball) {
+        nn::PinballLoss(pred, targets, config_.loss.tau, &grad);
+      } else {
+        nn::QErrorLogLoss(pred, targets, &grad);
+      }
+      Backward(grad);
+      adam.Step();
+    }
+  }
+  return Status::OK();
+}
+
+void MscnModel::SerializeParams(ArchiveWriter* writer) {
+  // All four set/output MLPs, serialized in Parameters() order.
+  for (nn::Mlp* m : {table_mlp_.get(), join_mlp_.get(), pred_mlp_.get(),
+                     out_mlp_.get()}) {
+    nn::SerializeParameters(*m, writer);
+  }
+}
+
+Status MscnModel::DeserializeParams(ArchiveReader* reader) {
+  for (nn::Mlp* m : {table_mlp_.get(), join_mlp_.get(), pred_mlp_.get(),
+                     out_mlp_.get()}) {
+    CONFCARD_RETURN_NOT_OK(nn::DeserializeParameters(*m, reader));
+  }
+  return Status::OK();
+}
+
+double MscnModel::PredictLogCard(const MscnInput& input) {
+  std::vector<const MscnInput*> batch = {&input};
+  nn::Tensor pred = Forward(batch);
+  return static_cast<double>(pred.At(0, 0));
+}
+
+}  // namespace confcard

@@ -1,0 +1,77 @@
+// The multi-set convolutional network (Kipf et al.) re-implemented on
+// the confcard nn substrate: one shared MLP per input set (tables,
+// joins, predicates), mean-pooling per set, and a final MLP over the
+// concatenated pooled vectors. Regression target is log(card + 1).
+#ifndef CONFCARD_CE_MSCN_MODEL_H_
+#define CONFCARD_CE_MSCN_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ce/estimator.h"
+#include "ce/featurizer.h"
+#include "common/archive.h"
+#include "nn/mlp.h"
+
+namespace confcard {
+
+/// MSCN hyper-parameters.
+struct MscnConfig {
+  size_t set_hidden = 64;    // per-set module width (hidden and output)
+  size_t final_hidden = 64;  // final MLP hidden width
+  int epochs = 30;
+  size_t batch_size = 64;
+  double lr = 1e-3;
+  LossSpec loss = LossSpec::Default();
+  uint64_t seed = 1234;
+};
+
+/// The network itself, independent of featurization. Train / predict in
+/// log(card + 1) space.
+class MscnModel {
+ public:
+  MscnModel(size_t table_dim, size_t join_dim, size_t pred_dim,
+            const MscnConfig& config);
+
+  /// Minibatch training with Adam. `log_targets[i]` = log(card_i + 1).
+  Status Train(const std::vector<MscnInput>& inputs,
+               const std::vector<double>& log_targets);
+
+  /// Forward pass for one query.
+  double PredictLogCard(const MscnInput& input);
+
+  const MscnConfig& config() const { return config_; }
+
+  /// Appends all learnable parameters to `writer` (shape-prefixed).
+  void SerializeParams(ArchiveWriter* writer);
+  /// Restores parameters written by SerializeParams into a model of the
+  /// same architecture; fails on any shape mismatch.
+  Status DeserializeParams(ArchiveReader* reader);
+
+ private:
+  /// Batched forward over `batch`; returns (batch_size, 1) predictions.
+  nn::Tensor Forward(const std::vector<const MscnInput*>& batch);
+  /// Backprop of dLoss/dPred through the whole network.
+  void Backward(const nn::Tensor& grad_pred);
+  std::vector<nn::Parameter*> Parameters();
+
+  MscnConfig config_;
+  size_t table_dim_, join_dim_, pred_dim_;
+  std::unique_ptr<nn::Mlp> table_mlp_;
+  std::unique_ptr<nn::Mlp> join_mlp_;
+  std::unique_ptr<nn::Mlp> pred_mlp_;
+  std::unique_ptr<nn::Mlp> out_mlp_;
+
+  // Forward scratch reused by Backward.
+  struct SetScratch {
+    std::vector<size_t> offsets;  // per-sample element offset (size B+1)
+    bool any = false;
+  };
+  SetScratch table_scratch_, join_scratch_, pred_scratch_;
+  size_t batch_size_ = 0;
+};
+
+}  // namespace confcard
+
+#endif  // CONFCARD_CE_MSCN_MODEL_H_

@@ -1,0 +1,300 @@
+#include "ce/naru.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+
+namespace confcard {
+namespace {
+
+// Degree assignment for MADE masks. Input/output units of column i carry
+// degree i+1; hidden units cycle through 1..D-1 so every conditional has
+// capacity. Connection rules: input->hidden if deg_h >= deg_in is NOT
+// autoregressive for inputs (we need deg_h >= deg_in with inputs allowed
+// to feed only strictly-later outputs); the standard MADE rules are
+//   input->hidden:   deg_h >= deg_in
+//   hidden->hidden:  deg_h2 >= deg_h1
+//   hidden->output:  deg_out > deg_h
+// which guarantee output block i sees only input blocks < i.
+std::vector<int> HiddenDegrees(size_t width, int num_cols, Rng& rng) {
+  std::vector<int> degrees(width);
+  if (num_cols <= 1) {
+    // Single column: unconditional marginal; no hidden connectivity
+    // needed, but keep degrees valid.
+    for (auto& d : degrees) d = 1;
+    return degrees;
+  }
+  for (size_t i = 0; i < width; ++i) {
+    degrees[i] = 1 + static_cast<int>(rng.NextUint64(
+                         static_cast<uint64_t>(num_cols - 1)));
+  }
+  return degrees;
+}
+
+nn::Tensor MakeMask(const std::vector<int>& in_degrees,
+                    const std::vector<int>& out_degrees, bool strict) {
+  nn::Tensor mask(in_degrees.size(), out_degrees.size());
+  for (size_t i = 0; i < in_degrees.size(); ++i) {
+    for (size_t j = 0; j < out_degrees.size(); ++j) {
+      const bool connect = strict ? out_degrees[j] > in_degrees[i]
+                                  : out_degrees[j] >= in_degrees[i];
+      mask.At(i, j) = connect ? 1.0f : 0.0f;
+    }
+  }
+  return mask;
+}
+
+}  // namespace
+
+namespace {
+// 'CNR1' — confcard naru archive.
+constexpr uint32_t kNaruMagic = 0x434E5231;
+constexpr uint32_t kNaruVersion = 1;
+}  // namespace
+
+NaruEstimator::NaruEstimator(NaruConfig config) : config_(config) {}
+
+Status NaruEstimator::SaveToFile(const std::string& path) const {
+  if (net_ == nullptr) return Status::FailedPrecondition("naru: not trained");
+  ArchiveWriter w(kNaruMagic, kNaruVersion);
+  w.WriteU64(config_.hidden);
+  w.WriteI32(config_.hidden_layers);
+  w.WriteI32(config_.epochs);
+  w.WriteU64(config_.batch_size);
+  w.WriteDouble(config_.lr);
+  w.WriteI32(config_.numeric_bins);
+  w.WriteU64(config_.max_train_rows);
+  w.WriteU64(config_.num_samples);
+  w.WriteU64(config_.seed);
+  w.WriteDouble(num_rows_);
+  w.WriteU64(binner_->TotalBins());
+  nn::SerializeParameters(*net_, &w);
+  return w.SaveToFile(path);
+}
+
+Result<NaruEstimator> NaruEstimator::LoadFromFile(const Table& table,
+                                                  const std::string& path) {
+  CONFCARD_ASSIGN_OR_RETURN(
+      ArchiveReader r,
+      ArchiveReader::FromFile(path, kNaruMagic, kNaruVersion));
+  NaruConfig cfg;
+  cfg.hidden = static_cast<size_t>(r.ReadU64());
+  cfg.hidden_layers = r.ReadI32();
+  cfg.epochs = r.ReadI32();
+  cfg.batch_size = static_cast<size_t>(r.ReadU64());
+  cfg.lr = r.ReadDouble();
+  cfg.numeric_bins = r.ReadI32();
+  cfg.max_train_rows = static_cast<size_t>(r.ReadU64());
+  cfg.num_samples = static_cast<size_t>(r.ReadU64());
+  cfg.seed = r.ReadU64();
+  const double num_rows = r.ReadDouble();
+  const uint64_t total_bins = r.ReadU64();
+  CONFCARD_RETURN_NOT_OK(r.status());
+
+  NaruEstimator est(cfg);
+  est.num_rows_ = static_cast<double>(table.num_rows());
+  if (est.num_rows_ != num_rows) {
+    return Status::InvalidArgument(
+        "naru archive was trained on a table with a different row count");
+  }
+  est.binner_ = std::make_unique<TableBinner>(table, cfg.numeric_bins);
+  if (est.binner_->TotalBins() != total_bins) {
+    return Status::InvalidArgument(
+        "naru archive discretization does not match this table");
+  }
+  // Rebuild masks exactly as Train did: the mask construction consumes
+  // the same Rng stream given the same seed and shapes.
+  Rng rng(cfg.seed);
+  est.BuildNetwork(rng);
+  CONFCARD_RETURN_NOT_OK(nn::DeserializeParameters(*est.net_, &r));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in naru archive");
+  }
+  return est;
+}
+
+void NaruEstimator::BuildNetwork(Rng& rng) {
+  const size_t num_cols = binner_->num_columns();
+  const size_t total = binner_->TotalBins();
+
+  block_offsets_.clear();
+  block_offsets_.push_back(0);
+  std::vector<int> io_degrees(total);
+  size_t pos = 0;
+  for (size_t c = 0; c < num_cols; ++c) {
+    const size_t width = static_cast<size_t>(binner_->column(c).num_bins());
+    for (size_t k = 0; k < width; ++k) {
+      io_degrees[pos + k] = static_cast<int>(c) + 1;
+    }
+    pos += width;
+    block_offsets_.push_back(pos);
+  }
+
+  net_ = std::make_unique<nn::Sequential>();
+  std::vector<int> prev_degrees = io_degrees;
+  bool prev_is_input = true;
+  for (int l = 0; l < config_.hidden_layers; ++l) {
+    std::vector<int> h_degrees =
+        HiddenDegrees(config_.hidden, static_cast<int>(num_cols), rng);
+    nn::Tensor mask = MakeMask(prev_degrees, h_degrees, /*strict=*/false);
+    net_->Append(std::make_unique<nn::MaskedDense>(
+        prev_degrees.size(), config_.hidden, std::move(mask), rng));
+    net_->Append(std::make_unique<nn::Relu>());
+    prev_degrees = std::move(h_degrees);
+    prev_is_input = false;
+  }
+  // Output layer: strict inequality enforces autoregressive ordering.
+  nn::Tensor out_mask = MakeMask(prev_degrees, io_degrees, /*strict=*/true);
+  net_->Append(std::make_unique<nn::MaskedDense>(
+      prev_degrees.size(), total, std::move(out_mask), rng));
+  (void)prev_is_input;
+}
+
+Status NaruEstimator::Train(const Table& table) {
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("naru: empty table");
+  }
+  num_rows_ = static_cast<double>(table.num_rows());
+  binner_ = std::make_unique<TableBinner>(table, config_.numeric_bins);
+  Rng rng(config_.seed);
+  BuildNetwork(rng);
+
+  // Subsample training rows if needed.
+  std::vector<uint32_t> rows(table.num_rows());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = static_cast<uint32_t>(i);
+  if (rows.size() > config_.max_train_rows) {
+    rng.Shuffle(rows);
+    rows.resize(config_.max_train_rows);
+  }
+
+  // Pre-bin all training rows.
+  const size_t num_cols = binner_->num_columns();
+  std::vector<std::vector<int>> binned(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    binned[i] = binner_->BinRow(table, rows[i]);
+  }
+
+  const size_t total = binner_->TotalBins();
+  nn::Adam adam(net_->Parameters(), config_.lr);
+  std::vector<size_t> order(rows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const size_t bs = std::max<size_t>(1, config_.batch_size);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t start = 0; start < order.size(); start += bs) {
+      const size_t end = std::min(order.size(), start + bs);
+      const size_t b = end - start;
+      nn::Tensor input(b, total);
+      std::vector<std::vector<int>> targets(b);
+      for (size_t i = 0; i < b; ++i) {
+        const std::vector<int>& bins = binned[order[start + i]];
+        targets[i] = bins;
+        float* row = input.RowPtr(i);
+        for (size_t c = 0; c < num_cols; ++c) {
+          row[block_offsets_[c] + static_cast<size_t>(bins[c])] = 1.0f;
+        }
+      }
+      nn::Tensor logits = net_->Forward(input);
+      nn::Tensor grad;
+      nn::BlockSoftmaxCrossEntropy(logits, block_offsets_, targets, &grad);
+      net_->Backward(grad);
+      adam.Step();
+    }
+  }
+  return Status::OK();
+}
+
+double NaruEstimator::ProgressiveSample(
+    const std::vector<std::pair<int, int>>& bin_ranges,
+    int last_constrained) const {
+  const size_t num_cols = binner_->num_columns();
+  const size_t total = binner_->TotalBins();
+  const size_t S = std::max<size_t>(1, config_.num_samples);
+
+  // Deterministic per-call sampler: inference must be repeatable.
+  Rng rng(config_.seed ^ 0x5EEDBEEFULL);
+
+  nn::Tensor input(S, total);  // grows one one-hot block per step
+  std::vector<double> path_prob(S, 1.0);
+  std::vector<float> probs;
+
+  for (int c = 0; c <= last_constrained; ++c) {
+    const size_t lo_off = block_offsets_[static_cast<size_t>(c)];
+    const size_t width = block_offsets_[static_cast<size_t>(c) + 1] - lo_off;
+    nn::Tensor logits = net_->Forward(input);
+
+    const auto [blo, bhi] = bin_ranges[static_cast<size_t>(c)];
+    for (size_t s = 0; s < S; ++s) {
+      if (path_prob[s] == 0.0) continue;
+      probs.resize(width);
+      nn::SoftmaxRow(logits.RowPtr(s) + lo_off, width, probs.data());
+
+      double mass = 0.0;
+      if (blo <= bhi) {
+        for (int b = blo; b <= bhi; ++b) {
+          mass += static_cast<double>(probs[static_cast<size_t>(b)]);
+        }
+      }
+      path_prob[s] *= mass;
+      if (path_prob[s] == 0.0) continue;
+
+      // Sample the value for this column from the (masked, renormalized)
+      // conditional and extend the one-hot prefix.
+      double u = rng.NextDouble() * mass;
+      int chosen = blo;
+      double acc = 0.0;
+      for (int b = blo; b <= bhi; ++b) {
+        acc += static_cast<double>(probs[static_cast<size_t>(b)]);
+        if (u < acc) {
+          chosen = b;
+          break;
+        }
+        chosen = b;
+      }
+      input.At(s, lo_off + static_cast<size_t>(chosen)) = 1.0f;
+    }
+  }
+  (void)num_cols;
+
+  double mean = 0.0;
+  for (double p : path_prob) mean += p;
+  return mean / static_cast<double>(S);
+}
+
+double NaruEstimator::EstimateSelectivity(const Query& query) const {
+  CONFCARD_CHECK_MSG(net_ != nullptr, "naru: not trained");
+  const size_t num_cols = binner_->num_columns();
+
+  // Per-column allowed bin range; unconstrained columns span everything.
+  std::vector<std::pair<int, int>> ranges(num_cols);
+  for (size_t c = 0; c < num_cols; ++c) {
+    ranges[c] = {0, binner_->column(c).num_bins() - 1};
+  }
+  int last_constrained = -1;
+  for (const Predicate& p : query.predicates) {
+    const size_t c = static_cast<size_t>(p.column);
+    auto [blo, bhi] = binner_->PredicateBins(p);
+    // Intersect with any existing constraint on the column.
+    ranges[c] = {std::max(ranges[c].first, blo),
+                 std::min(ranges[c].second, bhi)};
+    last_constrained = std::max(last_constrained, p.column);
+  }
+  if (last_constrained < 0) return 1.0;
+  for (const Predicate& p : query.predicates) {
+    const auto& r = ranges[static_cast<size_t>(p.column)];
+    if (r.first > r.second) return 0.0;  // empty bin range
+  }
+  return ProgressiveSample(ranges, last_constrained);
+}
+
+double NaruEstimator::EstimateCardinality(const Query& query) const {
+  return EstimateSelectivity(query) * num_rows_;
+}
+
+}  // namespace confcard

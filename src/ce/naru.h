@@ -1,0 +1,76 @@
+// Naru (Yang et al.): deep unsupervised cardinality estimation. A
+// MADE-style masked autoregressive network factorizes the joint
+// distribution of the (discretized) table as
+// P(A1) P(A2|A1) ... P(Am|A1..Am-1); range/point queries are answered by
+// progressive sampling over the learned conditionals (the Monte-Carlo
+// integration of the original paper).
+#ifndef CONFCARD_CE_NARU_H_
+#define CONFCARD_CE_NARU_H_
+
+#include <memory>
+#include <vector>
+
+#include "ce/binner.h"
+#include "ce/estimator.h"
+#include "nn/layers.h"
+
+namespace confcard {
+
+/// Naru hyper-parameters.
+struct NaruConfig {
+  size_t hidden = 64;
+  int hidden_layers = 2;
+  int epochs = 8;
+  size_t batch_size = 128;
+  double lr = 2e-3;
+  /// Max equi-depth bins per numeric column (categorical columns keep
+  /// their exact domains).
+  int numeric_bins = 32;
+  /// Rows used for training (uniformly subsampled when the table is
+  /// larger).
+  size_t max_train_rows = 60000;
+  /// Progressive-sampling paths per query at inference.
+  size_t num_samples = 32;
+  uint64_t seed = 97;
+};
+
+/// The Naru estimator.
+class NaruEstimator : public DataDrivenEstimator {
+ public:
+  explicit NaruEstimator(NaruConfig config = {});
+
+  std::string name() const override { return "naru"; }
+  Status Train(const Table& table) override;
+  double EstimateCardinality(const Query& query) const override;
+
+  /// Estimated selectivity in [0, 1] (EstimateCardinality / N).
+  double EstimateSelectivity(const Query& query) const;
+
+  const NaruConfig& config() const { return config_; }
+
+  /// Persists the trained model (config + MADE weights). Binner
+  /// statistics and masks are deterministic functions of (table,
+  /// config), so they are rebuilt at load time.
+  Status SaveToFile(const std::string& path) const;
+  /// Restores a model saved with SaveToFile against the SAME table.
+  static Result<NaruEstimator> LoadFromFile(const Table& table,
+                                            const std::string& path);
+
+ private:
+  /// Builds the MADE masks and network for the current binner.
+  void BuildNetwork(Rng& rng);
+  /// One autoregressive sampling run; returns the mean path probability.
+  double ProgressiveSample(const std::vector<std::pair<int, int>>& bin_ranges,
+                           int last_constrained) const;
+
+  NaruConfig config_;
+  double num_rows_ = 0.0;
+  std::unique_ptr<TableBinner> binner_;
+  std::vector<size_t> block_offsets_;  // per-column logit block offsets
+  // Forward passes cache activations; scratch only, hence mutable.
+  mutable std::unique_ptr<nn::Sequential> net_;
+};
+
+}  // namespace confcard
+
+#endif  // CONFCARD_CE_NARU_H_

@@ -1,0 +1,82 @@
+// Minimal binary serialization for persisting trained models: a
+// length-checked little-endian byte stream with a magic/version header.
+// Not a general-purpose format — just enough to round-trip PODs,
+// vectors and strings safely (every read validates remaining length).
+#ifndef CONFCARD_COMMON_ARCHIVE_H_
+#define CONFCARD_COMMON_ARCHIVE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace confcard {
+
+/// Append-only byte sink.
+class ArchiveWriter {
+ public:
+  /// Starts a stream tagged with `magic` (format id) and `version`.
+  ArchiveWriter(uint32_t magic, uint32_t version);
+
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI32(int32_t v);
+  void WriteDouble(double v);
+  void WriteFloat(float v);
+  void WriteString(const std::string& s);
+
+  void WriteDoubleVec(const std::vector<double>& v);
+  void WriteFloatVec(const std::vector<float>& v);
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+  /// Writes the accumulated bytes to `path`.
+  Status SaveToFile(const std::string& path) const;
+
+ private:
+  void Append(const void* data, size_t n);
+  std::vector<uint8_t> bytes_;
+};
+
+/// Sequential reader over a byte buffer. Every accessor fails (sticky
+/// error status) instead of reading past the end.
+class ArchiveReader {
+ public:
+  /// Wraps a buffer and validates the magic/version header.
+  ArchiveReader(std::vector<uint8_t> bytes, uint32_t expected_magic,
+                uint32_t expected_version);
+
+  /// Loads `path` into a reader.
+  static Result<ArchiveReader> FromFile(const std::string& path,
+                                        uint32_t expected_magic,
+                                        uint32_t expected_version);
+
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  int32_t ReadI32();
+  double ReadDouble();
+  float ReadFloat();
+  std::string ReadString();
+  std::vector<double> ReadDoubleVec();
+  std::vector<float> ReadFloatVec();
+
+  /// OK iff no read has overrun and the header matched.
+  const Status& status() const { return status_; }
+  /// True when every byte has been consumed (a completeness check for
+  /// loaders).
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  bool Take(void* out, size_t n);
+  void Fail(const std::string& what);
+
+  std::vector<uint8_t> bytes_;
+  size_t pos_ = 0;
+  Status status_;
+};
+
+}  // namespace confcard
+
+#endif  // CONFCARD_COMMON_ARCHIVE_H_

@@ -1,0 +1,37 @@
+// Invariant-checking macros. CONFCARD_CHECK aborts on violation in all
+// build types (the library is exception-free, so programming errors fail
+// fast instead of corrupting results). CONFCARD_DCHECK compiles out in
+// NDEBUG builds.
+#ifndef CONFCARD_COMMON_CHECK_H_
+#define CONFCARD_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define CONFCARD_CHECK(cond)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define CONFCARD_CHECK_MSG(cond, msg)                                     \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,  \
+                   __LINE__, #cond, msg);                                 \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define CONFCARD_DCHECK(cond) \
+  do {                        \
+  } while (0)
+#else
+#define CONFCARD_DCHECK(cond) CONFCARD_CHECK(cond)
+#endif
+
+#endif  // CONFCARD_COMMON_CHECK_H_

@@ -1,0 +1,99 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace confcard {
+
+std::vector<std::string> SplitCsvLine(const std::string& line, char delim) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"' && current.empty()) {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsv(
+    const std::string& path, bool has_header,
+    std::vector<std::string>* header, char delim) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto fields = SplitCsvLine(line, delim);
+    if (first && has_header) {
+      if (header != nullptr) *header = std::move(fields);
+      first = false;
+      continue;
+    }
+    first = false;
+    rows.push_back(std::move(fields));
+  }
+  return rows;
+}
+
+namespace {
+
+std::string QuoteIfNeeded(const std::string& field, char delim) {
+  if (field.find(delim) == std::string::npos &&
+      field.find('"') == std::string::npos) {
+    return field;
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void WriteRow(std::ofstream& out, const std::vector<std::string>& row,
+              char delim) {
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out << delim;
+    out << QuoteIfNeeded(row[i], delim);
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+Status WriteCsv(const std::string& path,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows,
+                char delim) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  if (!header.empty()) WriteRow(out, header, delim);
+  for (const auto& row : rows) WriteRow(out, row, delim);
+  if (!out) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
+}  // namespace confcard

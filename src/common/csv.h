@@ -1,0 +1,33 @@
+// Minimal CSV reading/writing used for loading external datasets and for
+// dumping experiment series that can be plotted offline.
+#ifndef CONFCARD_COMMON_CSV_H_
+#define CONFCARD_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace confcard {
+
+/// Splits one CSV line on `delim`. Supports double-quoted fields with
+/// embedded delimiters and doubled quotes; does not support embedded
+/// newlines (our datasets have none).
+std::vector<std::string> SplitCsvLine(const std::string& line,
+                                      char delim = ',');
+
+/// Reads a whole CSV file. If `has_header` the first row is returned in
+/// `header` (may be nullptr to discard).
+Result<std::vector<std::vector<std::string>>> ReadCsv(
+    const std::string& path, bool has_header = true,
+    std::vector<std::string>* header = nullptr, char delim = ',');
+
+/// Writes rows to `path`, quoting fields containing the delimiter.
+Status WriteCsv(const std::string& path,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows,
+                char delim = ',');
+
+}  // namespace confcard
+
+#endif  // CONFCARD_COMMON_CSV_H_

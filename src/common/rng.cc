@@ -1,0 +1,150 @@
+#include "common/rng.h"
+
+#include <algorithm>
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace confcard {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+  // Avoid the (astronomically unlikely) all-zero state, which is a fixed
+  // point of xoshiro.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t n) {
+  CONFCARD_DCHECK(n > 0);
+  // Rejection sampling to remove modulo bias.
+  const uint64_t threshold = (~n + 1) % n;  // = 2^64 mod n
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::NextInt64(int64_t lo, int64_t hi) {
+  CONFCARD_DCHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<int64_t>(Next());
+  }
+  return lo + static_cast<int64_t>(NextUint64(span));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  // Box-Muller; u1 bounded away from zero so log(u1) is finite.
+  double u1 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+bool Rng::NextBool(double p_true) { return NextDouble() < p_true; }
+
+size_t Rng::NextCategorical(const std::vector<double>& weights) {
+  CONFCARD_DCHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    CONFCARD_DCHECK(w >= 0.0);
+    total += w;
+  }
+  CONFCARD_DCHECK(total > 0.0);
+  double u = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return i;
+  }
+  // Floating-point slack: u landed at (or beyond) the total.
+  for (size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double s) : n_(n), s_(s) {
+  CONFCARD_CHECK(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint64_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(uint64_t k) const {
+  CONFCARD_DCHECK(k < n_);
+  double lo = k == 0 ? 0.0 : cdf_[k - 1];
+  return cdf_[k] - lo;
+}
+
+DiscreteDistribution::DiscreteDistribution(const std::vector<double>& weights) {
+  CONFCARD_CHECK(!weights.empty());
+  cdf_.resize(weights.size());
+  double total = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    CONFCARD_CHECK(weights[i] >= 0.0);
+    total += weights[i];
+    cdf_[i] = total;
+  }
+  CONFCARD_CHECK(total > 0.0);
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+size_t DiscreteDistribution::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace confcard

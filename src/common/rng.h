@@ -1,0 +1,101 @@
+// Deterministic pseudo-random number generation. All randomness in the
+// library flows through explicitly seeded Rng instances so experiments
+// are reproducible run to run.
+#ifndef CONFCARD_COMMON_RNG_H_
+#define CONFCARD_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace confcard {
+
+/// xoshiro256** PRNG. Fast, high quality, and (unlike std::mt19937)
+/// guaranteed to produce identical streams across standard libraries.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the generator via splitmix64 expansion of `seed`.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  /// UniformRandomBitGenerator interface (usable with <random> adaptors).
+  result_type operator()() { return Next(); }
+
+  /// Next raw 64-bit output.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  uint64_t NextUint64(uint64_t n);
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t NextInt64(int64_t lo, int64_t hi);
+  /// Uniform double in [0, 1).
+  double NextDouble();
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+  /// Bernoulli draw.
+  bool NextBool(double p_true = 0.5);
+
+  /// Samples an index proportionally to `weights` (need not be normalized).
+  /// Precondition: weights non-empty with non-negative entries and a
+  /// positive sum.
+  size_t NextCategorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles `values` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    if (values.empty()) return;
+    for (size_t i = values.size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextUint64(i + 1));
+      std::swap(values[i], values[j]);
+    }
+  }
+
+  /// Returns a derived generator whose stream is independent of this one
+  /// for practical purposes (seeded from the parent's output).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Exact Zipf(s) sampler over ranks [0, n). Precomputes the CDF once so
+/// repeated draws cost one binary search. s = 0 degenerates to uniform.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t n, double s);
+
+  /// Draws a rank in [0, n); rank 0 is the most frequent.
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+  /// P(rank = k).
+  double Pmf(uint64_t k) const;
+
+ private:
+  uint64_t n_;
+  double s_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k), cdf_.back() == 1
+};
+
+/// Discrete sampler over arbitrary non-negative weights with a
+/// precomputed CDF (binary search per draw).
+class DiscreteDistribution {
+ public:
+  explicit DiscreteDistribution(const std::vector<double>& weights);
+
+  size_t Sample(Rng& rng) const;
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace confcard
+
+#endif  // CONFCARD_COMMON_RNG_H_

@@ -1,0 +1,92 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace confcard {
+
+size_t ConformalRank(size_t n, double alpha) {
+  double raw = std::ceil((static_cast<double>(n) + 1.0) * (1.0 - alpha));
+  if (raw < 1.0) return 1;
+  return static_cast<size_t>(raw);
+}
+
+double ConformalQuantile(std::vector<double> values, double alpha) {
+  CONFCARD_CHECK(alpha > 0.0 && alpha < 1.0);
+  const size_t n = values.size();
+  if (n == 0) return std::numeric_limits<double>::infinity();
+  size_t rank = ConformalRank(n, alpha);
+  if (rank > n) return std::numeric_limits<double>::infinity();
+  std::nth_element(values.begin(), values.begin() + (rank - 1), values.end());
+  return values[rank - 1];
+}
+
+double ConformalQuantileLower(std::vector<double> values, double alpha) {
+  CONFCARD_CHECK(alpha > 0.0 && alpha < 1.0);
+  const size_t n = values.size();
+  if (n == 0) return -std::numeric_limits<double>::infinity();
+  double raw = std::floor(alpha * (static_cast<double>(n) + 1.0));
+  if (raw < 1.0) return -std::numeric_limits<double>::infinity();
+  size_t rank = static_cast<size_t>(raw);
+  if (rank > n) rank = n;
+  std::nth_element(values.begin(), values.begin() + (rank - 1), values.end());
+  return values[rank - 1];
+}
+
+double Percentile(std::vector<double> values, double p) {
+  CONFCARD_CHECK(p >= 0.0 && p <= 100.0);
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  double pos = p / 100.0 * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(pos));
+  size_t hi = static_cast<size_t>(std::ceil(pos));
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Summary Summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) {
+    s.min = 0.0;
+    s.max = 0.0;
+    return s;
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = values.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(values.size() - 1))
+                 : 0.0;
+  s.median = Percentile(values, 50.0);
+  s.p90 = Percentile(values, 90.0);
+  s.p95 = Percentile(values, 95.0);
+  s.p99 = Percentile(values, 99.0);
+  return s;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double m = Mean(values);
+  double sq = 0.0;
+  for (double v : values) sq += (v - m) * (v - m);
+  return sq / static_cast<double>(values.size() - 1);
+}
+
+}  // namespace confcard

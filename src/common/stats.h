@@ -1,0 +1,55 @@
+// Order statistics and summary helpers shared by the conformal layer and
+// the evaluation harness.
+#ifndef CONFCARD_COMMON_STATS_H_
+#define CONFCARD_COMMON_STATS_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace confcard {
+
+/// The conformal quantile q_{n,1-alpha}: the ceil((n+1)(1-alpha))-th
+/// smallest value of `values` (1-indexed), as defined in Section III of
+/// the paper. If ceil((n+1)(1-alpha)) > n — i.e. the calibration set is
+/// too small for the requested coverage — returns +infinity, which yields
+/// the conservative (trivial, later clipped) interval.
+/// `values` is copied; the input is not reordered.
+double ConformalQuantile(std::vector<double> values, double alpha);
+
+/// Index (1-based rank) used by ConformalQuantile: ceil((n+1)(1-alpha)).
+size_t ConformalRank(size_t n, double alpha);
+
+/// Lower-tail conformal quantile q_{n,alpha}: the floor(alpha(n+1))-th
+/// smallest value (companion to the upper quantile for Jackknife+
+/// two-sided intervals). Returns -infinity when the rank underflows.
+double ConformalQuantileLower(std::vector<double> values, double alpha);
+
+/// Empirical percentile with linear interpolation (numpy 'linear'
+/// convention); p in [0, 100]. Input is copied.
+double Percentile(std::vector<double> values, double p);
+
+/// Summary statistics over a sample.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  double median = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes Summary over `values` (empty input yields a zeroed Summary).
+Summary Summarize(const std::vector<double>& values);
+
+/// Arithmetic mean (0 for empty input).
+double Mean(const std::vector<double>& values);
+/// Sample variance with Bessel's correction (0 for n < 2).
+double Variance(const std::vector<double>& values);
+
+}  // namespace confcard
+
+#endif  // CONFCARD_COMMON_STATS_H_

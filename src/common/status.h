@@ -1,0 +1,144 @@
+// Status and Result<T>: exception-free error handling in the Arrow/RocksDB
+// idiom. Library code returns Status (or Result<T>) instead of throwing;
+// invariant violations abort through the CONFCARD_CHECK macros in check.h.
+#ifndef CONFCARD_COMMON_STATUS_H_
+#define CONFCARD_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace confcard {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kUnimplemented,
+  kIOError,
+  kInternal,
+};
+
+/// Returns a short human-readable name for `code` ("OK", "Invalid argument"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation that can fail. An OK status carries no
+/// allocation; error statuses carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// Error message; empty for OK statuses.
+  const std::string& message() const;
+  /// "<code name>: <message>" rendering for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr <=> OK. Keeps the success path allocation-free.
+  std::unique_ptr<State> state_;
+};
+
+/// Either a value of type T or an error Status. Analogous to
+/// arrow::Result / absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: `return some_t;`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error: `return Status::Invalid(...)`.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    // An OK status carries no value; treat it as a misuse.
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  /// Precondition: ok().
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::move(std::get<T>(repr_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace confcard
+
+/// Propagates a non-OK Status from the enclosing function.
+#define CONFCARD_RETURN_NOT_OK(expr)                 \
+  do {                                               \
+    ::confcard::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on error propagates the Status,
+/// otherwise binds the value to `lhs`.
+#define CONFCARD_ASSIGN_OR_RETURN(lhs, rexpr)                 \
+  CONFCARD_ASSIGN_OR_RETURN_IMPL_(                            \
+      CONFCARD_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define CONFCARD_CONCAT_INNER_(a, b) a##b
+#define CONFCARD_CONCAT_(a, b) CONFCARD_CONCAT_INNER_(a, b)
+#define CONFCARD_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                    \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+
+#endif  // CONFCARD_COMMON_STATUS_H_

@@ -1,0 +1,29 @@
+// Wall-clock timing helper for the overhead experiments (Section IV).
+#ifndef CONFCARD_COMMON_STOPWATCH_H_
+#define CONFCARD_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace confcard {
+
+/// Monotonic stopwatch started at construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace confcard
+
+#endif  // CONFCARD_COMMON_STOPWATCH_H_

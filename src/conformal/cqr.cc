@@ -1,0 +1,49 @@
+#include "conformal/cqr.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace confcard {
+
+ConformalizedQuantileRegression::ConformalizedQuantileRegression(double alpha)
+    : alpha_(alpha) {
+  CONFCARD_CHECK(alpha_ > 0.0 && alpha_ < 1.0);
+}
+
+Status ConformalizedQuantileRegression::Calibrate(
+    const std::vector<double>& lo_estimates,
+    const std::vector<double>& hi_estimates,
+    const std::vector<double>& truths) {
+  if (lo_estimates.size() != truths.size() ||
+      hi_estimates.size() != truths.size()) {
+    return Status::InvalidArgument("calibration inputs size mismatch");
+  }
+  if (truths.empty()) {
+    return Status::InvalidArgument("empty calibration set");
+  }
+  std::vector<double> scores(truths.size());
+  for (size_t i = 0; i < truths.size(); ++i) {
+    scores[i] =
+        std::max(lo_estimates[i] - truths[i], truths[i] - hi_estimates[i]);
+  }
+  delta_ = ConformalQuantile(std::move(scores), alpha_);
+  calibrated_ = true;
+  return Status::OK();
+}
+
+Interval ConformalizedQuantileRegression::Predict(double lo_estimate,
+                                                  double hi_estimate) const {
+  CONFCARD_CHECK_MSG(calibrated_, "CQR not calibrated");
+  Interval iv{lo_estimate - delta_, hi_estimate + delta_};
+  if (iv.hi < iv.lo) {
+    // Crossed quantile heads after a negative delta: collapse to the
+    // midpoint rather than returning an inverted interval.
+    const double mid = 0.5 * (iv.lo + iv.hi);
+    iv.lo = iv.hi = mid;
+  }
+  return iv;
+}
+
+}  // namespace confcard

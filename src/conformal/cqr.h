@@ -1,0 +1,49 @@
+// Conformalized quantile regression (Algorithm 4, after Romano et al.):
+// two quantile-loss twins of the learned model predict the alpha/2 and
+// 1-alpha/2 conditional quantiles; conformalization shifts the band by
+// the calibrated quantile of the score max(Q_lo(x) - y, y - Q_hi(x)).
+// (The paper's Algorithm 4 prints the score as max(Q_l - y, Q_u - y); we
+// implement the correct CQR score from the original paper, of which the
+// printed form is a typo.) Naturally adaptive and asymmetric; requires
+// swapping the model's loss — the one "intrusive" method.
+#ifndef CONFCARD_CONFORMAL_CQR_H_
+#define CONFCARD_CONFORMAL_CQR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "conformal/interval.h"
+
+namespace confcard {
+
+/// CQR calibration/inference over the outputs of a lower/upper quantile
+/// model pair. Training of the pair is the caller's job (the models need
+/// the pinball loss; see SupervisedEstimator::SetLoss).
+class ConformalizedQuantileRegression {
+ public:
+  explicit ConformalizedQuantileRegression(double alpha);
+
+  /// Calibrates on (Q_lo(x_i), Q_hi(x_i), y_i) triples.
+  Status Calibrate(const std::vector<double>& lo_estimates,
+                   const std::vector<double>& hi_estimates,
+                   const std::vector<double>& truths);
+
+  /// PI = [Q_lo(x) - delta, Q_hi(x) + delta] (unclipped).
+  Interval Predict(double lo_estimate, double hi_estimate) const;
+
+  double delta() const { return delta_; }
+  bool calibrated() const { return calibrated_; }
+  /// Lower/upper quantile levels the pair should be trained at:
+  /// alpha/2 and 1 - alpha/2.
+  double lower_tau() const { return alpha_ / 2.0; }
+  double upper_tau() const { return 1.0 - alpha_ / 2.0; }
+
+ private:
+  double alpha_;
+  double delta_ = 0.0;
+  bool calibrated_ = false;
+};
+
+}  // namespace confcard
+
+#endif  // CONFCARD_CONFORMAL_CQR_H_

@@ -1,0 +1,63 @@
+#include "conformal/exchangeability.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace confcard {
+namespace {
+
+double NextUniform(uint64_t& state) {
+  // splitmix64-based uniform in (0, 1).
+  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return (static_cast<double>(z >> 11) + 0.5) * 0x1.0p-53;
+}
+
+}  // namespace
+
+ExchangeabilityTest::ExchangeabilityTest(std::vector<double> epsilons,
+                                         uint64_t seed)
+    : epsilons_(std::move(epsilons)), rng_state_(seed) {
+  CONFCARD_CHECK(!epsilons_.empty());
+  for (double e : epsilons_) CONFCARD_CHECK(e > 0.0 && e < 1.0);
+  log_m_.assign(epsilons_.size(), 0.0);
+}
+
+double ExchangeabilityTest::Observe(double score) {
+  // Conformal p-value with randomized tie-breaking:
+  // p = (#{s_i > s} + theta * (#{s_i == s} + 1)) / (t + 1).
+  const auto lo = std::lower_bound(history_.begin(), history_.end(), score);
+  const auto hi = std::upper_bound(history_.begin(), history_.end(), score);
+  const double greater = static_cast<double>(history_.end() - hi);
+  const double equal = static_cast<double>(hi - lo);
+  const double theta = NextUniform(rng_state_);
+  const double t = static_cast<double>(history_.size()) + 1.0;
+  double p = (greater + theta * (equal + 1.0)) / t;
+  p = std::clamp(p, 1e-12, 1.0);
+
+  for (size_t i = 0; i < epsilons_.size(); ++i) {
+    log_m_[i] += std::log(epsilons_[i]) + (epsilons_[i] - 1.0) * std::log(p);
+  }
+  history_.insert(lo, score);
+  return p;
+}
+
+double ExchangeabilityTest::LogMartingale() const {
+  // log of the average of exp(log_m_i), computed stably.
+  double mx = log_m_[0];
+  for (double v : log_m_) mx = std::max(mx, v);
+  double sum = 0.0;
+  for (double v : log_m_) sum += std::exp(v - mx);
+  return mx + std::log(sum / static_cast<double>(log_m_.size()));
+}
+
+bool ExchangeabilityTest::Reject(double level) const {
+  CONFCARD_CHECK(level > 0.0 && level < 1.0);
+  return LogMartingale() > std::log(1.0 / level);
+}
+
+}  // namespace confcard

@@ -1,0 +1,49 @@
+// Online exchangeability testing via plug-in/power martingales
+// (Fedorova et al., ICML 2012 — reference [9] of the paper). Conformal
+// p-values computed against the history are i.i.d. uniform under
+// exchangeability; a power martingale M_t = prod_i eps * p_i^(eps-1)
+// grows only when small p-values cluster, i.e. when the score stream
+// drifts. The paper proposes exactly this as the workload-shift detector
+// that should accompany deployed PIs (Section V-D).
+#ifndef CONFCARD_CONFORMAL_EXCHANGEABILITY_H_
+#define CONFCARD_CONFORMAL_EXCHANGEABILITY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace confcard {
+
+/// Streaming exchangeability test over nonconformity scores.
+class ExchangeabilityTest {
+ public:
+  /// `epsilons` are the power-martingale exponents mixed over (the
+  /// "simple mixture" variant); the default grid covers mild to sharp
+  /// drifts. `seed` drives the p-value tie-breaking randomization.
+  explicit ExchangeabilityTest(std::vector<double> epsilons = {0.5, 0.6,
+                                                               0.7, 0.8,
+                                                               0.9},
+                               uint64_t seed = 1331);
+
+  /// Feeds the next score; returns its conformal p-value.
+  double Observe(double score);
+
+  /// log of the mixture martingale (average of per-epsilon martingales).
+  double LogMartingale() const;
+
+  /// Rejects exchangeability at significance `level` when the martingale
+  /// exceeds 1/level (Ville's inequality).
+  bool Reject(double level = 0.01) const;
+
+  size_t num_observed() const { return history_.size(); }
+
+ private:
+  std::vector<double> epsilons_;
+  std::vector<double> log_m_;   // per-epsilon log martingale
+  std::vector<double> history_; // sorted scores seen so far
+  uint64_t rng_state_;
+};
+
+}  // namespace confcard
+
+#endif  // CONFCARD_CONFORMAL_EXCHANGEABILITY_H_

@@ -1,0 +1,36 @@
+// Prediction intervals over cardinalities (tuple counts).
+#ifndef CONFCARD_CONFORMAL_INTERVAL_H_
+#define CONFCARD_CONFORMAL_INTERVAL_H_
+
+#include <algorithm>
+#include <limits>
+
+namespace confcard {
+
+/// A closed interval [lo, hi] on the cardinality axis.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  double width() const { return hi - lo; }
+  bool Contains(double v) const { return v >= lo && v <= hi; }
+
+  /// The trivial (always-valid, useless) interval.
+  static Interval Infinite() {
+    return {-std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity()};
+  }
+};
+
+/// The paper's "common sense post-processing": cardinality is bounded by
+/// [0, N], so intervals are clipped to that range (Section V-A).
+inline Interval ClipToCardinality(Interval iv, double num_rows) {
+  iv.lo = std::clamp(iv.lo, 0.0, num_rows);
+  iv.hi = std::clamp(iv.hi, 0.0, num_rows);
+  if (iv.hi < iv.lo) iv.hi = iv.lo;
+  return iv;
+}
+
+}  // namespace confcard
+
+#endif  // CONFCARD_CONFORMAL_INTERVAL_H_

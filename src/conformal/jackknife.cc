@@ -1,0 +1,95 @@
+#include "conformal/jackknife.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace confcard {
+
+std::vector<int> AssignFolds(size_t n, int k, uint64_t seed) {
+  CONFCARD_CHECK(k >= 2);
+  std::vector<int> folds(n);
+  for (size_t i = 0; i < n; ++i) {
+    folds[i] = static_cast<int>(i % static_cast<size_t>(k));
+  }
+  Rng rng(seed);
+  rng.Shuffle(folds);
+  return folds;
+}
+
+JackknifeCvPlus::JackknifeCvPlus(
+    std::shared_ptr<const ScoringFunction> scoring, double alpha, Mode mode)
+    : scoring_(std::move(scoring)), alpha_(alpha), mode_(mode) {
+  CONFCARD_CHECK(scoring_ != nullptr);
+  CONFCARD_CHECK(alpha_ > 0.0 && alpha_ < 1.0);
+}
+
+Status JackknifeCvPlus::Calibrate(const std::vector<double>& oof_estimates,
+                                  const std::vector<double>& truths,
+                                  const std::vector<int>& fold_of,
+                                  int num_folds) {
+  if (oof_estimates.size() != truths.size() ||
+      oof_estimates.size() != fold_of.size()) {
+    return Status::InvalidArgument("calibration inputs size mismatch");
+  }
+  if (oof_estimates.empty()) {
+    return Status::InvalidArgument("empty calibration set");
+  }
+  if (num_folds < 2) {
+    return Status::InvalidArgument("need at least 2 folds");
+  }
+  for (int f : fold_of) {
+    if (f < 0 || f >= num_folds) {
+      return Status::OutOfRange("fold index out of range");
+    }
+  }
+  num_folds_ = num_folds;
+  n_ = truths.size();
+  fold_of_ = fold_of;
+  scores_.resize(n_);
+  for (size_t i = 0; i < n_; ++i) {
+    scores_[i] = scoring_->Score(oof_estimates[i], truths[i]);
+  }
+  delta_ = ConformalQuantile(scores_, alpha_);
+  calibrated_ = true;
+  return Status::OK();
+}
+
+Interval JackknifeCvPlus::Predict(const std::vector<double>& fold_estimates,
+                                  double full_estimate) const {
+  CONFCARD_CHECK_MSG(calibrated_, "JK-CV+ not calibrated");
+  if (mode_ == Mode::kSimplified) {
+    return scoring_->Invert(full_estimate, delta_);
+  }
+  CONFCARD_CHECK(fold_estimates.size() ==
+                 static_cast<size_t>(num_folds_));
+  std::vector<double> lows(n_), highs(n_);
+  for (size_t i = 0; i < n_; ++i) {
+    Interval iv = scoring_->Invert(
+        fold_estimates[static_cast<size_t>(fold_of_[i])], scores_[i]);
+    lows[i] = iv.lo;
+    highs[i] = iv.hi;
+  }
+  // Eq. 5: lower endpoint is the alpha lower-quantile of candidate lows,
+  // upper endpoint the (1-alpha) upper-quantile of candidate highs.
+  Interval out;
+  out.lo = ConformalQuantileLower(std::move(lows), alpha_);
+  out.hi = ConformalQuantile(std::move(highs), alpha_);
+  if (std::isinf(out.lo)) out.lo = -std::numeric_limits<double>::infinity();
+  if (out.hi < out.lo) std::swap(out.lo, out.hi);
+  return out;
+}
+
+double JackknifeCvPlus::CoverageGuarantee() const {
+  CONFCARD_CHECK_MSG(calibrated_, "JK-CV+ not calibrated");
+  const double n = static_cast<double>(n_);
+  const double k = static_cast<double>(num_folds_);
+  const double a = 2.0 * (1.0 - 1.0 / k) / (n / k + 1.0);
+  const double b = (1.0 - k / n) / (k + 1.0);
+  return 1.0 - 2.0 * alpha_ - std::min(a, b);
+}
+
+}  // namespace confcard

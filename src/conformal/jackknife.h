@@ -1,0 +1,74 @@
+// Jackknife+ with K-fold cross validation (Section III-B, CV+ of Barber
+// et al.). The dataset is split into K folds; fold model f_{-k} is
+// trained without fold k; residual r_i is computed under the model that
+// did NOT see example i. Two inference modes:
+//   * kFull (Eq. 5): interval endpoints are conformal quantiles of
+//     { Invert(f_{-k(i)}(X), r_i) } over all calibration points — for
+//     the residual score this is exactly
+//     [ q-_{alpha}{f_{-k(i)}(X) - r_i}, q+_{1-alpha}{f_{-k(i)}(X) + r_i} ].
+//   * kSimplified (Algorithm 1 as printed): a single delta quantile of
+//     the residuals applied around the full model's estimate.
+// Fold training is the caller's job (it owns the estimators); this class
+// consumes fold assignments, per-point out-of-fold estimates, and
+// per-query fold-model predictions.
+#ifndef CONFCARD_CONFORMAL_JACKKNIFE_H_
+#define CONFCARD_CONFORMAL_JACKKNIFE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "conformal/interval.h"
+#include "conformal/scoring.h"
+
+namespace confcard {
+
+/// Uniform random assignment of n points to K folds (each fold within
+/// one point of n/K in size).
+std::vector<int> AssignFolds(size_t n, int k, uint64_t seed);
+
+/// Jackknife+/CV+ calibration and inference.
+class JackknifeCvPlus {
+ public:
+  enum class Mode { kFull, kSimplified };
+
+  JackknifeCvPlus(std::shared_ptr<const ScoringFunction> scoring,
+                  double alpha, Mode mode = Mode::kFull);
+
+  /// `oof_estimates[i]` = estimate for point i by the fold model that
+  /// excluded i; `fold_of[i]` in [0, K).
+  Status Calibrate(const std::vector<double>& oof_estimates,
+                   const std::vector<double>& truths,
+                   const std::vector<int>& fold_of, int num_folds);
+
+  /// Full CV+ interval for a new query given each fold model's estimate
+  /// for it (`fold_estimates[k]` = f_{-k}(X)). `full_estimate` is the
+  /// full-data model's output, used in kSimplified mode (pass the
+  /// fold-estimate mean if no full model was trained).
+  Interval Predict(const std::vector<double>& fold_estimates,
+                   double full_estimate) const;
+
+  /// Coverage floor of CV+ from the paper:
+  /// 1 - 2*alpha - min{ 2(1-1/K)/(n/K+1), (1-K/n)/(K+1) }.
+  double CoverageGuarantee() const;
+
+  double simplified_delta() const { return delta_; }
+  Mode mode() const { return mode_; }
+  int num_folds() const { return num_folds_; }
+
+ private:
+  std::shared_ptr<const ScoringFunction> scoring_;
+  double alpha_;
+  Mode mode_;
+  int num_folds_ = 0;
+  size_t n_ = 0;
+  std::vector<double> scores_;   // r_i
+  std::vector<int> fold_of_;
+  double delta_ = 0.0;           // simplified-mode quantile
+  bool calibrated_ = false;
+};
+
+}  // namespace confcard
+
+#endif  // CONFCARD_CONFORMAL_JACKKNIFE_H_

@@ -1,0 +1,82 @@
+#include "conformal/localized.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace confcard {
+namespace {
+
+double SquaredL2(const std::vector<float>& a, const std::vector<float>& b) {
+  CONFCARD_DCHECK(a.size() == b.size());
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = static_cast<double>(a[i]) - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+}  // namespace
+
+LocalizedConformal::LocalizedConformal(
+    std::shared_ptr<const ScoringFunction> scoring, Options options)
+    : scoring_(std::move(scoring)), options_(options) {
+  CONFCARD_CHECK(scoring_ != nullptr);
+  CONFCARD_CHECK(options_.alpha > 0.0 && options_.alpha < 1.0);
+  CONFCARD_CHECK(options_.k > 0);
+}
+
+Status LocalizedConformal::Calibrate(
+    std::vector<std::vector<float>> features,
+    const std::vector<double>& estimates,
+    const std::vector<double>& truths) {
+  if (features.size() != estimates.size() ||
+      features.size() != truths.size()) {
+    return Status::InvalidArgument("calibration inputs size mismatch");
+  }
+  if (features.empty()) {
+    return Status::InvalidArgument("empty calibration set");
+  }
+  const size_t dim = features.front().size();
+  for (const auto& f : features) {
+    if (f.size() != dim) {
+      return Status::InvalidArgument("ragged feature matrix");
+    }
+  }
+  features_ = std::move(features);
+  scores_.resize(features_.size());
+  for (size_t i = 0; i < features_.size(); ++i) {
+    scores_[i] = scoring_->Score(estimates[i], truths[i]);
+  }
+  calibrated_ = true;
+  return Status::OK();
+}
+
+double LocalizedConformal::LocalDelta(
+    const std::vector<float>& features) const {
+  CONFCARD_CHECK_MSG(calibrated_, "localized CP not calibrated");
+  const size_t k = std::min(options_.k, scores_.size());
+  // Partial selection of the k nearest calibration points.
+  std::vector<std::pair<double, size_t>> dist(scores_.size());
+  for (size_t i = 0; i < scores_.size(); ++i) {
+    dist[i] = {SquaredL2(features, features_[i]), i};
+  }
+  std::nth_element(dist.begin(), dist.begin() + static_cast<long>(k - 1),
+                   dist.end());
+  std::vector<double> local;
+  local.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    local.push_back(scores_[dist[i].second]);
+  }
+  return ConformalQuantile(std::move(local), options_.alpha);
+}
+
+Interval LocalizedConformal::Predict(
+    double estimate, const std::vector<float>& features) const {
+  return scoring_->Invert(estimate, LocalDelta(features));
+}
+
+}  // namespace confcard

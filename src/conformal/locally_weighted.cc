@@ -1,0 +1,90 @@
+#include "conformal/locally_weighted.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace confcard {
+
+LocallyWeightedConformal::LocallyWeightedConformal(Options options)
+    : options_(options) {
+  CONFCARD_CHECK(options_.alpha > 0.0 && options_.alpha < 1.0);
+  CONFCARD_CHECK(options_.min_difficulty > 0.0);
+}
+
+Status LocallyWeightedConformal::FitDifficulty(
+    const std::vector<std::vector<float>>& features,
+    const std::vector<double>& estimates,
+    const std::vector<double>& truths) {
+  if (features.size() != estimates.size() ||
+      features.size() != truths.size()) {
+    return Status::InvalidArgument("difficulty inputs size mismatch");
+  }
+  if (features.empty()) {
+    return Status::InvalidArgument("empty difficulty training set");
+  }
+  const size_t dim = features.front().size();
+  std::vector<float> X;
+  X.reserve(features.size() * dim);
+  std::vector<double> y(features.size());
+  for (size_t i = 0; i < features.size(); ++i) {
+    if (features[i].size() != dim) {
+      return Status::InvalidArgument("ragged feature matrix");
+    }
+    X.insert(X.end(), features[i].begin(), features[i].end());
+    y[i] = std::log1p(std::fabs(truths[i] - estimates[i]));
+  }
+  gbdt_ = std::make_unique<gbdt::GbdtRegressor>(options_.gbdt);
+  CONFCARD_RETURN_NOT_OK(gbdt_->Fit(X, dim, y));
+  difficulty_fn_ = [this](const std::vector<float>& x) {
+    return std::expm1(std::max(0.0, gbdt_->Predict(x)));
+  };
+  return Status::OK();
+}
+
+void LocallyWeightedConformal::SetDifficultyFn(
+    std::function<double(const std::vector<float>&)> fn) {
+  difficulty_fn_ = std::move(fn);
+}
+
+double LocallyWeightedConformal::Difficulty(
+    const std::vector<float>& features) const {
+  CONFCARD_CHECK_MSG(static_cast<bool>(difficulty_fn_),
+                     "difficulty model not fitted");
+  return std::max(options_.min_difficulty, difficulty_fn_(features));
+}
+
+Status LocallyWeightedConformal::Calibrate(
+    const std::vector<std::vector<float>>& features,
+    const std::vector<double>& estimates,
+    const std::vector<double>& truths) {
+  if (!difficulty_fn_) {
+    return Status::FailedPrecondition("difficulty model not fitted");
+  }
+  if (features.size() != estimates.size() ||
+      features.size() != truths.size()) {
+    return Status::InvalidArgument("calibration inputs size mismatch");
+  }
+  if (features.empty()) {
+    return Status::InvalidArgument("empty calibration set");
+  }
+  std::vector<double> scaled(features.size());
+  for (size_t i = 0; i < features.size(); ++i) {
+    scaled[i] =
+        std::fabs(truths[i] - estimates[i]) / Difficulty(features[i]);
+  }
+  delta_ = ConformalQuantile(std::move(scaled), options_.alpha);
+  calibrated_ = true;
+  return Status::OK();
+}
+
+Interval LocallyWeightedConformal::Predict(
+    double estimate, const std::vector<float>& features) const {
+  CONFCARD_CHECK_MSG(calibrated_, "LW-S-CP not calibrated");
+  const double half = delta_ * Difficulty(features);
+  return {estimate - half, estimate + half};
+}
+
+}  // namespace confcard

@@ -1,0 +1,73 @@
+// Locally weighted split conformal prediction (Algorithm 3): residuals
+// are normalized by a per-query difficulty U(X) before calibration, so
+// the PI width delta * U(X) adapts to the query — narrow for easy
+// queries, wide for hard ones. The paper instantiates U(X) with an
+// xgboost model of the conditional mean absolute deviation; the
+// alternatives it mentions (ensemble variance, input perturbation) are
+// supported through a custom difficulty function and exercised by the
+// U(X) ablation bench.
+#ifndef CONFCARD_CONFORMAL_LOCALLY_WEIGHTED_H_
+#define CONFCARD_CONFORMAL_LOCALLY_WEIGHTED_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "conformal/interval.h"
+#include "gbdt/gbdt.h"
+
+namespace confcard {
+
+/// Locally weighted split conformal predictor (LW-S-CP). Uses the
+/// absolute-residual score normalized by U(X), per the paper.
+class LocallyWeightedConformal {
+ public:
+  struct Options {
+    double alpha = 0.1;
+    /// GBDT hyper-parameters for the default (MAD-regression) U(X).
+    gbdt::GbdtConfig gbdt;
+    /// Difficulty floor: keeps scaled residuals finite and PIs non-
+    /// degenerate where the difficulty model predicts ~0 error.
+    double min_difficulty = 1.0;
+  };
+
+  explicit LocallyWeightedConformal(Options options);
+
+  /// Fits the default difficulty model U(X) = GBDT(X -> |residual|) on
+  /// the *training* split (estimates/truths under the trained model f).
+  /// Targets are log1p(|residual|) internally for robustness to the
+  /// heavy-tailed residual distribution of cardinality models.
+  Status FitDifficulty(const std::vector<std::vector<float>>& features,
+                       const std::vector<double>& estimates,
+                       const std::vector<double>& truths);
+
+  /// Replaces the difficulty model with a caller-supplied U(X)
+  /// (ensemble variance, perturbation variance, ...).
+  void SetDifficultyFn(std::function<double(const std::vector<float>&)> fn);
+
+  /// Calibrates delta on scaled residuals |y - est| / U(X).
+  Status Calibrate(const std::vector<std::vector<float>>& features,
+                   const std::vector<double>& estimates,
+                   const std::vector<double>& truths);
+
+  /// PI: [est - delta*U(x), est + delta*U(x)] (unclipped).
+  Interval Predict(double estimate, const std::vector<float>& features) const;
+
+  /// The difficulty U(x) used by Predict (exposed for tests/ablation).
+  double Difficulty(const std::vector<float>& features) const;
+
+  double delta() const { return delta_; }
+  bool calibrated() const { return calibrated_; }
+
+ private:
+  Options options_;
+  std::function<double(const std::vector<float>&)> difficulty_fn_;
+  std::unique_ptr<gbdt::GbdtRegressor> gbdt_;
+  double delta_ = 0.0;
+  bool calibrated_ = false;
+};
+
+}  // namespace confcard
+
+#endif  // CONFCARD_CONFORMAL_LOCALLY_WEIGHTED_H_

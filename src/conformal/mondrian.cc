@@ -1,0 +1,75 @@
+#include "conformal/mondrian.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace confcard {
+
+MondrianConformal::MondrianConformal(
+    std::shared_ptr<const ScoringFunction> scoring, GroupFn group_fn,
+    Options options)
+    : scoring_(std::move(scoring)),
+      group_fn_(std::move(group_fn)),
+      options_(options) {
+  CONFCARD_CHECK(scoring_ != nullptr);
+  CONFCARD_CHECK(static_cast<bool>(group_fn_));
+  CONFCARD_CHECK(options_.alpha > 0.0 && options_.alpha < 1.0);
+}
+
+Status MondrianConformal::Calibrate(
+    const std::vector<std::vector<float>>& features,
+    const std::vector<double>& estimates,
+    const std::vector<double>& truths) {
+  if (features.size() != estimates.size() ||
+      features.size() != truths.size()) {
+    return Status::InvalidArgument("calibration inputs size mismatch");
+  }
+  if (features.empty()) {
+    return Status::InvalidArgument("empty calibration set");
+  }
+
+  std::vector<double> all_scores(features.size());
+  std::unordered_map<int, std::vector<double>> by_group;
+  for (size_t i = 0; i < features.size(); ++i) {
+    const double s = scoring_->Score(estimates[i], truths[i]);
+    all_scores[i] = s;
+    by_group[group_fn_(features[i])].push_back(s);
+  }
+
+  global_delta_ = ConformalQuantile(std::move(all_scores), options_.alpha);
+  group_delta_.clear();
+  for (auto& [group, scores] : by_group) {
+    if (scores.size() < options_.min_group_size) continue;
+    const double d = ConformalQuantile(std::move(scores), options_.alpha);
+    // A too-small group can still yield +inf (rank overflow); keep the
+    // global fallback in that case.
+    if (std::isfinite(d)) group_delta_[group] = d;
+  }
+  calibrated_ = true;
+  return Status::OK();
+}
+
+double MondrianConformal::DeltaForGroup(int group) const {
+  CONFCARD_CHECK_MSG(calibrated_, "Mondrian CP not calibrated");
+  auto it = group_delta_.find(group);
+  return it == group_delta_.end() ? global_delta_ : it->second;
+}
+
+Interval MondrianConformal::Predict(
+    double estimate, const std::vector<float>& features) const {
+  return scoring_->Invert(estimate, DeltaForGroup(group_fn_(features)));
+}
+
+MondrianConformal::GroupFn GroupByPredicateCount(size_t num_columns) {
+  return [num_columns](const std::vector<float>& features) {
+    int count = 0;
+    for (size_t c = 0; c < num_columns; ++c) {
+      if (5 * c < features.size() && features[5 * c] > 0.5f) ++count;
+    }
+    return count;
+  };
+}
+
+}  // namespace confcard

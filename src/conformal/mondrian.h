@@ -1,0 +1,72 @@
+// Mondrian (group-conditional) split conformal prediction. The plain
+// S-CP guarantee is *marginal*: averaged over the whole workload. When
+// queries fall into recognizable groups with very different error
+// profiles (few vs many predicates, small vs large selectivity bands),
+// marginal coverage can hide systematic under-coverage inside a group.
+// Mondrian CP calibrates one delta per group, restoring the guarantee
+// within every group that has enough calibration mass — one of the
+// conditional-validity directions the paper's Section V-D points to.
+#ifndef CONFCARD_CONFORMAL_MONDRIAN_H_
+#define CONFCARD_CONFORMAL_MONDRIAN_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "conformal/interval.h"
+#include "conformal/scoring.h"
+
+namespace confcard {
+
+/// Group-conditional split conformal predictor.
+class MondrianConformal {
+ public:
+  /// Maps a query's feature vector to its group id. Must be stable: the
+  /// same features always map to the same group.
+  using GroupFn = std::function<int(const std::vector<float>&)>;
+
+  struct Options {
+    double alpha = 0.1;
+    /// Groups with fewer calibration points than this fall back to the
+    /// global (marginal) delta — per-group quantiles need
+    /// ceil(1/alpha) - 1 points to be finite.
+    size_t min_group_size = 30;
+  };
+
+  MondrianConformal(std::shared_ptr<const ScoringFunction> scoring,
+                    GroupFn group_fn, Options options);
+
+  /// Calibrates the per-group and global deltas.
+  Status Calibrate(const std::vector<std::vector<float>>& features,
+                   const std::vector<double>& estimates,
+                   const std::vector<double>& truths);
+
+  /// PI using the group's delta (global fallback for unseen/small
+  /// groups). Unclipped.
+  Interval Predict(double estimate,
+                   const std::vector<float>& features) const;
+
+  /// Delta for a specific group (global fallback applies).
+  double DeltaForGroup(int group) const;
+  double global_delta() const { return global_delta_; }
+  size_t num_groups() const { return group_delta_.size(); }
+  bool calibrated() const { return calibrated_; }
+
+ private:
+  std::shared_ptr<const ScoringFunction> scoring_;
+  GroupFn group_fn_;
+  Options options_;
+  double global_delta_ = 0.0;
+  std::unordered_map<int, double> group_delta_;
+  bool calibrated_ = false;
+};
+
+/// Convenience group function: the number of constrained columns of a
+/// FlatQueryFeaturizer vector (feature layout: 5 per column + count).
+MondrianConformal::GroupFn GroupByPredicateCount(size_t num_columns);
+
+}  // namespace confcard
+
+#endif  // CONFCARD_CONFORMAL_MONDRIAN_H_

@@ -1,0 +1,57 @@
+#include "conformal/online.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace confcard {
+
+OnlineConformal::OnlineConformal(
+    std::shared_ptr<const ScoringFunction> scoring, Options options)
+    : scoring_(std::move(scoring)), options_(options) {
+  CONFCARD_CHECK(scoring_ != nullptr);
+  CONFCARD_CHECK(options_.alpha > 0.0 && options_.alpha < 1.0);
+}
+
+Status OnlineConformal::Warmup(const std::vector<double>& estimates,
+                               const std::vector<double>& truths) {
+  if (estimates.size() != truths.size()) {
+    return Status::InvalidArgument("estimates/truths size mismatch");
+  }
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    Observe(estimates[i], truths[i]);
+  }
+  return Status::OK();
+}
+
+void OnlineConformal::Observe(double estimate, double truth) {
+  const double score = scoring_->Score(estimate, truth);
+  recency_.push_back(score);
+  sorted_.insert(std::lower_bound(sorted_.begin(), sorted_.end(), score),
+                 score);
+  if (options_.window > 0 && recency_.size() > options_.window) {
+    const double evicted = recency_.front();
+    recency_.pop_front();
+    auto it = std::lower_bound(sorted_.begin(), sorted_.end(), evicted);
+    CONFCARD_DCHECK(it != sorted_.end() && *it == evicted);
+    sorted_.erase(it);
+  }
+}
+
+double OnlineConformal::delta() const {
+  const size_t n = sorted_.size();
+  if (n == 0) return std::numeric_limits<double>::infinity();
+  const size_t rank = ConformalRank(n, options_.alpha);
+  if (rank > n) return std::numeric_limits<double>::infinity();
+  return sorted_[rank - 1];
+}
+
+Interval OnlineConformal::Predict(double estimate) const {
+  const double d = delta();
+  if (std::isinf(d)) return Interval::Infinite();
+  return scoring_->Invert(estimate, d);
+}
+
+}  // namespace confcard

@@ -1,0 +1,60 @@
+// Online conformal prediction (Section IV "Incorporating Workload
+// Information" and the Figure 8 experiment): after a query executes, its
+// (estimate, truth) pair is appended to the calibration set, which
+// remains exchangeable, so PIs tighten as the calibration set adapts to
+// the live workload. An optional sliding window keeps only the most
+// recent scores (the paper's "last 24 hours" variant).
+#ifndef CONFCARD_CONFORMAL_ONLINE_H_
+#define CONFCARD_CONFORMAL_ONLINE_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "conformal/interval.h"
+#include "conformal/scoring.h"
+
+namespace confcard {
+
+/// Split conformal prediction over a growing (or sliding) calibration
+/// multiset. Observe() is O(log n) per update; Predict() is O(1).
+class OnlineConformal {
+ public:
+  struct Options {
+    double alpha = 0.1;
+    /// Keep at most this many most-recent scores (0 = unbounded).
+    size_t window = 0;
+  };
+
+  OnlineConformal(std::shared_ptr<const ScoringFunction> scoring,
+                  Options options);
+
+  /// Seeds the calibration set with an initial batch.
+  Status Warmup(const std::vector<double>& estimates,
+                const std::vector<double>& truths);
+
+  /// Adds one executed query's (estimate, truth) to the calibration set.
+  void Observe(double estimate, double truth);
+
+  /// PI under the current calibration set. Infinite until at least
+  /// ceil(1/alpha) - 1 scores have been observed.
+  Interval Predict(double estimate) const;
+
+  /// Current conformal quantile delta.
+  double delta() const;
+
+  size_t size() const { return recency_.size(); }
+
+ private:
+  std::shared_ptr<const ScoringFunction> scoring_;
+  Options options_;
+  // Scores in arrival order (for window eviction) and in sorted order
+  // (multiset semantics via a sorted vector) for O(log n) quantiles.
+  std::deque<double> recency_;
+  std::vector<double> sorted_;
+};
+
+}  // namespace confcard
+
+#endif  // CONFCARD_CONFORMAL_ONLINE_H_

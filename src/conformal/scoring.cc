@@ -1,0 +1,69 @@
+#include "conformal/scoring.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace confcard {
+
+double ResidualScore::Score(double estimate, double y) const {
+  return std::fabs(y - estimate);
+}
+
+Interval ResidualScore::Invert(double estimate, double delta) const {
+  return {estimate - delta, estimate + delta};
+}
+
+double QErrorScore::Score(double estimate, double y) const {
+  const double e = std::max(estimate, 1.0);
+  const double t = std::max(y, 1.0);
+  return std::max(e / t, t / e);
+}
+
+Interval QErrorScore::Invert(double estimate, double delta) const {
+  const double e = std::max(estimate, 1.0);
+  if (!(delta >= 1.0)) delta = 1.0;  // q-error scores are always >= 1
+  if (std::isinf(delta)) return Interval::Infinite();
+  return {e / delta, e * delta};
+}
+
+double RelativeErrorScore::Score(double estimate, double y) const {
+  return std::fabs(y - estimate) / std::max(y, 1.0);
+}
+
+Interval RelativeErrorScore::Invert(double estimate, double delta) const {
+  CONFCARD_DCHECK(delta >= 0.0);
+  const double e = std::max(estimate, 0.0);
+  Interval iv;
+  iv.lo = e / (1.0 + delta);
+  iv.hi = delta < 1.0 ? e / (1.0 - delta)
+                      : std::numeric_limits<double>::infinity();
+  return iv;
+}
+
+std::shared_ptr<const ScoringFunction> MakeScoring(ScoreKind kind) {
+  switch (kind) {
+    case ScoreKind::kResidual:
+      return std::make_shared<ResidualScore>();
+    case ScoreKind::kQError:
+      return std::make_shared<QErrorScore>();
+    case ScoreKind::kRelative:
+      return std::make_shared<RelativeErrorScore>();
+  }
+  return std::make_shared<ResidualScore>();
+}
+
+const char* ScoreKindToString(ScoreKind kind) {
+  switch (kind) {
+    case ScoreKind::kResidual:
+      return "residual";
+    case ScoreKind::kQError:
+      return "q-error";
+    case ScoreKind::kRelative:
+      return "relative";
+  }
+  return "unknown";
+}
+
+}  // namespace confcard

@@ -1,0 +1,69 @@
+// Conformal scoring functions (Section III-C and V-C of the paper).
+// A score abstracts "how wrong was the model on this example"; coverage
+// validity holds for any exchangeable score, while informativeness
+// determines interval width. Each scoring function also knows how to
+// invert "score(estimate, y) <= delta" into an interval over y, which is
+// how the calibrated quantile delta becomes a prediction interval.
+#ifndef CONFCARD_CONFORMAL_SCORING_H_
+#define CONFCARD_CONFORMAL_SCORING_H_
+
+#include <memory>
+#include <string>
+
+#include "conformal/interval.h"
+
+namespace confcard {
+
+/// Scoring-function interface over (estimate, truth) in tuple counts.
+class ScoringFunction {
+ public:
+  virtual ~ScoringFunction() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Nonconformity of truth `y` under model output `estimate`. Larger
+  /// means a worse prediction.
+  virtual double Score(double estimate, double y) const = 0;
+
+  /// The set {y : Score(estimate, y) <= delta} as an interval.
+  virtual Interval Invert(double estimate, double delta) const = 0;
+};
+
+/// |y - est| — the paper's default. Fixed-width intervals.
+class ResidualScore : public ScoringFunction {
+ public:
+  std::string name() const override { return "residual"; }
+  double Score(double estimate, double y) const override;
+  Interval Invert(double estimate, double delta) const override;
+};
+
+/// max(est/y, y/est) with both floored at one tuple (the paper's q-error
+/// convention of replacing zero cardinalities with 1). Multiplicative
+/// intervals [est/delta, est*delta]; the paper finds these tightest.
+class QErrorScore : public ScoringFunction {
+ public:
+  std::string name() const override { return "q-error"; }
+  double Score(double estimate, double y) const override;
+  Interval Invert(double estimate, double delta) const override;
+};
+
+/// |y - est| / max(y, 1). Intervals [est/(1+delta), est/(1-delta)]
+/// (upper bound unbounded when delta >= 1).
+class RelativeErrorScore : public ScoringFunction {
+ public:
+  std::string name() const override { return "relative"; }
+  double Score(double estimate, double y) const override;
+  Interval Invert(double estimate, double delta) const override;
+};
+
+/// Scoring-function selector used by configs and benches.
+enum class ScoreKind { kResidual, kQError, kRelative };
+
+/// Factory for the builtin scoring functions.
+std::shared_ptr<const ScoringFunction> MakeScoring(ScoreKind kind);
+
+const char* ScoreKindToString(ScoreKind kind);
+
+}  // namespace confcard
+
+#endif  // CONFCARD_CONFORMAL_SCORING_H_

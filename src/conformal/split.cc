@@ -1,0 +1,37 @@
+#include "conformal/split.h"
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace confcard {
+
+SplitConformal::SplitConformal(
+    std::shared_ptr<const ScoringFunction> scoring, double alpha)
+    : scoring_(std::move(scoring)), alpha_(alpha) {
+  CONFCARD_CHECK(scoring_ != nullptr);
+  CONFCARD_CHECK(alpha_ > 0.0 && alpha_ < 1.0);
+}
+
+Status SplitConformal::Calibrate(const std::vector<double>& estimates,
+                                 const std::vector<double>& truths) {
+  if (estimates.size() != truths.size()) {
+    return Status::InvalidArgument("estimates/truths size mismatch");
+  }
+  if (estimates.empty()) {
+    return Status::InvalidArgument("empty calibration set");
+  }
+  std::vector<double> scores(estimates.size());
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    scores[i] = scoring_->Score(estimates[i], truths[i]);
+  }
+  delta_ = ConformalQuantile(std::move(scores), alpha_);
+  calibrated_ = true;
+  return Status::OK();
+}
+
+Interval SplitConformal::Predict(double estimate) const {
+  CONFCARD_CHECK_MSG(calibrated_, "SplitConformal::Calibrate not called");
+  return scoring_->Invert(estimate, delta_);
+}
+
+}  // namespace confcard

@@ -1,0 +1,47 @@
+// Split conformal prediction (Algorithm 2 of the paper): calibrate the
+// (1-alpha) conformal quantile delta of the scores on a held-out
+// calibration set; the PI for any new query is the inversion of delta
+// around the model estimate. Distribution-free coverage >= 1 - alpha
+// under exchangeability.
+#ifndef CONFCARD_CONFORMAL_SPLIT_H_
+#define CONFCARD_CONFORMAL_SPLIT_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "conformal/interval.h"
+#include "conformal/scoring.h"
+
+namespace confcard {
+
+/// Split conformal predictor (S-CP).
+class SplitConformal {
+ public:
+  /// `alpha` is the miscoverage level (coverage = 1 - alpha).
+  SplitConformal(std::shared_ptr<const ScoringFunction> scoring,
+                 double alpha);
+
+  /// Computes delta from calibration pairs (model estimate, truth).
+  Status Calibrate(const std::vector<double>& estimates,
+                   const std::vector<double>& truths);
+
+  /// PI for a new estimate. Unclipped; apply ClipToCardinality at the
+  /// call site where N is known.
+  Interval Predict(double estimate) const;
+
+  bool calibrated() const { return calibrated_; }
+  double delta() const { return delta_; }
+  double alpha() const { return alpha_; }
+  const ScoringFunction& scoring() const { return *scoring_; }
+
+ private:
+  std::shared_ptr<const ScoringFunction> scoring_;
+  double alpha_;
+  double delta_ = 0.0;
+  bool calibrated_ = false;
+};
+
+}  // namespace confcard
+
+#endif  // CONFCARD_CONFORMAL_SPLIT_H_

@@ -1,0 +1,89 @@
+#include "conformal/weighted.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace confcard {
+
+WeightedConformal::WeightedConformal(
+    std::shared_ptr<const ScoringFunction> scoring, WeightFn weight_fn,
+    double alpha)
+    : scoring_(std::move(scoring)),
+      weight_fn_(std::move(weight_fn)),
+      alpha_(alpha) {
+  CONFCARD_CHECK(scoring_ != nullptr);
+  CONFCARD_CHECK(static_cast<bool>(weight_fn_));
+  CONFCARD_CHECK(alpha_ > 0.0 && alpha_ < 1.0);
+}
+
+Status WeightedConformal::Calibrate(
+    const std::vector<std::vector<float>>& features,
+    const std::vector<double>& estimates,
+    const std::vector<double>& truths) {
+  if (features.size() != estimates.size() ||
+      features.size() != truths.size()) {
+    return Status::InvalidArgument("calibration inputs size mismatch");
+  }
+  if (features.empty()) {
+    return Status::InvalidArgument("empty calibration set");
+  }
+  std::vector<std::pair<double, double>> pairs(features.size());
+  for (size_t i = 0; i < features.size(); ++i) {
+    const double w = weight_fn_(features[i]);
+    if (!(w >= 0.0) || !std::isfinite(w)) {
+      return Status::InvalidArgument("weight function produced a bad value");
+    }
+    pairs[i] = {scoring_->Score(estimates[i], truths[i]), w};
+  }
+  std::sort(pairs.begin(), pairs.end());
+  sorted_scores_.resize(pairs.size());
+  sorted_weights_.resize(pairs.size());
+  total_weight_ = 0.0;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    sorted_scores_[i] = pairs[i].first;
+    sorted_weights_[i] = pairs[i].second;
+    total_weight_ += pairs[i].second;
+  }
+  if (total_weight_ <= 0.0) {
+    return Status::InvalidArgument("all calibration weights are zero");
+  }
+  calibrated_ = true;
+  return Status::OK();
+}
+
+double WeightedConformal::WeightedDelta(
+    const std::vector<float>& features) const {
+  CONFCARD_CHECK_MSG(calibrated_, "weighted CP not calibrated");
+  const double w_test = weight_fn_(features);
+  CONFCARD_CHECK(w_test >= 0.0 && std::isfinite(w_test));
+  const double target = (1.0 - alpha_) * (total_weight_ + w_test);
+  // The test point's own weight sits at score +infinity; accumulate
+  // calibration mass until the target is reached.
+  double acc = 0.0;
+  for (size_t i = 0; i < sorted_scores_.size(); ++i) {
+    acc += sorted_weights_[i];
+    if (acc >= target) return sorted_scores_[i];
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+Interval WeightedConformal::Predict(
+    double estimate, const std::vector<float>& features) const {
+  const double d = WeightedDelta(features);
+  if (std::isinf(d)) return Interval::Infinite();
+  return scoring_->Invert(estimate, d);
+}
+
+double WeightedConformal::EffectiveSampleSize() const {
+  CONFCARD_CHECK_MSG(calibrated_, "weighted CP not calibrated");
+  double sum_sq = 0.0;
+  for (double w : sorted_weights_) sum_sq += w * w;
+  if (sum_sq <= 0.0) return 0.0;
+  return total_weight_ * total_weight_ / sum_sq;
+}
+
+}  // namespace confcard

@@ -1,0 +1,68 @@
+// Weighted split conformal prediction for covariate shift (Tibshirani et
+// al., NeurIPS 2019). Figure 11 of the paper shows that when the test
+// workload is not exchangeable with the calibration set, coverage is
+// lost. If the shift is a covariate shift with known (or estimated)
+// likelihood ratio w(x) = p_test(x) / p_calib(x), coverage is restored
+// by replacing the empirical score quantile with a w-weighted quantile:
+//   delta(x) = inf{ t : sum_{i: s_i <= t} w(x_i) + w(x)
+//                       >= (1 - alpha) * (sum_i w(x_i) + w(x)) }.
+// This implements the workload-shift remedy the paper's discussion
+// (Sections IV and V-D) calls for.
+#ifndef CONFCARD_CONFORMAL_WEIGHTED_H_
+#define CONFCARD_CONFORMAL_WEIGHTED_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "conformal/interval.h"
+#include "conformal/scoring.h"
+
+namespace confcard {
+
+/// Weighted split conformal predictor under covariate shift.
+class WeightedConformal {
+ public:
+  /// Likelihood ratio w(x) = p_test(x) / p_calib(x), up to a constant
+  /// factor. Must be non-negative and finite.
+  using WeightFn = std::function<double(const std::vector<float>&)>;
+
+  WeightedConformal(std::shared_ptr<const ScoringFunction> scoring,
+                    WeightFn weight_fn, double alpha);
+
+  /// Stores calibration scores and weights.
+  Status Calibrate(const std::vector<std::vector<float>>& features,
+                   const std::vector<double>& estimates,
+                   const std::vector<double>& truths);
+
+  /// PI with the weighted quantile evaluated at the test point's weight.
+  /// Unclipped; returns the trivial interval when the test weight
+  /// dominates the calibration mass (too little effective calibration
+  /// data under the shift).
+  Interval Predict(double estimate,
+                   const std::vector<float>& features) const;
+
+  /// The weighted delta for a test point (exposed for tests).
+  double WeightedDelta(const std::vector<float>& features) const;
+
+  /// Effective sample size of the weighted calibration set,
+  /// (sum w)^2 / sum w^2 — a diagnostic for how much the shift costs.
+  double EffectiveSampleSize() const;
+
+  bool calibrated() const { return calibrated_; }
+
+ private:
+  std::shared_ptr<const ScoringFunction> scoring_;
+  WeightFn weight_fn_;
+  double alpha_;
+  // Scores sorted ascending with their weights aligned.
+  std::vector<double> sorted_scores_;
+  std::vector<double> sorted_weights_;
+  double total_weight_ = 0.0;
+  bool calibrated_ = false;
+};
+
+}  // namespace confcard
+
+#endif  // CONFCARD_CONFORMAL_WEIGHTED_H_

@@ -1,0 +1,52 @@
+// Loading external datasets: CSV -> columnar Table with automatic type
+// inference (numeric columns stay numeric; everything else is
+// dictionary-encoded to categorical codes). This is how a user brings
+// their own data to the estimators instead of the synthetic generators.
+#ifndef CONFCARD_DATA_CSV_TABLE_H_
+#define CONFCARD_DATA_CSV_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace confcard {
+
+/// Per-column load options.
+struct CsvLoadOptions {
+  /// Treat the first row as the header (column names). Without a header
+  /// columns are named c0, c1, ...
+  bool has_header = true;
+  char delimiter = ',';
+  /// Columns (by name) to force categorical even if all values parse as
+  /// numbers (e.g., zip codes).
+  std::vector<std::string> force_categorical;
+  /// Maximum distinct values for a categorical column; loading fails
+  /// beyond this (guards against accidentally dictionary-encoding a
+  /// free-text column).
+  size_t max_categorical_domain = 100000;
+};
+
+/// Result of a load: the table plus per-column dictionaries (empty for
+/// numeric columns) mapping categorical codes back to original strings.
+struct LoadedTable {
+  Table table;
+  std::vector<std::vector<std::string>> dictionaries;
+
+  /// Original string for code `code` of column `col` (empty for numeric
+  /// columns / out-of-range codes).
+  std::string Decode(size_t col, int64_t code) const;
+};
+
+/// Loads `path` as a table named `name`. Numeric inference: a column is
+/// numeric iff every non-empty cell parses as a finite double; empty
+/// cells in numeric columns load as 0. Categorical codes are assigned in
+/// order of first appearance.
+Result<LoadedTable> LoadTableFromCsv(const std::string& path,
+                                     const std::string& name,
+                                     const CsvLoadOptions& options = {});
+
+}  // namespace confcard
+
+#endif  // CONFCARD_DATA_CSV_TABLE_H_

@@ -1,0 +1,141 @@
+#include "data/datasets.h"
+
+#include "data/generators.h"
+
+namespace confcard {
+namespace {
+
+ColumnSpec Cat(std::string name, int64_t domain, double skew, int parent = -1,
+               double corr = 0.0) {
+  ColumnSpec c;
+  c.name = std::move(name);
+  c.kind = ColumnKind::kCategorical;
+  c.domain_size = domain;
+  c.zipf_skew = skew;
+  c.parent = parent;
+  c.correlation = corr;
+  return c;
+}
+
+ColumnSpec Num(std::string name, double lo, double hi, NumericDist dist,
+               int parent = -1, double corr = 0.0) {
+  ColumnSpec c;
+  c.name = std::move(name);
+  c.kind = ColumnKind::kNumeric;
+  c.num_min = lo;
+  c.num_max = hi;
+  c.dist = dist;
+  c.parent = parent;
+  c.correlation = corr;
+  return c;
+}
+
+}  // namespace
+
+Result<Table> MakeDmv(size_t num_rows, uint64_t seed) {
+  // Mirrors the NY DMV vehicle registration table: mostly categorical,
+  // highly skewed, with clusters of strongly dependent attributes
+  // (record/registration class, body type/fuel/use, county/city).
+  TableSpec spec;
+  spec.name = "dmv";
+  spec.num_rows = num_rows;
+  spec.seed = seed;
+  spec.columns = {
+      Cat("record_type", 4, 1.2),
+      Cat("reg_class", 70, 1.1, /*parent=*/0, /*corr=*/0.85),
+      Cat("state", 60, 1.6),
+      Cat("county", 65, 1.0, /*parent=*/2, /*corr=*/0.7),
+      Cat("body_type", 35, 1.3, /*parent=*/1, /*corr=*/0.8),
+      Cat("fuel_type", 9, 1.5, /*parent=*/4, /*corr=*/0.75),
+      Cat("color", 20, 0.8),
+      Cat("scofflaw", 2, 2.0),
+      Cat("suspension", 2, 2.2),
+      Cat("revoked", 2, 2.5),
+      Num("max_gross_weight", 0.0, 80000.0, NumericDist::kExponential,
+          /*parent=*/4, /*corr=*/0.6),
+  };
+  return GenerateTable(spec);
+}
+
+Result<Table> MakeCensus(size_t num_rows, uint64_t seed) {
+  // Mirrors UCI Census/Adult: demographic categoricals plus numeric
+  // age/hours/gains with moderate dependence on occupation/education.
+  TableSpec spec;
+  spec.name = "census";
+  spec.num_rows = num_rows;
+  spec.seed = seed;
+  spec.columns = {
+      Num("age", 17.0, 90.0, NumericDist::kGaussian),
+      Cat("workclass", 9, 1.4),
+      Cat("education", 16, 0.9),
+      Cat("education_num", 16, 0.9, /*parent=*/2, /*corr=*/0.95),
+      Cat("marital_status", 7, 1.0, /*parent=*/0, /*corr=*/0.5),
+      Cat("occupation", 15, 0.7, /*parent=*/1, /*corr=*/0.6),
+      Cat("relationship", 6, 1.0, /*parent=*/4, /*corr=*/0.7),
+      Cat("race", 5, 1.8),
+      Cat("sex", 2, 0.3),
+      Num("capital_gain", 0.0, 100000.0, NumericDist::kExponential,
+          /*parent=*/5, /*corr=*/0.4),
+      Num("capital_loss", 0.0, 4500.0, NumericDist::kExponential),
+      Num("hours_per_week", 1.0, 99.0, NumericDist::kGaussian, /*parent=*/5,
+          /*corr=*/0.5),
+      Cat("native_country", 42, 2.0),
+  };
+  return GenerateTable(spec);
+}
+
+Result<Table> MakeForest(size_t num_rows, uint64_t seed) {
+  // Mirrors UCI Covertype's 10 cartographic numeric attributes; hillshade
+  // and distance columns correlate with elevation/aspect.
+  TableSpec spec;
+  spec.name = "forest";
+  spec.num_rows = num_rows;
+  spec.seed = seed;
+  spec.columns = {
+      Num("elevation", 1850.0, 3860.0, NumericDist::kGaussian),
+      Num("aspect", 0.0, 360.0, NumericDist::kUniform),
+      Num("slope", 0.0, 66.0, NumericDist::kExponential),
+      Num("horiz_dist_hydro", 0.0, 1400.0, NumericDist::kExponential,
+          /*parent=*/0, /*corr=*/0.35),
+      Num("vert_dist_hydro", -170.0, 600.0, NumericDist::kGaussian,
+          /*parent=*/3, /*corr=*/0.7),
+      Num("horiz_dist_road", 0.0, 7120.0, NumericDist::kExponential,
+          /*parent=*/0, /*corr=*/0.3),
+      Num("hillshade_9am", 0.0, 254.0, NumericDist::kGaussian, /*parent=*/1,
+          /*corr=*/0.6),
+      Num("hillshade_noon", 99.0, 254.0, NumericDist::kGaussian,
+          /*parent=*/2, /*corr=*/0.5),
+      Num("hillshade_3pm", 0.0, 254.0, NumericDist::kGaussian, /*parent=*/6,
+          /*corr=*/0.65),
+      Num("horiz_dist_fire", 0.0, 7170.0, NumericDist::kExponential,
+          /*parent=*/5, /*corr=*/0.4),
+  };
+  return GenerateTable(spec);
+}
+
+Result<Table> MakePower(size_t num_rows, uint64_t seed) {
+  // Mirrors UCI Household Power Consumption: 7 numeric channels where
+  // global active power drives intensity and sub-metering channels.
+  TableSpec spec;
+  spec.name = "power";
+  spec.num_rows = num_rows;
+  spec.seed = seed;
+  spec.columns = {
+      Num("global_active_power", 0.08, 11.0, NumericDist::kExponential),
+      Num("global_reactive_power", 0.0, 1.4, NumericDist::kExponential,
+          /*parent=*/0, /*corr=*/0.5),
+      Num("voltage", 223.0, 254.0, NumericDist::kGaussian, /*parent=*/0,
+          /*corr=*/0.3),
+      Num("global_intensity", 0.2, 48.4, NumericDist::kExponential,
+          /*parent=*/0, /*corr=*/0.95),
+      Num("sub_metering_1", 0.0, 88.0, NumericDist::kExponential,
+          /*parent=*/0, /*corr=*/0.6),
+      Num("sub_metering_2", 0.0, 80.0, NumericDist::kExponential,
+          /*parent=*/0, /*corr=*/0.6),
+      Num("sub_metering_3", 0.0, 31.0, NumericDist::kExponential,
+          /*parent=*/3, /*corr=*/0.7),
+  };
+  return GenerateTable(spec);
+}
+
+}  // namespace confcard

@@ -1,0 +1,34 @@
+// Synthetic stand-ins for the paper's evaluation datasets. Each factory
+// matches the published shape of the original: column count,
+// categorical/numeric mix, domain sizes, skew, and correlated column
+// clusters (the property that drives heteroscedastic model error, which
+// the locally weighted and CQR methods exploit).
+#ifndef CONFCARD_DATA_DATASETS_H_
+#define CONFCARD_DATA_DATASETS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace confcard {
+
+/// DMV-like: 11 columns, 10 categorical + 1 numeric, strong correlation
+/// clusters, Zipf-skewed marginals (the original has 11.6M rows; pass the
+/// row count you can afford).
+Result<Table> MakeDmv(size_t num_rows, uint64_t seed = 7);
+
+/// Census-like: 13 mixed columns, moderate correlation.
+Result<Table> MakeCensus(size_t num_rows, uint64_t seed = 11);
+
+/// Forest-like: 10 numeric columns (cartographic variables), mild
+/// correlation.
+Result<Table> MakeForest(size_t num_rows, uint64_t seed = 13);
+
+/// Power-like: 7 numeric columns, very strong correlation (household
+/// electric readings).
+Result<Table> MakePower(size_t num_rows, uint64_t seed = 17);
+
+}  // namespace confcard
+
+#endif  // CONFCARD_DATA_DATASETS_H_

@@ -1,0 +1,162 @@
+#include "data/generators.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace confcard {
+namespace {
+
+// Fixed pseudo-random mapping used for categorical parent->child
+// determinism; stable across runs so correlation structure is
+// reproducible.
+int64_t HashMap64(int64_t value, uint64_t salt, int64_t modulus) {
+  uint64_t z = static_cast<uint64_t>(value) * 0x9E3779B97F4A7C15ULL + salt;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return static_cast<int64_t>(z % static_cast<uint64_t>(modulus));
+}
+
+double Clip(double v, double lo, double hi) {
+  if (v < lo) return lo;
+  if (v > hi) return hi;
+  return v;
+}
+
+Status Validate(const TableSpec& spec) {
+  if (spec.columns.empty()) {
+    return Status::InvalidArgument("table spec has no columns");
+  }
+  for (size_t i = 0; i < spec.columns.size(); ++i) {
+    const ColumnSpec& c = spec.columns[i];
+    if (c.kind == ColumnKind::kCategorical && c.domain_size <= 0) {
+      return Status::InvalidArgument("column '" + c.name +
+                                     "': domain_size must be positive");
+    }
+    if (c.kind == ColumnKind::kNumeric && !(c.num_min < c.num_max)) {
+      return Status::InvalidArgument("column '" + c.name +
+                                     "': num_min must be < num_max");
+    }
+    if (c.parent >= static_cast<int>(i)) {
+      return Status::InvalidArgument("column '" + c.name +
+                                     "': parent must be an earlier column");
+    }
+    if (c.correlation < 0.0 || c.correlation > 1.0) {
+      return Status::InvalidArgument("column '" + c.name +
+                                     "': correlation must be in [0,1]");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Table> GenerateTable(const TableSpec& spec) {
+  CONFCARD_RETURN_NOT_OK(Validate(spec));
+  Rng rng(spec.seed);
+
+  const size_t num_cols = spec.columns.size();
+  std::vector<std::vector<double>> cells(num_cols);
+  for (auto& c : cells) c.resize(spec.num_rows);
+
+  // Per-column marginal samplers, built once.
+  std::vector<ZipfDistribution> zipfs;
+  zipfs.reserve(num_cols);
+  for (const ColumnSpec& c : spec.columns) {
+    if (c.kind == ColumnKind::kCategorical) {
+      zipfs.emplace_back(static_cast<uint64_t>(c.domain_size), c.zipf_skew);
+    } else {
+      zipfs.emplace_back(1, 0.0);  // placeholder, unused
+    }
+  }
+
+  // Per-column salt so distinct children of the same parent get distinct
+  // deterministic maps.
+  std::vector<uint64_t> salts(num_cols);
+  for (size_t i = 0; i < num_cols; ++i) salts[i] = rng.Next();
+
+  for (size_t row = 0; row < spec.num_rows; ++row) {
+    for (size_t ci = 0; ci < num_cols; ++ci) {
+      const ColumnSpec& c = spec.columns[ci];
+      const bool follow_parent =
+          c.parent >= 0 && rng.NextDouble() < c.correlation;
+
+      if (c.kind == ColumnKind::kCategorical) {
+        if (follow_parent) {
+          const ColumnSpec& p = spec.columns[static_cast<size_t>(c.parent)];
+          double pv = cells[static_cast<size_t>(c.parent)][row];
+          int64_t pcode;
+          if (p.kind == ColumnKind::kCategorical) {
+            pcode = static_cast<int64_t>(pv);
+          } else {
+            // Quantize the numeric parent to a coarse bucket so nearby
+            // parent values map to the same child code.
+            double t = (pv - p.num_min) / (p.num_max - p.num_min);
+            pcode = static_cast<int64_t>(Clip(t, 0.0, 1.0) * 63.0);
+          }
+          cells[ci][row] = static_cast<double>(
+              HashMap64(pcode, salts[ci], c.domain_size));
+        } else {
+          cells[ci][row] = static_cast<double>(zipfs[ci].Sample(rng));
+        }
+      } else {
+        double v;
+        switch (c.dist) {
+          case NumericDist::kUniform:
+            v = rng.NextDouble(c.num_min, c.num_max);
+            break;
+          case NumericDist::kGaussian: {
+            double mid = 0.5 * (c.num_min + c.num_max);
+            double sd = (c.num_max - c.num_min) / 6.0;
+            v = Clip(mid + sd * rng.NextGaussian(), c.num_min, c.num_max);
+            break;
+          }
+          case NumericDist::kExponential: {
+            double span = c.num_max - c.num_min;
+            double u = rng.NextDouble();
+            if (u < 1e-300) u = 1e-300;
+            // Rate such that P(X > span) ~= 1%.
+            double rate = 4.605 / span;  // -ln(0.01)
+            v = Clip(c.num_min - std::log(u) / rate, c.num_min, c.num_max);
+            break;
+          }
+          default:
+            v = rng.NextDouble(c.num_min, c.num_max);
+        }
+        if (follow_parent) {
+          const ColumnSpec& p = spec.columns[static_cast<size_t>(c.parent)];
+          double pv = cells[static_cast<size_t>(c.parent)][row];
+          double t;  // parent position in [0, 1]
+          if (p.kind == ColumnKind::kCategorical) {
+            t = static_cast<double>(HashMap64(static_cast<int64_t>(pv),
+                                              salts[ci], 1024)) /
+                1023.0;
+          } else {
+            t = Clip((pv - p.num_min) / (p.num_max - p.num_min), 0.0, 1.0);
+          }
+          double span = c.num_max - c.num_min;
+          // Affine in the parent plus 5% relative Gaussian jitter.
+          v = Clip(c.num_min + t * span + 0.05 * span * rng.NextGaussian(),
+                   c.num_min, c.num_max);
+        }
+        cells[ci][row] = v;
+      }
+    }
+  }
+
+  std::vector<Column> columns;
+  columns.reserve(num_cols);
+  for (size_t ci = 0; ci < num_cols; ++ci) {
+    const ColumnSpec& c = spec.columns[ci];
+    if (c.kind == ColumnKind::kCategorical) {
+      columns.push_back(
+          Column::Categorical(c.name, c.domain_size, std::move(cells[ci])));
+    } else {
+      columns.push_back(Column::Numeric(c.name, std::move(cells[ci])));
+    }
+  }
+  return Table::Make(spec.name, std::move(columns));
+}
+
+}  // namespace confcard

@@ -1,0 +1,249 @@
+#include "data/multitable.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace confcard {
+
+Status Database::AddTable(Table table) {
+  if (HasTable(table.name())) {
+    return Status::AlreadyExists("table '" + table.name() + "'");
+  }
+  tables_.push_back(std::move(table));
+  return Status::OK();
+}
+
+bool Database::HasTable(const std::string& name) const {
+  for (const Table& t : tables_) {
+    if (t.name() == name) return true;
+  }
+  return false;
+}
+
+const Table& Database::table(const std::string& name) const {
+  for (const Table& t : tables_) {
+    if (t.name() == name) return t;
+  }
+  CONFCARD_CHECK_MSG(false, ("no such table: " + name).c_str());
+  return tables_.front();  // unreachable
+}
+
+std::vector<JoinEdge> Database::EdgesAmong(
+    const std::vector<std::string>& names) const {
+  auto contains = [&](const std::string& n) {
+    return std::find(names.begin(), names.end(), n) != names.end();
+  };
+  std::vector<JoinEdge> out;
+  for (const JoinEdge& e : edges_) {
+    if (contains(e.left_table) && contains(e.right_table)) out.push_back(e);
+  }
+  return out;
+}
+
+namespace {
+
+// Fixed pseudo-random map (same construction as the single-table
+// generator) used to correlate dimension attributes with their key.
+int64_t HashMap64(int64_t value, uint64_t salt, int64_t modulus) {
+  uint64_t z = static_cast<uint64_t>(value) * 0x9E3779B97F4A7C15ULL + salt;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return static_cast<int64_t>(z % static_cast<uint64_t>(modulus));
+}
+
+// Identity key column 0..n-1.
+Column KeyColumn(const std::string& name, size_t n) {
+  std::vector<double> codes(n);
+  for (size_t i = 0; i < n; ++i) codes[i] = static_cast<double>(i);
+  return Column::Categorical(name, static_cast<int64_t>(n), std::move(codes));
+}
+
+// Categorical attribute correlated with an existing key/code column:
+// with probability `corr` the value is a fixed function of the source
+// code, otherwise an independent Zipf draw.
+Column CorrelatedAttr(const std::string& name, const std::vector<double>& src,
+                      int64_t domain, double skew, double corr, Rng& rng) {
+  ZipfDistribution marginal(static_cast<uint64_t>(domain), skew);
+  uint64_t salt = rng.Next();
+  std::vector<double> out(src.size());
+  for (size_t i = 0; i < src.size(); ++i) {
+    if (rng.NextDouble() < corr) {
+      out[i] = static_cast<double>(
+          HashMap64(static_cast<int64_t>(src[i]), salt, domain));
+    } else {
+      out[i] = static_cast<double>(marginal.Sample(rng));
+    }
+  }
+  return Column::Categorical(name, domain, std::move(out));
+}
+
+// Skewed foreign-key column over [0, dim_rows): Zipf over a fixed random
+// permutation so the hot keys are spread across the key space.
+std::vector<double> SkewedFks(size_t n, size_t dim_rows, double skew,
+                              Rng& rng) {
+  ZipfDistribution zipf(static_cast<uint64_t>(dim_rows), skew);
+  std::vector<uint64_t> perm(dim_rows);
+  for (size_t i = 0; i < dim_rows; ++i) perm[i] = i;
+  rng.Shuffle(perm);
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<double>(perm[zipf.Sample(rng)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Database> MakeDsbLike(size_t fact_rows, uint64_t seed) {
+  Rng rng(seed);
+  Database db;
+
+  const size_t n_date = std::max<size_t>(64, fact_rows / 200);
+  const size_t n_store = std::max<size_t>(8, fact_rows / 2000);
+  const size_t n_item = std::max<size_t>(32, fact_rows / 100);
+  const size_t n_customer = std::max<size_t>(32, fact_rows / 50);
+
+  {  // date_dim(d_date_sk, d_year, d_moy, d_dow)
+    Column pk = KeyColumn("d_date_sk", n_date);
+    std::vector<double> src = pk.data();
+    std::vector<Column> cols;
+    cols.push_back(std::move(pk));
+    cols.push_back(CorrelatedAttr("d_year", src, 6, 0.0, 0.95, rng));
+    cols.push_back(CorrelatedAttr("d_moy", src, 12, 0.0, 0.9, rng));
+    cols.push_back(CorrelatedAttr("d_dow", src, 7, 0.0, 0.9, rng));
+    CONFCARD_ASSIGN_OR_RETURN(Table t, Table::Make("date_dim", std::move(cols)));
+    CONFCARD_RETURN_NOT_OK(db.AddTable(std::move(t)));
+  }
+  {  // store(s_store_sk, s_state, s_county)
+    Column pk = KeyColumn("s_store_sk", n_store);
+    std::vector<double> src = pk.data();
+    std::vector<Column> cols;
+    cols.push_back(std::move(pk));
+    cols.push_back(CorrelatedAttr("s_state", src, 10, 0.8, 0.85, rng));
+    cols.push_back(CorrelatedAttr("s_county", src, 25, 0.6, 0.85, rng));
+    CONFCARD_ASSIGN_OR_RETURN(Table t, Table::Make("store", std::move(cols)));
+    CONFCARD_RETURN_NOT_OK(db.AddTable(std::move(t)));
+  }
+  {  // item(i_item_sk, i_category, i_brand, i_class)
+    Column pk = KeyColumn("i_item_sk", n_item);
+    std::vector<double> src = pk.data();
+    std::vector<Column> cols;
+    cols.push_back(std::move(pk));
+    cols.push_back(CorrelatedAttr("i_category", src, 10, 0.5, 0.9, rng));
+    cols.push_back(CorrelatedAttr("i_brand", src, 50, 1.0, 0.8, rng));
+    cols.push_back(CorrelatedAttr("i_class", src, 20, 0.7, 0.85, rng));
+    CONFCARD_ASSIGN_OR_RETURN(Table t, Table::Make("item", std::move(cols)));
+    CONFCARD_RETURN_NOT_OK(db.AddTable(std::move(t)));
+  }
+  {  // customer(c_customer_sk, c_state, c_birth_year)
+    Column pk = KeyColumn("c_customer_sk", n_customer);
+    std::vector<double> src = pk.data();
+    std::vector<Column> cols;
+    cols.push_back(std::move(pk));
+    cols.push_back(CorrelatedAttr("c_state", src, 20, 1.0, 0.7, rng));
+    cols.push_back(CorrelatedAttr("c_birth_year", src, 60, 0.2, 0.6, rng));
+    CONFCARD_ASSIGN_OR_RETURN(Table t,
+                              Table::Make("customer", std::move(cols)));
+    CONFCARD_RETURN_NOT_OK(db.AddTable(std::move(t)));
+  }
+  {  // store_sales fact: skewed FKs + a few measures
+    std::vector<double> date_fk = SkewedFks(fact_rows, n_date, 0.6, rng);
+    std::vector<double> store_fk = SkewedFks(fact_rows, n_store, 1.0, rng);
+    std::vector<double> item_fk = SkewedFks(fact_rows, n_item, 1.1, rng);
+    std::vector<double> cust_fk = SkewedFks(fact_rows, n_customer, 0.9, rng);
+    std::vector<double> quantity(fact_rows), price(fact_rows);
+    for (size_t i = 0; i < fact_rows; ++i) {
+      quantity[i] = static_cast<double>(1 + rng.NextUint64(100));
+      // Price correlates with the item: hot items are cheap items.
+      price[i] = 1.0 + std::fmod(item_fk[i] * 13.37, 200.0) +
+                 5.0 * rng.NextGaussian();
+      if (price[i] < 1.0) price[i] = 1.0;
+    }
+    std::vector<Column> cols;
+    cols.push_back(Column::Categorical("ss_sold_date_sk",
+                                       static_cast<int64_t>(n_date),
+                                       std::move(date_fk)));
+    cols.push_back(Column::Categorical(
+        "ss_store_sk", static_cast<int64_t>(n_store), std::move(store_fk)));
+    cols.push_back(Column::Categorical(
+        "ss_item_sk", static_cast<int64_t>(n_item), std::move(item_fk)));
+    cols.push_back(Column::Categorical("ss_customer_sk",
+                                       static_cast<int64_t>(n_customer),
+                                       std::move(cust_fk)));
+    cols.push_back(Column::Numeric("ss_quantity", std::move(quantity)));
+    cols.push_back(Column::Numeric("ss_sales_price", std::move(price)));
+    CONFCARD_ASSIGN_OR_RETURN(Table t,
+                              Table::Make("store_sales", std::move(cols)));
+    CONFCARD_RETURN_NOT_OK(db.AddTable(std::move(t)));
+  }
+
+  db.AddJoinEdge({"store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk"});
+  db.AddJoinEdge({"store_sales", "ss_store_sk", "store", "s_store_sk"});
+  db.AddJoinEdge({"store_sales", "ss_item_sk", "item", "i_item_sk"});
+  db.AddJoinEdge(
+      {"store_sales", "ss_customer_sk", "customer", "c_customer_sk"});
+  return db;
+}
+
+Result<Database> MakeImdbLike(size_t title_rows, uint64_t seed) {
+  Rng rng(seed);
+  Database db;
+
+  const size_t n_titles = std::max<size_t>(64, title_rows);
+
+  {  // title(id, kind_id, production_year)
+    Column pk = KeyColumn("id", n_titles);
+    std::vector<double> src = pk.data();
+    Column kind = CorrelatedAttr("kind_id", src, 7, 1.2, 0.0, rng);
+    Column year = CorrelatedAttr("production_year", src, 80, 0.9, 0.3, rng);
+    std::vector<Column> cols;
+    cols.push_back(std::move(pk));
+    cols.push_back(std::move(kind));
+    cols.push_back(std::move(year));
+    CONFCARD_ASSIGN_OR_RETURN(Table t, Table::Make("title", std::move(cols)));
+    CONFCARD_RETURN_NOT_OK(db.AddTable(std::move(t)));
+  }
+
+  // Satellite tables share the movie id with skewed fan-out; their
+  // attributes correlate with *title* attributes through the shared key,
+  // which is exactly the cross-table correlation that breaks the
+  // independence assumption in Table I's Postgres experiment.
+  struct SatelliteSpec {
+    const char* table;
+    double rows_per_title;
+    double fk_skew;
+    const char* attr;
+    int64_t attr_domain;
+    double attr_skew;
+    double attr_corr;  // correlation of attr with the movie id
+  };
+  const SatelliteSpec kSatellites[] = {
+      {"movie_companies", 2.0, 1.05, "company_type_id", 4, 1.0, 0.8},
+      {"movie_info", 3.0, 1.1, "info_type_id", 30, 1.2, 0.7},
+      {"movie_keyword", 2.5, 1.2, "keyword_id", 200, 1.3, 0.6},
+      {"cast_info", 4.0, 1.15, "role_id", 11, 1.1, 0.75},
+  };
+
+  for (const SatelliteSpec& s : kSatellites) {
+    size_t n = static_cast<size_t>(
+        std::max(64.0, s.rows_per_title * static_cast<double>(n_titles)));
+    std::vector<double> movie_id = SkewedFks(n, n_titles, s.fk_skew, rng);
+    Column attr =
+        CorrelatedAttr(s.attr, movie_id, s.attr_domain, s.attr_skew,
+                       s.attr_corr, rng);
+    std::vector<Column> cols;
+    cols.push_back(Column::Categorical(
+        "movie_id", static_cast<int64_t>(n_titles), std::move(movie_id)));
+    cols.push_back(std::move(attr));
+    CONFCARD_ASSIGN_OR_RETURN(Table t, Table::Make(s.table, std::move(cols)));
+    CONFCARD_RETURN_NOT_OK(db.AddTable(std::move(t)));
+    db.AddJoinEdge({"title", "id", s.table, "movie_id"});
+  }
+  return db;
+}
+
+}  // namespace confcard

@@ -1,0 +1,66 @@
+// Multi-table schemas for the join-query experiments (Figures 3-4 and
+// Table I). Stand-ins for TPC-DS/DSB (star schema around a sales fact
+// table) and for the IMDB schema behind the JOB benchmark (many
+// satellite tables sharing a movie_id key, with skewed fan-out and
+// attribute/key correlation — the regime where independence-assuming
+// estimators underestimate).
+#ifndef CONFCARD_DATA_MULTITABLE_H_
+#define CONFCARD_DATA_MULTITABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace confcard {
+
+/// A PK-FK (or key-key) equi-join edge between two tables.
+struct JoinEdge {
+  std::string left_table;
+  std::string left_column;
+  std::string right_table;
+  std::string right_column;
+};
+
+/// A set of named tables plus the join edges connecting them.
+class Database {
+ public:
+  Database() = default;
+
+  /// Adds a table; fails on duplicate names.
+  Status AddTable(Table table);
+
+  bool HasTable(const std::string& name) const;
+  /// Precondition: the table exists.
+  const Table& table(const std::string& name) const;
+  const std::vector<Table>& tables() const { return tables_; }
+
+  void AddJoinEdge(JoinEdge edge) { edges_.push_back(std::move(edge)); }
+  const std::vector<JoinEdge>& join_edges() const { return edges_; }
+
+  /// Join edges that connect two tables of `names` (either direction).
+  std::vector<JoinEdge> EdgesAmong(
+      const std::vector<std::string>& names) const;
+
+ private:
+  std::vector<Table> tables_;
+  std::vector<JoinEdge> edges_;
+};
+
+/// DSB/TPC-DS-like star schema: store_sales fact joined to date_dim,
+/// store, item, customer. `fact_rows` sizes the fact table; dimensions
+/// scale as published ratios. FK distributions are Zipf-skewed and item
+/// attributes correlate with sales fan-out.
+Result<Database> MakeDsbLike(size_t fact_rows, uint64_t seed = 23);
+
+/// IMDB/JOB-like snowflake: title plus satellite tables
+/// (movie_companies, movie_info, movie_keyword, cast_info) sharing the
+/// movie id with skewed fan-outs, and attributes correlated with title
+/// attributes — reproducing JOB's correlated-join underestimation.
+Result<Database> MakeImdbLike(size_t title_rows, uint64_t seed = 29);
+
+}  // namespace confcard
+
+#endif  // CONFCARD_DATA_MULTITABLE_H_

@@ -1,0 +1,55 @@
+#include "data/table.h"
+
+#include "common/check.h"
+
+namespace confcard {
+
+Result<Table> Table::Make(std::string name, std::vector<Column> columns) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("table '" + name + "' has no columns");
+  }
+  size_t rows = columns.front().size();
+  for (const Column& c : columns) {
+    if (c.size() != rows) {
+      return Status::InvalidArgument("column '" + c.name() +
+                                     "' length mismatch in table '" + name +
+                                     "'");
+    }
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    for (size_t j = i + 1; j < columns.size(); ++j) {
+      if (columns[i].name() == columns[j].name()) {
+        return Status::InvalidArgument("duplicate column name '" +
+                                       columns[i].name() + "' in table '" +
+                                       name + "'");
+      }
+    }
+  }
+  return Table(std::move(name), std::move(columns), rows);
+}
+
+Table::Table(std::string name, std::vector<Column> columns, size_t num_rows)
+    : name_(std::move(name)), columns_(std::move(columns)),
+      num_rows_(num_rows) {}
+
+int Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name() == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const Column& Table::ColumnByName(const std::string& name) const {
+  int idx = ColumnIndex(name);
+  CONFCARD_CHECK_MSG(idx >= 0, name.c_str());
+  return columns_[static_cast<size_t>(idx)];
+}
+
+std::vector<double> Table::Row(size_t row) const {
+  CONFCARD_DCHECK(row < num_rows_);
+  std::vector<double> out(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) out[c] = columns_[c][row];
+  return out;
+}
+
+}  // namespace confcard

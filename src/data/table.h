@@ -1,0 +1,47 @@
+// In-memory columnar table.
+#ifndef CONFCARD_DATA_TABLE_H_
+#define CONFCARD_DATA_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/column.h"
+
+namespace confcard {
+
+/// A named collection of equal-length columns.
+class Table {
+ public:
+  /// Builds a table; all columns must have the same length.
+  static Result<Table> Make(std::string name, std::vector<Column> columns);
+
+  const std::string& name() const { return name_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+  /// Column by name. Precondition: the column exists.
+  const Column& ColumnByName(const std::string& name) const;
+
+  /// Cell accessor (column-major storage).
+  double At(size_t row, size_t col) const { return columns_[col][row]; }
+
+  /// Materializes one row.
+  std::vector<double> Row(size_t row) const;
+
+ private:
+  Table(std::string name, std::vector<Column> columns, size_t num_rows);
+
+  std::string name_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace confcard
+
+#endif  // CONFCARD_DATA_TABLE_H_

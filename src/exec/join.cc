@@ -1,0 +1,247 @@
+#include "exec/join.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "exec/scan.h"
+
+namespace confcard {
+namespace {
+
+// A (table, column) pair materialized in the intermediate relation.
+struct CarriedColumn {
+  std::string table;
+  std::string column;
+  std::vector<double> values;
+};
+
+int FindCarried(const std::vector<CarriedColumn>& cols,
+                const std::string& table, const std::string& column) {
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i].table == table && cols[i].column == column) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+// Per-table filter query from the join query's predicates.
+Query PredicatesFor(const JoinQuery& jq, const std::string& table) {
+  Query q;
+  for (const TablePredicate& tp : jq.predicates) {
+    if (tp.table == table) q.predicates.push_back(tp.pred);
+  }
+  return q;
+}
+
+bool Joined(const std::vector<std::string>& joined, const std::string& t) {
+  return std::find(joined.begin(), joined.end(), t) != joined.end();
+}
+
+}  // namespace
+
+Result<JoinExecResult> ExecuteJoin(const Database& db, const JoinQuery& query,
+                                   uint64_t max_intermediate) {
+  if (query.tables.empty()) {
+    return Status::InvalidArgument("join query has no tables");
+  }
+  for (const std::string& t : query.tables) {
+    if (!db.HasTable(t)) return Status::NotFound("table '" + t + "'");
+  }
+
+  JoinExecResult result;
+
+  // Filter every base table once.
+  std::unordered_map<std::string, std::vector<uint32_t>> filtered;
+  for (const std::string& t : query.tables) {
+    filtered[t] = FilterIndices(db.table(t), PredicatesFor(query, t));
+    result.base_sizes.push_back(filtered[t].size());
+  }
+
+  // Columns needed by join steps strictly after step k must be carried in
+  // the intermediate. Needed[k] = set of (table, column) pairs where the
+  // table joins at step <= k and the column participates in an edge whose
+  // other side joins at step > k.
+  auto step_of = [&](const std::string& t) -> int {
+    for (size_t i = 0; i < query.tables.size(); ++i) {
+      if (query.tables[i] == t) return static_cast<int>(i);
+    }
+    return -1;
+  };
+
+  const size_t num_steps = query.tables.size();
+  // needed_after[k]: columns of tables joined by step k that later steps
+  // will probe against.
+  std::vector<std::vector<std::pair<std::string, std::string>>> needed_after(
+      num_steps);
+  for (const JoinEdge& e : query.joins) {
+    int ls = step_of(e.left_table);
+    int rs = step_of(e.right_table);
+    if (ls < 0 || rs < 0) {
+      return Status::InvalidArgument("join edge references table outside "
+                                     "query: " +
+                                     e.left_table + "/" + e.right_table);
+    }
+    if (ls == rs) {
+      return Status::InvalidArgument("self-join edge on table '" +
+                                     e.left_table + "'");
+    }
+    // The earlier side must stay materialized until the later side joins.
+    const std::string& et = ls < rs ? e.left_table : e.right_table;
+    const std::string& ec = ls < rs ? e.left_column : e.right_column;
+    int from = std::min(ls, rs);
+    int until = std::max(ls, rs);
+    for (int k = from; k < until; ++k) {
+      needed_after[static_cast<size_t>(k)].push_back({et, ec});
+    }
+  }
+
+  // Bootstrap the intermediate with table 0.
+  const Table& t0 = db.table(query.tables[0]);
+  const std::vector<uint32_t>& rows0 = filtered[query.tables[0]];
+  std::vector<CarriedColumn> carried;
+  for (const auto& [tname, cname] : needed_after[0]) {
+    if (tname != query.tables[0]) continue;
+    if (FindCarried(carried, tname, cname) >= 0) continue;
+    const Column& col = t0.ColumnByName(cname);
+    CarriedColumn cc{tname, cname, {}};
+    cc.values.reserve(rows0.size());
+    for (uint32_t r : rows0) cc.values.push_back(col[r]);
+    carried.push_back(std::move(cc));
+  }
+  uint64_t current_size = rows0.size();
+
+  for (size_t step = 1; step < num_steps; ++step) {
+    const std::string& tname = query.tables[step];
+    const Table& table = db.table(tname);
+    const std::vector<uint32_t>& rows = filtered[tname];
+
+    // Edges connecting this table to the already-joined prefix.
+    std::vector<std::string> prefix(query.tables.begin(),
+                                    query.tables.begin() +
+                                        static_cast<long>(step));
+    std::vector<JoinEdge> edges;
+    for (const JoinEdge& e : query.joins) {
+      bool lt_new = e.left_table == tname;
+      bool rt_new = e.right_table == tname;
+      if (lt_new && Joined(prefix, e.right_table)) edges.push_back(e);
+      else if (rt_new && Joined(prefix, e.left_table)) edges.push_back(e);
+    }
+    if (edges.empty()) {
+      return Status::InvalidArgument("table '" + tname +
+                                     "' is not connected to the join prefix");
+    }
+
+    // First edge drives the hash join; the rest are residual filters.
+    struct EdgeRef {
+      int carried_idx;        // intermediate-side column
+      const Column* new_col;  // this table's column
+    };
+    std::vector<EdgeRef> refs;
+    for (const JoinEdge& e : edges) {
+      const bool new_is_left = e.left_table == tname;
+      const std::string& pt = new_is_left ? e.right_table : e.left_table;
+      const std::string& pc = new_is_left ? e.right_column : e.left_column;
+      const std::string& nc = new_is_left ? e.left_column : e.right_column;
+      int ci = FindCarried(carried, pt, pc);
+      if (ci < 0) {
+        return Status::Internal("column " + pt + "." + pc +
+                                " missing from intermediate");
+      }
+      refs.push_back({ci, &table.ColumnByName(nc)});
+    }
+
+    // Build hash table on the new table's side of the first edge.
+    std::unordered_map<int64_t, std::vector<uint32_t>> hash;
+    hash.reserve(rows.size() * 2);
+    {
+      const Column& key_col = *refs[0].new_col;
+      for (uint32_t r : rows) {
+        hash[static_cast<int64_t>(key_col[r])].push_back(r);
+      }
+    }
+
+    const bool is_last = step + 1 == num_steps;
+
+    // Columns to carry forward after this step.
+    std::vector<CarriedColumn> next_carried;
+    // (source: -1 => from new table at matched row; >= 0 => carried idx)
+    struct OutCol {
+      int from_carried;          // index into `carried`, or -1
+      const Column* from_table;  // new table column if from_carried < 0
+    };
+    std::vector<OutCol> out_sources;
+    if (!is_last) {
+      for (const auto& [nt, nc] : needed_after[step]) {
+        if (FindCarried(next_carried, nt, nc) >= 0) continue;
+        if (nt == tname) {
+          next_carried.push_back({nt, nc, {}});
+          out_sources.push_back({-1, &table.ColumnByName(nc)});
+        } else {
+          int ci = FindCarried(carried, nt, nc);
+          if (ci < 0) {
+            return Status::Internal("column " + nt + "." + nc +
+                                    " missing from intermediate");
+          }
+          next_carried.push_back({nt, nc, {}});
+          out_sources.push_back({ci, nullptr});
+        }
+      }
+    }
+
+    const std::vector<double>& probe_keys =
+        carried[static_cast<size_t>(refs[0].carried_idx)].values;
+    uint64_t out_size = 0;
+    for (uint64_t i = 0; i < current_size; ++i) {
+      auto it = hash.find(static_cast<int64_t>(probe_keys[i]));
+      if (it == hash.end()) continue;
+      for (uint32_t r : it->second) {
+        // Residual equality filters for additional edges.
+        bool ok = true;
+        for (size_t e = 1; e < refs.size(); ++e) {
+          const double lhs =
+              carried[static_cast<size_t>(refs[e].carried_idx)].values[i];
+          if (lhs != (*refs[e].new_col)[r]) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        ++out_size;
+        if (out_size > max_intermediate) {
+          return Status::OutOfRange("intermediate result exceeded cap");
+        }
+        if (!is_last) {
+          for (size_t oc = 0; oc < out_sources.size(); ++oc) {
+            const OutCol& src = out_sources[oc];
+            next_carried[oc].values.push_back(
+                src.from_carried >= 0
+                    ? carried[static_cast<size_t>(src.from_carried)].values[i]
+                    : (*src.from_table)[r]);
+          }
+        }
+      }
+    }
+
+    result.intermediate_sizes.push_back(out_size);
+    carried = std::move(next_carried);
+    current_size = out_size;
+    if (current_size == 0 && !is_last) {
+      // Empty intermediate: all later steps stay empty.
+      for (size_t s = step + 1; s < num_steps; ++s) {
+        result.intermediate_sizes.push_back(0);
+      }
+      break;
+    }
+  }
+
+  result.cardinality = num_steps == 1 ? current_size
+                                      : result.intermediate_sizes.back();
+  result.total_work = 0;
+  for (uint64_t b : result.base_sizes) result.total_work += b;
+  for (uint64_t s : result.intermediate_sizes) result.total_work += s;
+  return result;
+}
+
+}  // namespace confcard

@@ -1,0 +1,42 @@
+// Exact SPJ query evaluation by pipelined hash joins. Used both as the
+// ground-truth oracle for join workloads (Figures 3-4) and as the
+// "execution engine" of the mini optimizer (Table I), where the
+// intermediate-result volume is the runtime proxy.
+#ifndef CONFCARD_EXEC_JOIN_H_
+#define CONFCARD_EXEC_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/multitable.h"
+#include "query/join_query.h"
+
+namespace confcard {
+
+/// Result of executing a join query.
+struct JoinExecResult {
+  /// Exact COUNT(*) of the join.
+  uint64_t cardinality = 0;
+  /// Size of the filtered base relation for each table, in join order.
+  std::vector<uint64_t> base_sizes;
+  /// Size of the intermediate relation after each join step (the last
+  /// entry equals `cardinality`).
+  std::vector<uint64_t> intermediate_sizes;
+  /// Total tuples that flowed through the pipeline: sum of base sizes
+  /// (build/scan work) plus intermediate sizes (probe output). This is
+  /// the cost proxy the optimizer experiment reports as "runtime".
+  uint64_t total_work = 0;
+};
+
+/// Executes `query` over `db`, joining `query.tables` left to right.
+/// Each table after the first must be connected by at least one join
+/// edge to the tables already joined. Fails if the join graph is
+/// disconnected or an intermediate exceeds `max_intermediate` rows
+/// (guarding against runaway cross products).
+Result<JoinExecResult> ExecuteJoin(const Database& db, const JoinQuery& query,
+                                   uint64_t max_intermediate = 200'000'000);
+
+}  // namespace confcard
+
+#endif  // CONFCARD_EXEC_JOIN_H_

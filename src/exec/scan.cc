@@ -1,0 +1,89 @@
+#include "exec/scan.h"
+
+#include "common/check.h"
+
+namespace confcard {
+namespace {
+
+// Applies one predicate over the full column, collecting survivors.
+void ScanFull(const Column& col, const Predicate& p,
+              std::vector<uint32_t>& out) {
+  const std::vector<double>& data = col.data();
+  const double lo = p.lo, hi = p.hi;
+  for (size_t i = 0; i < data.size(); ++i) {
+    double v = data[i];
+    if (v >= lo && v <= hi) out.push_back(static_cast<uint32_t>(i));
+  }
+}
+
+// Applies one predicate over previous survivors.
+void ScanSelected(const Column& col, const Predicate& p,
+                  const std::vector<uint32_t>& in,
+                  std::vector<uint32_t>& out) {
+  const std::vector<double>& data = col.data();
+  const double lo = p.lo, hi = p.hi;
+  for (uint32_t idx : in) {
+    double v = data[idx];
+    if (v >= lo && v <= hi) out.push_back(idx);
+  }
+}
+
+}  // namespace
+
+uint64_t CountMatches(const Table& table, const Query& query) {
+  if (query.predicates.empty()) return table.num_rows();
+  if (query.predicates.size() == 1) {
+    // Count-only fast path: no survivor list needed.
+    const Predicate& p = query.predicates[0];
+    CONFCARD_DCHECK(p.column >= 0 &&
+                    static_cast<size_t>(p.column) < table.num_columns());
+    const std::vector<double>& data =
+        table.column(static_cast<size_t>(p.column)).data();
+    const double lo = p.lo, hi = p.hi;
+    uint64_t count = 0;
+    for (double v : data) count += (v >= lo && v <= hi) ? 1 : 0;
+    return count;
+  }
+  return FilterIndices(table, query).size();
+}
+
+std::vector<uint32_t> FilterIndices(const Table& table, const Query& query) {
+  std::vector<uint32_t> current, next;
+  bool first = true;
+  for (const Predicate& p : query.predicates) {
+    CONFCARD_DCHECK(p.column >= 0 &&
+                    static_cast<size_t>(p.column) < table.num_columns());
+    const Column& col = table.column(static_cast<size_t>(p.column));
+    next.clear();
+    if (first) {
+      ScanFull(col, p, next);
+      first = false;
+    } else {
+      ScanSelected(col, p, current, next);
+    }
+    std::swap(current, next);
+    if (current.empty()) break;
+  }
+  if (first) {  // no predicates: all rows qualify
+    current.resize(table.num_rows());
+    for (size_t i = 0; i < table.num_rows(); ++i) {
+      current[i] = static_cast<uint32_t>(i);
+    }
+  }
+  return current;
+}
+
+std::vector<uint32_t> FilterIndices(const Table& table, const Query& query,
+                                    const std::vector<uint32_t>& candidates) {
+  std::vector<uint32_t> current = candidates, next;
+  for (const Predicate& p : query.predicates) {
+    const Column& col = table.column(static_cast<size_t>(p.column));
+    next.clear();
+    ScanSelected(col, p, current, next);
+    std::swap(current, next);
+    if (current.empty()) break;
+  }
+  return current;
+}
+
+}  // namespace confcard

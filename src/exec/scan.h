@@ -1,0 +1,27 @@
+// Exact single-table evaluation of conjunctive predicates by columnar
+// scan. This is the ground-truth oracle that labels training /
+// calibration / test workloads.
+#ifndef CONFCARD_EXEC_SCAN_H_
+#define CONFCARD_EXEC_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/table.h"
+#include "query/predicate.h"
+
+namespace confcard {
+
+/// Exact COUNT(*) of `query` over `table`.
+uint64_t CountMatches(const Table& table, const Query& query);
+
+/// Row indices satisfying `query`, in ascending order.
+std::vector<uint32_t> FilterIndices(const Table& table, const Query& query);
+
+/// Row indices of `candidates` that additionally satisfy `query`.
+std::vector<uint32_t> FilterIndices(const Table& table, const Query& query,
+                                    const std::vector<uint32_t>& candidates);
+
+}  // namespace confcard
+
+#endif  // CONFCARD_EXEC_SCAN_H_

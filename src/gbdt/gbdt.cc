@@ -1,0 +1,144 @@
+#include "gbdt/gbdt.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace confcard {
+namespace gbdt {
+
+Status GbdtRegressor::Fit(const std::vector<float>& X, size_t num_features,
+                          const std::vector<double>& y) {
+  if (num_features == 0) {
+    return Status::InvalidArgument("num_features must be positive");
+  }
+  if (X.size() != y.size() * num_features) {
+    return Status::InvalidArgument("feature matrix / target size mismatch");
+  }
+  if (y.empty()) return Status::InvalidArgument("empty training set");
+  if (config_.subsample <= 0.0 || config_.subsample > 1.0 ||
+      config_.colsample <= 0.0 || config_.colsample > 1.0) {
+    return Status::InvalidArgument("subsample fractions must be in (0,1]");
+  }
+
+  FeatureMatrix mat{X.data(), y.size(), num_features};
+  const auto bin_edges = ComputeBinEdges(mat, config_.tree.num_bins);
+  const auto bins = ComputeBins(mat, bin_edges);
+
+  base_prediction_ = 0.0;
+  for (double v : y) base_prediction_ += v;
+  base_prediction_ /= static_cast<double>(y.size());
+
+  std::vector<double> residual(y.size());
+  for (size_t i = 0; i < y.size(); ++i) residual[i] = y[i] - base_prediction_;
+
+  Rng rng(config_.seed);
+  std::vector<uint32_t> all_rows(y.size());
+  for (size_t i = 0; i < y.size(); ++i) all_rows[i] = static_cast<uint32_t>(i);
+  std::vector<int> all_features(num_features);
+  for (size_t f = 0; f < num_features; ++f) {
+    all_features[f] = static_cast<int>(f);
+  }
+
+  trees_.clear();
+  trees_.reserve(static_cast<size_t>(config_.num_trees));
+  const size_t rows_per_tree = std::max<size_t>(
+      config_.tree.min_samples_leaf * 2,
+      static_cast<size_t>(config_.subsample * static_cast<double>(y.size())));
+  const size_t feats_per_tree = std::max<size_t>(
+      1, static_cast<size_t>(config_.colsample *
+                             static_cast<double>(num_features)));
+
+  for (int t = 0; t < config_.num_trees; ++t) {
+    std::vector<uint32_t> rows = all_rows;
+    if (rows_per_tree < rows.size()) {
+      rng.Shuffle(rows);
+      rows.resize(rows_per_tree);
+    }
+    std::vector<int> feats = all_features;
+    if (feats_per_tree < feats.size()) {
+      rng.Shuffle(feats);
+      feats.resize(feats_per_tree);
+      std::sort(feats.begin(), feats.end());
+    }
+
+    RegressionTree tree;
+    tree.Fit(mat, residual, rows, bin_edges, bins, config_.tree, feats);
+
+    // Shrunken update of all residuals (not just the subsample).
+    const double lr = config_.learning_rate;
+    for (size_t i = 0; i < y.size(); ++i) {
+      residual[i] -= lr * tree.Predict(mat.Row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+namespace {
+// 'CGB1' — confcard gbdt archive.
+constexpr uint32_t kGbdtMagic = 0x43474231;
+constexpr uint32_t kGbdtVersion = 1;
+}  // namespace
+
+Status GbdtRegressor::SaveToFile(const std::string& path) const {
+  if (!fitted_) return Status::FailedPrecondition("model not fitted");
+  ArchiveWriter w(kGbdtMagic, kGbdtVersion);
+  w.WriteI32(config_.num_trees);
+  w.WriteDouble(config_.learning_rate);
+  w.WriteI32(config_.tree.max_depth);
+  w.WriteU64(config_.tree.min_samples_leaf);
+  w.WriteI32(config_.tree.num_bins);
+  w.WriteDouble(config_.tree.min_gain);
+  w.WriteDouble(config_.subsample);
+  w.WriteDouble(config_.colsample);
+  w.WriteU64(config_.seed);
+  w.WriteDouble(base_prediction_);
+  w.WriteU64(trees_.size());
+  for (const RegressionTree& t : trees_) t.Serialize(&w);
+  return w.SaveToFile(path);
+}
+
+Result<GbdtRegressor> GbdtRegressor::LoadFromFile(const std::string& path) {
+  CONFCARD_ASSIGN_OR_RETURN(
+      ArchiveReader r,
+      ArchiveReader::FromFile(path, kGbdtMagic, kGbdtVersion));
+  GbdtConfig cfg;
+  cfg.num_trees = r.ReadI32();
+  cfg.learning_rate = r.ReadDouble();
+  cfg.tree.max_depth = r.ReadI32();
+  cfg.tree.min_samples_leaf = static_cast<size_t>(r.ReadU64());
+  cfg.tree.num_bins = r.ReadI32();
+  cfg.tree.min_gain = r.ReadDouble();
+  cfg.subsample = r.ReadDouble();
+  cfg.colsample = r.ReadDouble();
+  cfg.seed = r.ReadU64();
+  GbdtRegressor model(cfg);
+  model.base_prediction_ = r.ReadDouble();
+  const uint64_t num_trees = r.ReadU64();
+  CONFCARD_RETURN_NOT_OK(r.status());
+  if (num_trees > (1ull << 20)) {
+    return Status::InvalidArgument("implausible tree count");
+  }
+  model.trees_.resize(static_cast<size_t>(num_trees));
+  for (RegressionTree& t : model.trees_) {
+    CONFCARD_RETURN_NOT_OK(t.Deserialize(&r));
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in gbdt archive");
+  }
+  model.fitted_ = true;
+  return model;
+}
+
+double GbdtRegressor::Predict(const float* x) const {
+  double out = base_prediction_;
+  for (const RegressionTree& tree : trees_) {
+    out += config_.learning_rate * tree.Predict(x);
+  }
+  return out;
+}
+
+}  // namespace gbdt
+}  // namespace confcard

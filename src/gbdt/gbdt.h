@@ -1,0 +1,65 @@
+// Gradient-boosted regression trees (squared loss). Stand-in for the
+// xgboost model the paper uses as the difficulty regressor U(X) = g(X)
+// of locally weighted split conformal prediction.
+#ifndef CONFCARD_GBDT_GBDT_H_
+#define CONFCARD_GBDT_GBDT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/archive.h"
+
+#include "common/status.h"
+#include "gbdt/tree.h"
+
+namespace confcard {
+namespace gbdt {
+
+/// Boosting parameters.
+struct GbdtConfig {
+  int num_trees = 120;
+  double learning_rate = 0.1;
+  TreeConfig tree;
+  /// Row subsample fraction per tree (stochastic gradient boosting).
+  double subsample = 0.8;
+  /// Feature subsample fraction per tree.
+  double colsample = 1.0;
+  uint64_t seed = 41;
+};
+
+/// Gradient-boosted regressor minimizing squared error.
+class GbdtRegressor {
+ public:
+  explicit GbdtRegressor(GbdtConfig config = {}) : config_(config) {}
+
+  /// Fits on row-major features `X` (n x d, flattened) and targets `y`.
+  Status Fit(const std::vector<float>& X, size_t num_features,
+             const std::vector<double>& y);
+
+  /// Predicts one row (length = num_features).
+  double Predict(const float* x) const;
+  double Predict(const std::vector<float>& x) const {
+    return Predict(x.data());
+  }
+
+  bool fitted() const { return fitted_; }
+  const GbdtConfig& config() const { return config_; }
+
+  /// Persists the fitted model (config + trees) to `path`.
+  Status SaveToFile(const std::string& path) const;
+  /// Loads a model previously saved with SaveToFile.
+  static Result<GbdtRegressor> LoadFromFile(const std::string& path);
+
+ private:
+  GbdtConfig config_;
+  bool fitted_ = false;
+  double base_prediction_ = 0.0;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace gbdt
+}  // namespace confcard
+
+#endif  // CONFCARD_GBDT_GBDT_H_

@@ -1,0 +1,206 @@
+#include "gbdt/tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace confcard {
+namespace gbdt {
+
+std::vector<std::vector<float>> ComputeBinEdges(const FeatureMatrix& X,
+                                                int num_bins) {
+  CONFCARD_CHECK(num_bins >= 2 && num_bins <= 256);
+  std::vector<std::vector<float>> edges(X.num_features);
+  // Cap the rows used for quantile estimation; edges are approximate
+  // anyway and this keeps Fit linear in practice.
+  const size_t sample_rows = std::min<size_t>(X.num_rows, 20000);
+  std::vector<float> vals;
+  vals.reserve(sample_rows);
+  for (size_t f = 0; f < X.num_features; ++f) {
+    vals.clear();
+    for (size_t r = 0; r < sample_rows; ++r) {
+      vals.push_back(X.Row(r)[f]);
+    }
+    std::sort(vals.begin(), vals.end());
+    std::vector<float>& e = edges[f];
+    for (int b = 1; b < num_bins; ++b) {
+      size_t idx = static_cast<size_t>(
+          static_cast<double>(b) / num_bins * static_cast<double>(vals.size()));
+      if (idx >= vals.size()) idx = vals.size() - 1;
+      float v = vals[idx];
+      if (e.empty() || v > e.back()) e.push_back(v);
+    }
+  }
+  return edges;
+}
+
+std::vector<uint8_t> ComputeBins(
+    const FeatureMatrix& X,
+    const std::vector<std::vector<float>>& bin_edges) {
+  std::vector<uint8_t> bins(X.num_rows * X.num_features);
+  for (size_t r = 0; r < X.num_rows; ++r) {
+    const float* row = X.Row(r);
+    for (size_t f = 0; f < X.num_features; ++f) {
+      const std::vector<float>& e = bin_edges[f];
+      // bin(v) = index of the first edge >= v, so that
+      // bin <= j  <=>  v <= e[j]; values above the last edge land in
+      // bin e.size().
+      size_t b = static_cast<size_t>(
+          std::lower_bound(e.begin(), e.end(), row[f]) - e.begin());
+      bins[r * X.num_features + f] = static_cast<uint8_t>(b);
+    }
+  }
+  return bins;
+}
+
+void RegressionTree::Fit(const FeatureMatrix& X, const std::vector<double>& y,
+                         const std::vector<uint32_t>& rows,
+                         const std::vector<std::vector<float>>& bin_edges,
+                         const std::vector<uint8_t>& bins,
+                         const TreeConfig& config,
+                         const std::vector<int>& feature_subset) {
+  nodes_.clear();
+  CONFCARD_CHECK(!rows.empty());
+  std::vector<uint32_t> work = rows;
+  Grow(X, y, work, 0, work.size(), 0, bin_edges, bins, config,
+       feature_subset);
+}
+
+int RegressionTree::Grow(const FeatureMatrix& X, const std::vector<double>& y,
+                         std::vector<uint32_t>& rows, size_t begin,
+                         size_t end, int depth,
+                         const std::vector<std::vector<float>>& bin_edges,
+                         const std::vector<uint8_t>& bins,
+                         const TreeConfig& config,
+                         const std::vector<int>& feature_subset) {
+  const size_t n = end - begin;
+  double total_sum = 0.0;
+  for (size_t i = begin; i < end; ++i) total_sum += y[rows[i]];
+  const double mean = total_sum / static_cast<double>(n);
+
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[static_cast<size_t>(node_id)].value = mean;
+
+  if (depth >= config.max_depth || n < 2 * config.min_samples_leaf) {
+    return node_id;
+  }
+
+  // Best split search over feature histograms.
+  int best_feature = -1;
+  size_t best_bin = 0;
+  double best_gain = config.min_gain;
+  const double parent_score = total_sum * total_sum / static_cast<double>(n);
+
+  std::vector<double> bin_sum;
+  std::vector<uint32_t> bin_count;
+  for (int f : feature_subset) {
+    const std::vector<float>& e = bin_edges[static_cast<size_t>(f)];
+    if (e.empty()) continue;
+    const size_t nb = e.size() + 1;
+    bin_sum.assign(nb, 0.0);
+    bin_count.assign(nb, 0);
+    for (size_t i = begin; i < end; ++i) {
+      uint32_t r = rows[i];
+      uint8_t b = bins[r * X.num_features + static_cast<size_t>(f)];
+      bin_sum[b] += y[r];
+      bin_count[b] += 1;
+    }
+    double left_sum = 0.0;
+    uint32_t left_n = 0;
+    // Split "bin <= j": j ranges over edges only (last bin can't split).
+    for (size_t j = 0; j + 1 < nb; ++j) {
+      left_sum += bin_sum[j];
+      left_n += bin_count[j];
+      uint32_t right_n = static_cast<uint32_t>(n) - left_n;
+      if (left_n < config.min_samples_leaf ||
+          right_n < config.min_samples_leaf) {
+        continue;
+      }
+      double right_sum = total_sum - left_sum;
+      double gain = left_sum * left_sum / left_n +
+                    right_sum * right_sum / right_n - parent_score;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_bin = j;
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  const float threshold =
+      bin_edges[static_cast<size_t>(best_feature)][best_bin];
+  auto mid_it = std::partition(
+      rows.begin() + static_cast<long>(begin),
+      rows.begin() + static_cast<long>(end), [&](uint32_t r) {
+        return bins[r * X.num_features +
+                    static_cast<size_t>(best_feature)] <= best_bin;
+      });
+  size_t mid = static_cast<size_t>(mid_it - rows.begin());
+  // Histogram counting guarantees both sides are non-empty.
+  CONFCARD_DCHECK(mid > begin && mid < end);
+
+  nodes_[static_cast<size_t>(node_id)].feature = best_feature;
+  nodes_[static_cast<size_t>(node_id)].threshold = threshold;
+  int left = Grow(X, y, rows, begin, mid, depth + 1, bin_edges, bins, config,
+                  feature_subset);
+  nodes_[static_cast<size_t>(node_id)].left = left;
+  int right = Grow(X, y, rows, mid, end, depth + 1, bin_edges, bins, config,
+                   feature_subset);
+  nodes_[static_cast<size_t>(node_id)].right = right;
+  return node_id;
+}
+
+void RegressionTree::Serialize(ArchiveWriter* writer) const {
+  writer->WriteU64(nodes_.size());
+  for (const Node& n : nodes_) {
+    writer->WriteI32(n.feature);
+    writer->WriteFloat(n.threshold);
+    writer->WriteI32(n.left);
+    writer->WriteI32(n.right);
+    writer->WriteDouble(n.value);
+  }
+}
+
+Status RegressionTree::Deserialize(ArchiveReader* reader) {
+  const uint64_t n = reader->ReadU64();
+  if (!reader->status().ok()) return reader->status();
+  if (n == 0 || n > (1ull << 24)) {
+    return Status::InvalidArgument("implausible tree size");
+  }
+  nodes_.resize(static_cast<size_t>(n));
+  for (Node& node : nodes_) {
+    node.feature = reader->ReadI32();
+    node.threshold = reader->ReadFloat();
+    node.left = reader->ReadI32();
+    node.right = reader->ReadI32();
+    node.value = reader->ReadDouble();
+  }
+  CONFCARD_RETURN_NOT_OK(reader->status());
+  for (const Node& node : nodes_) {
+    if (node.feature < 0) continue;  // leaf
+    if (node.left < 0 || node.right < 0 ||
+        static_cast<size_t>(node.left) >= nodes_.size() ||
+        static_cast<size_t>(node.right) >= nodes_.size()) {
+      return Status::InvalidArgument("tree archive has invalid child "
+                                     "indices");
+    }
+  }
+  return Status::OK();
+}
+
+double RegressionTree::Predict(const float* x) const {
+  CONFCARD_DCHECK(!nodes_.empty());
+  int idx = 0;
+  for (;;) {
+    const Node& node = nodes_[static_cast<size_t>(idx)];
+    if (node.feature < 0) return node.value;
+    idx = x[node.feature] <= node.threshold ? node.left : node.right;
+  }
+}
+
+}  // namespace gbdt
+}  // namespace confcard

@@ -1,0 +1,93 @@
+// Regression tree with histogram-based split finding — the weak learner
+// of the gradient-boosting regressor (our xgboost stand-in).
+#ifndef CONFCARD_GBDT_TREE_H_
+#define CONFCARD_GBDT_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/archive.h"
+
+namespace confcard {
+namespace gbdt {
+
+/// Row-major feature matrix view: `num_rows` rows of `num_features`
+/// consecutive floats.
+struct FeatureMatrix {
+  const float* data = nullptr;
+  size_t num_rows = 0;
+  size_t num_features = 0;
+
+  const float* Row(size_t r) const { return data + r * num_features; }
+};
+
+/// Tree growth parameters.
+struct TreeConfig {
+  int max_depth = 4;
+  size_t min_samples_leaf = 8;
+  /// Histogram bins per feature for split finding.
+  int num_bins = 32;
+  /// Minimum SSE gain to accept a split.
+  double min_gain = 1e-12;
+};
+
+/// Binary regression tree fit by greedy variance reduction over
+/// feature histograms.
+class RegressionTree {
+ public:
+  RegressionTree() = default;
+
+  /// Fits to targets `y` over the rows of `X` listed in `rows`.
+  /// `bin_edges[f]` are the precomputed bin boundaries for feature f
+  /// (shared across trees by the booster); `bins` is the per-(row,
+  /// feature) bin index matrix matching X's layout.
+  void Fit(const FeatureMatrix& X, const std::vector<double>& y,
+           const std::vector<uint32_t>& rows,
+           const std::vector<std::vector<float>>& bin_edges,
+           const std::vector<uint8_t>& bins, const TreeConfig& config,
+           const std::vector<int>& feature_subset);
+
+  /// Prediction for one feature row.
+  double Predict(const float* x) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Appends the tree to `writer`.
+  void Serialize(ArchiveWriter* writer) const;
+  /// Reads a tree previously written by Serialize; validates node
+  /// indices so a corrupt archive cannot produce out-of-range jumps.
+  Status Deserialize(ArchiveReader* reader);
+
+ private:
+  struct Node {
+    int feature = -1;       // -1 => leaf
+    float threshold = 0.0f; // go left if x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    double value = 0.0;     // leaf prediction
+  };
+
+  int Grow(const FeatureMatrix& X, const std::vector<double>& y,
+           std::vector<uint32_t>& rows, size_t begin, size_t end, int depth,
+           const std::vector<std::vector<float>>& bin_edges,
+           const std::vector<uint8_t>& bins, const TreeConfig& config,
+           const std::vector<int>& feature_subset);
+
+  std::vector<Node> nodes_;
+};
+
+/// Computes per-feature histogram bin edges from (up to) the first
+/// 20k sampled rows: approximately equi-depth boundaries, at most
+/// `num_bins - 1` edges per feature.
+std::vector<std::vector<float>> ComputeBinEdges(const FeatureMatrix& X,
+                                                int num_bins);
+
+/// Maps every (row, feature) value to its bin index given `bin_edges`.
+std::vector<uint8_t> ComputeBins(
+    const FeatureMatrix& X, const std::vector<std::vector<float>>& bin_edges);
+
+}  // namespace gbdt
+}  // namespace confcard
+
+#endif  // CONFCARD_GBDT_TREE_H_

@@ -1,0 +1,38 @@
+#include "harness/evaluation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace confcard {
+
+void FinalizeMethodResult(MethodResult* result, double num_rows) {
+  if (result->rows.empty()) return;
+  size_t covered = 0;
+  std::vector<double> widths, qerrs;
+  widths.reserve(result->rows.size());
+  qerrs.reserve(result->rows.size());
+  double winkler = 0.0;
+  const double penalty = 2.0 / std::max(result->alpha, 1e-9);
+  for (const PiRow& r : result->rows) {
+    covered += r.covered() ? 1 : 0;
+    widths.push_back(r.width() / num_rows);
+    const double e = std::max(r.estimate, 1.0);
+    const double t = std::max(r.truth, 1.0);
+    qerrs.push_back(std::max(e / t, t / e));
+    double score = r.width();
+    if (r.truth < r.lo) score += penalty * (r.lo - r.truth);
+    if (r.truth > r.hi) score += penalty * (r.truth - r.hi);
+    winkler += score / num_rows;
+  }
+  result->winkler_sel = winkler / static_cast<double>(result->rows.size());
+  result->coverage =
+      static_cast<double>(covered) / static_cast<double>(result->rows.size());
+  result->mean_width_sel = Mean(widths);
+  result->median_width_sel = Percentile(widths, 50.0);
+  result->p90_width_sel = Percentile(widths, 90.0);
+  result->mean_qerror = Percentile(qerrs, 50.0);
+}
+
+}  // namespace confcard

@@ -1,0 +1,55 @@
+// Prediction-interval evaluation: per-query records and the aggregate
+// metrics the paper's figures are judged by (empirical coverage, interval
+// widths normalized to selectivity, timing).
+#ifndef CONFCARD_HARNESS_EVALUATION_H_
+#define CONFCARD_HARNESS_EVALUATION_H_
+
+#include <string>
+#include <vector>
+
+#include "conformal/interval.h"
+
+namespace confcard {
+
+/// One test query's PI outcome (cardinalities in tuples; intervals
+/// already clipped to [0, N]).
+struct PiRow {
+  double truth = 0.0;
+  double estimate = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool covered() const { return truth >= lo && truth <= hi; }
+  double width() const { return hi - lo; }
+};
+
+/// Aggregate outcome of one (model, PI method) pair on a test workload.
+struct MethodResult {
+  std::string model;
+  std::string method;
+  double alpha = 0.1;
+
+  double coverage = 0.0;          // fraction of rows covered
+  double mean_width_sel = 0.0;    // mean width / N
+  double median_width_sel = 0.0;  // median width / N
+  double p90_width_sel = 0.0;
+  double mean_qerror = 0.0;       // model accuracy context (median q-error)
+  /// Mean Winkler (interval) score normalized by N: width plus a
+  /// (2/alpha) * distance penalty for misses. A proper scoring rule —
+  /// lower is better — that trades coverage against width on one axis,
+  /// so methods with different coverage become directly comparable.
+  double winkler_sel = 0.0;
+
+  double prep_millis = 0.0;   // extra training + calibration time
+  double infer_micros = 0.0;  // per-query PI inference time
+
+  std::vector<PiRow> rows;
+};
+
+/// Fills the aggregate fields of `result` from `result.rows` (widths
+/// normalized by `num_rows`).
+void FinalizeMethodResult(MethodResult* result, double num_rows);
+
+}  // namespace confcard
+
+#endif  // CONFCARD_HARNESS_EVALUATION_H_

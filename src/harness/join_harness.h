@@ -1,0 +1,61 @@
+// Join-workload counterpart of SingleTableHarness (Figures 3-4): wraps
+// an MSCN join estimator with the four PI methods over a labeled SPJ
+// workload. The PI algorithms are identical — they consume residuals —
+// which is precisely the paper's point about multi-table transparency.
+#ifndef CONFCARD_HARNESS_JOIN_HARNESS_H_
+#define CONFCARD_HARNESS_JOIN_HARNESS_H_
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "ce/mscn.h"
+#include "conformal/scoring.h"
+#include "gbdt/gbdt.h"
+#include "harness/evaluation.h"
+
+namespace confcard {
+
+/// Join-experiment harness.
+class JoinHarness {
+ public:
+  struct Options {
+    double alpha = 0.1;
+    ScoreKind score = ScoreKind::kResidual;
+    int jk_folds = 10;
+    gbdt::GbdtConfig gbdt;
+    uint64_t seed = 6;
+  };
+
+  JoinHarness(const Database& db, JoinWorkload train, JoinWorkload calib,
+              JoinWorkload test, Options options);
+
+  MethodResult RunScp(const MscnJoinEstimator& model) const;
+  MethodResult RunLwScp(const MscnJoinEstimator& model) const;
+  MethodResult RunCqr(const MscnJoinEstimator& prototype) const;
+  MethodResult RunJkCv(const MscnJoinEstimator& prototype,
+                       const MscnJoinEstimator& full_model) const;
+
+  const JoinWorkload& test() const { return test_; }
+
+ private:
+  /// Per-(model, workload) cached estimates (join inference runs K+2
+  /// times per JK experiment otherwise).
+  const std::vector<double>& Estimates(const MscnJoinEstimator& model,
+                                       const JoinWorkload& wl) const;
+  std::vector<double> Truths(const JoinWorkload& wl) const;
+  /// Normalizer for interval widths: the fact-side table size.
+  double Normalizer() const;
+
+  const Database* db_;
+  JoinWorkload train_, calib_, test_;
+  Options options_;
+  std::shared_ptr<const ScoringFunction> scoring_;
+  mutable std::map<std::pair<uint64_t, const void*>, std::vector<double>>
+      estimate_cache_;
+};
+
+}  // namespace confcard
+
+#endif  // CONFCARD_HARNESS_JOIN_HARNESS_H_

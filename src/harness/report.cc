@@ -1,0 +1,74 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/csv.h"
+
+namespace confcard {
+
+void PrintExperimentHeader(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+void PrintMethodTable(const std::vector<MethodResult>& results) {
+  std::printf(
+      "%-10s %-12s %7s %9s %12s %12s %12s %10s %10s %12s %12s\n", "model",
+      "method", "alpha", "coverage", "mean_w(sel)", "med_w(sel)",
+      "p90_w(sel)", "winkler", "med_qerr", "prep(ms)", "infer(us/q)");
+  for (const MethodResult& r : results) {
+    std::printf(
+        "%-10s %-12s %7.3f %9.4f %12.6f %12.6f %12.6f %10.5f %10.3f "
+        "%12.2f %12.2f\n",
+        r.model.c_str(), r.method.c_str(), r.alpha, r.coverage,
+        r.mean_width_sel, r.median_width_sel, r.p90_width_sel,
+        r.winkler_sel, r.mean_qerror, r.prep_millis, r.infer_micros);
+  }
+}
+
+void PrintSeries(const MethodResult& result, double num_rows,
+                 size_t max_points) {
+  std::vector<PiRow> rows = result.rows;
+  std::sort(rows.begin(), rows.end(),
+            [](const PiRow& a, const PiRow& b) { return a.truth < b.truth; });
+  if (rows.size() > max_points) {
+    // Evenly strided subsample preserving the selectivity sweep.
+    std::vector<PiRow> sub;
+    sub.reserve(max_points);
+    for (size_t i = 0; i < max_points; ++i) {
+      sub.push_back(rows[i * rows.size() / max_points]);
+    }
+    rows = std::move(sub);
+  }
+  std::printf("  series %s/%s (normalized selectivity):\n",
+              result.model.c_str(), result.method.c_str());
+  std::printf("    %12s %12s %12s %12s %8s\n", "truth", "estimate", "lo",
+              "hi", "covered");
+  for (const PiRow& r : rows) {
+    std::printf("    %12.6f %12.6f %12.6f %12.6f %8s\n", r.truth / num_rows,
+                r.estimate / num_rows, r.lo / num_rows, r.hi / num_rows,
+                r.covered() ? "yes" : "NO");
+  }
+}
+
+void WriteSeriesCsv(const std::string& path, const MethodResult& result) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(result.rows.size());
+  for (size_t i = 0; i < result.rows.size(); ++i) {
+    const PiRow& r = result.rows[i];
+    rows.push_back({std::to_string(i), std::to_string(r.truth),
+                    std::to_string(r.estimate), std::to_string(r.lo),
+                    std::to_string(r.hi)});
+  }
+  Status st = WriteCsv(path, {"query", "truth", "estimate", "lo", "hi"},
+                       rows);
+  if (st.ok()) {
+    std::printf("  wrote %s (%zu rows)\n", path.c_str(), result.rows.size());
+  } else {
+    std::printf("  csv write failed: %s\n", st.ToString().c_str());
+  }
+}
+
+}  // namespace confcard

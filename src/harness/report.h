@@ -1,0 +1,32 @@
+// Plain-text reporting for the experiment binaries: aligned summary
+// tables (one row per model x PI-method) and per-query series dumps that
+// regenerate the paper's figure data.
+#ifndef CONFCARD_HARNESS_REPORT_H_
+#define CONFCARD_HARNESS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "harness/evaluation.h"
+
+namespace confcard {
+
+/// Prints a header line for an experiment.
+void PrintExperimentHeader(const std::string& id, const std::string& title);
+
+/// Prints the aggregate table: coverage, width stats, timings.
+void PrintMethodTable(const std::vector<MethodResult>& results);
+
+/// Prints up to `max_points` per-query rows (selectivity, truth, PI
+/// bounds), ordered by true selectivity — the series behind the paper's
+/// scatter plots. Values are normalized selectivities.
+void PrintSeries(const MethodResult& result, double num_rows,
+                 size_t max_points = 20);
+
+/// Writes the full series of `result` as CSV (query index, truth,
+/// estimate, lo, hi in tuples) for offline plotting. Prints the path.
+void WriteSeriesCsv(const std::string& path, const MethodResult& result);
+
+}  // namespace confcard
+
+#endif  // CONFCARD_HARNESS_REPORT_H_

@@ -1,0 +1,28 @@
+#include "harness/scale.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace confcard {
+namespace bench {
+
+double BenchScale() {
+  static const double scale = [] {
+    const char* env = std::getenv("CONFCARD_SCALE");
+    if (env == nullptr) return 1.0;
+    char* end = nullptr;
+    double v = std::strtod(env, &end);
+    if (end == env || v <= 0.0) return 1.0;
+    return std::clamp(v, 0.01, 1000.0);
+  }();
+  return scale;
+}
+
+size_t Scaled(size_t base, size_t min_value) {
+  const double scaled = static_cast<double>(base) * BenchScale();
+  const size_t v = static_cast<size_t>(scaled);
+  return std::max(v, min_value);
+}
+
+}  // namespace bench
+}  // namespace confcard

@@ -1,0 +1,22 @@
+// Workload scale knob shared by all benches: CONFCARD_SCALE multiplies
+// row counts and query counts so the same binaries run as a quick smoke
+// (scale < 1), a default CI pass (1.0), or paper-sized workloads.
+#ifndef CONFCARD_HARNESS_SCALE_H_
+#define CONFCARD_HARNESS_SCALE_H_
+
+#include <cstddef>
+
+namespace confcard {
+namespace bench {
+
+/// Scale factor from the CONFCARD_SCALE environment variable (default 1;
+/// clamped to [0.01, 1000]).
+double BenchScale();
+
+/// base * BenchScale(), floored at `min_value`.
+size_t Scaled(size_t base, size_t min_value = 16);
+
+}  // namespace bench
+}  // namespace confcard
+
+#endif  // CONFCARD_HARNESS_SCALE_H_

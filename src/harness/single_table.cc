@@ -1,0 +1,351 @@
+#include "harness/single_table.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/stopwatch.h"
+#include "conformal/cqr.h"
+#include "conformal/jackknife.h"
+#include "conformal/locally_weighted.h"
+#include "conformal/split.h"
+
+namespace confcard {
+namespace {
+
+// Variance-based difficulty floored away from zero.
+double StdDev(const std::vector<double>& values) {
+  return std::sqrt(Variance(values));
+}
+
+}  // namespace
+
+SingleTableHarness::SingleTableHarness(const Table& table, Workload train,
+                                       Workload calib, Workload test,
+                                       Options options)
+    : table_(&table),
+      train_(std::move(train)),
+      calib_(std::move(calib)),
+      test_(std::move(test)),
+      options_(options),
+      scoring_(MakeScoring(options.score)),
+      featurizer_(std::make_unique<FlatQueryFeaturizer>(table)),
+      num_rows_(static_cast<double>(table.num_rows())) {
+  CONFCARD_CHECK(!calib_.empty());
+  CONFCARD_CHECK(!test_.empty());
+}
+
+const std::vector<double>& SingleTableHarness::Estimates(
+    const CardinalityEstimator& model, const Workload& workload) const {
+  auto key = std::make_pair(model.instance_id(),
+                            static_cast<const void*>(&workload));
+  auto it = estimate_cache_.find(key);
+  if (it != estimate_cache_.end()) return it->second;
+  std::vector<double> out;
+  out.reserve(workload.size());
+  for (const LabeledQuery& lq : workload) {
+    out.push_back(model.EstimateCardinality(lq.query));
+  }
+  return estimate_cache_.emplace(key, std::move(out)).first->second;
+}
+
+std::vector<std::vector<float>> SingleTableHarness::Features(
+    const Workload& workload) const {
+  std::vector<std::vector<float>> out;
+  out.reserve(workload.size());
+  for (const LabeledQuery& lq : workload) {
+    out.push_back(featurizer_->Featurize(lq.query));
+  }
+  return out;
+}
+
+std::vector<double> SingleTableHarness::Truths(
+    const Workload& workload) const {
+  std::vector<double> out;
+  out.reserve(workload.size());
+  for (const LabeledQuery& lq : workload) out.push_back(lq.cardinality);
+  return out;
+}
+
+MethodResult SingleTableHarness::MakeResult(
+    const CardinalityEstimator& model, const std::string& method) const {
+  MethodResult r;
+  r.model = model.name();
+  r.method = method;
+  r.alpha = options_.alpha;
+  return r;
+}
+
+MethodResult SingleTableHarness::RunScp(
+    const CardinalityEstimator& model) const {
+  MethodResult result = MakeResult(model, "s-cp");
+  Stopwatch prep;
+  std::vector<double> calib_est = Estimates(model, calib_);
+  SplitConformal scp(scoring_, options_.alpha);
+  CONFCARD_CHECK(scp.Calibrate(calib_est, Truths(calib_)).ok());
+  result.prep_millis = prep.ElapsedMillis();
+
+  std::vector<double> test_est = Estimates(model, test_);
+  Stopwatch infer;
+  for (size_t i = 0; i < test_.size(); ++i) {
+    Interval iv = ClipToCardinality(scp.Predict(test_est[i]), num_rows_);
+    result.rows.push_back(
+        {test_[i].cardinality, test_est[i], iv.lo, iv.hi});
+  }
+  result.infer_micros =
+      infer.ElapsedMicros() / static_cast<double>(test_.size());
+  FinalizeMethodResult(&result, num_rows_);
+  return result;
+}
+
+MethodResult SingleTableHarness::RunLwScp(
+    const CardinalityEstimator& model, DifficultySource source,
+    const SupervisedEstimator* prototype) const {
+  MethodResult result = MakeResult(model, "lw-s-cp");
+  std::vector<double> train_est = Estimates(model, train_);
+  std::vector<double> calib_est = Estimates(model, calib_);
+  std::vector<double> test_est = Estimates(model, test_);
+  const std::vector<double> calib_truth = Truths(calib_);
+
+  if (source == DifficultySource::kGbdtMad) {
+    CONFCARD_CHECK_MSG(!train_.empty(),
+                       "lw-s-cp(gbdt) needs a training split");
+    Stopwatch prep;
+    LocallyWeightedConformal::Options opts;
+    opts.alpha = options_.alpha;
+    opts.gbdt = options_.gbdt;
+    LocallyWeightedConformal lw(opts);
+    CONFCARD_CHECK(
+        lw.FitDifficulty(Features(train_), train_est, Truths(train_)).ok());
+    CONFCARD_CHECK(lw.Calibrate(Features(calib_), calib_est, calib_truth)
+                       .ok());
+    result.prep_millis = prep.ElapsedMillis();
+
+    std::vector<std::vector<float>> test_feat = Features(test_);
+    Stopwatch infer;
+    for (size_t i = 0; i < test_.size(); ++i) {
+      Interval iv = ClipToCardinality(
+          lw.Predict(test_est[i], test_feat[i]), num_rows_);
+      result.rows.push_back(
+          {test_[i].cardinality, test_est[i], iv.lo, iv.hi});
+    }
+    result.infer_micros =
+        infer.ElapsedMicros() / static_cast<double>(test_.size());
+    FinalizeMethodResult(&result, num_rows_);
+    return result;
+  }
+
+  // Ensemble / perturbation difficulty: U per query, computed here.
+  result.method = source == DifficultySource::kEnsemble
+                      ? "lw-s-cp(ens)"
+                      : "lw-s-cp(pert)";
+  Stopwatch prep;
+  std::vector<double> u_calib(calib_.size()), u_test(test_.size());
+  if (source == DifficultySource::kEnsemble) {
+    CONFCARD_CHECK_MSG(prototype != nullptr,
+                       "ensemble difficulty needs a prototype");
+    std::vector<std::unique_ptr<SupervisedEstimator>> ensemble;
+    for (int m = 0; m < options_.ensemble_size; ++m) {
+      auto clone =
+          prototype->CloneArchitecture(1000 + static_cast<uint64_t>(m));
+      CONFCARD_CHECK(clone->Train(*table_, train_).ok());
+      ensemble.push_back(std::move(clone));
+    }
+    auto difficulty = [&](const Workload& wl, std::vector<double>* out) {
+      for (size_t i = 0; i < wl.size(); ++i) {
+        std::vector<double> preds;
+        preds.reserve(ensemble.size());
+        for (const auto& m : ensemble) {
+          preds.push_back(m->EstimateCardinality(wl[i].query));
+        }
+        (*out)[i] = std::max(1.0, StdDev(preds));
+      }
+    };
+    difficulty(calib_, &u_calib);
+    difficulty(test_, &u_test);
+  } else {
+    // Perturbation: jitter each predicate's bounds by up to 2% of the
+    // column span and measure the estimate's sensitivity.
+    Rng rng(options_.seed ^ 0x9E37ull);
+    auto perturb = [&](const Query& q, Rng& r) {
+      Query out = q;
+      for (Predicate& p : out.predicates) {
+        const Column& col = table_->column(static_cast<size_t>(p.column));
+        double span =
+            std::max(col.max_value() - col.min_value(), 1.0) * 0.02;
+        if (p.op == PredOp::kEq && col.is_categorical()) continue;
+        double d1 = r.NextDouble(-span, span);
+        double d2 = r.NextDouble(-span, span);
+        p.lo = std::min(p.lo + d1, p.hi + d2);
+        p.hi = std::max(p.lo, p.hi + d2);
+      }
+      return out;
+    };
+    auto difficulty = [&](const Workload& wl, std::vector<double>* out) {
+      for (size_t i = 0; i < wl.size(); ++i) {
+        std::vector<double> preds;
+        preds.reserve(static_cast<size_t>(options_.perturbations));
+        for (int k = 0; k < options_.perturbations; ++k) {
+          preds.push_back(
+              model.EstimateCardinality(perturb(wl[i].query, rng)));
+        }
+        (*out)[i] = std::max(1.0, StdDev(preds));
+      }
+    };
+    difficulty(calib_, &u_calib);
+    difficulty(test_, &u_test);
+  }
+
+  std::vector<double> scaled(calib_.size());
+  for (size_t i = 0; i < calib_.size(); ++i) {
+    scaled[i] = std::fabs(calib_truth[i] - calib_est[i]) / u_calib[i];
+  }
+  const double delta = ConformalQuantile(std::move(scaled), options_.alpha);
+  result.prep_millis = prep.ElapsedMillis();
+
+  Stopwatch infer;
+  for (size_t i = 0; i < test_.size(); ++i) {
+    const double half = delta * u_test[i];
+    Interval iv = ClipToCardinality(
+        {test_est[i] - half, test_est[i] + half}, num_rows_);
+    result.rows.push_back(
+        {test_[i].cardinality, test_est[i], iv.lo, iv.hi});
+  }
+  result.infer_micros =
+      infer.ElapsedMicros() / static_cast<double>(test_.size());
+  FinalizeMethodResult(&result, num_rows_);
+  return result;
+}
+
+MethodResult SingleTableHarness::RunCqr(
+    const SupervisedEstimator& prototype) const {
+  MethodResult result;
+  result.model = prototype.name();
+  result.method = "cqr";
+  result.alpha = options_.alpha;
+
+  Stopwatch prep;
+  ConformalizedQuantileRegression cqr(options_.alpha);
+  auto lo_model = prototype.CloneArchitecture(2101);
+  lo_model->SetLoss(LossSpec::Pinball(cqr.lower_tau()));
+  CONFCARD_CHECK(lo_model->Train(*table_, train_).ok());
+  auto hi_model = prototype.CloneArchitecture(2203);
+  hi_model->SetLoss(LossSpec::Pinball(cqr.upper_tau()));
+  CONFCARD_CHECK(hi_model->Train(*table_, train_).ok());
+
+  std::vector<double> lo_calib = Estimates(*lo_model, calib_);
+  std::vector<double> hi_calib = Estimates(*hi_model, calib_);
+  CONFCARD_CHECK(cqr.Calibrate(lo_calib, hi_calib, Truths(calib_)).ok());
+  result.prep_millis = prep.ElapsedMillis();
+
+  std::vector<double> lo_test = Estimates(*lo_model, test_);
+  std::vector<double> hi_test = Estimates(*hi_model, test_);
+  Stopwatch infer;
+  for (size_t i = 0; i < test_.size(); ++i) {
+    Interval iv = ClipToCardinality(cqr.Predict(lo_test[i], hi_test[i]),
+                                    num_rows_);
+    const double center = 0.5 * (lo_test[i] + hi_test[i]);
+    result.rows.push_back({test_[i].cardinality, center, iv.lo, iv.hi});
+  }
+  result.infer_micros =
+      infer.ElapsedMicros() / static_cast<double>(test_.size());
+  FinalizeMethodResult(&result, num_rows_);
+  return result;
+}
+
+MethodResult SingleTableHarness::RunJkCv(
+    const SupervisedEstimator& prototype,
+    const CardinalityEstimator& full_model, bool simplified) const {
+  MethodResult result = MakeResult(full_model, simplified ? "jk-cv+(s)"
+                                                          : "jk-cv+");
+  // JK-CV+ consumes the whole labeled dataset; no separate calibration
+  // split is needed (Algorithm 1).
+  Workload all = train_;
+  all.insert(all.end(), calib_.begin(), calib_.end());
+  const int k = options_.jk_folds;
+
+  Stopwatch prep;
+  std::vector<int> fold_of = AssignFolds(all.size(), k, options_.seed);
+  std::vector<std::unique_ptr<SupervisedEstimator>> fold_models;
+  for (int f = 0; f < k; ++f) {
+    Workload fold_train;
+    for (size_t i = 0; i < all.size(); ++i) {
+      if (fold_of[i] != f) fold_train.push_back(all[i]);
+    }
+    auto clone = prototype.CloneArchitecture(3000 + static_cast<uint64_t>(f));
+    CONFCARD_CHECK(clone->Train(*table_, fold_train).ok());
+    fold_models.push_back(std::move(clone));
+  }
+  std::vector<double> oof(all.size());
+  std::vector<double> truths(all.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    oof[i] = fold_models[static_cast<size_t>(fold_of[i])]
+                 ->EstimateCardinality(all[i].query);
+    truths[i] = all[i].cardinality;
+  }
+  JackknifeCvPlus jk(scoring_, options_.alpha,
+                     simplified ? JackknifeCvPlus::Mode::kSimplified
+                                : JackknifeCvPlus::Mode::kFull);
+  CONFCARD_CHECK(jk.Calibrate(oof, truths, fold_of, k).ok());
+  result.prep_millis = prep.ElapsedMillis();
+
+  std::vector<double> full_est = Estimates(full_model, test_);
+  Stopwatch infer;
+  std::vector<double> fold_est(static_cast<size_t>(k));
+  for (size_t i = 0; i < test_.size(); ++i) {
+    if (!simplified) {
+      for (int f = 0; f < k; ++f) {
+        fold_est[static_cast<size_t>(f)] =
+            fold_models[static_cast<size_t>(f)]->EstimateCardinality(
+                test_[i].query);
+      }
+    }
+    Interval iv =
+        ClipToCardinality(jk.Predict(fold_est, full_est[i]), num_rows_);
+    result.rows.push_back(
+        {test_[i].cardinality, full_est[i], iv.lo, iv.hi});
+  }
+  result.infer_micros =
+      infer.ElapsedMicros() / static_cast<double>(test_.size());
+  FinalizeMethodResult(&result, num_rows_);
+  return result;
+}
+
+MethodResult SingleTableHarness::RunJkCvFixedModel(
+    const CardinalityEstimator& model) const {
+  MethodResult result = MakeResult(model, "jk-cv+");
+  Workload all = train_;
+  all.insert(all.end(), calib_.begin(), calib_.end());
+  const int k = options_.jk_folds;
+
+  Stopwatch prep;
+  std::vector<int> fold_of = AssignFolds(all.size(), k, options_.seed);
+  // Compose the out-of-fold estimates from the per-split caches (the
+  // fold models all coincide with `model`).
+  std::vector<double> oof = Estimates(model, train_);
+  const std::vector<double>& calib_est = Estimates(model, calib_);
+  oof.insert(oof.end(), calib_est.begin(), calib_est.end());
+  std::vector<double> truths = Truths(all);
+  JackknifeCvPlus jk(scoring_, options_.alpha);
+  CONFCARD_CHECK(jk.Calibrate(oof, truths, fold_of, k).ok());
+  result.prep_millis = prep.ElapsedMillis();
+
+  std::vector<double> test_est = Estimates(model, test_);
+  Stopwatch infer;
+  for (size_t i = 0; i < test_.size(); ++i) {
+    // All fold models coincide with the full model.
+    std::vector<double> fold_est(static_cast<size_t>(k), test_est[i]);
+    Interval iv =
+        ClipToCardinality(jk.Predict(fold_est, test_est[i]), num_rows_);
+    result.rows.push_back(
+        {test_[i].cardinality, test_est[i], iv.lo, iv.hi});
+  }
+  result.infer_micros =
+      infer.ElapsedMicros() / static_cast<double>(test_.size());
+  FinalizeMethodResult(&result, num_rows_);
+  return result;
+}
+
+}  // namespace confcard

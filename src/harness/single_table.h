@@ -1,0 +1,111 @@
+// Orchestration of one single-table experiment: a table, three labeled
+// workload splits (train / calibration / test), and runners that wrap a
+// trained estimator with each of the paper's four PI methods and
+// evaluate coverage/width/timing on the test split. This is the code
+// path every figure bench goes through.
+#ifndef CONFCARD_HARNESS_SINGLE_TABLE_H_
+#define CONFCARD_HARNESS_SINGLE_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ce/estimator.h"
+#include "ce/featurizer.h"
+#include "conformal/scoring.h"
+#include "gbdt/gbdt.h"
+#include "harness/evaluation.h"
+
+namespace confcard {
+
+/// Difficulty-model choice for LW-S-CP (the U(X) ablation).
+enum class DifficultySource {
+  kGbdtMad,      // default: GBDT regression of |residual| (the paper's)
+  kEnsemble,     // variance of an ensemble of retrained models
+  kPerturbation  // variance under small predicate perturbations
+};
+
+/// Single-table experiment harness.
+class SingleTableHarness {
+ public:
+  struct Options {
+    double alpha = 0.1;
+    ScoreKind score = ScoreKind::kResidual;
+    int jk_folds = 10;
+    /// Ensemble size for DifficultySource::kEnsemble.
+    int ensemble_size = 3;
+    /// Perturbations per query for DifficultySource::kPerturbation.
+    int perturbations = 8;
+    gbdt::GbdtConfig gbdt;
+    uint64_t seed = 5;
+  };
+
+  SingleTableHarness(const Table& table, Workload train, Workload calib,
+                     Workload test, Options options);
+
+  /// Split conformal prediction over the calibration split.
+  MethodResult RunScp(const CardinalityEstimator& model) const;
+
+  /// Locally weighted S-CP; the difficulty model is fit on the training
+  /// split's residuals (kGbdtMad) or derived from `prototype` retrains
+  /// (kEnsemble) / query perturbations (kPerturbation). `prototype` may
+  /// be null for kGbdtMad and kPerturbation.
+  MethodResult RunLwScp(
+      const CardinalityEstimator& model,
+      DifficultySource source = DifficultySource::kGbdtMad,
+      const SupervisedEstimator* prototype = nullptr) const;
+
+  /// CQR: trains two pinball-loss clones of `prototype` on the training
+  /// split and conformalizes their band on the calibration split.
+  MethodResult RunCqr(const SupervisedEstimator& prototype) const;
+
+  /// JK+ with K-fold CV: retrains `prototype` on each fold complement of
+  /// the union train+calib (the method needs no separate calibration
+  /// split). `full_model` supplies the name and (in simplified mode) the
+  /// center estimate.
+  MethodResult RunJkCv(const SupervisedEstimator& prototype,
+                       const CardinalityEstimator& full_model,
+                       bool simplified = false) const;
+
+  /// JK-CV+ for models with no trainable workload dependence (Naru):
+  /// all folds share `model`; residuals still come from K-fold splits of
+  /// train+calib, matching the paper's Naru setup.
+  MethodResult RunJkCvFixedModel(const CardinalityEstimator& model) const;
+
+  const Table& table() const { return *table_; }
+  const Workload& train() const { return train_; }
+  const Workload& calib() const { return calib_; }
+  const Workload& test() const { return test_; }
+  const Options& options() const { return options_; }
+
+  /// Model estimates over a workload, cached per (model, workload) pair
+  /// so running several PI methods over the same trained model pays the
+  /// inference cost once (Naru inference dominates otherwise).
+  const std::vector<double>& Estimates(const CardinalityEstimator& model,
+                                       const Workload& workload) const;
+
+ private:
+  std::vector<std::vector<float>> Features(const Workload& workload) const;
+  std::vector<double> Truths(const Workload& workload) const;
+  MethodResult MakeResult(const CardinalityEstimator& model,
+                          const std::string& method) const;
+
+  const Table* table_;
+  Workload train_, calib_, test_;
+  Options options_;
+  std::shared_ptr<const ScoringFunction> scoring_;
+  std::unique_ptr<FlatQueryFeaturizer> featurizer_;
+  double num_rows_;
+  // Estimate cache keyed by (model instance id, workload address). The
+  // instance id (not the model address) guards against stack/heap slots
+  // being reused by a successor model; the workloads are owned by the
+  // harness, so their addresses are stable.
+  mutable std::map<std::pair<uint64_t, const void*>, std::vector<double>>
+      estimate_cache_;
+};
+
+}  // namespace confcard
+
+#endif  // CONFCARD_HARNESS_SINGLE_TABLE_H_

@@ -1,0 +1,129 @@
+#include "nn/layers.h"
+
+#include "common/check.h"
+
+namespace confcard {
+namespace nn {
+
+Dense::Dense(size_t in_dim, size_t out_dim, Rng& rng) {
+  weight_.value = Tensor::HeInit(in_dim, out_dim, rng);
+  weight_.grad = Tensor::Zeros(in_dim, out_dim);
+  bias_.value = Tensor::Zeros(1, out_dim);
+  bias_.grad = Tensor::Zeros(1, out_dim);
+}
+
+Tensor Dense::Forward(const Tensor& input) {
+  CONFCARD_DCHECK(input.cols() == weight_.value.rows());
+  input_ = input;
+  Tensor out = MatMul(input, weight_.value);
+  for (size_t r = 0; r < out.rows(); ++r) {
+    float* row = out.RowPtr(r);
+    const float* b = bias_.value.RowPtr(0);
+    for (size_t c = 0; c < out.cols(); ++c) row[c] += b[c];
+  }
+  return out;
+}
+
+Tensor Dense::Backward(const Tensor& grad_output) {
+  CONFCARD_DCHECK(grad_output.rows() == input_.rows());
+  weight_.grad.Add(MatMulTransA(input_, grad_output));
+  for (size_t r = 0; r < grad_output.rows(); ++r) {
+    const float* row = grad_output.RowPtr(r);
+    float* b = bias_.grad.RowPtr(0);
+    for (size_t c = 0; c < grad_output.cols(); ++c) b[c] += row[c];
+  }
+  return MatMulTransB(grad_output, weight_.value);
+}
+
+std::vector<Parameter*> Dense::Parameters() { return {&weight_, &bias_}; }
+
+MaskedDense::MaskedDense(size_t in_dim, size_t out_dim, Tensor mask, Rng& rng)
+    : mask_(std::move(mask)) {
+  CONFCARD_CHECK(mask_.rows() == in_dim && mask_.cols() == out_dim);
+  weight_.value = Tensor::HeInit(in_dim, out_dim, rng);
+  weight_.grad = Tensor::Zeros(in_dim, out_dim);
+  bias_.value = Tensor::Zeros(1, out_dim);
+  bias_.grad = Tensor::Zeros(1, out_dim);
+  ApplyMaskToWeight();
+}
+
+void MaskedDense::ApplyMaskToWeight() {
+  for (size_t i = 0; i < weight_.value.size(); ++i) {
+    weight_.value.data()[i] *= mask_.data()[i];
+  }
+}
+
+Tensor MaskedDense::Forward(const Tensor& input) {
+  // The weight is kept masked at all times (see Backward), so a plain
+  // dense forward suffices.
+  input_ = input;
+  Tensor out = MatMul(input, weight_.value);
+  for (size_t r = 0; r < out.rows(); ++r) {
+    float* row = out.RowPtr(r);
+    const float* b = bias_.value.RowPtr(0);
+    for (size_t c = 0; c < out.cols(); ++c) row[c] += b[c];
+  }
+  return out;
+}
+
+Tensor MaskedDense::Backward(const Tensor& grad_output) {
+  Tensor wgrad = MatMulTransA(input_, grad_output);
+  // Mask the gradient so optimizer steps never resurrect masked weights.
+  for (size_t i = 0; i < wgrad.size(); ++i) {
+    wgrad.data()[i] *= mask_.data()[i];
+  }
+  weight_.grad.Add(wgrad);
+  for (size_t r = 0; r < grad_output.rows(); ++r) {
+    const float* row = grad_output.RowPtr(r);
+    float* b = bias_.grad.RowPtr(0);
+    for (size_t c = 0; c < grad_output.cols(); ++c) b[c] += row[c];
+  }
+  return MatMulTransB(grad_output, weight_.value);
+}
+
+std::vector<Parameter*> MaskedDense::Parameters() {
+  return {&weight_, &bias_};
+}
+
+Tensor Relu::Forward(const Tensor& input) {
+  input_ = input;
+  Tensor out = input;
+  for (float& v : out.data()) {
+    if (v < 0.0f) v = 0.0f;
+  }
+  return out;
+}
+
+Tensor Relu::Backward(const Tensor& grad_output) {
+  CONFCARD_DCHECK(grad_output.size() == input_.size());
+  Tensor grad = grad_output;
+  for (size_t i = 0; i < grad.size(); ++i) {
+    if (input_.data()[i] <= 0.0f) grad.data()[i] = 0.0f;
+  }
+  return grad;
+}
+
+Tensor Sequential::Forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->Forward(x);
+  return x;
+}
+
+Tensor Sequential::Backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (size_t i = layers_.size(); i-- > 0;) {
+    g = layers_[i]->Backward(g);
+  }
+  return g;
+}
+
+std::vector<Parameter*> Sequential::Parameters() {
+  std::vector<Parameter*> out;
+  for (auto& layer : layers_) {
+    for (Parameter* p : layer->Parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace nn
+}  // namespace confcard

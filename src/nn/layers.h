@@ -1,0 +1,114 @@
+// Neural-network layers with explicit forward/backward passes. Backward
+// accumulates parameter gradients (cleared by the optimizer step) and
+// returns the gradient with respect to the layer input.
+#ifndef CONFCARD_NN_LAYERS_H_
+#define CONFCARD_NN_LAYERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace confcard {
+namespace nn {
+
+/// A learnable parameter and its gradient accumulator.
+struct Parameter {
+  Tensor value;
+  Tensor grad;
+};
+
+/// Base layer interface.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output for `input` (batch rows). Implementations
+  /// cache whatever they need for Backward.
+  virtual Tensor Forward(const Tensor& input) = 0;
+
+  /// Given dLoss/dOutput, accumulates parameter gradients and returns
+  /// dLoss/dInput. Must be called after Forward on the same batch.
+  virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  /// Learnable parameters (empty for activations).
+  virtual std::vector<Parameter*> Parameters() { return {}; }
+};
+
+/// Fully connected layer: out = in * W + b.
+class Dense : public Layer {
+ public:
+  Dense(size_t in_dim, size_t out_dim, Rng& rng);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Parameters() override;
+
+  size_t in_dim() const { return weight_.value.rows(); }
+  size_t out_dim() const { return weight_.value.cols(); }
+
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  Parameter weight_;  // (in, out)
+  Parameter bias_;    // (1, out)
+  Tensor input_;      // cached for backward
+};
+
+/// Dense layer whose weight is elementwise-multiplied by a fixed binary
+/// mask — the building block of MADE's autoregressive property.
+class MaskedDense : public Layer {
+ public:
+  /// `mask` has shape (in_dim, out_dim); entries in {0, 1}.
+  MaskedDense(size_t in_dim, size_t out_dim, Tensor mask, Rng& rng);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Parameters() override;
+
+  const Tensor& mask() const { return mask_; }
+
+ private:
+  void ApplyMaskToWeight();
+
+  Parameter weight_;
+  Parameter bias_;
+  Tensor mask_;
+  Tensor input_;
+};
+
+/// Rectified linear activation.
+class Relu : public Layer {
+ public:
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor input_;
+};
+
+/// Ordered container of layers.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  void Append(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+  }
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Parameters() override;
+
+  size_t num_layers() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace nn
+}  // namespace confcard
+
+#endif  // CONFCARD_NN_LAYERS_H_

@@ -1,0 +1,118 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace confcard {
+namespace nn {
+
+double MseLoss(const Tensor& pred, const std::vector<float>& target,
+               Tensor* grad) {
+  CONFCARD_DCHECK(pred.cols() == 1 && pred.rows() == target.size());
+  const size_t n = pred.rows();
+  *grad = Tensor::Zeros(n, 1);
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (size_t i = 0; i < n; ++i) {
+    float e = pred.At(i, 0) - target[i];
+    loss += static_cast<double>(e) * e;
+    grad->At(i, 0) = 2.0f * e * inv_n;
+  }
+  return loss / static_cast<double>(n);
+}
+
+double PinballLoss(const Tensor& pred, const std::vector<float>& target,
+                   double tau, Tensor* grad) {
+  CONFCARD_DCHECK(pred.cols() == 1 && pred.rows() == target.size());
+  CONFCARD_DCHECK(tau > 0.0 && tau < 1.0);
+  const size_t n = pred.rows();
+  *grad = Tensor::Zeros(n, 1);
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  const float t = static_cast<float>(tau);
+  for (size_t i = 0; i < n; ++i) {
+    float e = target[i] - pred.At(i, 0);
+    if (e >= 0.0f) {
+      loss += static_cast<double>(t) * e;
+      grad->At(i, 0) = -t * inv_n;
+    } else {
+      loss += static_cast<double>(t - 1.0f) * e;
+      grad->At(i, 0) = (1.0f - t) * inv_n;
+    }
+  }
+  return loss / static_cast<double>(n);
+}
+
+double QErrorLogLoss(const Tensor& pred, const std::vector<float>& target,
+                     Tensor* grad, double cap) {
+  CONFCARD_DCHECK(pred.cols() == 1 && pred.rows() == target.size());
+  const size_t n = pred.rows();
+  *grad = Tensor::Zeros(n, 1);
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (size_t i = 0; i < n; ++i) {
+    float e = pred.At(i, 0) - target[i];
+    float a = std::min(std::fabs(e), static_cast<float>(cap));
+    float ea = std::exp(a);
+    loss += static_cast<double>(ea);
+    float sign = e >= 0.0f ? 1.0f : -1.0f;
+    // d/de exp(|e|) = sign(e) exp(|e|); beyond the cap the magnitude is
+    // held at exp(cap), i.e. the gradient is clipped rather than zeroed
+    // so badly-off predictions still receive a training signal.
+    grad->At(i, 0) = sign * ea * inv_n;
+  }
+  return loss / static_cast<double>(n);
+}
+
+void SoftmaxRow(const float* logits, size_t n, float* probs) {
+  float mx = logits[0];
+  for (size_t i = 1; i < n; ++i) mx = std::max(mx, logits[i]);
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    probs[i] = std::exp(logits[i] - mx);
+    sum += probs[i];
+  }
+  const float inv = 1.0f / sum;
+  for (size_t i = 0; i < n; ++i) probs[i] *= inv;
+}
+
+double BlockSoftmaxCrossEntropy(const Tensor& logits,
+                                const std::vector<size_t>& block_offsets,
+                                const std::vector<std::vector<int>>& targets,
+                                Tensor* grad) {
+  CONFCARD_DCHECK(block_offsets.size() >= 2);
+  CONFCARD_DCHECK(block_offsets.back() == logits.cols());
+  CONFCARD_DCHECK(targets.size() == logits.rows());
+  const size_t batch = logits.rows();
+  const size_t num_blocks = block_offsets.size() - 1;
+  *grad = Tensor::Zeros(batch, logits.cols());
+
+  std::vector<float> probs;
+  double loss = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (size_t b = 0; b < batch; ++b) {
+    CONFCARD_DCHECK(targets[b].size() == num_blocks);
+    const float* lrow = logits.RowPtr(b);
+    float* grow = grad->RowPtr(b);
+    for (size_t blk = 0; blk < num_blocks; ++blk) {
+      const size_t lo = block_offsets[blk];
+      const size_t width = block_offsets[blk + 1] - lo;
+      probs.resize(width);
+      SoftmaxRow(lrow + lo, width, probs.data());
+      const int t = targets[b][blk];
+      CONFCARD_DCHECK(t >= 0 && static_cast<size_t>(t) < width);
+      float p = std::max(probs[static_cast<size_t>(t)], 1e-12f);
+      loss -= std::log(static_cast<double>(p));
+      for (size_t j = 0; j < width; ++j) {
+        grow[lo + j] = probs[j] * inv_batch;
+      }
+      grow[lo + static_cast<size_t>(t)] -= inv_batch;
+    }
+  }
+  return loss / static_cast<double>(batch);
+}
+
+}  // namespace nn
+}  // namespace confcard

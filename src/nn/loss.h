@@ -1,0 +1,50 @@
+// Training losses. Each returns the mean loss over the batch and fills
+// `grad` with dLoss/dPrediction (already divided by the batch size so
+// layers can consume it directly).
+#ifndef CONFCARD_NN_LOSS_H_
+#define CONFCARD_NN_LOSS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace confcard {
+namespace nn {
+
+/// Mean squared error over (batch, 1) predictions.
+double MseLoss(const Tensor& pred, const std::vector<float>& target,
+               Tensor* grad);
+
+/// Pinball (quantile) loss at level tau in (0, 1): the loss minimized by
+/// the CQR quantile heads. loss = mean(max(tau*e, (tau-1)*e)) with
+/// e = target - pred.
+double PinballLoss(const Tensor& pred, const std::vector<float>& target,
+                   double tau, Tensor* grad);
+
+/// Smooth q-error surrogate on log-cardinality predictions:
+/// loss = mean(exp(min(|pred - target|, cap))) which is monotone in the
+/// q-error exp(|pred - target|). `cap` bounds the gradient magnitude for
+/// stability (MSCN's published training minimizes mean q-error; this is
+/// its log-space equivalent).
+double QErrorLogLoss(const Tensor& pred, const std::vector<float>& target,
+                     Tensor* grad, double cap = 8.0);
+
+/// Per-block softmax cross entropy for autoregressive models: `logits`
+/// is (batch, total_dim) where columns are partitioned into blocks
+/// (`block_offsets[i]`..`block_offsets[i+1]`), one block per attribute;
+/// `targets[b][i]` is the true class within block i for batch row b.
+/// Returns mean (over batch) of summed per-block CE; grad = softmax - 1.
+double BlockSoftmaxCrossEntropy(const Tensor& logits,
+                                const std::vector<size_t>& block_offsets,
+                                const std::vector<std::vector<int>>& targets,
+                                Tensor* grad);
+
+/// Softmax of one logit block, written into `probs` (length = block
+/// size). Shared by loss computation and Naru's progressive sampling.
+void SoftmaxRow(const float* logits, size_t n, float* probs);
+
+}  // namespace nn
+}  // namespace confcard
+
+#endif  // CONFCARD_NN_LOSS_H_

@@ -1,0 +1,31 @@
+#include "nn/mlp.h"
+
+#include <memory>
+
+#include "common/check.h"
+
+namespace confcard {
+namespace nn {
+
+Mlp::Mlp(const std::vector<size_t>& dims, Rng& rng) {
+  CONFCARD_CHECK(dims.size() >= 2);
+  in_dim_ = dims.front();
+  out_dim_ = dims.back();
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    net_.Append(std::make_unique<Dense>(dims[i], dims[i + 1], rng));
+    if (i + 2 < dims.size()) {
+      net_.Append(std::make_unique<Relu>());
+    }
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& input) { return net_.Forward(input); }
+
+Tensor Mlp::Backward(const Tensor& grad_output) {
+  return net_.Backward(grad_output);
+}
+
+std::vector<Parameter*> Mlp::Parameters() { return net_.Parameters(); }
+
+}  // namespace nn
+}  // namespace confcard

@@ -1,0 +1,36 @@
+// Convenience multi-layer perceptron: Dense+ReLU stacks with a linear
+// output layer, the architecture shared by the supervised estimators and
+// the per-set modules of MSCN.
+#ifndef CONFCARD_NN_MLP_H_
+#define CONFCARD_NN_MLP_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace confcard {
+namespace nn {
+
+/// MLP with ReLU activations between layers and a linear final layer.
+class Mlp : public Layer {
+ public:
+  /// `dims` = {in, hidden..., out}; must have at least 2 entries.
+  Mlp(const std::vector<size_t>& dims, Rng& rng);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> Parameters() override;
+
+  size_t in_dim() const { return in_dim_; }
+  size_t out_dim() const { return out_dim_; }
+
+ private:
+  Sequential net_;
+  size_t in_dim_ = 0;
+  size_t out_dim_ = 0;
+};
+
+}  // namespace nn
+}  // namespace confcard
+
+#endif  // CONFCARD_NN_MLP_H_

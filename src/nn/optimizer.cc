@@ -1,0 +1,77 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace confcard {
+namespace nn {
+
+void Optimizer::ZeroGrad() {
+  for (Parameter* p : params_) p->grad.Fill(0.0f);
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, double lr, double momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    velocity_.push_back(Tensor::Zeros(p->value.rows(), p->value.cols()));
+  }
+}
+
+void Sgd::Step() {
+  const float lr = static_cast<float>(lr_);
+  const float mom = static_cast<float>(momentum_);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    auto& vel = velocity_[i].data();
+    auto& g = p->grad.data();
+    auto& w = p->value.data();
+    for (size_t j = 0; j < w.size(); ++j) {
+      vel[j] = mom * vel[j] - lr * g[j];
+      w[j] += vel[j];
+      g[j] = 0.0f;
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, double lr, double beta1,
+           double beta2, double eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.push_back(Tensor::Zeros(p->value.rows(), p->value.cols()));
+    v_.push_back(Tensor::Zeros(p->value.rows(), p->value.cols()));
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float b1 = static_cast<float>(beta1_);
+  const float b2 = static_cast<float>(beta2_);
+  const float eps = static_cast<float>(eps_);
+  const float bc1 = 1.0f - std::pow(b1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(b2, static_cast<float>(t_));
+  const float lr = static_cast<float>(lr_);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    auto& m = m_[i].data();
+    auto& v = v_[i].data();
+    auto& g = p->grad.data();
+    auto& w = p->value.data();
+    for (size_t j = 0; j < w.size(); ++j) {
+      m[j] = b1 * m[j] + (1.0f - b1) * g[j];
+      v[j] = b2 * v[j] + (1.0f - b2) * g[j] * g[j];
+      float mhat = m[j] / bc1;
+      float vhat = v[j] / bc2;
+      w[j] -= lr * mhat / (std::sqrt(vhat) + eps);
+      g[j] = 0.0f;
+    }
+  }
+}
+
+}  // namespace nn
+}  // namespace confcard

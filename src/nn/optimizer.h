@@ -1,0 +1,58 @@
+// First-order optimizers over Parameter lists.
+#ifndef CONFCARD_NN_OPTIMIZER_H_
+#define CONFCARD_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace confcard {
+namespace nn {
+
+/// Optimizer interface: Step consumes accumulated gradients (and zeroes
+/// them) for the parameters registered at construction.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual void Step() = 0;
+  /// Zeroes all gradients without applying them.
+  void ZeroGrad();
+
+ protected:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  std::vector<Parameter*> params_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, double lr, double momentum = 0.0);
+  void Step() override;
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8);
+  void Step() override;
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace nn
+}  // namespace confcard
+
+#endif  // CONFCARD_NN_OPTIMIZER_H_

@@ -1,0 +1,38 @@
+#include "nn/serialize.h"
+
+namespace confcard {
+namespace nn {
+
+void SerializeParameters(Layer& layer, ArchiveWriter* writer) {
+  std::vector<Parameter*> params = layer.Parameters();
+  writer->WriteU64(params.size());
+  for (Parameter* p : params) {
+    writer->WriteU64(p->value.rows());
+    writer->WriteU64(p->value.cols());
+    writer->WriteFloatVec(p->value.data());
+  }
+}
+
+Status DeserializeParameters(Layer& layer, ArchiveReader* reader) {
+  std::vector<Parameter*> params = layer.Parameters();
+  const uint64_t count = reader->ReadU64();
+  if (!reader->status().ok()) return reader->status();
+  if (count != params.size()) {
+    return Status::InvalidArgument("parameter count mismatch");
+  }
+  for (Parameter* p : params) {
+    const uint64_t rows = reader->ReadU64();
+    const uint64_t cols = reader->ReadU64();
+    std::vector<float> values = reader->ReadFloatVec();
+    CONFCARD_RETURN_NOT_OK(reader->status());
+    if (rows != p->value.rows() || cols != p->value.cols() ||
+        values.size() != p->value.size()) {
+      return Status::InvalidArgument("parameter shape mismatch");
+    }
+    p->value.data() = std::move(values);
+  }
+  return Status::OK();
+}
+
+}  // namespace nn
+}  // namespace confcard

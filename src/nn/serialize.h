@@ -1,0 +1,24 @@
+// Parameter (de)serialization for any Layer: shape-prefixed float blobs
+// in declaration order. The architecture itself is not stored — callers
+// reconstruct it from their own config and then restore parameters,
+// which keeps archives small and forward-compatible with config structs.
+#ifndef CONFCARD_NN_SERIALIZE_H_
+#define CONFCARD_NN_SERIALIZE_H_
+
+#include "common/archive.h"
+#include "nn/layers.h"
+
+namespace confcard {
+namespace nn {
+
+/// Writes every parameter of `layer` (values only, not gradients).
+void SerializeParameters(Layer& layer, ArchiveWriter* writer);
+
+/// Restores parameters into an identically-shaped `layer`; fails on any
+/// count or shape mismatch.
+Status DeserializeParameters(Layer& layer, ArchiveReader* reader);
+
+}  // namespace nn
+}  // namespace confcard
+
+#endif  // CONFCARD_NN_SERIALIZE_H_

@@ -1,0 +1,91 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace confcard {
+namespace nn {
+
+Tensor::Tensor(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+Tensor Tensor::Randn(size_t rows, size_t cols, float stddev, Rng& rng) {
+  Tensor t(rows, cols);
+  for (float& v : t.data_) {
+    v = stddev * static_cast<float>(rng.NextGaussian());
+  }
+  return t;
+}
+
+Tensor Tensor::HeInit(size_t fan_in, size_t fan_out, Rng& rng) {
+  float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return Randn(fan_in, fan_out, stddev, rng);
+}
+
+void Tensor::Fill(float value) {
+  for (float& v : data_) v = value;
+}
+
+void Tensor::Add(const Tensor& other) {
+  CONFCARD_DCHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::Scale(float s) {
+  for (float& v : data_) v *= s;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  CONFCARD_DCHECK(a.cols() == b.rows());
+  Tensor c(a.rows(), b.cols());
+  const size_t n = a.rows(), k = a.cols(), m = b.cols();
+  for (size_t i = 0; i < n; ++i) {
+    const float* arow = a.RowPtr(i);
+    float* crow = c.RowPtr(i);
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.RowPtr(p);
+      for (size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  CONFCARD_DCHECK(a.rows() == b.rows());
+  Tensor c(a.cols(), b.cols());
+  const size_t k = a.rows(), n = a.cols(), m = b.cols();
+  for (size_t p = 0; p < k; ++p) {
+    const float* arow = a.RowPtr(p);
+    const float* brow = b.RowPtr(p);
+    for (size_t i = 0; i < n; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.RowPtr(i);
+      for (size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  CONFCARD_DCHECK(a.cols() == b.cols());
+  Tensor c(a.rows(), b.rows());
+  const size_t n = a.rows(), k = a.cols(), m = b.rows();
+  for (size_t i = 0; i < n; ++i) {
+    const float* arow = a.RowPtr(i);
+    float* crow = c.RowPtr(i);
+    for (size_t j = 0; j < m; ++j) {
+      const float* brow = b.RowPtr(j);
+      float acc = 0.0f;
+      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+}  // namespace nn
+}  // namespace confcard

@@ -1,0 +1,65 @@
+// Dense 2-D float tensor (row-major; rows are batch entries). This is
+// the entire "tensor library" the learned estimators need: the models in
+// the paper are MLP-shaped, so matrix-matrix products plus elementwise
+// ops suffice.
+#ifndef CONFCARD_NN_TENSOR_H_
+#define CONFCARD_NN_TENSOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace confcard {
+namespace nn {
+
+/// Row-major matrix of floats.
+class Tensor {
+ public:
+  Tensor() = default;
+  /// Zero-initialized rows x cols tensor.
+  Tensor(size_t rows, size_t cols);
+
+  static Tensor Zeros(size_t rows, size_t cols) { return Tensor(rows, cols); }
+  /// i.i.d. N(0, stddev^2) entries.
+  static Tensor Randn(size_t rows, size_t cols, float stddev, Rng& rng);
+  /// Kaiming/He initialization for a fan_in -> fan_out weight matrix.
+  static Tensor HeInit(size_t fan_in, size_t fan_out, Rng& rng);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  float* RowPtr(size_t r) { return data_.data() + r * cols_; }
+  const float* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<float>& data() { return data_; }
+  const std::vector<float>& data() const { return data_; }
+
+  void Fill(float value);
+  /// this += other (same shape).
+  void Add(const Tensor& other);
+  /// this *= s.
+  void Scale(float s);
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C = A * B. Shapes: (n,k) x (k,m) -> (n,m).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// C = A^T * B. Shapes: (k,n) x (k,m) -> (n,m).
+Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+/// C = A * B^T. Shapes: (n,k) x (m,k) -> (n,m).
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+
+}  // namespace nn
+}  // namespace confcard
+
+#endif  // CONFCARD_NN_TENSOR_H_

@@ -1,0 +1,126 @@
+#include "optim/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace confcard {
+
+JoinOptimizer::JoinOptimizer(const PgEstimator& estimator)
+    : estimator_(&estimator) {}
+
+void JoinOptimizer::SetAdjuster(EstimateAdjuster adjuster) {
+  adjuster_ = std::move(adjuster);
+}
+
+Result<JoinPlan> JoinOptimizer::Optimize(const JoinQuery& query) const {
+  const size_t n = query.tables.size();
+  if (n == 0) return Status::InvalidArgument("empty join query");
+  if (n > 20) return Status::InvalidArgument("too many tables for exact DP");
+
+  // Adjacency between table indices from the query's join edges.
+  auto index_of = [&](const std::string& t) -> int {
+    for (size_t i = 0; i < n; ++i) {
+      if (query.tables[i] == t) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  std::vector<uint32_t> adjacent(n, 0);
+  for (const JoinEdge& e : query.joins) {
+    int l = index_of(e.left_table);
+    int r = index_of(e.right_table);
+    if (l < 0 || r < 0) {
+      return Status::InvalidArgument("join edge references unknown table");
+    }
+    adjacent[static_cast<size_t>(l)] |= 1u << r;
+    adjacent[static_cast<size_t>(r)] |= 1u << l;
+  }
+
+  const uint32_t full = n == 32 ? ~0u : (1u << n) - 1;
+
+  // Memoized cardinality of a subset (adjusted for multi-table subsets).
+  std::vector<double> card(full + 1, -1.0);
+  auto subset_card = [&](uint32_t mask) -> double {
+    if (card[mask] >= 0.0) return card[mask];
+    std::vector<std::string> tables;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) tables.push_back(query.tables[i]);
+    }
+    double est = estimator_->EstimateJoinCardinality(query, tables);
+    if (tables.size() >= 2 && adjuster_) est = adjuster_(est, tables);
+    card[mask] = std::max(est, 0.0);
+    return card[mask];
+  };
+
+  struct DpEntry {
+    double cost = std::numeric_limits<double>::infinity();
+    uint32_t prev_mask = 0;
+    int added = -1;
+    JoinOp op = JoinOp::kHashJoin;
+  };
+  std::vector<DpEntry> dp(full + 1);
+
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t m = 1u << i;
+    dp[m].cost = subset_card(m);  // scan cost of the filtered base table
+    dp[m].added = static_cast<int>(i);
+  }
+
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    if (std::isinf(dp[mask].cost)) continue;
+    // Try extending with any table adjacent to the subset.
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t bit = 1u << i;
+      if (mask & bit) continue;
+      if ((adjacent[i] & mask) == 0) continue;  // keep plans bushy-free & connected
+      const uint32_t next = mask | bit;
+      // Physical operator choice per step. Hash join streams both
+      // inputs; nested loop is cheaper only for tiny inputs but blows
+      // up quadratically — the operator real optimizers mis-pick when
+      // cardinalities are underestimated.
+      const double out = subset_card(next);
+      const double hash_cost =
+          cost_model_.HashCost(subset_card(mask), subset_card(bit), out);
+      const double nl_cost = cost_model_.NestedLoopCost(
+          subset_card(mask), subset_card(bit), out);
+      const double step_cost = std::min(hash_cost, nl_cost);
+      const JoinOp op = nl_cost < hash_cost ? JoinOp::kNestedLoop
+                                            : JoinOp::kHashJoin;
+      const double total = dp[mask].cost + step_cost;
+      if (total < dp[next].cost) {
+        dp[next].cost = total;
+        dp[next].prev_mask = mask;
+        dp[next].added = static_cast<int>(i);
+        dp[next].op = op;
+      }
+    }
+  }
+
+  if (std::isinf(dp[full].cost)) {
+    return Status::InvalidArgument("join graph is disconnected");
+  }
+
+  JoinPlan plan;
+  plan.estimated_cost = dp[full].cost;
+  plan.estimated_cardinality = subset_card(full);
+  // Reconstruct the order and per-step operators.
+  std::vector<int> rev;
+  std::vector<JoinOp> rev_ops;
+  uint32_t mask = full;
+  while (mask != 0) {
+    rev.push_back(dp[mask].added);
+    rev_ops.push_back(dp[mask].op);
+    mask = dp[mask].prev_mask;
+  }
+  for (size_t i = rev.size(); i-- > 0;) {
+    plan.order.push_back(query.tables[static_cast<size_t>(rev[i])]);
+    if (i + 1 < rev.size()) {  // the seed table has no join operator
+      plan.ops.push_back(rev_ops[i]);
+    }
+  }
+  return plan;
+}
+
+}  // namespace confcard

@@ -1,0 +1,56 @@
+#include "optim/pg_estimator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace confcard {
+
+PgEstimator::PgEstimator(const Database& db, int histogram_buckets)
+    : db_(&db) {
+  for (const Table& t : db.tables()) {
+    stats_.emplace(t.name(), HistogramEstimator(t, histogram_buckets));
+  }
+}
+
+double PgEstimator::EstimateBaseRows(const JoinQuery& query,
+                                     const std::string& table) const {
+  auto it = stats_.find(table);
+  CONFCARD_CHECK_MSG(it != stats_.end(), table.c_str());
+  double sel = 1.0;
+  for (const TablePredicate& tp : query.predicates) {
+    if (tp.table != table) continue;
+    sel *= it->second.PredicateSelectivity(tp.pred);
+  }
+  return sel * static_cast<double>(db_->table(table).num_rows());
+}
+
+double PgEstimator::DistinctCount(const std::string& table,
+                                  const std::string& column) const {
+  const Column& col = db_->table(table).ColumnByName(column);
+  return std::max<double>(1.0, static_cast<double>(col.distinct_count()));
+}
+
+double PgEstimator::EstimateJoinCardinality(
+    const JoinQuery& query, const std::vector<std::string>& tables) const {
+  double card = 1.0;
+  for (const std::string& t : tables) {
+    card *= EstimateBaseRows(query, t);
+  }
+  auto in_subset = [&](const std::string& t) {
+    return std::find(tables.begin(), tables.end(), t) != tables.end();
+  };
+  for (const JoinEdge& e : query.joins) {
+    if (!in_subset(e.left_table) || !in_subset(e.right_table)) continue;
+    const double v = std::max(DistinctCount(e.left_table, e.left_column),
+                              DistinctCount(e.right_table, e.right_column));
+    card /= v;
+  }
+  return std::max(card, 0.0);
+}
+
+double PgEstimator::EstimateCardinality(const JoinQuery& query) const {
+  return EstimateJoinCardinality(query, query.tables);
+}
+
+}  // namespace confcard

@@ -1,0 +1,51 @@
+// Postgres-style traditional join cardinality estimator: per-column
+// statistics (exact MCV-complete tables / equi-depth histograms),
+// attribute-value independence within a table, and the System-R distinct-
+// count formula 1/max(V(l), V(r)) per equi-join edge. This is the
+// estimator the Table I experiment wraps with a conformal upper bound —
+// deliberately *not* learned, matching the paper's setup where no
+// training data is needed.
+#ifndef CONFCARD_OPTIM_PG_ESTIMATOR_H_
+#define CONFCARD_OPTIM_PG_ESTIMATOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ce/histogram.h"
+#include "data/multitable.h"
+#include "query/join_query.h"
+
+namespace confcard {
+
+/// Traditional statistics-based estimator over a Database.
+class PgEstimator {
+ public:
+  explicit PgEstimator(const Database& db, int histogram_buckets = 64);
+
+  /// Estimated rows of `table` surviving the predicates of `query`
+  /// scoped to it (AVI across predicates).
+  double EstimateBaseRows(const JoinQuery& query,
+                          const std::string& table) const;
+
+  /// Estimated cardinality of joining the subset `tables` of `query`
+  /// (using every applicable join edge). Join-order independent.
+  double EstimateJoinCardinality(const JoinQuery& query,
+                                 const std::vector<std::string>& tables)
+      const;
+
+  /// Full-query estimate: all of query.tables.
+  double EstimateCardinality(const JoinQuery& query) const;
+
+  /// Distinct count of `table.column` (clamped to >= 1).
+  double DistinctCount(const std::string& table,
+                       const std::string& column) const;
+
+ private:
+  const Database* db_;
+  std::unordered_map<std::string, HistogramEstimator> stats_;
+};
+
+}  // namespace confcard
+
+#endif  // CONFCARD_OPTIM_PG_ESTIMATOR_H_

@@ -1,0 +1,49 @@
+// Select-project-join (SPJ) COUNT(*) queries over a Database.
+#ifndef CONFCARD_QUERY_JOIN_QUERY_H_
+#define CONFCARD_QUERY_JOIN_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "data/multitable.h"
+#include "query/predicate.h"
+
+namespace confcard {
+
+/// A predicate scoped to one table of a join query. `pred.column` indexes
+/// into that table's schema.
+struct TablePredicate {
+  std::string table;
+  Predicate pred;
+
+  bool operator==(const TablePredicate& other) const {
+    return table == other.table && pred == other.pred;
+  }
+};
+
+/// Conjunctive SPJ COUNT(*) query: the listed tables joined along
+/// `joins`, filtered by `predicates`. `tables` must form a connected join
+/// graph; the executor joins them left to right.
+struct JoinQuery {
+  std::vector<std::string> tables;
+  std::vector<JoinEdge> joins;
+  std::vector<TablePredicate> predicates;
+};
+
+/// A join query labeled with its exact cardinality. `num_rows` holds the
+/// normalizer used for selectivity (the product of filtered-base-table
+/// sizes is unwieldy; we use the cartesian size of the joined base
+/// tables' fact side — callers may normalize differently).
+struct LabeledJoinQuery {
+  JoinQuery query;
+  double cardinality = 0.0;
+  double num_rows = 1.0;
+
+  double selectivity() const { return cardinality / num_rows; }
+};
+
+using JoinWorkload = std::vector<LabeledJoinQuery>;
+
+}  // namespace confcard
+
+#endif  // CONFCARD_QUERY_JOIN_QUERY_H_

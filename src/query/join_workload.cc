@@ -1,0 +1,208 @@
+#include "query/join_workload.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "exec/join.h"
+
+namespace confcard {
+namespace {
+
+std::string QueryKey(const JoinQuery& q) {
+  std::ostringstream out;
+  for (const auto& t : q.tables) out << t << '|';
+  for (const auto& tp : q.predicates) {
+    out << tp.table << ':' << ToString(tp.pred) << '|';
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::vector<JoinTemplate> DsbTemplates() {
+  // All 15 non-empty subsets of the four dimension tables, joined to the
+  // store_sales fact table; predicates on one attribute per dimension.
+  const std::vector<std::pair<std::string, std::string>> kDims = {
+      {"date_dim", "d_year"},
+      {"store", "s_state"},
+      {"item", "i_category"},
+      {"customer", "c_state"},
+  };
+  std::vector<JoinTemplate> out;
+  for (unsigned mask = 1; mask < 16; ++mask) {
+    JoinTemplate t;
+    t.tables.push_back("store_sales");
+    for (size_t d = 0; d < kDims.size(); ++d) {
+      if (mask & (1u << d)) {
+        t.tables.push_back(kDims[d].first);
+        t.predicate_columns.push_back(kDims[d]);
+      }
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<JoinTemplate> JobTemplates() {
+  std::vector<JoinTemplate> out;
+  // title + one satellite.
+  out.push_back({{"title", "movie_companies"},
+                 {{"title", "production_year"},
+                  {"movie_companies", "company_type_id"}}});
+  out.push_back(
+      {{"title", "movie_info"},
+       {{"title", "kind_id"}, {"movie_info", "info_type_id"}}});
+  out.push_back(
+      {{"title", "movie_keyword"},
+       {{"title", "production_year"}, {"movie_keyword", "keyword_id"}}});
+  out.push_back({{"title", "cast_info"},
+                 {{"title", "kind_id"}, {"cast_info", "role_id"}}});
+  // title + two satellites.
+  out.push_back({{"title", "movie_companies", "movie_info"},
+                 {{"title", "production_year"},
+                  {"movie_companies", "company_type_id"},
+                  {"movie_info", "info_type_id"}}});
+  out.push_back({{"title", "movie_keyword", "cast_info"},
+                 {{"title", "kind_id"},
+                  {"movie_keyword", "keyword_id"},
+                  {"cast_info", "role_id"}}});
+  out.push_back({{"title", "movie_info", "cast_info"},
+                 {{"title", "production_year"},
+                  {"movie_info", "info_type_id"},
+                  {"cast_info", "role_id"}}});
+  // title + three satellites.
+  out.push_back({{"title", "movie_companies", "movie_keyword", "cast_info"},
+                 {{"title", "kind_id"},
+                  {"movie_companies", "company_type_id"},
+                  {"movie_keyword", "keyword_id"},
+                  {"cast_info", "role_id"}}});
+  // Lightly filtered variants (JOB has many): one satellite joins
+  // without any predicate, so intermediates can be large and join-order
+  // quality matters.
+  out.push_back({{"title", "movie_keyword", "cast_info"},
+                 {{"title", "production_year"},
+                  {"movie_keyword", "keyword_id"}}});
+  out.push_back({{"title", "movie_companies", "movie_info"},
+                 {{"movie_companies", "company_type_id"}}});
+  out.push_back({{"title", "movie_info", "movie_keyword"},
+                 {{"title", "production_year"},
+                  {"movie_keyword", "keyword_id"}}});
+  return out;
+}
+
+Result<JoinWorkload> GenerateJoinWorkload(
+    const Database& db, const std::vector<JoinTemplate>& templates,
+    const JoinWorkloadConfig& cfg) {
+  if (templates.empty()) {
+    return Status::InvalidArgument("no join templates");
+  }
+  Rng rng(cfg.seed);
+  JoinWorkload out;
+  std::unordered_set<std::string> seen;
+
+  for (const JoinTemplate& tpl : templates) {
+    for (const std::string& t : tpl.tables) {
+      if (!db.HasTable(t)) return Status::NotFound("table '" + t + "'");
+    }
+    std::vector<JoinEdge> edges = db.EdgesAmong(tpl.tables);
+    if (tpl.tables.size() > 1 && edges.empty()) {
+      return Status::InvalidArgument("template tables are not connected");
+    }
+
+    // For correlated literals: per non-anchor table, an index from its
+    // join-key value (on the edge toward the anchor table) to row ids.
+    const std::string& anchor_table = tpl.tables.front();
+    std::unordered_map<std::string,
+                       std::pair<int, std::unordered_map<int64_t,
+                                                         std::vector<uint32_t>>>>
+        key_index;  // table -> (anchor-side column idx, key -> rows)
+    if (cfg.correlated_literals) {
+      for (const std::string& t : tpl.tables) {
+        if (t == anchor_table) continue;
+        auto connecting = db.EdgesAmong({anchor_table, t});
+        if (connecting.empty()) continue;
+        const JoinEdge& e = connecting.front();
+        const bool t_is_left = e.left_table == t;
+        const std::string& t_col = t_is_left ? e.left_column
+                                             : e.right_column;
+        const std::string& a_col = t_is_left ? e.right_column
+                                             : e.left_column;
+        const Table& table = db.table(t);
+        const Column& kc = table.ColumnByName(t_col);
+        std::unordered_map<int64_t, std::vector<uint32_t>> index;
+        for (size_t r = 0; r < kc.size(); ++r) {
+          index[static_cast<int64_t>(kc[r])].push_back(
+              static_cast<uint32_t>(r));
+        }
+        key_index[t] = {db.table(anchor_table).ColumnIndex(a_col),
+                        std::move(index)};
+      }
+    }
+
+    const size_t budget = cfg.queries_per_template * 10 + 20;
+    size_t produced = 0;
+    for (size_t attempt = 0;
+         attempt < budget && produced < cfg.queries_per_template; ++attempt) {
+      JoinQuery q;
+      q.tables = tpl.tables;
+      q.joins = edges;
+      // Anchor row for correlated-literal mode.
+      const Table& anchor = db.table(anchor_table);
+      const size_t anchor_row =
+          static_cast<size_t>(rng.NextUint64(anchor.num_rows()));
+      for (const auto& [tname, cname] : tpl.predicate_columns) {
+        const Table& table = db.table(tname);
+        const Column& col = table.ColumnByName(cname);
+        int col_idx = table.ColumnIndex(cname);
+        // Literal source row: co-occurring through the join graph when
+        // requested, independent otherwise.
+        size_t source_row =
+            static_cast<size_t>(rng.NextUint64(table.num_rows()));
+        if (cfg.correlated_literals) {
+          if (tname == anchor_table) {
+            source_row = anchor_row;
+          } else if (auto it = key_index.find(tname);
+                     it != key_index.end() && it->second.first >= 0) {
+            int64_t key = static_cast<int64_t>(anchor.At(
+                anchor_row, static_cast<size_t>(it->second.first)));
+            auto rows = it->second.second.find(key);
+            if (rows != it->second.second.end() &&
+                !rows->second.empty()) {
+              source_row = rows->second[static_cast<size_t>(
+                  rng.NextUint64(rows->second.size()))];
+            }
+          }
+        }
+        double center = col[source_row];
+        const bool use_range =
+            !col.is_categorical() && rng.NextDouble() < cfg.range_prob;
+        if (!use_range) {
+          q.predicates.push_back({tname, Predicate::Eq(col_idx, center)});
+        } else {
+          double span = col.max_value() - col.min_value();
+          if (span <= 0.0) span = 1.0;
+          double half = rng.NextDouble(0.0, cfg.max_range_frac) * span;
+          q.predicates.push_back(
+              {tname,
+               Predicate::Between(col_idx, center - half, center + half)});
+        }
+      }
+      if (cfg.dedup && !seen.insert(QueryKey(q)).second) continue;
+
+      CONFCARD_ASSIGN_OR_RETURN(JoinExecResult exec, ExecuteJoin(db, q));
+      if (static_cast<double>(exec.cardinality) < cfg.min_cardinality) {
+        continue;
+      }
+      // Normalizer: the fact-side base table size (first table).
+      double norm = static_cast<double>(db.table(tpl.tables[0]).num_rows());
+      out.push_back(LabeledJoinQuery{
+          std::move(q), static_cast<double>(exec.cardinality), norm});
+      ++produced;
+    }
+  }
+  return out;
+}
+
+}  // namespace confcard

@@ -1,0 +1,26 @@
+#include "query/predicate.h"
+
+#include <sstream>
+
+namespace confcard {
+
+std::string ToString(const Predicate& pred) {
+  std::ostringstream out;
+  if (pred.op == PredOp::kEq) {
+    out << "c" << pred.column << "=" << pred.lo;
+  } else {
+    out << pred.lo << "<=c" << pred.column << "<=" << pred.hi;
+  }
+  return out.str();
+}
+
+std::string ToString(const Query& query) {
+  std::ostringstream out;
+  for (size_t i = 0; i < query.predicates.size(); ++i) {
+    if (i > 0) out << " AND ";
+    out << ToString(query.predicates[i]);
+  }
+  return out.str();
+}
+
+}  // namespace confcard

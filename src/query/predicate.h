@@ -1,0 +1,73 @@
+// Conjunctive query predicates over one table (Section II of the paper):
+// point predicates A = v and range predicates lb <= A <= ub.
+#ifndef CONFCARD_QUERY_PREDICATE_H_
+#define CONFCARD_QUERY_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+namespace confcard {
+
+/// Predicate operator. Point predicates use kEq; ranges kBetween (a
+/// one-sided range is expressed with an infinite bound).
+enum class PredOp {
+  kEq,
+  kBetween,
+};
+
+/// One predicate on column index `column` of its table. For kEq the
+/// value is `lo` (== `hi`); for kBetween the inclusive interval is
+/// [lo, hi].
+struct Predicate {
+  int column = 0;
+  PredOp op = PredOp::kEq;
+  double lo = 0.0;
+  double hi = 0.0;
+
+  static Predicate Eq(int column, double value) {
+    return Predicate{column, PredOp::kEq, value, value};
+  }
+  static Predicate Between(int column, double lo, double hi) {
+    return Predicate{column, PredOp::kBetween, lo, hi};
+  }
+
+  /// True if `value` satisfies this predicate.
+  bool Matches(double value) const {
+    return value >= lo && value <= hi;
+  }
+
+  bool operator==(const Predicate& other) const {
+    return column == other.column && op == other.op && lo == other.lo &&
+           hi == other.hi;
+  }
+};
+
+/// A conjunctive single-table COUNT(*) query.
+struct Query {
+  std::vector<Predicate> predicates;
+
+  bool operator==(const Query& other) const {
+    return predicates == other.predicates;
+  }
+};
+
+/// Canonical debug rendering, e.g. "c3=5 AND 1<=c7<=9".
+std::string ToString(const Predicate& pred);
+std::string ToString(const Query& query);
+
+/// A query labeled with its true cardinality (and the table size used to
+/// normalize it to a selectivity). The labeled workload is the dataset D
+/// of Section III.
+struct LabeledQuery {
+  Query query;
+  double cardinality = 0.0;  // true COUNT(*)
+  double num_rows = 1.0;     // N, for normalized selectivity
+
+  double selectivity() const { return cardinality / num_rows; }
+};
+
+using Workload = std::vector<LabeledQuery>;
+
+}  // namespace confcard
+
+#endif  // CONFCARD_QUERY_PREDICATE_H_

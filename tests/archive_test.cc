@@ -1,0 +1,154 @@
+#include "common/archive.h"
+
+#include <cmath>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gbdt/gbdt.h"
+
+namespace confcard {
+namespace {
+
+constexpr uint32_t kMagic = 0xABCD1234;
+constexpr uint32_t kVersion = 3;
+
+TEST(ArchiveTest, ScalarRoundtrip) {
+  ArchiveWriter w(kMagic, kVersion);
+  w.WriteU32(7);
+  w.WriteU64(1ull << 40);
+  w.WriteI32(-5);
+  w.WriteDouble(3.25);
+  w.WriteFloat(-1.5f);
+  w.WriteString("hello");
+
+  ArchiveReader r(w.bytes(), kMagic, kVersion);
+  EXPECT_EQ(r.ReadU32(), 7u);
+  EXPECT_EQ(r.ReadU64(), 1ull << 40);
+  EXPECT_EQ(r.ReadI32(), -5);
+  EXPECT_DOUBLE_EQ(r.ReadDouble(), 3.25);
+  EXPECT_FLOAT_EQ(r.ReadFloat(), -1.5f);
+  EXPECT_EQ(r.ReadString(), "hello");
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ArchiveTest, VectorRoundtrip) {
+  ArchiveWriter w(kMagic, kVersion);
+  w.WriteDoubleVec({1.0, 2.0, 3.0});
+  w.WriteFloatVec({});
+  ArchiveReader r(w.bytes(), kMagic, kVersion);
+  auto dv = r.ReadDoubleVec();
+  ASSERT_EQ(dv.size(), 3u);
+  EXPECT_DOUBLE_EQ(dv[1], 2.0);
+  EXPECT_TRUE(r.ReadFloatVec().empty());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ArchiveTest, MagicMismatchRejected) {
+  ArchiveWriter w(kMagic, kVersion);
+  ArchiveReader r(w.bytes(), kMagic + 1, kVersion);
+  EXPECT_FALSE(r.status().ok());
+}
+
+TEST(ArchiveTest, VersionMismatchRejected) {
+  ArchiveWriter w(kMagic, kVersion);
+  ArchiveReader r(w.bytes(), kMagic, kVersion + 1);
+  EXPECT_FALSE(r.status().ok());
+}
+
+TEST(ArchiveTest, TruncationIsStickyError) {
+  ArchiveWriter w(kMagic, kVersion);
+  w.WriteU32(1);
+  std::vector<uint8_t> bytes = w.bytes();
+  bytes.pop_back();
+  ArchiveReader r(std::move(bytes), kMagic, kVersion);
+  (void)r.ReadU32();  // overruns
+  EXPECT_FALSE(r.status().ok());
+  // Further reads stay failed and return zero values.
+  EXPECT_EQ(r.ReadU64(), 0u);
+  EXPECT_FALSE(r.status().ok());
+}
+
+TEST(ArchiveTest, FileRoundtrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "confcard_archive_test.bin";
+  ArchiveWriter w(kMagic, kVersion);
+  w.WriteString("persisted");
+  ASSERT_TRUE(w.SaveToFile(path.string()).ok());
+  auto r = ArchiveReader::FromFile(path.string(), kMagic, kVersion);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ReadString(), "persisted");
+  std::filesystem::remove(path);
+}
+
+TEST(ArchiveTest, MissingFileIsIOError) {
+  auto r = ArchiveReader::FromFile("/nonexistent/archive.bin", kMagic,
+                                   kVersion);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+class GbdtPersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             "confcard_gbdt_test.bin")
+                .string();
+    Rng rng(3);
+    const size_t n = 2000;
+    X_.reserve(2 * n);
+    y_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      float a = static_cast<float>(rng.NextDouble());
+      float b = static_cast<float>(rng.NextDouble());
+      X_.push_back(a);
+      X_.push_back(b);
+      y_.push_back(std::sin(5.0 * a) + 2.0 * b);
+    }
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string path_;
+  std::vector<float> X_;
+  std::vector<double> y_;
+};
+
+TEST_F(GbdtPersistenceTest, SaveLoadPredictsIdentically) {
+  gbdt::GbdtRegressor model;
+  ASSERT_TRUE(model.Fit(X_, 2, y_).ok());
+  ASSERT_TRUE(model.SaveToFile(path_).ok());
+
+  auto loaded = gbdt::GbdtRegressor::LoadFromFile(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->fitted());
+  EXPECT_EQ(loaded->config().num_trees, model.config().num_trees);
+
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<float> x = {static_cast<float>(rng.NextDouble()),
+                            static_cast<float>(rng.NextDouble())};
+    EXPECT_DOUBLE_EQ(model.Predict(x), loaded->Predict(x));
+  }
+}
+
+TEST_F(GbdtPersistenceTest, UnfittedModelRefusesToSave) {
+  gbdt::GbdtRegressor model;
+  EXPECT_EQ(model.SaveToFile(path_).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(GbdtPersistenceTest, CorruptFileRejected) {
+  gbdt::GbdtRegressor model;
+  ASSERT_TRUE(model.Fit(X_, 2, y_).ok());
+  ASSERT_TRUE(model.SaveToFile(path_).ok());
+  // Truncate the file.
+  std::filesystem::resize_file(path_,
+                               std::filesystem::file_size(path_) / 2);
+  auto loaded = gbdt::GbdtRegressor::LoadFromFile(path_);
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace confcard

@@ -1,0 +1,136 @@
+#include "ce/binner.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace confcard {
+namespace {
+
+TEST(ColumnBinnerTest, CategoricalIdentity) {
+  Column c = Column::Categorical("k", 5, {0, 1, 2, 3, 4, 2});
+  ColumnBinner b(c, 32);
+  EXPECT_TRUE(b.is_categorical());
+  EXPECT_EQ(b.num_bins(), 5);
+  for (int v = 0; v < 5; ++v) {
+    EXPECT_EQ(b.BinOf(static_cast<double>(v)), v);
+  }
+}
+
+TEST(ColumnBinnerTest, CategoricalOutOfRangeClamps) {
+  Column c = Column::Categorical("k", 3, {0, 1, 2});
+  ColumnBinner b(c, 32);
+  EXPECT_EQ(b.BinOf(-1.0), 0);
+  EXPECT_EQ(b.BinOf(99.0), 2);
+}
+
+TEST(ColumnBinnerTest, CategoricalBinRange) {
+  Column c = Column::Categorical("k", 10, {0, 5, 9});
+  ColumnBinner b(c, 32);
+  auto [lo, hi] = b.BinRange(2.0, 6.0);
+  EXPECT_EQ(lo, 2);
+  EXPECT_EQ(hi, 6);
+  // Fractional bounds round inward.
+  auto [lo2, hi2] = b.BinRange(2.5, 6.5);
+  EXPECT_EQ(lo2, 3);
+  EXPECT_EQ(hi2, 6);
+  // Empty range.
+  auto [lo3, hi3] = b.BinRange(6.0, 2.0);
+  EXPECT_GT(lo3, hi3);
+}
+
+TEST(ColumnBinnerTest, NumericEquiDepth) {
+  std::vector<double> vals;
+  for (int i = 0; i < 1000; ++i) vals.push_back(static_cast<double>(i));
+  Column c = Column::Numeric("v", std::move(vals));
+  ColumnBinner b(c, 10);
+  EXPECT_FALSE(b.is_categorical());
+  EXPECT_EQ(b.num_bins(), 10);
+  // BinOf is monotone over the domain and stays in range.
+  int prev = -1;
+  for (int i = 0; i < 1000; i += 50) {
+    int bin = b.BinOf(static_cast<double>(i));
+    EXPECT_GE(bin, prev);
+    EXPECT_LT(bin, 10);
+    prev = bin;
+  }
+  EXPECT_EQ(b.BinOf(-100.0), 0);
+  EXPECT_EQ(b.BinOf(1e9), 9);
+}
+
+TEST(ColumnBinnerTest, NumericFewDistinctCollapses) {
+  Column c = Column::Numeric("v", {1.0, 1.0, 2.0, 2.0, 3.0});
+  ColumnBinner b(c, 32);
+  EXPECT_LE(b.num_bins(), 3);
+  EXPECT_GE(b.num_bins(), 2);
+}
+
+TEST(ColumnBinnerTest, NumericBinRangeCoversQueryInterval) {
+  std::vector<double> vals;
+  for (int i = 0; i < 1000; ++i) vals.push_back(static_cast<double>(i));
+  Column c = Column::Numeric("v", std::move(vals));
+  ColumnBinner b(c, 16);
+  auto [lo, hi] = b.BinRange(100.0, 300.0);
+  EXPECT_LE(lo, b.BinOf(100.0));
+  EXPECT_GE(hi, b.BinOf(300.0));
+  EXPECT_LE(lo, hi);
+  // Disjoint from domain.
+  auto [l2, h2] = b.BinRange(5000.0, 6000.0);
+  EXPECT_GT(l2, h2);
+}
+
+TEST(TableBinnerTest, RowBinningAndTotals) {
+  std::vector<Column> cols;
+  cols.push_back(Column::Categorical("a", 4, {0, 3, 1}));
+  cols.push_back(Column::Numeric("b", {0.0, 50.0, 100.0}));
+  Table t = Table::Make("t", std::move(cols)).value();
+  TableBinner tb(t, 8);
+  EXPECT_EQ(tb.num_columns(), 2u);
+  EXPECT_EQ(tb.TotalBins(),
+            4u + static_cast<size_t>(tb.column(1).num_bins()));
+  auto bins = tb.BinRow(t, 1);
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_EQ(bins[0], 3);
+}
+
+TEST(TableBinnerTest, PredicateBinsMatchesColumnBinner) {
+  std::vector<Column> cols;
+  cols.push_back(Column::Categorical("a", 6, {0, 5, 3}));
+  Table t = Table::Make("t", std::move(cols)).value();
+  TableBinner tb(t, 8);
+  auto [lo, hi] = tb.PredicateBins(Predicate::Eq(0, 3.0));
+  EXPECT_EQ(lo, 3);
+  EXPECT_EQ(hi, 3);
+}
+
+// Property: a point query on any observed value maps into the bin that
+// BinOf assigns that value.
+class BinnerPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BinnerPropertyTest, PointRangeConsistency) {
+  TableSpec spec;
+  spec.name = "t";
+  spec.num_rows = 600;
+  spec.seed = static_cast<uint64_t>(GetParam());
+  ColumnSpec n;
+  n.name = "x";
+  n.kind = ColumnKind::kNumeric;
+  n.num_min = -3.0;
+  n.num_max = 7.0;
+  n.dist = NumericDist::kGaussian;
+  spec.columns = {n};
+  Table t = GenerateTable(spec).value();
+  ColumnBinner b(t.column(0), 16);
+  for (size_t r = 0; r < t.num_rows(); r += 7) {
+    double v = t.At(r, 0);
+    auto [lo, hi] = b.BinRange(v, v);
+    EXPECT_LE(lo, b.BinOf(v));
+    EXPECT_GE(hi, b.BinOf(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinnerPropertyTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace confcard

@@ -1,0 +1,60 @@
+#include "data/column.h"
+
+#include <gtest/gtest.h>
+
+namespace confcard {
+namespace {
+
+TEST(ColumnTest, CategoricalBasics) {
+  Column c = Column::Categorical("kind", 4, {0, 1, 1, 3, 0});
+  EXPECT_EQ(c.name(), "kind");
+  EXPECT_TRUE(c.is_categorical());
+  EXPECT_EQ(c.kind(), ColumnKind::kCategorical);
+  EXPECT_EQ(c.domain_size(), 4);
+  EXPECT_EQ(c.size(), 5u);
+  EXPECT_DOUBLE_EQ(c[2], 1.0);
+}
+
+TEST(ColumnTest, NumericBasics) {
+  Column c = Column::Numeric("v", {3.5, -1.0, 2.0});
+  EXPECT_FALSE(c.is_categorical());
+  EXPECT_EQ(c.domain_size(), 0);
+  EXPECT_DOUBLE_EQ(c.min_value(), -1.0);
+  EXPECT_DOUBLE_EQ(c.max_value(), 3.5);
+}
+
+TEST(ColumnTest, DistinctCount) {
+  Column c = Column::Numeric("v", {1, 1, 2, 2, 2, 3});
+  EXPECT_EQ(c.distinct_count(), 3);
+}
+
+TEST(ColumnTest, DistinctValuesSorted) {
+  Column c = Column::Numeric("v", {5, 1, 5, 3});
+  auto d = c.DistinctValues();
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 1.0);
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+  EXPECT_DOUBLE_EQ(d[2], 5.0);
+}
+
+TEST(ColumnTest, EmptyColumnStats) {
+  Column c = Column::Numeric("v", {});
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.distinct_count(), 0);
+  EXPECT_DOUBLE_EQ(c.min_value(), 0.0);
+}
+
+TEST(ColumnTest, KindToString) {
+  EXPECT_STREQ(ColumnKindToString(ColumnKind::kCategorical), "categorical");
+  EXPECT_STREQ(ColumnKindToString(ColumnKind::kNumeric), "numeric");
+}
+
+TEST(ColumnTest, CategoricalStatsUseCodes) {
+  Column c = Column::Categorical("k", 10, {7, 2, 2});
+  EXPECT_DOUBLE_EQ(c.min_value(), 2.0);
+  EXPECT_DOUBLE_EQ(c.max_value(), 7.0);
+  EXPECT_EQ(c.distinct_count(), 2);
+}
+
+}  // namespace
+}  // namespace confcard

@@ -1,0 +1,130 @@
+// Conformalized quantile regression: conformalizing a (possibly
+// miscalibrated) quantile band restores finite-sample coverage, and the
+// resulting intervals inherit the band's adaptivity and asymmetry.
+#include "conformal/cqr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace confcard {
+namespace {
+
+TEST(CqrTest, TauLevelsMatchAlpha) {
+  ConformalizedQuantileRegression cqr(0.1);
+  EXPECT_DOUBLE_EQ(cqr.lower_tau(), 0.05);
+  EXPECT_DOUBLE_EQ(cqr.upper_tau(), 0.95);
+}
+
+TEST(CqrTest, RejectsBadInputs) {
+  ConformalizedQuantileRegression cqr(0.1);
+  EXPECT_FALSE(cqr.Calibrate({1.0}, {2.0}, {1.5, 2.5}).ok());
+  EXPECT_FALSE(cqr.Calibrate({}, {}, {}).ok());
+  EXPECT_FALSE(cqr.calibrated());
+}
+
+TEST(CqrTest, PerfectBandGetsNonPositiveDelta) {
+  // If the quantile band always contains the truth with margin, the
+  // conformal correction delta can be negative (shrinking the band).
+  ConformalizedQuantileRegression cqr(0.5);
+  std::vector<double> lo, hi, y;
+  for (int i = 0; i < 100; ++i) {
+    y.push_back(100.0 + i);
+    lo.push_back(y.back() - 50.0);
+    hi.push_back(y.back() + 50.0);
+  }
+  ASSERT_TRUE(cqr.Calibrate(lo, hi, y).ok());
+  EXPECT_LE(cqr.delta(), 0.0);
+  Interval iv = cqr.Predict(100.0, 200.0);
+  EXPECT_GT(iv.lo, 100.0);
+  EXPECT_LT(iv.hi, 200.0);
+}
+
+TEST(CqrTest, UndercoveringBandGetsPositiveDelta) {
+  // A band that frequently misses the truth must be widened.
+  Rng rng(7);
+  ConformalizedQuantileRegression cqr(0.1);
+  std::vector<double> lo, hi, y;
+  for (int i = 0; i < 500; ++i) {
+    double truth = 100.0 * rng.NextGaussian();
+    y.push_back(truth);
+    lo.push_back(-10.0);  // way too narrow
+    hi.push_back(10.0);
+  }
+  ASSERT_TRUE(cqr.Calibrate(lo, hi, y).ok());
+  EXPECT_GT(cqr.delta(), 50.0);
+}
+
+TEST(CqrTest, CrossedHeadsCollapseToMidpoint) {
+  ConformalizedQuantileRegression cqr(0.5);
+  std::vector<double> lo = {0, 0, 0, 0}, hi = {10, 10, 10, 10};
+  std::vector<double> y = {5, 5, 5, 5};
+  ASSERT_TRUE(cqr.Calibrate(lo, hi, y).ok());
+  // Heads crossed at inference: hi < lo after delta shift.
+  Interval iv = cqr.Predict(100.0, 20.0);
+  EXPECT_DOUBLE_EQ(iv.lo, iv.hi);
+}
+
+// Coverage property with synthetic quantile heads that are deliberately
+// too narrow: CQR must restore >= 1 - alpha coverage.
+class CqrCoverageProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(CqrCoverageProperty, CoverageRestored) {
+  const double alpha = GetParam();
+  double covered = 0.0, total = 0.0;
+  for (uint64_t rep = 0; rep < 8; ++rep) {
+    Rng rng(300 + rep);
+    auto draw = [&](size_t n, std::vector<double>* lo,
+                    std::vector<double>* hi, std::vector<double>* y) {
+      for (size_t i = 0; i < n; ++i) {
+        double x = rng.NextDouble();
+        double signal = 1000.0 * x;
+        double sigma = 20.0 + 100.0 * x;
+        y->push_back(signal + sigma * rng.NextGaussian());
+        // Miscalibrated band: half the true sigma.
+        lo->push_back(signal - 0.8 * sigma);
+        hi->push_back(signal + 0.8 * sigma);
+      }
+    };
+    std::vector<double> clo, chi, cy, tlo, thi, ty;
+    draw(700, &clo, &chi, &cy);
+    draw(700, &tlo, &thi, &ty);
+    ConformalizedQuantileRegression cqr(alpha);
+    ASSERT_TRUE(cqr.Calibrate(clo, chi, cy).ok());
+    for (size_t i = 0; i < ty.size(); ++i) {
+      Interval iv = cqr.Predict(tlo[i], thi[i]);
+      covered += iv.Contains(ty[i]) ? 1.0 : 0.0;
+      total += 1.0;
+    }
+  }
+  double coverage = covered / total;
+  double slack = 3.0 * std::sqrt(alpha * (1 - alpha) / total);
+  EXPECT_GE(coverage, 1.0 - alpha - slack);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, CqrCoverageProperty,
+                         ::testing::Values(0.05, 0.1, 0.2));
+
+TEST(CqrTest, IntervalsStayAdaptive) {
+  // After conformalization, wide-band queries keep wider intervals than
+  // narrow-band queries (the additive shift preserves the shape).
+  ConformalizedQuantileRegression cqr(0.1);
+  Rng rng(11);
+  std::vector<double> lo, hi, y;
+  for (int i = 0; i < 500; ++i) {
+    double x = rng.NextDouble();
+    double sigma = 10.0 + 100.0 * x;
+    y.push_back(1000.0 * x + sigma * rng.NextGaussian());
+    lo.push_back(1000.0 * x - sigma);
+    hi.push_back(1000.0 * x + sigma);
+  }
+  ASSERT_TRUE(cqr.Calibrate(lo, hi, y).ok());
+  Interval narrow = cqr.Predict(0.0, 20.0);
+  Interval wide = cqr.Predict(0.0, 220.0);
+  EXPECT_GT(wide.width(), narrow.width() + 100.0);
+}
+
+}  // namespace
+}  // namespace confcard

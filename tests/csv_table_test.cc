@@ -1,0 +1,125 @@
+#include "data/csv_table.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace confcard {
+namespace {
+
+class CsvTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            "confcard_csv_table_test.csv";
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  void WriteFile(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+
+  std::filesystem::path path_;
+};
+
+TEST_F(CsvTableTest, InfersNumericAndCategorical) {
+  WriteFile("age,city,score\n31,nyc,1.5\n45,sf,2.25\n31,nyc,-3\n");
+  auto loaded = LoadTableFromCsv(path_.string(), "people");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Table& t = loaded->table;
+  EXPECT_EQ(t.name(), "people");
+  EXPECT_EQ(t.num_rows(), 3u);
+  ASSERT_EQ(t.num_columns(), 3u);
+  EXPECT_FALSE(t.column(0).is_categorical());
+  EXPECT_TRUE(t.column(1).is_categorical());
+  EXPECT_FALSE(t.column(2).is_categorical());
+  EXPECT_DOUBLE_EQ(t.At(1, 0), 45.0);
+  EXPECT_DOUBLE_EQ(t.At(2, 2), -3.0);
+}
+
+TEST_F(CsvTableTest, DictionaryRoundTrip) {
+  WriteFile("city\nnyc\nsf\nnyc\nla\n");
+  auto loaded = LoadTableFromCsv(path_.string(), "t").value();
+  const Column& c = loaded.table.column(0);
+  EXPECT_EQ(c.domain_size(), 3);
+  // Codes assigned in first-appearance order.
+  EXPECT_EQ(loaded.Decode(0, static_cast<int64_t>(c[0])), "nyc");
+  EXPECT_EQ(loaded.Decode(0, static_cast<int64_t>(c[1])), "sf");
+  EXPECT_EQ(loaded.Decode(0, static_cast<int64_t>(c[3])), "la");
+  EXPECT_EQ(loaded.Decode(0, 99), "");
+  EXPECT_EQ(loaded.Decode(5, 0), "");
+}
+
+TEST_F(CsvTableTest, NoHeaderNamesColumns) {
+  WriteFile("1,2\n3,4\n");
+  CsvLoadOptions opts;
+  opts.has_header = false;
+  auto loaded = LoadTableFromCsv(path_.string(), "t", opts).value();
+  EXPECT_EQ(loaded.table.column(0).name(), "c0");
+  EXPECT_EQ(loaded.table.column(1).name(), "c1");
+  EXPECT_EQ(loaded.table.num_rows(), 2u);
+}
+
+TEST_F(CsvTableTest, ForceCategoricalOverridesInference) {
+  WriteFile("zip\n10001\n94105\n10001\n");
+  CsvLoadOptions opts;
+  opts.force_categorical = {"zip"};
+  auto loaded = LoadTableFromCsv(path_.string(), "t", opts).value();
+  EXPECT_TRUE(loaded.table.column(0).is_categorical());
+  EXPECT_EQ(loaded.table.column(0).domain_size(), 2);
+}
+
+TEST_F(CsvTableTest, EmptyNumericCellsLoadAsZero) {
+  // (A fully empty line would be skipped by the reader, so the empty
+  // cell sits alongside a second column.)
+  WriteFile("x,y\n1,a\n,b\n3,c\n");
+  auto loaded = LoadTableFromCsv(path_.string(), "t").value();
+  EXPECT_FALSE(loaded.table.column(0).is_categorical());
+  EXPECT_DOUBLE_EQ(loaded.table.At(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(loaded.table.At(2, 0), 3.0);
+}
+
+TEST_F(CsvTableTest, MixedColumnFallsBackToCategorical) {
+  WriteFile("v\n1\nx\n2\n");
+  auto loaded = LoadTableFromCsv(path_.string(), "t").value();
+  EXPECT_TRUE(loaded.table.column(0).is_categorical());
+  EXPECT_EQ(loaded.table.column(0).domain_size(), 3);
+}
+
+TEST_F(CsvTableTest, RejectsRaggedRows) {
+  WriteFile("a,b\n1,2\n3\n");
+  auto loaded = LoadTableFromCsv(path_.string(), "t");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTableTest, RejectsOversizedDomain) {
+  std::string content = "v\n";
+  for (int i = 0; i < 50; ++i) {
+    content += "label" + std::to_string(i) + "\n";
+  }
+  WriteFile(content);
+  CsvLoadOptions opts;
+  opts.max_categorical_domain = 10;
+  auto loaded = LoadTableFromCsv(path_.string(), "t", opts);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("max_categorical_domain"),
+            std::string::npos);
+}
+
+TEST_F(CsvTableTest, MissingFileIsIOError) {
+  auto loaded = LoadTableFromCsv("/nonexistent/file.csv", "t");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(CsvTableTest, EmptyFileRejected) {
+  WriteFile("header_only\n");
+  auto loaded = LoadTableFromCsv(path_.string(), "t");
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace confcard

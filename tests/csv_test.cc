@@ -1,0 +1,106 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace confcard {
+namespace {
+
+TEST(SplitCsvLineTest, Simple) {
+  auto f = SplitCsvLine("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(SplitCsvLineTest, EmptyFields) {
+  auto f = SplitCsvLine(",x,");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "");
+  EXPECT_EQ(f[1], "x");
+  EXPECT_EQ(f[2], "");
+}
+
+TEST(SplitCsvLineTest, QuotedDelimiter) {
+  auto f = SplitCsvLine("\"a,b\",c");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "a,b");
+  EXPECT_EQ(f[1], "c");
+}
+
+TEST(SplitCsvLineTest, EscapedQuote) {
+  auto f = SplitCsvLine("\"say \"\"hi\"\"\",x");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "say \"hi\"");
+}
+
+TEST(SplitCsvLineTest, CarriageReturnStripped) {
+  auto f = SplitCsvLine("a,b\r");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[1], "b");
+}
+
+TEST(SplitCsvLineTest, CustomDelimiter) {
+  auto f = SplitCsvLine("a|b|c", '|');
+  ASSERT_EQ(f.size(), 3u);
+}
+
+class CsvFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("confcard_csv_test_" +
+             std::to_string(::testing::UnitTest::GetInstance()
+                                ->random_seed()) +
+             ".csv");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(CsvFileTest, WriteReadRoundtrip) {
+  std::vector<std::string> header = {"x", "y"};
+  std::vector<std::vector<std::string>> rows = {{"1", "a,b"}, {"2", "c"}};
+  ASSERT_TRUE(WriteCsv(path_.string(), header, rows).ok());
+
+  std::vector<std::string> got_header;
+  auto got = ReadCsv(path_.string(), true, &got_header);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got_header, header);
+  ASSERT_EQ(got->size(), 2u);
+  EXPECT_EQ((*got)[0][1], "a,b");
+  EXPECT_EQ((*got)[1][0], "2");
+}
+
+TEST_F(CsvFileTest, ReadNoHeader) {
+  ASSERT_TRUE(WriteCsv(path_.string(), {}, {{"1"}, {"2"}}).ok());
+  auto got = ReadCsv(path_.string(), false);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), 2u);
+}
+
+TEST_F(CsvFileTest, SkipsEmptyLines) {
+  std::ofstream out(path_);
+  out << "h\n\n1\n\n2\n";
+  out.close();
+  auto got = ReadCsv(path_.string(), true);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), 2u);
+}
+
+TEST(CsvErrorTest, MissingFileIsIOError) {
+  auto got = ReadCsv("/nonexistent/confcard.csv");
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvErrorTest, UnwritablePathIsIOError) {
+  Status st = WriteCsv("/nonexistent/dir/confcard.csv", {"a"}, {});
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace confcard

@@ -1,0 +1,67 @@
+#include "data/datasets.h"
+
+#include <gtest/gtest.h>
+
+namespace confcard {
+namespace {
+
+TEST(DatasetsTest, DmvShapeMatchesPublished) {
+  auto t = MakeDmv(1000);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->name(), "dmv");
+  EXPECT_EQ(t->num_rows(), 1000u);
+  EXPECT_EQ(t->num_columns(), 11u);
+  // 10 categorical + 1 numeric, as in the real DMV table.
+  int categorical = 0;
+  for (const Column& c : t->columns()) {
+    categorical += c.is_categorical() ? 1 : 0;
+  }
+  EXPECT_EQ(categorical, 10);
+}
+
+TEST(DatasetsTest, CensusShape) {
+  auto t = MakeCensus(500);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_columns(), 13u);
+}
+
+TEST(DatasetsTest, ForestShapeAllNumeric) {
+  auto t = MakeForest(500);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_columns(), 10u);
+  for (const Column& c : t->columns()) {
+    EXPECT_FALSE(c.is_categorical()) << c.name();
+  }
+}
+
+TEST(DatasetsTest, PowerShapeAllNumeric) {
+  auto t = MakePower(500);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_columns(), 7u);
+  for (const Column& c : t->columns()) {
+    EXPECT_FALSE(c.is_categorical()) << c.name();
+  }
+}
+
+TEST(DatasetsTest, SeedsAreReproducible) {
+  auto a = MakeDmv(200, 7);
+  auto b = MakeDmv(200, 7);
+  auto c = MakeDmv(200, 8);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a->column(1).data(), b->column(1).data());
+  EXPECT_NE(a->column(1).data(), c->column(1).data());
+}
+
+TEST(DatasetsTest, DmvIsSkewed) {
+  auto t = MakeDmv(20000).value();
+  // record_type has a strongly dominant code (Zipf 1.2 over 4 codes).
+  const Column& rt = t.ColumnByName("record_type");
+  std::vector<int> counts(4, 0);
+  for (double v : rt.data()) counts[static_cast<size_t>(v)]++;
+  int mx = std::max(std::max(counts[0], counts[1]),
+                    std::max(counts[2], counts[3]));
+  EXPECT_GT(mx, 20000 / 3);
+}
+
+}  // namespace
+}  // namespace confcard

@@ -1,0 +1,92 @@
+// Martingale exchangeability test: must stay quiet on i.i.d. score
+// streams and fire on distribution shift — the workload-drift detector
+// of Section V-D.
+#include "conformal/exchangeability.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace confcard {
+namespace {
+
+TEST(ExchangeabilityTest, PValuesInUnitInterval) {
+  ExchangeabilityTest test;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    double p = test.Observe(rng.NextGaussian());
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  EXPECT_EQ(test.num_observed(), 200u);
+}
+
+TEST(ExchangeabilityTest, IidStreamStaysQuiet) {
+  ExchangeabilityTest test;
+  Rng rng(2);
+  for (int i = 0; i < 3000; ++i) {
+    test.Observe(std::fabs(rng.NextGaussian()));
+  }
+  // Under exchangeability E[M_t] = 1; the martingale should not come
+  // close to the 1/0.01 rejection threshold.
+  EXPECT_FALSE(test.Reject(0.01));
+  EXPECT_LT(test.LogMartingale(), std::log(100.0));
+}
+
+TEST(ExchangeabilityTest, DetectsUpwardShift) {
+  ExchangeabilityTest test;
+  Rng rng(3);
+  // 800 small scores, then 800 much larger scores (workload drift makes
+  // the model's residuals explode).
+  for (int i = 0; i < 800; ++i) {
+    test.Observe(std::fabs(rng.NextGaussian()));
+  }
+  EXPECT_FALSE(test.Reject(0.01));
+  for (int i = 0; i < 800; ++i) {
+    test.Observe(10.0 + std::fabs(rng.NextGaussian()));
+  }
+  EXPECT_TRUE(test.Reject(0.01));
+}
+
+TEST(ExchangeabilityTest, MartingaleGrowsMonotonicallyUnderShift) {
+  ExchangeabilityTest test;
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    test.Observe(std::fabs(rng.NextGaussian()));
+  }
+  double before = test.LogMartingale();
+  for (int i = 0; i < 500; ++i) {
+    test.Observe(20.0 + std::fabs(rng.NextGaussian()));
+  }
+  EXPECT_GT(test.LogMartingale(), before + std::log(1000.0));
+}
+
+TEST(ExchangeabilityTest, DeterministicBySeed) {
+  ExchangeabilityTest a({0.5, 0.8}, 9), b({0.5, 0.8}, 9);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    double s = rng.NextDouble();
+    EXPECT_DOUBLE_EQ(a.Observe(s), b.Observe(s));
+  }
+  EXPECT_DOUBLE_EQ(a.LogMartingale(), b.LogMartingale());
+}
+
+TEST(ExchangeabilityTest, ShuffledStreamQuietEvenWithHeavyTails) {
+  // The test must key on *order*, not on the marginal distribution:
+  // heavy-tailed but exchangeable scores should not trigger it.
+  ExchangeabilityTest test;
+  Rng rng(6);
+  std::vector<double> scores;
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.NextDouble();
+    scores.push_back(1.0 / (0.01 + u * u));  // heavy tail
+  }
+  rng.Shuffle(scores);
+  for (double s : scores) test.Observe(s);
+  EXPECT_FALSE(test.Reject(0.01));
+}
+
+}  // namespace
+}  // namespace confcard

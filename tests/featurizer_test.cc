@@ -1,0 +1,153 @@
+#include "ce/featurizer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "data/multitable.h"
+#include "query/join_workload.h"
+
+namespace confcard {
+namespace {
+
+Table MakeTable() {
+  TableSpec spec;
+  spec.name = "t";
+  spec.num_rows = 500;
+  spec.seed = 9;
+  ColumnSpec a;
+  a.name = "a";
+  a.domain_size = 4;
+  ColumnSpec b;
+  b.name = "b";
+  b.kind = ColumnKind::kNumeric;
+  b.num_min = 0.0;
+  b.num_max = 10.0;
+  spec.columns = {a, b};
+  return GenerateTable(spec).value();
+}
+
+TEST(FlatQueryFeaturizerTest, DimAndLayout) {
+  Table t = MakeTable();
+  FlatQueryFeaturizer f(t);
+  EXPECT_EQ(f.dim(), 5u * 2u + 1u);
+
+  Query q;
+  q.predicates = {Predicate::Between(1, 2.0, 6.0)};
+  auto v = f.Featurize(q);
+  ASSERT_EQ(v.size(), f.dim());
+  // Column 0 unconstrained: full range markers.
+  EXPECT_FLOAT_EQ(v[0], 0.0f);   // has_pred
+  EXPECT_FLOAT_EQ(v[3], 1.0f);   // hi
+  EXPECT_FLOAT_EQ(v[4], 1.0f);   // width
+  // Column 1 constrained: normalized [0.2, 0.6].
+  EXPECT_FLOAT_EQ(v[5], 1.0f);
+  EXPECT_FLOAT_EQ(v[6], 0.0f);   // range, not equality
+  EXPECT_NEAR(v[7], 0.2f, 5e-3f);
+  EXPECT_NEAR(v[8], 0.6f, 5e-3f);
+  EXPECT_NEAR(v[9], 0.4f, 5e-3f);
+  // Predicate count fraction.
+  EXPECT_FLOAT_EQ(v[10], 0.5f);
+}
+
+TEST(FlatQueryFeaturizerTest, LiteralsClamped) {
+  Table t = MakeTable();
+  FlatQueryFeaturizer f(t);
+  Query q;
+  q.predicates = {Predicate::Between(1, -100.0, 100.0)};
+  auto v = f.Featurize(q);
+  EXPECT_FLOAT_EQ(v[7], 0.0f);
+  EXPECT_FLOAT_EQ(v[8], 1.0f);
+}
+
+TEST(MscnFeaturizerTest, ShapesWithoutBitmaps) {
+  Table t = MakeTable();
+  MscnFeaturizer f(t, nullptr);
+  EXPECT_EQ(f.table_dim(), 2u);
+  EXPECT_EQ(f.predicate_dim(), 2u + 2u + 2u);
+  Query q;
+  q.predicates = {Predicate::Eq(0, 2.0)};
+  MscnInput in = f.Featurize(q);
+  ASSERT_EQ(in.tables.size(), 1u);
+  EXPECT_TRUE(in.joins.empty());
+  ASSERT_EQ(in.predicates.size(), 1u);
+  EXPECT_EQ(in.predicates[0].size(), f.predicate_dim());
+  // Column one-hot and eq marker.
+  EXPECT_FLOAT_EQ(in.predicates[0][0], 1.0f);
+  EXPECT_FLOAT_EQ(in.predicates[0][2], 1.0f);
+}
+
+TEST(MscnFeaturizerTest, BitmapAttachedToTableVector) {
+  Table t = MakeTable();
+  SamplingEstimator sampler(t, 32);
+  MscnFeaturizer f(t, &sampler);
+  EXPECT_EQ(f.table_dim(), 2u + 32u);
+  Query q;  // no predicates: every sampled row matches
+  MscnInput in = f.Featurize(q);
+  float sum = 0.0f;
+  for (size_t i = 2; i < in.tables[0].size(); ++i) sum += in.tables[0][i];
+  EXPECT_FLOAT_EQ(sum, 32.0f);
+}
+
+class JoinFeaturizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { db_ = MakeDsbLike(2000, 13).value(); }
+  Database db_;
+};
+
+TEST_F(JoinFeaturizerTest, Dims) {
+  MscnJoinFeaturizer f(db_);
+  EXPECT_EQ(f.table_dim(), db_.tables().size() + 1);
+  EXPECT_EQ(f.join_dim(), db_.join_edges().size());
+  size_t total_cols = 0;
+  for (const Table& t : db_.tables()) total_cols += t.num_columns();
+  EXPECT_EQ(f.predicate_dim(), total_cols + 4);
+  EXPECT_EQ(f.flat_dim(), db_.tables().size() + db_.join_edges().size() +
+                              5 * total_cols);
+}
+
+TEST_F(JoinFeaturizerTest, FeaturizesJoinQuery) {
+  MscnJoinFeaturizer f(db_);
+  JoinQuery q;
+  q.tables = {"store_sales", "item"};
+  q.joins = db_.EdgesAmong(q.tables);
+  const Table& item = db_.table("item");
+  q.predicates = {{"item", Predicate::Eq(item.ColumnIndex("i_category"),
+                                         1.0)}};
+  MscnInput in = f.Featurize(q);
+  EXPECT_EQ(in.tables.size(), 2u);
+  EXPECT_EQ(in.joins.size(), 1u);
+  EXPECT_EQ(in.predicates.size(), 1u);
+  // Join one-hot set exactly once.
+  float jsum = 0.0f;
+  for (float v : in.joins[0]) jsum += v;
+  EXPECT_FLOAT_EQ(jsum, 1.0f);
+}
+
+TEST_F(JoinFeaturizerTest, FlatFeaturesMarkTablesAndJoins) {
+  MscnJoinFeaturizer f(db_);
+  JoinQuery q;
+  q.tables = {"store_sales", "store"};
+  q.joins = db_.EdgesAmong(q.tables);
+  auto v = f.FlatFeaturize(q);
+  ASSERT_EQ(v.size(), f.flat_dim());
+  float tsum = 0.0f;
+  for (size_t i = 0; i < db_.tables().size(); ++i) tsum += v[i];
+  EXPECT_FLOAT_EQ(tsum, 2.0f);
+}
+
+TEST_F(JoinFeaturizerTest, EdgeMatchingIsDirectionAgnostic) {
+  MscnJoinFeaturizer f(db_);
+  JoinQuery q;
+  q.tables = {"store_sales", "store"};
+  JoinEdge e = db_.EdgesAmong(q.tables)[0];
+  std::swap(e.left_table, e.right_table);
+  std::swap(e.left_column, e.right_column);
+  q.joins = {e};
+  MscnInput in = f.Featurize(q);
+  float jsum = 0.0f;
+  for (float v : in.joins[0]) jsum += v;
+  EXPECT_FLOAT_EQ(jsum, 1.0f);
+}
+
+}  // namespace
+}  // namespace confcard

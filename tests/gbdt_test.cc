@@ -1,0 +1,152 @@
+#include "gbdt/gbdt.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace confcard {
+namespace gbdt {
+namespace {
+
+// Builds (X, y) for y = f(x0, x1) with X ~ U[0,1]^2.
+struct Data {
+  std::vector<float> X;
+  std::vector<double> y;
+};
+
+template <typename F>
+Data MakeData(size_t n, F f, uint64_t seed) {
+  Rng rng(seed);
+  Data d;
+  d.X.reserve(n * 2);
+  d.y.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    float a = static_cast<float>(rng.NextDouble());
+    float b = static_cast<float>(rng.NextDouble());
+    d.X.push_back(a);
+    d.X.push_back(b);
+    d.y.push_back(f(a, b));
+  }
+  return d;
+}
+
+double Mse(const GbdtRegressor& model, const Data& d) {
+  double mse = 0.0;
+  for (size_t i = 0; i < d.y.size(); ++i) {
+    double p = model.Predict(&d.X[2 * i]);
+    mse += (p - d.y[i]) * (p - d.y[i]);
+  }
+  return mse / static_cast<double>(d.y.size());
+}
+
+TEST(GbdtTest, FitsStepFunction) {
+  auto step = [](float a, float) { return a > 0.5f ? 10.0 : 0.0; };
+  Data train = MakeData(2000, step, 1);
+  Data test = MakeData(500, step, 2);
+  GbdtRegressor model;
+  ASSERT_TRUE(model.Fit(train.X, 2, train.y).ok());
+  EXPECT_TRUE(model.fitted());
+  EXPECT_LT(Mse(model, test), 0.5);
+}
+
+TEST(GbdtTest, FitsAdditiveFunction) {
+  auto f = [](float a, float b) { return 3.0 * a + 2.0 * b; };
+  Data train = MakeData(3000, f, 3);
+  Data test = MakeData(500, f, 4);
+  GbdtRegressor model;
+  ASSERT_TRUE(model.Fit(train.X, 2, train.y).ok());
+  EXPECT_LT(Mse(model, test), 0.05);
+}
+
+TEST(GbdtTest, FitsInteraction) {
+  // XOR-like: trees must split on both features.
+  auto f = [](float a, float b) {
+    return ((a > 0.5f) != (b > 0.5f)) ? 5.0 : -5.0;
+  };
+  Data train = MakeData(4000, f, 5);
+  Data test = MakeData(500, f, 6);
+  GbdtConfig cfg;
+  cfg.tree.max_depth = 3;
+  cfg.num_trees = 200;
+  GbdtRegressor model(cfg);
+  ASSERT_TRUE(model.Fit(train.X, 2, train.y).ok());
+  EXPECT_LT(Mse(model, test), 2.0);
+}
+
+TEST(GbdtTest, BeatsConstantBaseline) {
+  auto f = [](float a, float b) { return std::sin(6.0 * a) + b * b; };
+  Data train = MakeData(3000, f, 7);
+  Data test = MakeData(500, f, 8);
+  GbdtRegressor model;
+  ASSERT_TRUE(model.Fit(train.X, 2, train.y).ok());
+  double mean = 0.0;
+  for (double v : train.y) mean += v;
+  mean /= static_cast<double>(train.y.size());
+  double baseline = 0.0;
+  for (double v : test.y) baseline += (v - mean) * (v - mean);
+  baseline /= static_cast<double>(test.y.size());
+  EXPECT_LT(Mse(model, test), baseline / 4.0);
+}
+
+TEST(GbdtTest, DeterministicBySeed) {
+  auto f = [](float a, float b) { return a - b; };
+  Data train = MakeData(1000, f, 9);
+  GbdtRegressor m1, m2;
+  ASSERT_TRUE(m1.Fit(train.X, 2, train.y).ok());
+  ASSERT_TRUE(m2.Fit(train.X, 2, train.y).ok());
+  std::vector<float> probe = {0.3f, 0.7f};
+  EXPECT_DOUBLE_EQ(m1.Predict(probe), m2.Predict(probe));
+}
+
+TEST(GbdtTest, ConstantTargetIsExact) {
+  Data train = MakeData(500, [](float, float) { return 7.0; }, 10);
+  GbdtRegressor model;
+  ASSERT_TRUE(model.Fit(train.X, 2, train.y).ok());
+  std::vector<float> probe = {0.5f, 0.5f};
+  EXPECT_NEAR(model.Predict(probe), 7.0, 1e-6);
+}
+
+TEST(GbdtValidationTest, RejectsBadInputs) {
+  GbdtRegressor model;
+  EXPECT_FALSE(model.Fit({}, 0, {}).ok());
+  EXPECT_FALSE(model.Fit({1.0f, 2.0f}, 2, {1.0, 2.0}).ok());  // mismatch
+  GbdtConfig cfg;
+  cfg.subsample = 0.0;
+  GbdtRegressor bad(cfg);
+  EXPECT_FALSE(bad.Fit({1.0f}, 1, {1.0}).ok());
+}
+
+TEST(TreeBinningTest, EdgesAreStrictlyIncreasing) {
+  Rng rng(11);
+  std::vector<float> X;
+  for (int i = 0; i < 1000; ++i) {
+    X.push_back(static_cast<float>(rng.NextUint64(5)));  // few distincts
+  }
+  FeatureMatrix mat{X.data(), 1000, 1};
+  auto edges = ComputeBinEdges(mat, 32);
+  ASSERT_EQ(edges.size(), 1u);
+  for (size_t i = 1; i < edges[0].size(); ++i) {
+    EXPECT_LT(edges[0][i - 1], edges[0][i]);
+  }
+  EXPECT_LE(edges[0].size(), 31u);
+}
+
+TEST(TreeBinningTest, BinSemanticsMatchSplits) {
+  // bin(v) <= j must be equivalent to v <= edges[j].
+  std::vector<float> X = {1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f, 7.0f, 8.0f};
+  FeatureMatrix mat{X.data(), 8, 1};
+  auto edges = ComputeBinEdges(mat, 4);
+  auto bins = ComputeBins(mat, edges);
+  for (size_t r = 0; r < 8; ++r) {
+    for (size_t j = 0; j < edges[0].size(); ++j) {
+      EXPECT_EQ(bins[r] <= j, X[r] <= edges[0][j])
+          << "row " << r << " edge " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gbdt
+}  // namespace confcard

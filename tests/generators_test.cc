@@ -1,0 +1,207 @@
+#include "data/generators.h"
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace confcard {
+namespace {
+
+ColumnSpec Cat(const char* name, int64_t domain, double skew,
+               int parent = -1, double corr = 0.0) {
+  ColumnSpec c;
+  c.name = name;
+  c.kind = ColumnKind::kCategorical;
+  c.domain_size = domain;
+  c.zipf_skew = skew;
+  c.parent = parent;
+  c.correlation = corr;
+  return c;
+}
+
+ColumnSpec Num(const char* name, double lo, double hi, NumericDist d,
+               int parent = -1, double corr = 0.0) {
+  ColumnSpec c;
+  c.name = name;
+  c.kind = ColumnKind::kNumeric;
+  c.num_min = lo;
+  c.num_max = hi;
+  c.dist = d;
+  c.parent = parent;
+  c.correlation = corr;
+  return c;
+}
+
+TEST(GeneratorTest, ProducesRequestedShape) {
+  TableSpec spec;
+  spec.name = "g";
+  spec.num_rows = 500;
+  spec.seed = 3;
+  spec.columns = {Cat("a", 5, 1.0), Num("b", 0.0, 10.0,
+                                        NumericDist::kUniform)};
+  auto t = GenerateTable(spec);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 500u);
+  EXPECT_EQ(t->num_columns(), 2u);
+  EXPECT_TRUE(t->column(0).is_categorical());
+  EXPECT_FALSE(t->column(1).is_categorical());
+}
+
+TEST(GeneratorTest, CategoricalValuesWithinDomain) {
+  TableSpec spec;
+  spec.name = "g";
+  spec.num_rows = 2000;
+  spec.columns = {Cat("a", 7, 1.5)};
+  auto t = GenerateTable(spec);
+  ASSERT_TRUE(t.ok());
+  for (double v : t->column(0).data()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 7.0);
+    EXPECT_EQ(v, std::floor(v));
+  }
+}
+
+TEST(GeneratorTest, NumericValuesWithinRange) {
+  for (NumericDist d : {NumericDist::kUniform, NumericDist::kGaussian,
+                        NumericDist::kExponential}) {
+    TableSpec spec;
+    spec.name = "g";
+    spec.num_rows = 2000;
+    spec.columns = {Num("b", -5.0, 5.0, d)};
+    auto t = GenerateTable(spec);
+    ASSERT_TRUE(t.ok());
+    EXPECT_GE(t->column(0).min_value(), -5.0);
+    EXPECT_LE(t->column(0).max_value(), 5.0);
+  }
+}
+
+TEST(GeneratorTest, ZipfSkewConcentratesMass) {
+  TableSpec spec;
+  spec.name = "g";
+  spec.num_rows = 20000;
+  spec.columns = {Cat("a", 50, 2.0)};
+  auto t = GenerateTable(spec);
+  ASSERT_TRUE(t.ok());
+  // With s=2 the most frequent code should hold well over a third of rows.
+  std::map<double, int> counts;
+  for (double v : t->column(0).data()) counts[v]++;
+  int max_count = 0;
+  for (const auto& [v, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 20000 / 3);
+}
+
+TEST(GeneratorTest, DeterministicBySeed) {
+  TableSpec spec;
+  spec.name = "g";
+  spec.num_rows = 100;
+  spec.seed = 99;
+  spec.columns = {Cat("a", 5, 1.0), Num("b", 0, 1, NumericDist::kUniform)};
+  auto t1 = GenerateTable(spec);
+  auto t2 = GenerateTable(spec);
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  EXPECT_EQ(t1->column(0).data(), t2->column(0).data());
+  EXPECT_EQ(t1->column(1).data(), t2->column(1).data());
+  spec.seed = 100;
+  auto t3 = GenerateTable(spec);
+  ASSERT_TRUE(t3.ok());
+  EXPECT_NE(t1->column(1).data(), t3->column(1).data());
+}
+
+// The correlation mechanism must produce functional dependence in the
+// limit corr=1 and independence at corr=0.
+TEST(GeneratorTest, CorrelationIsFunctionalAtOne) {
+  TableSpec spec;
+  spec.name = "g";
+  spec.num_rows = 5000;
+  spec.columns = {Cat("p", 10, 0.0), Cat("c", 10, 0.0, /*parent=*/0,
+                                         /*corr=*/1.0)};
+  auto t = GenerateTable(spec);
+  ASSERT_TRUE(t.ok());
+  // Every parent code must map to exactly one child code.
+  std::map<double, double> mapping;
+  for (size_t r = 0; r < t->num_rows(); ++r) {
+    double p = t->At(r, 0), c = t->At(r, 1);
+    auto it = mapping.find(p);
+    if (it == mapping.end()) {
+      mapping[p] = c;
+    } else {
+      EXPECT_DOUBLE_EQ(it->second, c);
+    }
+  }
+}
+
+TEST(GeneratorTest, HigherCorrelationMeansMoreAgreement) {
+  auto agreement = [](double corr) {
+    TableSpec spec;
+    spec.name = "g";
+    spec.num_rows = 8000;
+    spec.seed = 5;
+    spec.columns = {Cat("p", 8, 0.0), Cat("c", 8, 0.0, 0, corr)};
+    auto t = GenerateTable(spec).value();
+    // Majority child per parent; fraction of rows following it.
+    std::map<double, std::map<double, int>> joint;
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      joint[t.At(r, 0)][t.At(r, 1)]++;
+    }
+    int follow = 0, total = 0;
+    for (auto& [p, dist] : joint) {
+      int best = 0, sum = 0;
+      for (auto& [c, n] : dist) {
+        best = std::max(best, n);
+        sum += n;
+      }
+      follow += best;
+      total += sum;
+    }
+    return static_cast<double>(follow) / total;
+  };
+  EXPECT_GT(agreement(0.9), agreement(0.3) + 0.2);
+}
+
+TEST(GeneratorValidationTest, RejectsBadSpecs) {
+  TableSpec spec;
+  spec.name = "g";
+  spec.num_rows = 10;
+  EXPECT_FALSE(GenerateTable(spec).ok());  // no columns
+
+  spec.columns = {Cat("a", 0, 0.0)};  // bad domain
+  EXPECT_FALSE(GenerateTable(spec).ok());
+
+  spec.columns = {Num("b", 2.0, 1.0, NumericDist::kUniform)};  // min>=max
+  EXPECT_FALSE(GenerateTable(spec).ok());
+
+  spec.columns = {Cat("a", 2, 0.0, /*parent=*/0, 0.5)};  // self parent
+  EXPECT_FALSE(GenerateTable(spec).ok());
+
+  spec.columns = {Cat("a", 2, 0.0), Cat("b", 2, 0.0, 0, 1.5)};  // corr>1
+  EXPECT_FALSE(GenerateTable(spec).ok());
+}
+
+TEST(GeneratorTest, NumericChildFollowsNumericParent) {
+  TableSpec spec;
+  spec.name = "g";
+  spec.num_rows = 4000;
+  spec.columns = {Num("p", 0.0, 1.0, NumericDist::kUniform),
+                  Num("c", 0.0, 1.0, NumericDist::kUniform, 0, 0.95)};
+  auto t = GenerateTable(spec).value();
+  // Pearson correlation should be clearly positive.
+  double sp = 0, sc = 0, spp = 0, scc = 0, spc = 0;
+  const double n = static_cast<double>(t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    double p = t.At(r, 0), c = t.At(r, 1);
+    sp += p;
+    sc += c;
+    spp += p * p;
+    scc += c * c;
+    spc += p * c;
+  }
+  double cov = spc / n - (sp / n) * (sc / n);
+  double vp = spp / n - (sp / n) * (sp / n);
+  double vc = scc / n - (sc / n) * (sc / n);
+  double rho = cov / std::sqrt(vp * vc);
+  EXPECT_GT(rho, 0.7);
+}
+
+}  // namespace
+}  // namespace confcard

@@ -1,0 +1,262 @@
+// Harness plumbing tests with cheap estimators: result fields populated,
+// coverage sane, all four PI methods runnable end to end on a small
+// single-table setup, plus the join harness.
+#include "harness/single_table.h"
+
+#include <gtest/gtest.h>
+
+#include "ce/histogram.h"
+#include "ce/lwnn.h"
+#include "ce/mscn.h"
+#include "data/generators.h"
+#include "harness/join_harness.h"
+#include "query/join_workload.h"
+#include "query/workload.h"
+
+namespace confcard {
+namespace {
+
+struct Fixture {
+  Table table;
+  Workload train, calib, test;
+};
+
+Fixture MakeFixture() {
+  TableSpec spec;
+  spec.name = "t";
+  spec.num_rows = 6000;
+  spec.seed = 101;
+  ColumnSpec a;
+  a.name = "a";
+  a.domain_size = 6;
+  a.zipf_skew = 0.8;
+  ColumnSpec b;
+  b.name = "b";
+  b.kind = ColumnKind::kNumeric;
+  b.num_min = 0.0;
+  b.num_max = 50.0;
+  ColumnSpec c;
+  c.name = "c";
+  c.domain_size = 5;
+  c.parent = 0;
+  c.correlation = 0.7;
+  spec.columns = {a, b, c};
+  Table table = GenerateTable(spec).value();
+
+  WorkloadConfig wc;
+  wc.num_queries = 400;
+  wc.seed = 1;
+  Workload train = GenerateWorkload(table, wc).value();
+  wc.seed = 2;
+  Workload calib = GenerateWorkload(table, wc).value();
+  wc.seed = 3;
+  wc.num_queries = 300;
+  Workload test = GenerateWorkload(table, wc).value();
+  return {std::move(table), std::move(train), std::move(calib),
+          std::move(test)};
+}
+
+TEST(SingleTableHarnessTest, ScpWithHistogramModel) {
+  Fixture f = MakeFixture();
+  SingleTableHarness h(f.table, f.train, f.calib, f.test, {});
+  HistogramEstimator hist(f.table);
+  MethodResult r = h.RunScp(hist);
+  EXPECT_EQ(r.model, "histogram-avi");
+  EXPECT_EQ(r.method, "s-cp");
+  EXPECT_EQ(r.rows.size(), f.test.size());
+  EXPECT_GE(r.coverage, 0.85);
+  EXPECT_GT(r.mean_width_sel, 0.0);
+  EXPECT_LE(r.mean_width_sel, 1.0);
+  // Intervals are clipped to [0, N].
+  for (const PiRow& row : r.rows) {
+    EXPECT_GE(row.lo, 0.0);
+    EXPECT_LE(row.hi, static_cast<double>(f.table.num_rows()));
+  }
+}
+
+TEST(SingleTableHarnessTest, LwScpAdaptsWidths) {
+  Fixture f = MakeFixture();
+  SingleTableHarness h(f.table, f.train, f.calib, f.test, {});
+  HistogramEstimator hist(f.table);
+  MethodResult r = h.RunLwScp(hist);
+  EXPECT_EQ(r.method, "lw-s-cp");
+  EXPECT_GE(r.coverage, 0.82);
+  // Widths should vary across queries (adaptive, not constant).
+  double mn = 1e18, mx = -1.0;
+  for (const PiRow& row : r.rows) {
+    mn = std::min(mn, row.width());
+    mx = std::max(mx, row.width());
+  }
+  EXPECT_GT(mx, 1.5 * std::max(mn, 1.0));
+}
+
+TEST(SingleTableHarnessTest, PerturbationDifficulty) {
+  Fixture f = MakeFixture();
+  SingleTableHarness::Options opts;
+  opts.perturbations = 4;
+  SingleTableHarness h(f.table, f.train, f.calib, f.test, opts);
+  HistogramEstimator hist(f.table);
+  MethodResult r =
+      h.RunLwScp(hist, DifficultySource::kPerturbation, nullptr);
+  EXPECT_EQ(r.method, "lw-s-cp(pert)");
+  EXPECT_GE(r.coverage, 0.80);
+}
+
+TEST(SingleTableHarnessTest, CqrWithLwnn) {
+  Fixture f = MakeFixture();
+  SingleTableHarness h(f.table, f.train, f.calib, f.test, {});
+  LwnnEstimator::Options lo;
+  lo.epochs = 20;
+  lo.hidden1 = 24;
+  lo.hidden2 = 12;
+  LwnnEstimator proto(lo);
+  MethodResult r = h.RunCqr(proto);
+  EXPECT_EQ(r.method, "cqr");
+  EXPECT_GE(r.coverage, 0.82);
+  EXPECT_GT(r.prep_millis, 0.0);
+}
+
+TEST(SingleTableHarnessTest, JkCvWithLwnn) {
+  Fixture f = MakeFixture();
+  SingleTableHarness::Options opts;
+  opts.jk_folds = 4;
+  SingleTableHarness h(f.table, f.train, f.calib, f.test, opts);
+  LwnnEstimator::Options lo;
+  lo.epochs = 15;
+  lo.hidden1 = 24;
+  lo.hidden2 = 12;
+  LwnnEstimator proto(lo);
+  ASSERT_TRUE(proto.Train(f.table, f.train).ok());
+  MethodResult full = h.RunJkCv(proto, proto, /*simplified=*/false);
+  EXPECT_EQ(full.method, "jk-cv+");
+  EXPECT_GE(full.coverage, 0.85);  // CV+ floor is 1-2a; usually ~1-a
+  MethodResult simp = h.RunJkCv(proto, proto, /*simplified=*/true);
+  EXPECT_EQ(simp.method, "jk-cv+(s)");
+  EXPECT_GE(simp.coverage, 0.80);
+}
+
+TEST(SingleTableHarnessTest, JkCvFixedModelForDataDriven) {
+  Fixture f = MakeFixture();
+  SingleTableHarness h(f.table, f.train, f.calib, f.test, {});
+  HistogramEstimator hist(f.table);
+  MethodResult r = h.RunJkCvFixedModel(hist);
+  EXPECT_EQ(r.method, "jk-cv+");
+  EXPECT_GE(r.coverage, 0.85);
+}
+
+TEST(SingleTableHarnessTest, QErrorScoringGivesMultiplicativeIntervals) {
+  Fixture f = MakeFixture();
+  SingleTableHarness::Options opts;
+  opts.score = ScoreKind::kQError;
+  SingleTableHarness h(f.table, f.train, f.calib, f.test, opts);
+  HistogramEstimator hist(f.table);
+  MethodResult r = h.RunScp(hist);
+  EXPECT_GE(r.coverage, 0.85);
+  // Width should scale with the estimate under multiplicative scores:
+  // compare small- vs large-estimate queries.
+  double small_w = 0.0, large_w = 0.0;
+  int small_n = 0, large_n = 0;
+  for (const PiRow& row : r.rows) {
+    if (row.estimate < 50.0 && row.hi < f.table.num_rows()) {
+      small_w += row.width();
+      ++small_n;
+    } else if (row.estimate > 500.0 && row.hi < f.table.num_rows()) {
+      large_w += row.width();
+      ++large_n;
+    }
+  }
+  if (small_n > 5 && large_n > 5) {
+    EXPECT_LT(small_w / small_n, large_w / large_n);
+  }
+}
+
+TEST(EstimatorInstanceIdTest, UniqueAcrossReusedStorage) {
+  // Regression test for the estimate-cache bug: models re-created at
+  // the same address must not alias. instance_id must be fresh even
+  // when the object occupies the same storage as a destroyed one.
+  Fixture f = MakeFixture();
+  SingleTableHarness h(f.table, f.train, f.calib, f.test, {});
+  uint64_t first_id = 0;
+  double first_width = 0.0;
+  for (int buckets : {4, 64}) {
+    HistogramEstimator hist(f.table, buckets);
+    if (first_id == 0) {
+      first_id = hist.instance_id();
+      first_width = h.RunScp(hist).mean_width_sel;
+    } else {
+      EXPECT_NE(hist.instance_id(), first_id);
+      // Different statistics resolution -> different estimates ->
+      // different widths. A stale cache would repeat first_width.
+      EXPECT_NE(h.RunScp(hist).mean_width_sel, first_width);
+    }
+  }
+}
+
+TEST(FinalizeMethodResultTest, AggregatesCorrectly) {
+  MethodResult r;
+  r.rows = {{100.0, 90.0, 80.0, 120.0},   // covered, width 40
+            {100.0, 90.0, 110.0, 120.0},  // not covered, width 10
+            {50.0, 50.0, 40.0, 60.0}};    // covered, width 20
+  FinalizeMethodResult(&r, 1000.0);
+  EXPECT_NEAR(r.coverage, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.mean_width_sel, (0.04 + 0.01 + 0.02) / 3.0, 1e-12);
+  EXPECT_NEAR(r.median_width_sel, 0.02, 1e-12);
+}
+
+TEST(JoinHarnessTest, ScpOverDsbWorkload) {
+  Database db = MakeDsbLike(4000, 31).value();
+  JoinWorkloadConfig jc;
+  jc.queries_per_template = 12;
+  auto tpls = DsbTemplates();
+  tpls.resize(5);
+  jc.seed = 1;
+  JoinWorkload train = GenerateJoinWorkload(db, tpls, jc).value();
+  jc.seed = 2;
+  JoinWorkload calib = GenerateJoinWorkload(db, tpls, jc).value();
+  jc.seed = 3;
+  JoinWorkload test = GenerateJoinWorkload(db, tpls, jc).value();
+
+  MscnConfig mc;
+  mc.epochs = 15;
+  MscnJoinEstimator mscn(mc);
+  ASSERT_TRUE(mscn.Train(db, train).ok());
+
+  JoinHarness h(db, train, calib, test, {});
+  MethodResult r = h.RunScp(mscn);
+  EXPECT_EQ(r.rows.size(), test.size());
+  EXPECT_GE(r.coverage, 0.80);
+  MethodResult lw = h.RunLwScp(mscn);
+  EXPECT_GE(lw.coverage, 0.78);
+}
+
+TEST(JoinHarnessTest, CqrAndJkOverDsbWorkload) {
+  Database db = MakeDsbLike(4000, 33).value();
+  JoinWorkloadConfig jc;
+  jc.queries_per_template = 15;
+  auto tpls = DsbTemplates();
+  tpls.resize(4);
+  jc.seed = 4;
+  JoinWorkload train = GenerateJoinWorkload(db, tpls, jc).value();
+  jc.seed = 5;
+  JoinWorkload calib = GenerateJoinWorkload(db, tpls, jc).value();
+  jc.seed = 6;
+  JoinWorkload test = GenerateJoinWorkload(db, tpls, jc).value();
+
+  MscnConfig mc;
+  mc.epochs = 12;
+  MscnJoinEstimator mscn(mc);
+  ASSERT_TRUE(mscn.Train(db, train).ok());
+
+  JoinHarness::Options opts;
+  opts.jk_folds = 3;
+  JoinHarness h(db, train, calib, test, opts);
+  MethodResult cqr = h.RunCqr(mscn);
+  EXPECT_EQ(cqr.method, "cqr");
+  EXPECT_GE(cqr.coverage, 0.78);
+  MethodResult jk = h.RunJkCv(mscn, mscn);
+  EXPECT_EQ(jk.method, "jk-cv+");
+  EXPECT_GE(jk.coverage, 0.78);  // CV+ floor 1 - 2*alpha = 0.8
+}
+
+}  // namespace
+}  // namespace confcard

@@ -1,0 +1,137 @@
+// Full-pipeline integration: the DMV-like dataset, a trained MSCN, all
+// four PI methods of the paper, and the qualitative figure-1 properties
+// (coverage ~ 1-alpha; CQR/LW adaptivity; clipping). Kept small enough
+// for CI (a few seconds) — the bench binaries run the full-scale
+// versions.
+#include <gtest/gtest.h>
+
+#include "ce/mscn.h"
+#include "ce/naru.h"
+#include "data/datasets.h"
+#include "harness/single_table.h"
+#include "query/workload.h"
+
+namespace confcard {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    table_ = new Table(MakeDmv(12000, 7).value());
+    WorkloadConfig wc;
+    wc.num_queries = 500;
+    wc.max_selectivity = 0.3;
+    wc.seed = 11;
+    train_ = new Workload(GenerateWorkload(*table_, wc).value());
+    wc.seed = 12;
+    calib_ = new Workload(GenerateWorkload(*table_, wc).value());
+    wc.seed = 13;
+    wc.num_queries = 400;
+    test_ = new Workload(GenerateWorkload(*table_, wc).value());
+
+    MscnEstimator::Options mo;
+    mo.model.epochs = 25;
+    mscn_ = new MscnEstimator(mo);
+    ASSERT_TRUE(mscn_->Train(*table_, *train_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete mscn_;
+    delete test_;
+    delete calib_;
+    delete train_;
+    delete table_;
+  }
+
+  SingleTableHarness MakeHarness(
+      SingleTableHarness::Options opts = {}) const {
+    return SingleTableHarness(*table_, *train_, *calib_, *test_, opts);
+  }
+
+  static Table* table_;
+  static Workload* train_;
+  static Workload* calib_;
+  static Workload* test_;
+  static MscnEstimator* mscn_;
+};
+
+Table* IntegrationTest::table_ = nullptr;
+Workload* IntegrationTest::train_ = nullptr;
+Workload* IntegrationTest::calib_ = nullptr;
+Workload* IntegrationTest::test_ = nullptr;
+MscnEstimator* IntegrationTest::mscn_ = nullptr;
+
+TEST_F(IntegrationTest, ScpCoverageNearNominal) {
+  auto h = MakeHarness();
+  MethodResult r = h.RunScp(*mscn_);
+  EXPECT_GE(r.coverage, 0.85);
+  EXPECT_LE(r.coverage, 1.0);
+  EXPECT_LT(r.mean_width_sel, 0.6);
+}
+
+TEST_F(IntegrationTest, LwScpMedianTighterThanScp) {
+  auto h = MakeHarness();
+  MethodResult scp = h.RunScp(*mscn_);
+  MethodResult lw = h.RunLwScp(*mscn_);
+  EXPECT_GE(lw.coverage, 0.82);
+  EXPECT_LT(lw.median_width_sel, scp.median_width_sel * 1.3);
+}
+
+TEST_F(IntegrationTest, CqrCoverageAndAdaptivity) {
+  auto h = MakeHarness();
+  MethodResult r = h.RunCqr(*mscn_);
+  EXPECT_GE(r.coverage, 0.82);
+  // Adaptive: width distribution has real spread.
+  EXPECT_GT(r.p90_width_sel, r.median_width_sel * 1.2);
+}
+
+TEST_F(IntegrationTest, CoverageIncreasesWithConfidenceLevel) {
+  SingleTableHarness::Options o1, o2;
+  o1.alpha = 0.2;
+  o2.alpha = 0.05;
+  MethodResult loose = MakeHarness(o1).RunScp(*mscn_);
+  MethodResult tight = MakeHarness(o2).RunScp(*mscn_);
+  EXPECT_GE(tight.coverage, loose.coverage - 0.02);
+  EXPECT_GE(tight.mean_width_sel, loose.mean_width_sel);
+}
+
+TEST_F(IntegrationTest, NaruPipeline) {
+  NaruConfig nc;
+  nc.epochs = 4;
+  nc.num_samples = 24;
+  nc.max_train_rows = 12000;
+  NaruEstimator naru(nc);
+  ASSERT_TRUE(naru.Train(*table_).ok());
+  auto h = MakeHarness();
+  MethodResult scp = h.RunScp(naru);
+  EXPECT_GE(scp.coverage, 0.85);
+  MethodResult jk = h.RunJkCvFixedModel(naru);
+  EXPECT_GE(jk.coverage, 0.85);
+}
+
+TEST_F(IntegrationTest, ShiftedWorkloadLosesCoverage) {
+  // Figure 11: calibrate on data-centered queries, test on uniform
+  // random queries — the exchangeability violation degrades coverage
+  // and/or blows up widths; here we check coverage drop for fixed-width
+  // S-CP with the same delta.
+  WorkloadConfig shifted;
+  shifted.num_queries = 400;
+  shifted.center_mode = CenterMode::kUniform;
+  shifted.min_predicates = 2;
+  shifted.max_predicates = 4;
+  shifted.seed = 99;
+  Workload shifted_test = GenerateWorkload(*table_, shifted).value();
+
+  SingleTableHarness matched(*table_, *train_, *calib_, *test_, {});
+  SingleTableHarness mismatched(*table_, *train_, *calib_, shifted_test,
+                                {});
+  MethodResult ok = matched.RunScp(*mscn_);
+  MethodResult bad = mismatched.RunScp(*mscn_);
+  // The shifted workload is mostly near-empty queries; the model was
+  // never trained there, so residual behaviour changes. Either coverage
+  // drops or stays by luck; assert the qualitative gap in median
+  // q-error of the underlying model instead of a brittle coverage bound.
+  EXPECT_GT(bad.mean_qerror, ok.mean_qerror);
+}
+
+}  // namespace
+}  // namespace confcard

@@ -1,0 +1,166 @@
+// Jackknife+ with cross validation: fold bookkeeping, both inference
+// modes, the coverage-floor formula, and end-to-end coverage with real
+// fold-retrained models (closures over a synthetic regression).
+#include "conformal/jackknife.h"
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace confcard {
+namespace {
+
+TEST(AssignFoldsTest, BalancedAndInRange) {
+  auto folds = AssignFolds(103, 10, 1);
+  ASSERT_EQ(folds.size(), 103u);
+  std::vector<int> counts(10, 0);
+  for (int f : folds) {
+    ASSERT_GE(f, 0);
+    ASSERT_LT(f, 10);
+    counts[static_cast<size_t>(f)]++;
+  }
+  for (int c : counts) {
+    EXPECT_GE(c, 10);
+    EXPECT_LE(c, 11);
+  }
+}
+
+TEST(AssignFoldsTest, DeterministicBySeed) {
+  EXPECT_EQ(AssignFolds(50, 5, 3), AssignFolds(50, 5, 3));
+  EXPECT_NE(AssignFolds(50, 5, 3), AssignFolds(50, 5, 4));
+}
+
+TEST(JackknifeTest, CalibrateValidation) {
+  JackknifeCvPlus jk(MakeScoring(ScoreKind::kResidual), 0.1);
+  EXPECT_FALSE(jk.Calibrate({1.0}, {1.0, 2.0}, {0, 0}, 2).ok());
+  EXPECT_FALSE(jk.Calibrate({}, {}, {}, 2).ok());
+  EXPECT_FALSE(jk.Calibrate({1.0, 2.0}, {1.0, 2.0}, {0, 5}, 2).ok());
+  EXPECT_FALSE(jk.Calibrate({1.0, 2.0}, {1.0, 2.0}, {0, 1}, 1).ok());
+}
+
+TEST(JackknifeTest, SimplifiedModeIsDeltaAroundFullEstimate) {
+  JackknifeCvPlus jk(MakeScoring(ScoreKind::kResidual), 0.2,
+                     JackknifeCvPlus::Mode::kSimplified);
+  // 9 points, residuals 1..9 -> delta = 8 (rank ceil(10*0.8)).
+  std::vector<double> oof(9, 10.0), truth;
+  std::vector<int> folds;
+  for (int i = 1; i <= 9; ++i) {
+    truth.push_back(10.0 + i);
+    folds.push_back(i % 3);
+  }
+  ASSERT_TRUE(jk.Calibrate(oof, truth, folds, 3).ok());
+  EXPECT_DOUBLE_EQ(jk.simplified_delta(), 8.0);
+  Interval iv = jk.Predict({}, 100.0);
+  EXPECT_DOUBLE_EQ(iv.lo, 92.0);
+  EXPECT_DOUBLE_EQ(iv.hi, 108.0);
+}
+
+TEST(JackknifeTest, FullModeUsesFoldPredictions) {
+  JackknifeCvPlus jk(MakeScoring(ScoreKind::kResidual), 0.2);
+  std::vector<double> oof(10, 0.0), truth(10, 1.0);  // residuals all 1
+  std::vector<int> folds = {0, 0, 0, 0, 0, 1, 1, 1, 1, 1};
+  ASSERT_TRUE(jk.Calibrate(oof, truth, folds, 2).ok());
+  // Fold models disagree about the new query: fold 0 says 100, fold 1
+  // says 200. The interval must span both, +/- residual quantiles.
+  Interval iv = jk.Predict({100.0, 200.0}, 150.0);
+  EXPECT_LE(iv.lo, 100.0);
+  EXPECT_GE(iv.hi, 200.0);
+}
+
+TEST(JackknifeTest, CoverageGuaranteeFormula) {
+  JackknifeCvPlus jk(MakeScoring(ScoreKind::kResidual), 0.05);
+  std::vector<double> oof(100, 0.0), truth(100, 1.0);
+  auto folds = AssignFolds(100, 10, 2);
+  ASSERT_TRUE(jk.Calibrate(oof, truth, folds, 10).ok());
+  const double n = 100, k = 10, alpha = 0.05;
+  double expected = 1.0 - 2 * alpha -
+                    std::min(2.0 * (1 - 1 / k) / (n / k + 1),
+                             (1 - k / n) / (k + 1));
+  EXPECT_NEAR(jk.CoverageGuarantee(), expected, 1e-12);
+}
+
+// End-to-end CV+ with genuinely retrained fold models: ridgeless linear
+// regression on synthetic data. Coverage must clear the CV+ floor.
+TEST(JackknifeTest, EndToEndCoverageWithFoldModels) {
+  const double alpha = 0.1;
+  const int K = 5;
+  double covered = 0.0, total = 0.0;
+
+  for (uint64_t rep = 0; rep < 5; ++rep) {
+    Rng rng(500 + rep);
+    const size_t n = 400;
+    std::vector<double> x(n), y(n);
+    for (size_t i = 0; i < n; ++i) {
+      x[i] = rng.NextDouble(0.0, 10.0);
+      y[i] = 3.0 * x[i] + 5.0 + 2.0 * rng.NextGaussian();
+    }
+    auto folds = AssignFolds(n, K, 600 + rep);
+
+    // Train per-fold least squares fits.
+    struct Fit {
+      double slope, intercept;
+    };
+    std::vector<Fit> fits(K);
+    for (int f = 0; f < K; ++f) {
+      double sx = 0, sy = 0, sxx = 0, sxy = 0, m = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (folds[i] == f) continue;
+        sx += x[i];
+        sy += y[i];
+        sxx += x[i] * x[i];
+        sxy += x[i] * y[i];
+        m += 1;
+      }
+      double slope = (sxy - sx * sy / m) / (sxx - sx * sx / m);
+      fits[static_cast<size_t>(f)] = {slope, (sy - slope * sx) / m};
+    }
+
+    std::vector<double> oof(n);
+    for (size_t i = 0; i < n; ++i) {
+      const Fit& fit = fits[static_cast<size_t>(folds[i])];
+      oof[i] = fit.slope * x[i] + fit.intercept;
+    }
+    JackknifeCvPlus jk(MakeScoring(ScoreKind::kResidual), alpha);
+    ASSERT_TRUE(jk.Calibrate(oof, y, folds, K).ok());
+
+    // Fresh test points from the same distribution.
+    for (int t = 0; t < 200; ++t) {
+      double xt = rng.NextDouble(0.0, 10.0);
+      double yt = 3.0 * xt + 5.0 + 2.0 * rng.NextGaussian();
+      std::vector<double> fold_preds(K);
+      for (int f = 0; f < K; ++f) {
+        fold_preds[static_cast<size_t>(f)] =
+            fits[static_cast<size_t>(f)].slope * xt +
+            fits[static_cast<size_t>(f)].intercept;
+      }
+      Interval iv = jk.Predict(fold_preds, fold_preds[0]);
+      covered += iv.Contains(yt) ? 1.0 : 0.0;
+      total += 1.0;
+    }
+  }
+  double coverage = covered / total;
+  // CV+ guarantees 1 - 2*alpha minus a small term; empirically it is
+  // usually ~1 - alpha. Test the hard floor with slack.
+  EXPECT_GE(coverage, 1.0 - 2 * alpha - 0.03);
+}
+
+TEST(JackknifeTest, QErrorScoringProducesMultiplicativeIntervals) {
+  JackknifeCvPlus jk(MakeScoring(ScoreKind::kQError), 0.2,
+                     JackknifeCvPlus::Mode::kSimplified);
+  std::vector<double> oof, truth;
+  std::vector<int> folds;
+  for (int i = 0; i < 10; ++i) {
+    oof.push_back(100.0);
+    truth.push_back(100.0 * (1.0 + 0.1 * i));  // q-errors 1.0 .. 1.9
+    folds.push_back(i % 2);
+  }
+  ASSERT_TRUE(jk.Calibrate(oof, truth, folds, 2).ok());
+  Interval iv = jk.Predict({}, 1000.0);
+  EXPECT_NEAR(iv.lo * iv.hi, 1000.0 * 1000.0, 1e-6);  // geometric symmetry
+}
+
+}  // namespace
+}  // namespace confcard

@@ -1,0 +1,147 @@
+#include "optim/optimizer.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "data/multitable.h"
+
+namespace confcard {
+namespace {
+
+class JoinOptimizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { db_ = MakeDsbLike(5000, 23).value(); }
+  Database db_;
+};
+
+TEST_F(JoinOptimizerTest, OrderIsPermutationOfTables) {
+  PgEstimator pg(db_);
+  JoinOptimizer opt(pg);
+  JoinQuery q;
+  q.tables = {"store_sales", "item", "store", "customer"};
+  q.joins = db_.EdgesAmong(q.tables);
+  auto plan = opt.Optimize(q);
+  ASSERT_TRUE(plan.ok());
+  std::vector<std::string> sorted_order = plan->order;
+  std::vector<std::string> sorted_tables = q.tables;
+  std::sort(sorted_order.begin(), sorted_order.end());
+  std::sort(sorted_tables.begin(), sorted_tables.end());
+  EXPECT_EQ(sorted_order, sorted_tables);
+  EXPECT_GT(plan->estimated_cost, 0.0);
+}
+
+TEST_F(JoinOptimizerTest, EveryPrefixIsConnected) {
+  PgEstimator pg(db_);
+  JoinOptimizer opt(pg);
+  JoinQuery q;
+  q.tables = {"store_sales", "date_dim", "item"};
+  q.joins = db_.EdgesAmong(q.tables);
+  auto plan = opt.Optimize(q).value();
+  // With a star schema, the fact table must be joined before (or as) the
+  // second element: dimensions only connect through store_sales.
+  auto pos = std::find(plan.order.begin(), plan.order.end(),
+                       "store_sales");
+  EXPECT_LE(pos - plan.order.begin(), 1);
+}
+
+TEST_F(JoinOptimizerTest, SelectiveDimensionJoinsEarly) {
+  // A highly selective filter on one dimension should pull that join
+  // forward relative to the no-filter plan's cost.
+  PgEstimator pg(db_);
+  JoinOptimizer opt(pg);
+  const Table& item = db_.table("item");
+  JoinQuery q;
+  q.tables = {"store_sales", "item", "customer"};
+  q.joins = db_.EdgesAmong(q.tables);
+  q.predicates = {{"item", Predicate::Eq(item.ColumnIndex("i_brand"),
+                                         1.0)}};
+  auto plan = opt.Optimize(q).value();
+  // item (filtered, tiny) should come before customer (unfiltered).
+  auto item_pos =
+      std::find(plan.order.begin(), plan.order.end(), "item");
+  auto cust_pos =
+      std::find(plan.order.begin(), plan.order.end(), "customer");
+  EXPECT_LT(item_pos, cust_pos);
+}
+
+TEST_F(JoinOptimizerTest, AdjusterInflatesCost) {
+  PgEstimator pg(db_);
+  JoinQuery q;
+  q.tables = {"store_sales", "item"};
+  q.joins = db_.EdgesAmong(q.tables);
+
+  JoinOptimizer plain(pg);
+  auto base = plain.Optimize(q).value();
+
+  JoinOptimizer adjusted(pg);
+  adjusted.SetAdjuster([](double est, const std::vector<std::string>&) {
+    return est + 10000.0;
+  });
+  auto inflated = adjusted.Optimize(q).value();
+  EXPECT_GT(inflated.estimated_cost, base.estimated_cost);
+  EXPECT_NEAR(inflated.estimated_cardinality,
+              base.estimated_cardinality + 10000.0, 1e-6);
+}
+
+TEST_F(JoinOptimizerTest, SingleTablePlan) {
+  PgEstimator pg(db_);
+  JoinOptimizer opt(pg);
+  JoinQuery q;
+  q.tables = {"item"};
+  auto plan = opt.Optimize(q);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->order, std::vector<std::string>{"item"});
+}
+
+TEST_F(JoinOptimizerTest, DisconnectedGraphRejected) {
+  PgEstimator pg(db_);
+  JoinOptimizer opt(pg);
+  JoinQuery q;
+  q.tables = {"item", "customer"};  // no edge between dimensions
+  auto plan = opt.Optimize(q);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(JoinOptimizerTest, EmptyQueryRejected) {
+  PgEstimator pg(db_);
+  JoinOptimizer opt(pg);
+  EXPECT_FALSE(opt.Optimize(JoinQuery{}).ok());
+}
+
+TEST_F(JoinOptimizerTest, DpBeatsWorstOrder) {
+  // The DP plan's estimated cost must be no worse than an adversarial
+  // fixed order evaluated under the same cost model.
+  PgEstimator pg(db_);
+  JoinOptimizer opt(pg);
+  const Table& item = db_.table("item");
+  JoinQuery q;
+  q.tables = {"store_sales", "item", "customer", "store"};
+  q.joins = db_.EdgesAmong(q.tables);
+  q.predicates = {{"item", Predicate::Eq(item.ColumnIndex("i_category"),
+                                         0.0)}};
+  auto plan = opt.Optimize(q).value();
+
+  // Cost of the order as given (fact first, unfiltered dims first).
+  auto cost_of_order = [&](const std::vector<std::string>& order) {
+    double cost = pg.EstimateJoinCardinality(q, {order[0]});
+    std::vector<std::string> prefix = {order[0]};
+    for (size_t i = 1; i < order.size(); ++i) {
+      double base = pg.EstimateJoinCardinality(q, {order[i]});
+      prefix.push_back(order[i]);
+      double inter = pg.EstimateJoinCardinality(q, prefix);
+      cost += base + pg.EstimateJoinCardinality(
+                         q, std::vector<std::string>(prefix.begin(),
+                                                     prefix.end() - 1)) +
+              inter;
+    }
+    return cost;
+  };
+  std::vector<std::string> bad_order = {"store_sales", "customer", "store",
+                                        "item"};
+  EXPECT_LE(plan.estimated_cost, cost_of_order(bad_order) * 1.0001);
+}
+
+}  // namespace
+}  // namespace confcard

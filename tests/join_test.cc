@@ -1,0 +1,192 @@
+#include "exec/join.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/multitable.h"
+#include "exec/scan.h"
+
+namespace confcard {
+namespace {
+
+// Small hand-built database: r(k, v) and s(k, w), joined on k.
+Database TinyDb() {
+  Database db;
+  {
+    std::vector<Column> cols;
+    cols.push_back(Column::Categorical("k", 3, {0, 0, 1, 2}));
+    cols.push_back(Column::Numeric("v", {10, 20, 30, 40}));
+    Status st = db.AddTable(Table::Make("r", std::move(cols)).value());
+    EXPECT_TRUE(st.ok());
+  }
+  {
+    std::vector<Column> cols;
+    cols.push_back(Column::Categorical("k", 3, {0, 1, 1, 2, 2}));
+    cols.push_back(Column::Numeric("w", {1, 2, 3, 4, 5}));
+    Status st = db.AddTable(Table::Make("s", std::move(cols)).value());
+    EXPECT_TRUE(st.ok());
+  }
+  db.AddJoinEdge({"r", "k", "s", "k"});
+  return db;
+}
+
+TEST(JoinExecTest, SimpleEquiJoin) {
+  Database db = TinyDb();
+  JoinQuery q;
+  q.tables = {"r", "s"};
+  q.joins = db.join_edges();
+  auto res = ExecuteJoin(db, q);
+  ASSERT_TRUE(res.ok());
+  // k=0: 2*1, k=1: 1*2, k=2: 1*2 -> 2+2+2 = 6.
+  EXPECT_EQ(res->cardinality, 6u);
+  ASSERT_EQ(res->base_sizes.size(), 2u);
+  EXPECT_EQ(res->base_sizes[0], 4u);
+  EXPECT_EQ(res->base_sizes[1], 5u);
+  ASSERT_EQ(res->intermediate_sizes.size(), 1u);
+  EXPECT_EQ(res->intermediate_sizes[0], 6u);
+  EXPECT_EQ(res->total_work, 4u + 5u + 6u);
+}
+
+TEST(JoinExecTest, PredicatesApplyBeforeJoin) {
+  Database db = TinyDb();
+  JoinQuery q;
+  q.tables = {"r", "s"};
+  q.joins = db.join_edges();
+  q.predicates = {{"r", Predicate::Between(1, 15.0, 45.0)}};  // v >= 15
+  auto res = ExecuteJoin(db, q);
+  ASSERT_TRUE(res.ok());
+  // Surviving r rows: (0,20),(1,30),(2,40) -> 1+2+2 = 5.
+  EXPECT_EQ(res->cardinality, 5u);
+  EXPECT_EQ(res->base_sizes[0], 3u);
+}
+
+TEST(JoinExecTest, SingleTableDegeneratesToScan) {
+  Database db = TinyDb();
+  JoinQuery q;
+  q.tables = {"r"};
+  q.predicates = {{"r", Predicate::Eq(0, 0.0)}};
+  auto res = ExecuteJoin(db, q);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->cardinality, 2u);
+}
+
+TEST(JoinExecTest, EmptyIntermediateShortCircuits) {
+  Database db = TinyDb();
+  JoinQuery q;
+  q.tables = {"r", "s"};
+  q.joins = db.join_edges();
+  q.predicates = {{"r", Predicate::Eq(1, 999.0)}};
+  auto res = ExecuteJoin(db, q);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->cardinality, 0u);
+}
+
+TEST(JoinExecTest, DisconnectedTableIsError) {
+  Database db = TinyDb();
+  JoinQuery q;
+  q.tables = {"r", "s"};
+  // No join edges supplied: s is unreachable.
+  auto res = ExecuteJoin(db, q);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JoinExecTest, UnknownTableIsError) {
+  Database db = TinyDb();
+  JoinQuery q;
+  q.tables = {"zzz"};
+  EXPECT_EQ(ExecuteJoin(db, q).status().code(), StatusCode::kNotFound);
+}
+
+TEST(JoinExecTest, IntermediateCapEnforced) {
+  Database db = TinyDb();
+  JoinQuery q;
+  q.tables = {"r", "s"};
+  q.joins = db.join_edges();
+  auto res = ExecuteJoin(db, q, /*max_intermediate=*/3);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kOutOfRange);
+}
+
+// Three-way star join with brute-force verification.
+class JoinPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JoinPropertyTest, MatchesBruteForce) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  // fact(k1, k2), d1(k1, x), d2(k2, y) with tiny domains.
+  const size_t nf = 60, n1 = 8, n2 = 5;
+  std::vector<double> k1(nf), k2(nf);
+  for (size_t i = 0; i < nf; ++i) {
+    k1[i] = static_cast<double>(rng.NextUint64(n1));
+    k2[i] = static_cast<double>(rng.NextUint64(n2));
+  }
+  std::vector<double> d1k(n1), d1x(n1), d2k(n2), d2y(n2);
+  for (size_t i = 0; i < n1; ++i) {
+    d1k[i] = static_cast<double>(i);
+    d1x[i] = static_cast<double>(rng.NextUint64(3));
+  }
+  for (size_t i = 0; i < n2; ++i) {
+    d2k[i] = static_cast<double>(i);
+    d2y[i] = static_cast<double>(rng.NextUint64(4));
+  }
+
+  Database db;
+  {
+    std::vector<Column> cols;
+    cols.push_back(Column::Categorical("k1", n1, k1));
+    cols.push_back(Column::Categorical("k2", n2, k2));
+    EXPECT_TRUE(
+        db.AddTable(Table::Make("fact", std::move(cols)).value()).ok());
+  }
+  {
+    std::vector<Column> cols;
+    cols.push_back(Column::Categorical("k", n1, d1k));
+    cols.push_back(Column::Categorical("x", 3, d1x));
+    EXPECT_TRUE(
+        db.AddTable(Table::Make("d1", std::move(cols)).value()).ok());
+  }
+  {
+    std::vector<Column> cols;
+    cols.push_back(Column::Categorical("k", n2, d2k));
+    cols.push_back(Column::Categorical("y", 4, d2y));
+    EXPECT_TRUE(
+        db.AddTable(Table::Make("d2", std::move(cols)).value()).ok());
+  }
+  db.AddJoinEdge({"fact", "k1", "d1", "k"});
+  db.AddJoinEdge({"fact", "k2", "d2", "k"});
+
+  JoinQuery q;
+  q.tables = {"fact", "d1", "d2"};
+  q.joins = db.join_edges();
+  double xv = static_cast<double>(rng.NextUint64(3));
+  double yv = static_cast<double>(rng.NextUint64(4));
+  q.predicates = {{"d1", Predicate::Eq(1, xv)},
+                  {"d2", Predicate::Eq(1, yv)}};
+
+  // Brute force over the fact table (d1/d2 are keyed by position).
+  uint64_t expected = 0;
+  for (size_t i = 0; i < nf; ++i) {
+    size_t a = static_cast<size_t>(k1[i]);
+    size_t b = static_cast<size_t>(k2[i]);
+    if (d1x[a] == xv && d2y[b] == yv) ++expected;
+  }
+
+  auto res = ExecuteJoin(db, q);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->cardinality, expected);
+
+  // Join order must not change the result.
+  JoinQuery q2 = q;
+  q2.tables = {"d1", "fact", "d2"};
+  auto res2 = ExecuteJoin(db, q2);
+  ASSERT_TRUE(res2.ok());
+  EXPECT_EQ(res2->cardinality, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace confcard

@@ -1,0 +1,111 @@
+#include "query/join_workload.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "exec/join.h"
+
+namespace confcard {
+namespace {
+
+TEST(JoinTemplatesTest, DsbHasFifteenTemplates) {
+  auto tpls = DsbTemplates();
+  EXPECT_EQ(tpls.size(), 15u);  // all non-empty subsets of 4 dimensions
+  for (const JoinTemplate& t : tpls) {
+    EXPECT_EQ(t.tables.front(), "store_sales");
+    EXPECT_EQ(t.predicate_columns.size(), t.tables.size() - 1);
+  }
+}
+
+TEST(JoinTemplatesTest, JobTemplatesStartAtTitle) {
+  auto tpls = JobTemplates();
+  EXPECT_GE(tpls.size(), 8u);
+  for (const JoinTemplate& t : tpls) {
+    EXPECT_EQ(t.tables.front(), "title");
+    EXPECT_GE(t.tables.size(), 2u);
+  }
+}
+
+class JoinWorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override { db_ = MakeDsbLike(4000, 17).value(); }
+  Database db_;
+};
+
+TEST_F(JoinWorkloadTest, GeneratesPerTemplate) {
+  JoinWorkloadConfig cfg;
+  cfg.queries_per_template = 5;
+  auto tpls = DsbTemplates();
+  tpls.resize(4);
+  auto wl = GenerateJoinWorkload(db_, tpls, cfg);
+  ASSERT_TRUE(wl.ok());
+  EXPECT_EQ(wl->size(), 20u);
+}
+
+TEST_F(JoinWorkloadTest, LabelsMatchExecutor) {
+  JoinWorkloadConfig cfg;
+  cfg.queries_per_template = 4;
+  auto tpls = DsbTemplates();
+  tpls.resize(3);
+  auto wl = GenerateJoinWorkload(db_, tpls, cfg).value();
+  for (const LabeledJoinQuery& lq : wl) {
+    auto res = ExecuteJoin(db_, lq.query);
+    ASSERT_TRUE(res.ok());
+    EXPECT_DOUBLE_EQ(lq.cardinality,
+                     static_cast<double>(res->cardinality));
+  }
+}
+
+TEST_F(JoinWorkloadTest, DedupAcrossInstantiations) {
+  JoinWorkloadConfig cfg;
+  cfg.queries_per_template = 20;
+  std::vector<JoinTemplate> tpls = {DsbTemplates()[0]};
+  auto wl = GenerateJoinWorkload(db_, tpls, cfg).value();
+  std::set<std::string> keys;
+  for (const LabeledJoinQuery& lq : wl) {
+    std::string key;
+    for (const auto& tp : lq.query.predicates) {
+      key += tp.table + ToString(tp.pred) + "|";
+    }
+    keys.insert(key);
+  }
+  EXPECT_EQ(keys.size(), wl.size());
+}
+
+TEST_F(JoinWorkloadTest, DeterministicBySeed) {
+  JoinWorkloadConfig cfg;
+  cfg.queries_per_template = 3;
+  std::vector<JoinTemplate> tpls = {DsbTemplates()[2]};
+  auto a = GenerateJoinWorkload(db_, tpls, cfg).value();
+  auto b = GenerateJoinWorkload(db_, tpls, cfg).value();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].cardinality, b[i].cardinality);
+  }
+}
+
+TEST_F(JoinWorkloadTest, UnknownTableRejected) {
+  JoinTemplate bad;
+  bad.tables = {"nope"};
+  EXPECT_FALSE(GenerateJoinWorkload(db_, {bad}, {}).ok());
+}
+
+TEST_F(JoinWorkloadTest, EmptyTemplatesRejected) {
+  EXPECT_FALSE(GenerateJoinWorkload(db_, {}, {}).ok());
+}
+
+TEST(JoinWorkloadImdbTest, JobWorkloadOverImdbSchema) {
+  Database db = MakeImdbLike(1500, 19).value();
+  JoinWorkloadConfig cfg;
+  cfg.queries_per_template = 3;
+  auto wl = GenerateJoinWorkload(db, JobTemplates(), cfg);
+  ASSERT_TRUE(wl.ok());
+  EXPECT_GE(wl->size(), 3u * 8u);
+  for (const LabeledJoinQuery& lq : *wl) {
+    EXPECT_GE(lq.cardinality, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace confcard

@@ -1,0 +1,102 @@
+#include "conformal/localized.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace confcard {
+namespace {
+
+// Smoothly heteroscedastic stream: sigma grows with x.
+struct Stream {
+  std::vector<std::vector<float>> features;
+  std::vector<double> estimates;
+  std::vector<double> truths;
+};
+
+Stream MakeStream(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Stream s;
+  for (size_t i = 0; i < n; ++i) {
+    const float x = static_cast<float>(rng.NextDouble());
+    const double sigma = 5.0 + 300.0 * x;
+    s.features.push_back({x});
+    s.estimates.push_back(500.0);
+    s.truths.push_back(500.0 + sigma * rng.NextGaussian());
+  }
+  return s;
+}
+
+LocalizedConformal MakeLcp(size_t k = 200, double alpha = 0.1) {
+  LocalizedConformal::Options opts;
+  opts.alpha = alpha;
+  opts.k = k;
+  return LocalizedConformal(MakeScoring(ScoreKind::kResidual), opts);
+}
+
+TEST(LocalizedTest, LocalDeltaTracksLocalNoise) {
+  LocalizedConformal lcp = MakeLcp();
+  Stream cal = MakeStream(4000, 1);
+  ASSERT_TRUE(lcp.Calibrate(cal.features, cal.estimates, cal.truths).ok());
+  const double quiet = lcp.LocalDelta({0.02f});
+  const double noisy = lcp.LocalDelta({0.98f});
+  EXPECT_GT(noisy, 4.0 * quiet);
+}
+
+TEST(LocalizedTest, LargeKConvergesToGlobalQuantile) {
+  Stream cal = MakeStream(1500, 2);
+  LocalizedConformal all = MakeLcp(/*k=*/1500);
+  ASSERT_TRUE(all.Calibrate(cal.features, cal.estimates, cal.truths).ok());
+  // With k = n the local delta is the global conformal quantile,
+  // independent of the query point.
+  EXPECT_DOUBLE_EQ(all.LocalDelta({0.0f}), all.LocalDelta({1.0f}));
+}
+
+TEST(LocalizedTest, EmpiricalCoverageNearNominal) {
+  double covered = 0.0, total = 0.0;
+  for (uint64_t rep = 0; rep < 5; ++rep) {
+    LocalizedConformal lcp = MakeLcp(250, 0.1);
+    Stream cal = MakeStream(2500, 10 + rep);
+    Stream test = MakeStream(800, 50 + rep);
+    ASSERT_TRUE(
+        lcp.Calibrate(cal.features, cal.estimates, cal.truths).ok());
+    for (size_t i = 0; i < test.truths.size(); ++i) {
+      Interval iv = lcp.Predict(test.estimates[i], test.features[i]);
+      covered += iv.Contains(test.truths[i]) ? 1.0 : 0.0;
+      total += 1.0;
+    }
+  }
+  // Localized quantiles lose the exact finite-sample guarantee; assert
+  // the empirical coverage stays close to nominal.
+  EXPECT_NEAR(covered / total, 0.9, 0.03);
+}
+
+TEST(LocalizedTest, TighterThanGlobalOnEasyRegion) {
+  LocalizedConformal lcp = MakeLcp(250, 0.1);
+  Stream cal = MakeStream(3000, 3);
+  ASSERT_TRUE(lcp.Calibrate(cal.features, cal.estimates, cal.truths).ok());
+  LocalizedConformal global = MakeLcp(3000, 0.1);
+  ASSERT_TRUE(
+      global.Calibrate(cal.features, cal.estimates, cal.truths).ok());
+  EXPECT_LT(lcp.LocalDelta({0.02f}), 0.5 * global.LocalDelta({0.02f}));
+}
+
+TEST(LocalizedTest, KSmallerThanRankRequirementGivesInfinity) {
+  LocalizedConformal lcp = MakeLcp(/*k=*/5, /*alpha=*/0.1);
+  Stream cal = MakeStream(100, 4);
+  ASSERT_TRUE(lcp.Calibrate(cal.features, cal.estimates, cal.truths).ok());
+  // ceil((5+1)*0.9) = 6 > 5: conservative infinity.
+  EXPECT_TRUE(std::isinf(lcp.LocalDelta({0.5f})));
+}
+
+TEST(LocalizedTest, RejectsBadInputs) {
+  LocalizedConformal lcp = MakeLcp();
+  EXPECT_FALSE(lcp.Calibrate({}, {}, {}).ok());
+  EXPECT_FALSE(lcp.Calibrate({{1.0f}, {1.0f, 2.0f}}, {1, 2}, {1, 2}).ok());
+  EXPECT_FALSE(lcp.calibrated());
+}
+
+}  // namespace
+}  // namespace confcard

@@ -1,0 +1,155 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace confcard {
+namespace nn {
+namespace {
+
+Tensor Col(std::initializer_list<float> vals) {
+  Tensor t(vals.size(), 1);
+  size_t i = 0;
+  for (float v : vals) t.At(i++, 0) = v;
+  return t;
+}
+
+TEST(MseLossTest, ValueAndGradient) {
+  Tensor pred = Col({3.0f, 1.0f});
+  std::vector<float> target = {1.0f, 1.0f};
+  Tensor grad;
+  double loss = MseLoss(pred, target, &grad);
+  EXPECT_DOUBLE_EQ(loss, (4.0 + 0.0) / 2.0);
+  EXPECT_FLOAT_EQ(grad.At(0, 0), 2.0f * 2.0f / 2.0f);
+  EXPECT_FLOAT_EQ(grad.At(1, 0), 0.0f);
+}
+
+TEST(MseLossTest, ZeroAtPerfectPrediction) {
+  Tensor pred = Col({5.0f});
+  Tensor grad;
+  EXPECT_DOUBLE_EQ(MseLoss(pred, {5.0f}, &grad), 0.0);
+}
+
+TEST(PinballLossTest, AsymmetricPenalty) {
+  // tau = 0.9 penalizes underprediction 9x more than overprediction.
+  Tensor under = Col({0.0f});
+  Tensor over = Col({2.0f});
+  Tensor grad;
+  double lu = PinballLoss(under, {1.0f}, 0.9, &grad);
+  EXPECT_NEAR(lu, 0.9, 1e-6);
+  EXPECT_FLOAT_EQ(grad.At(0, 0), -0.9f);
+  double lo = PinballLoss(over, {1.0f}, 0.9, &grad);
+  EXPECT_NEAR(lo, 0.1, 1e-6);
+  EXPECT_FLOAT_EQ(grad.At(0, 0), 0.1f);
+}
+
+TEST(PinballLossTest, MinimizedAtQuantile) {
+  // For samples {0..9}, the tau=0.8 pinball loss over predictions should
+  // be minimized near the 80th-percentile value 8.
+  std::vector<float> ys;
+  for (int i = 0; i < 10; ++i) ys.push_back(static_cast<float>(i));
+  auto loss_at = [&](float c) {
+    Tensor pred(10, 1);
+    for (int i = 0; i < 10; ++i) pred.At(static_cast<size_t>(i), 0) = c;
+    Tensor grad;
+    return PinballLoss(pred, ys, 0.8, &grad);
+  };
+  double best = loss_at(8.0f);
+  EXPECT_LT(best, loss_at(4.0f));
+  EXPECT_LT(best, loss_at(9.5f));
+}
+
+TEST(QErrorLogLossTest, MonotoneInAbsoluteLogError) {
+  Tensor grad;
+  Tensor p1 = Col({1.0f});
+  Tensor p2 = Col({2.0f});
+  double l1 = QErrorLogLoss(p1, {0.0f}, &grad);
+  double l2 = QErrorLogLoss(p2, {0.0f}, &grad);
+  EXPECT_GT(l2, l1);
+  EXPECT_NEAR(l1, std::exp(1.0), 1e-5);
+}
+
+TEST(QErrorLogLossTest, GradientSign) {
+  Tensor grad;
+  Tensor over = Col({2.0f});
+  QErrorLogLoss(over, {0.0f}, &grad);
+  EXPECT_GT(grad.At(0, 0), 0.0f);
+  Tensor under = Col({-2.0f});
+  QErrorLogLoss(under, {0.0f}, &grad);
+  EXPECT_LT(grad.At(0, 0), 0.0f);
+}
+
+TEST(QErrorLogLossTest, GradientMagnitudeCapped) {
+  Tensor grad;
+  Tensor wild = Col({100.0f});
+  QErrorLogLoss(wild, {0.0f}, &grad, /*cap=*/4.0);
+  EXPECT_LE(grad.At(0, 0), std::exp(4.0f) + 1e-3f);
+}
+
+TEST(SoftmaxRowTest, NormalizedAndOrdered) {
+  float logits[] = {1.0f, 3.0f, 2.0f};
+  float probs[3];
+  SoftmaxRow(logits, 3, probs);
+  float sum = probs[0] + probs[1] + probs[2];
+  EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  EXPECT_GT(probs[1], probs[2]);
+  EXPECT_GT(probs[2], probs[0]);
+}
+
+TEST(SoftmaxRowTest, StableForLargeLogits) {
+  float logits[] = {1000.0f, 999.0f};
+  float probs[2];
+  SoftmaxRow(logits, 2, probs);
+  EXPECT_NEAR(probs[0] + probs[1], 1.0f, 1e-6f);
+  EXPECT_GT(probs[0], probs[1]);
+}
+
+TEST(BlockSoftmaxTest, UniformLogitsGiveLogDomainLoss) {
+  // Two blocks of sizes 2 and 4, all-zero logits: CE = ln2 + ln4.
+  Tensor logits(1, 6);
+  std::vector<size_t> offsets = {0, 2, 6};
+  std::vector<std::vector<int>> targets = {{0, 3}};
+  Tensor grad;
+  double loss = BlockSoftmaxCrossEntropy(logits, offsets, targets, &grad);
+  EXPECT_NEAR(loss, std::log(2.0) + std::log(4.0), 1e-6);
+}
+
+TEST(BlockSoftmaxTest, GradientIsSoftmaxMinusOneHot) {
+  Tensor logits(1, 4);
+  std::vector<size_t> offsets = {0, 4};
+  std::vector<std::vector<int>> targets = {{1}};
+  Tensor grad;
+  BlockSoftmaxCrossEntropy(logits, offsets, targets, &grad);
+  // Uniform softmax = 0.25 each; target entry gets -1.
+  EXPECT_NEAR(grad.At(0, 0), 0.25f, 1e-6f);
+  EXPECT_NEAR(grad.At(0, 1), -0.75f, 1e-6f);
+  // Gradient rows sum to zero per block.
+  float sum = 0.0f;
+  for (size_t j = 0; j < 4; ++j) sum += grad.At(0, j);
+  EXPECT_NEAR(sum, 0.0f, 1e-6f);
+}
+
+TEST(BlockSoftmaxTest, FiniteDifferenceGradient) {
+  Rng rng(17);
+  Tensor logits = Tensor::Randn(2, 5, 1.0f, rng);
+  std::vector<size_t> offsets = {0, 2, 5};
+  std::vector<std::vector<int>> targets = {{1, 2}, {0, 0}};
+  Tensor grad;
+  BlockSoftmaxCrossEntropy(logits, offsets, targets, &grad);
+  const float eps = 1e-3f;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    Tensor g2;
+    float orig = logits.data()[i];
+    logits.data()[i] = orig + eps;
+    double up = BlockSoftmaxCrossEntropy(logits, offsets, targets, &g2);
+    logits.data()[i] = orig - eps;
+    double down = BlockSoftmaxCrossEntropy(logits, offsets, targets, &g2);
+    logits.data()[i] = orig;
+    EXPECT_NEAR(grad.data()[i], (up - down) / (2.0 * eps), 2e-3);
+  }
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace confcard

@@ -1,0 +1,205 @@
+// Learned-model behaviour tests: MSCN and LW-NN must actually learn
+// (beating trivial baselines on held-out queries), honor the CQR loss
+// hook, and clone reproducibly.
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "ce/lwnn.h"
+#include "ce/mscn.h"
+#include "common/stats.h"
+#include "data/generators.h"
+#include "query/workload.h"
+
+namespace confcard {
+namespace {
+
+struct ModelFixture {
+  Table table;
+  Workload train;
+  Workload test;
+};
+
+ModelFixture MakeFixture(uint64_t seed = 31) {
+  TableSpec spec;
+  spec.name = "t";
+  spec.num_rows = 8000;
+  spec.seed = seed;
+  ColumnSpec a;
+  a.name = "a";
+  a.domain_size = 6;
+  a.zipf_skew = 1.0;
+  ColumnSpec b;
+  b.name = "b";
+  b.kind = ColumnKind::kNumeric;
+  b.num_min = 0.0;
+  b.num_max = 100.0;
+  ColumnSpec c;
+  c.name = "c";
+  c.domain_size = 8;
+  c.parent = 0;
+  c.correlation = 0.8;
+  spec.columns = {a, b, c};
+  Table table = GenerateTable(spec).value();
+
+  WorkloadConfig wc;
+  wc.num_queries = 800;
+  wc.seed = seed + 1;
+  Workload train = GenerateWorkload(table, wc).value();
+  wc.seed = seed + 2;
+  wc.num_queries = 300;
+  Workload test = GenerateWorkload(table, wc).value();
+  return {std::move(table), std::move(train), std::move(test)};
+}
+
+double MedianQError(const CardinalityEstimator& model,
+                    const Workload& wl) {
+  std::vector<double> qs;
+  for (const LabeledQuery& lq : wl) {
+    double e = std::max(model.EstimateCardinality(lq.query), 1.0);
+    double t = std::max(lq.cardinality, 1.0);
+    qs.push_back(std::max(e / t, t / e));
+  }
+  return Percentile(qs, 50.0);
+}
+
+TEST(MscnTest, TrainsToUsefulAccuracy) {
+  ModelFixture s = MakeFixture();
+  MscnEstimator::Options opts;
+  opts.model.epochs = 25;
+  MscnEstimator mscn(opts);
+  ASSERT_TRUE(mscn.Train(s.table, s.train).ok());
+  // Median q-error well under the "always predict N/2" trivial regime.
+  EXPECT_LT(MedianQError(mscn, s.test), 5.0);
+}
+
+TEST(MscnTest, EstimatesAreNonNegative) {
+  ModelFixture s = MakeFixture(32);
+  MscnEstimator mscn;
+  ASSERT_TRUE(mscn.Train(s.table, s.train).ok());
+  for (const LabeledQuery& lq : s.test) {
+    EXPECT_GE(mscn.EstimateCardinality(lq.query), 0.0);
+  }
+}
+
+TEST(MscnTest, RejectsEmptyWorkload) {
+  ModelFixture s = MakeFixture(33);
+  MscnEstimator mscn;
+  EXPECT_FALSE(mscn.Train(s.table, {}).ok());
+}
+
+TEST(MscnTest, DeterministicRetraining) {
+  ModelFixture s = MakeFixture(34);
+  MscnEstimator a, b;
+  ASSERT_TRUE(a.Train(s.table, s.train).ok());
+  ASSERT_TRUE(b.Train(s.table, s.train).ok());
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.EstimateCardinality(s.test[i].query),
+                     b.EstimateCardinality(s.test[i].query));
+  }
+}
+
+TEST(MscnTest, CloneUsesFreshSeed) {
+  ModelFixture s = MakeFixture(35);
+  MscnEstimator proto;
+  auto clone = proto.CloneArchitecture(77);
+  ASSERT_TRUE(clone->Train(s.table, s.train).ok());
+  ASSERT_TRUE(proto.Train(s.table, s.train).ok());
+  // Different seeds should give (at least slightly) different estimates.
+  bool any_diff = false;
+  for (size_t i = 0; i < 10; ++i) {
+    if (proto.EstimateCardinality(s.test[i].query) !=
+        clone->EstimateCardinality(s.test[i].query)) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MscnTest, PinballLossShiftsQuantiles) {
+  ModelFixture s = MakeFixture(36);
+  MscnEstimator proto;
+  auto lo = proto.CloneArchitecture(1);
+  lo->SetLoss(LossSpec::Pinball(0.05));
+  ASSERT_TRUE(lo->Train(s.table, s.train).ok());
+  auto hi = proto.CloneArchitecture(2);
+  hi->SetLoss(LossSpec::Pinball(0.95));
+  ASSERT_TRUE(hi->Train(s.table, s.train).ok());
+  // Upper-quantile head should dominate the lower head on most queries.
+  size_t dominated = 0;
+  for (const LabeledQuery& lq : s.test) {
+    if (hi->EstimateCardinality(lq.query) >=
+        lo->EstimateCardinality(lq.query)) {
+      ++dominated;
+    }
+  }
+  EXPECT_GT(dominated, s.test.size() * 8 / 10);
+}
+
+TEST(MscnTest, WorksWithoutBitmaps) {
+  ModelFixture s = MakeFixture(37);
+  MscnEstimator::Options opts;
+  opts.bitmap_size = 0;
+  MscnEstimator mscn(opts);
+  ASSERT_TRUE(mscn.Train(s.table, s.train).ok());
+  EXPECT_LT(MedianQError(mscn, s.test), 8.0);
+}
+
+TEST(LwnnTest, TrainsToUsefulAccuracy) {
+  ModelFixture s = MakeFixture(38);
+  LwnnEstimator lwnn;
+  ASSERT_TRUE(lwnn.Train(s.table, s.train).ok());
+  EXPECT_LT(MedianQError(lwnn, s.test), 5.0);
+}
+
+TEST(LwnnTest, EstimatesClampedToTableSize) {
+  ModelFixture s = MakeFixture(39);
+  LwnnEstimator lwnn;
+  ASSERT_TRUE(lwnn.Train(s.table, s.train).ok());
+  for (const LabeledQuery& lq : s.test) {
+    double e = lwnn.EstimateCardinality(lq.query);
+    EXPECT_GE(e, 0.0);
+    EXPECT_LE(e, static_cast<double>(s.table.num_rows()));
+  }
+}
+
+TEST(LwnnTest, FeatureVectorHasHeuristicTail) {
+  ModelFixture s = MakeFixture(40);
+  LwnnEstimator lwnn;
+  ASSERT_TRUE(lwnn.Train(s.table, s.train).ok());
+  auto f = lwnn.Features(s.test[0].query);
+  // Flat features (5 * 3 + 1) plus AVI and min-sel log features.
+  EXPECT_EQ(f.size(), 16u + 2u);
+  // Log-selectivity features are non-positive.
+  EXPECT_LE(f[16], 0.0f);
+  EXPECT_LE(f[17], 0.0f);
+}
+
+TEST(LwnnTest, PinballHookWorks) {
+  ModelFixture s = MakeFixture(41);
+  LwnnEstimator proto;
+  auto hi = proto.CloneArchitecture(5);
+  hi->SetLoss(LossSpec::Pinball(0.95));
+  ASSERT_TRUE(hi->Train(s.table, s.train).ok());
+  auto lo = proto.CloneArchitecture(6);
+  lo->SetLoss(LossSpec::Pinball(0.05));
+  ASSERT_TRUE(lo->Train(s.table, s.train).ok());
+  size_t dominated = 0;
+  for (const LabeledQuery& lq : s.test) {
+    if (hi->EstimateCardinality(lq.query) >=
+        lo->EstimateCardinality(lq.query)) {
+      ++dominated;
+    }
+  }
+  EXPECT_GT(dominated, s.test.size() * 8 / 10);
+}
+
+TEST(LwnnTest, RejectsEmptyWorkload) {
+  ModelFixture s = MakeFixture(42);
+  LwnnEstimator lwnn;
+  EXPECT_FALSE(lwnn.Train(s.table, {}).ok());
+}
+
+}  // namespace
+}  // namespace confcard

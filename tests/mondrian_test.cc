@@ -1,0 +1,119 @@
+#include "conformal/mondrian.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace confcard {
+namespace {
+
+// Two groups with very different noise scales, keyed on feature[0].
+struct GroupedStream {
+  std::vector<std::vector<float>> features;
+  std::vector<double> estimates;
+  std::vector<double> truths;
+};
+
+GroupedStream MakeGrouped(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  GroupedStream s;
+  for (size_t i = 0; i < n; ++i) {
+    const bool hard = rng.NextBool(0.5);
+    const double sigma = hard ? 200.0 : 5.0;
+    const double signal = 1000.0;
+    s.features.push_back({hard ? 1.0f : 0.0f});
+    s.estimates.push_back(signal);
+    s.truths.push_back(signal + sigma * rng.NextGaussian());
+  }
+  return s;
+}
+
+MondrianConformal::GroupFn GroupByFirstFeature() {
+  return [](const std::vector<float>& f) {
+    return f.empty() ? 0 : static_cast<int>(f[0]);
+  };
+}
+
+TEST(MondrianTest, PerGroupDeltasReflectGroupNoise) {
+  MondrianConformal::Options opts;
+  opts.alpha = 0.1;
+  MondrianConformal mc(MakeScoring(ScoreKind::kResidual),
+                       GroupByFirstFeature(), opts);
+  GroupedStream cal = MakeGrouped(4000, 1);
+  ASSERT_TRUE(mc.Calibrate(cal.features, cal.estimates, cal.truths).ok());
+  EXPECT_EQ(mc.num_groups(), 2u);
+  EXPECT_GT(mc.DeltaForGroup(1), 10.0 * mc.DeltaForGroup(0));
+  // Global delta sits between the two.
+  EXPECT_GT(mc.global_delta(), mc.DeltaForGroup(0));
+  EXPECT_LE(mc.global_delta(), mc.DeltaForGroup(1));
+}
+
+TEST(MondrianTest, RestoresPerGroupCoverage) {
+  // Marginal S-CP over-covers the easy group and under-covers the hard
+  // one; Mondrian holds ~90% in each.
+  MondrianConformal::Options opts;
+  opts.alpha = 0.1;
+  MondrianConformal mc(MakeScoring(ScoreKind::kResidual),
+                       GroupByFirstFeature(), opts);
+  GroupedStream cal = MakeGrouped(4000, 2);
+  ASSERT_TRUE(mc.Calibrate(cal.features, cal.estimates, cal.truths).ok());
+
+  GroupedStream test = MakeGrouped(4000, 3);
+  double covered[2] = {0, 0}, total[2] = {0, 0};
+  for (size_t i = 0; i < test.truths.size(); ++i) {
+    Interval iv = mc.Predict(test.estimates[i], test.features[i]);
+    const int g = static_cast<int>(test.features[i][0]);
+    covered[g] += iv.Contains(test.truths[i]) ? 1.0 : 0.0;
+    total[g] += 1.0;
+  }
+  for (int g : {0, 1}) {
+    const double cov = covered[g] / total[g];
+    EXPECT_GE(cov, 0.86) << "group " << g;
+    EXPECT_LE(cov, 0.97) << "group " << g;
+  }
+}
+
+TEST(MondrianTest, SmallGroupsFallBackToGlobal) {
+  MondrianConformal::Options opts;
+  opts.alpha = 0.1;
+  opts.min_group_size = 1000;  // force fallback
+  MondrianConformal mc(MakeScoring(ScoreKind::kResidual),
+                       GroupByFirstFeature(), opts);
+  GroupedStream cal = MakeGrouped(400, 4);
+  ASSERT_TRUE(mc.Calibrate(cal.features, cal.estimates, cal.truths).ok());
+  EXPECT_EQ(mc.num_groups(), 0u);
+  EXPECT_DOUBLE_EQ(mc.DeltaForGroup(0), mc.global_delta());
+  EXPECT_DOUBLE_EQ(mc.DeltaForGroup(77), mc.global_delta());
+}
+
+TEST(MondrianTest, UnseenGroupUsesGlobal) {
+  MondrianConformal::Options opts;
+  MondrianConformal mc(MakeScoring(ScoreKind::kResidual),
+                       GroupByFirstFeature(), opts);
+  GroupedStream cal = MakeGrouped(2000, 5);
+  ASSERT_TRUE(mc.Calibrate(cal.features, cal.estimates, cal.truths).ok());
+  EXPECT_DOUBLE_EQ(mc.DeltaForGroup(42), mc.global_delta());
+}
+
+TEST(MondrianTest, RejectsBadInputs) {
+  MondrianConformal mc(MakeScoring(ScoreKind::kResidual),
+                       GroupByFirstFeature(), {});
+  EXPECT_FALSE(mc.Calibrate({}, {}, {}).ok());
+  EXPECT_FALSE(mc.Calibrate({{1.0f}}, {1.0}, {}).ok());
+  EXPECT_FALSE(mc.calibrated());
+}
+
+TEST(GroupByPredicateCountTest, CountsConstrainedColumns) {
+  auto fn = GroupByPredicateCount(3);
+  // Layout: 5 features per column; feature 5c is has_predicate.
+  std::vector<float> f(16, 0.0f);
+  EXPECT_EQ(fn(f), 0);
+  f[0] = 1.0f;
+  f[10] = 1.0f;
+  EXPECT_EQ(fn(f), 2);
+}
+
+}  // namespace
+}  // namespace confcard

@@ -1,0 +1,100 @@
+#include "data/multitable.h"
+
+#include <gtest/gtest.h>
+
+namespace confcard {
+namespace {
+
+TEST(DatabaseTest, AddAndLookup) {
+  Database db;
+  std::vector<Column> cols;
+  cols.push_back(Column::Numeric("x", {1, 2}));
+  ASSERT_TRUE(db.AddTable(Table::Make("t", std::move(cols)).value()).ok());
+  EXPECT_TRUE(db.HasTable("t"));
+  EXPECT_FALSE(db.HasTable("u"));
+  EXPECT_EQ(db.table("t").num_rows(), 2u);
+}
+
+TEST(DatabaseTest, RejectsDuplicateTable) {
+  Database db;
+  auto make = [] {
+    std::vector<Column> cols;
+    cols.push_back(Column::Numeric("x", {1}));
+    return Table::Make("t", std::move(cols)).value();
+  };
+  ASSERT_TRUE(db.AddTable(make()).ok());
+  Status st = db.AddTable(make());
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseTest, EdgesAmongFiltersBothEndpoints) {
+  Database db;
+  db.AddJoinEdge({"a", "x", "b", "y"});
+  db.AddJoinEdge({"a", "x", "c", "z"});
+  auto edges = db.EdgesAmong({"a", "b"});
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].right_table, "b");
+  EXPECT_TRUE(db.EdgesAmong({"b", "c"}).empty());
+}
+
+TEST(DsbLikeTest, SchemaAndEdges) {
+  auto db = MakeDsbLike(5000);
+  ASSERT_TRUE(db.ok());
+  for (const char* t : {"store_sales", "date_dim", "store", "item",
+                        "customer"}) {
+    EXPECT_TRUE(db->HasTable(t)) << t;
+  }
+  EXPECT_EQ(db->join_edges().size(), 4u);
+  EXPECT_EQ(db->table("store_sales").num_rows(), 5000u);
+}
+
+TEST(DsbLikeTest, ForeignKeysReferenceValidPks) {
+  auto db = MakeDsbLike(3000).value();
+  for (const JoinEdge& e : db.join_edges()) {
+    const Column& fk = db.table(e.left_table).ColumnByName(e.left_column);
+    const Table& dim = db.table(e.right_table);
+    // FK codes live in [0, |dim|).
+    EXPECT_GE(fk.min_value(), 0.0);
+    EXPECT_LT(fk.max_value(), static_cast<double>(dim.num_rows()));
+    // PK is the identity 0..n-1.
+    const Column& pk = dim.ColumnByName(e.right_column);
+    EXPECT_EQ(pk.distinct_count(), static_cast<int64_t>(dim.num_rows()));
+  }
+}
+
+TEST(ImdbLikeTest, SchemaAndEdges) {
+  auto db = MakeImdbLike(2000);
+  ASSERT_TRUE(db.ok());
+  for (const char* t : {"title", "movie_companies", "movie_info",
+                        "movie_keyword", "cast_info"}) {
+    EXPECT_TRUE(db->HasTable(t)) << t;
+  }
+  EXPECT_EQ(db->join_edges().size(), 4u);
+  // Satellites are larger than the title table (fan-out > 1).
+  EXPECT_GT(db->table("cast_info").num_rows(),
+            db->table("title").num_rows());
+}
+
+TEST(ImdbLikeTest, SkewedFanout) {
+  auto db = MakeImdbLike(2000).value();
+  const Column& mid = db.table("cast_info").ColumnByName("movie_id");
+  // Count rows of the hottest movie; Zipf fan-out should concentrate.
+  std::vector<int> counts(2000, 0);
+  for (double v : mid.data()) counts[static_cast<size_t>(v)]++;
+  int mx = 0;
+  for (int c : counts) mx = std::max(mx, c);
+  const double mean =
+      static_cast<double>(mid.data().size()) / 2000.0;
+  EXPECT_GT(mx, 10 * mean);
+}
+
+TEST(MultitableTest, Reproducible) {
+  auto a = MakeImdbLike(500, 11);
+  auto b = MakeImdbLike(500, 11);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->table("movie_info").ColumnByName("movie_id").data(),
+            b->table("movie_info").ColumnByName("movie_id").data());
+}
+
+}  // namespace
+}  // namespace confcard

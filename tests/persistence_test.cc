@@ -1,0 +1,172 @@
+// Model persistence: save a trained estimator, load it against the same
+// table, and get bit-identical estimates — the deployment path where a
+// model is trained offline and shipped with its conformal delta.
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "ce/lwnn.h"
+#include "ce/mscn.h"
+#include "ce/naru.h"
+#include "data/generators.h"
+#include "query/workload.h"
+
+namespace confcard {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TableSpec spec;
+    spec.name = "t";
+    spec.num_rows = 4000;
+    spec.seed = 61;
+    ColumnSpec a;
+    a.name = "a";
+    a.domain_size = 5;
+    a.zipf_skew = 0.8;
+    ColumnSpec b;
+    b.name = "b";
+    b.kind = ColumnKind::kNumeric;
+    b.num_min = 0.0;
+    b.num_max = 10.0;
+    spec.columns = {a, b};
+    table_ = std::make_unique<Table>(GenerateTable(spec).value());
+
+    WorkloadConfig wc;
+    wc.num_queries = 300;
+    wc.seed = 62;
+    train_ = GenerateWorkload(*table_, wc).value();
+    wc.seed = 63;
+    wc.num_queries = 100;
+    test_ = GenerateWorkload(*table_, wc).value();
+
+    path_ = (std::filesystem::temp_directory_path() /
+             "confcard_persistence_test.bin")
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::unique_ptr<Table> table_;
+  Workload train_, test_;
+  std::string path_;
+};
+
+TEST_F(PersistenceTest, MscnRoundtripIsBitIdentical) {
+  MscnEstimator::Options opts;
+  opts.model.epochs = 8;
+  opts.model.set_hidden = 24;
+  opts.model.final_hidden = 24;
+  MscnEstimator model(opts);
+  ASSERT_TRUE(model.Train(*table_, train_).ok());
+  ASSERT_TRUE(model.SaveToFile(path_).ok());
+
+  auto loaded = MscnEstimator::LoadFromFile(*table_, path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (const LabeledQuery& lq : test_) {
+    EXPECT_DOUBLE_EQ(model.EstimateCardinality(lq.query),
+                     loaded->EstimateCardinality(lq.query));
+  }
+}
+
+TEST_F(PersistenceTest, MscnUntrainedRefusesToSave) {
+  MscnEstimator model;
+  EXPECT_EQ(model.SaveToFile(path_).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PersistenceTest, MscnRejectsMismatchedTable) {
+  MscnEstimator::Options opts;
+  opts.model.epochs = 3;
+  MscnEstimator model(opts);
+  ASSERT_TRUE(model.Train(*table_, train_).ok());
+  ASSERT_TRUE(model.SaveToFile(path_).ok());
+
+  TableSpec spec;
+  spec.name = "other";
+  spec.num_rows = 1234;  // different row count
+  ColumnSpec a;
+  a.name = "a";
+  a.domain_size = 5;
+  ColumnSpec b;
+  b.name = "b";
+  b.kind = ColumnKind::kNumeric;
+  b.num_min = 0.0;
+  b.num_max = 10.0;
+  spec.columns = {a, b};
+  Table other = GenerateTable(spec).value();
+  auto loaded = MscnEstimator::LoadFromFile(other, path_);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(PersistenceTest, LwnnRoundtripIsBitIdentical) {
+  LwnnEstimator::Options opts;
+  opts.epochs = 10;
+  opts.hidden1 = 16;
+  opts.hidden2 = 8;
+  LwnnEstimator model(opts);
+  ASSERT_TRUE(model.Train(*table_, train_).ok());
+  ASSERT_TRUE(model.SaveToFile(path_).ok());
+
+  auto loaded = LwnnEstimator::LoadFromFile(*table_, path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (const LabeledQuery& lq : test_) {
+    EXPECT_DOUBLE_EQ(model.EstimateCardinality(lq.query),
+                     loaded->EstimateCardinality(lq.query));
+  }
+}
+
+TEST_F(PersistenceTest, LwnnPreservesOptions) {
+  LwnnEstimator::Options opts;
+  opts.epochs = 5;
+  opts.hidden1 = 12;
+  opts.hidden2 = 6;
+  opts.histogram_buckets = 7;
+  opts.loss = LossSpec::Pinball(0.8);
+  LwnnEstimator model(opts);
+  ASSERT_TRUE(model.Train(*table_, train_).ok());
+  ASSERT_TRUE(model.SaveToFile(path_).ok());
+  auto loaded = LwnnEstimator::LoadFromFile(*table_, path_);
+  ASSERT_TRUE(loaded.ok());
+  // Behavioural check: the loaded pinball model equals the original.
+  EXPECT_DOUBLE_EQ(model.EstimateCardinality(test_[0].query),
+                   loaded->EstimateCardinality(test_[0].query));
+}
+
+TEST_F(PersistenceTest, NaruRoundtripIsBitIdentical) {
+  NaruConfig cfg;
+  cfg.hidden = 24;
+  cfg.epochs = 3;
+  cfg.num_samples = 16;
+  cfg.max_train_rows = 4000;
+  NaruEstimator model(cfg);
+  ASSERT_TRUE(model.Train(*table_).ok());
+  ASSERT_TRUE(model.SaveToFile(path_).ok());
+
+  auto loaded = NaruEstimator::LoadFromFile(*table_, path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(model.EstimateCardinality(test_[i].query),
+                     loaded->EstimateCardinality(test_[i].query));
+  }
+}
+
+TEST_F(PersistenceTest, NaruUntrainedRefusesToSave) {
+  NaruEstimator model;
+  EXPECT_EQ(model.SaveToFile(path_).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PersistenceTest, WrongArchiveTypeRejected) {
+  LwnnEstimator::Options lo;
+  lo.epochs = 3;
+  LwnnEstimator lwnn(lo);
+  ASSERT_TRUE(lwnn.Train(*table_, train_).ok());
+  ASSERT_TRUE(lwnn.SaveToFile(path_).ok());
+  // An LW-NN archive is not an MSCN archive.
+  auto loaded = MscnEstimator::LoadFromFile(*table_, path_);
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace confcard

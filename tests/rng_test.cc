@@ -1,0 +1,188 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace confcard {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextUint64InRange) {
+  Rng rng(1);
+  for (uint64_t n : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextUint64(n), n);
+    }
+  }
+}
+
+TEST(RngTest, NextInt64Bounds) {
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.NextInt64(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  // Degenerate single-point range.
+  EXPECT_EQ(rng.NextInt64(3, 3), 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  double mn = 1.0, mx = 0.0, sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextDouble();
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+    sum += v;
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+  EXPECT_LT(mn, 0.01);
+  EXPECT_GT(mx, 0.99);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(4);
+  const int n = 50000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, BoolProbability) {
+  Rng rng(5);
+  int t = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) t += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(t) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(6);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) counts[rng.NextCategorical(w)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(7);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<size_t>(i)] = i;
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(8);
+  std::vector<int> empty;
+  rng.Shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  rng.Shuffle(one);
+  EXPECT_EQ(one[0], 42);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(9);
+  Rng b = a.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(ZipfDistributionTest, UniformWhenSkewZero) {
+  ZipfDistribution z(4, 0.0);
+  for (uint64_t k = 0; k < 4; ++k) EXPECT_NEAR(z.Pmf(k), 0.25, 1e-12);
+}
+
+TEST(ZipfDistributionTest, PmfMonotoneDecreasing) {
+  ZipfDistribution z(10, 1.2);
+  for (uint64_t k = 1; k < 10; ++k) EXPECT_LT(z.Pmf(k), z.Pmf(k - 1));
+}
+
+TEST(ZipfDistributionTest, PmfSumsToOne) {
+  ZipfDistribution z(17, 0.8);
+  double total = 0.0;
+  for (uint64_t k = 0; k < 17; ++k) total += z.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfDistributionTest, EmpiricalMatchesPmf) {
+  ZipfDistribution z(5, 1.0);
+  Rng rng(10);
+  std::vector<int> counts(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) counts[z.Sample(rng)]++;
+  for (uint64_t k = 0; k < 5; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, z.Pmf(k), 0.01);
+  }
+}
+
+TEST(ZipfDistributionTest, SingleElementDomain) {
+  ZipfDistribution z(1, 2.0);
+  Rng rng(11);
+  EXPECT_EQ(z.Sample(rng), 0u);
+  EXPECT_NEAR(z.Pmf(0), 1.0, 1e-12);
+}
+
+TEST(DiscreteDistributionTest, MatchesWeights) {
+  DiscreteDistribution d({2.0, 6.0});
+  Rng rng(12);
+  int ones = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ones += d.Sample(rng) == 1 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.02);
+}
+
+// Parameterized determinism sweep: the full stack of samplers must be
+// reproducible for any seed (the repo-wide reproducibility invariant).
+class RngSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSeedSweep, AllSamplersDeterministic) {
+  const uint64_t seed = GetParam();
+  Rng a(seed), b(seed);
+  ZipfDistribution z(13, 1.1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.NextUint64(100), b.NextUint64(100));
+    EXPECT_EQ(a.NextDouble(), b.NextDouble());
+    EXPECT_EQ(a.NextGaussian(), b.NextGaussian());
+    EXPECT_EQ(z.Sample(a), z.Sample(b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0, 1, 2, 42, 1234567,
+                                           0xFFFFFFFFFFFFFFFFULL));
+
+}  // namespace
+}  // namespace confcard

@@ -1,0 +1,116 @@
+#include "conformal/scoring.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace confcard {
+namespace {
+
+TEST(ResidualScoreTest, ValueAndInversion) {
+  ResidualScore s;
+  EXPECT_DOUBLE_EQ(s.Score(100.0, 130.0), 30.0);
+  EXPECT_DOUBLE_EQ(s.Score(130.0, 100.0), 30.0);
+  Interval iv = s.Invert(100.0, 25.0);
+  EXPECT_DOUBLE_EQ(iv.lo, 75.0);
+  EXPECT_DOUBLE_EQ(iv.hi, 125.0);
+}
+
+TEST(QErrorScoreTest, ValueMatchesDefinition) {
+  QErrorScore s;
+  EXPECT_DOUBLE_EQ(s.Score(200.0, 100.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.Score(100.0, 200.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.Score(100.0, 100.0), 1.0);
+  // Zero cardinalities replaced by 1 (paper's convention).
+  EXPECT_DOUBLE_EQ(s.Score(0.0, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.Score(100.0, 0.0), 100.0);
+}
+
+TEST(QErrorScoreTest, MultiplicativeInversion) {
+  QErrorScore s;
+  Interval iv = s.Invert(100.0, 4.0);
+  EXPECT_DOUBLE_EQ(iv.lo, 25.0);
+  EXPECT_DOUBLE_EQ(iv.hi, 400.0);
+  // Infinite delta -> trivial interval.
+  Interval inf = s.Invert(100.0, std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isinf(inf.hi));
+}
+
+TEST(RelativeErrorScoreTest, ValueAndInversion) {
+  RelativeErrorScore s;
+  EXPECT_DOUBLE_EQ(s.Score(150.0, 100.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.Score(50.0, 100.0), 0.5);
+  Interval iv = s.Invert(100.0, 0.5);
+  EXPECT_DOUBLE_EQ(iv.lo, 100.0 / 1.5);
+  EXPECT_DOUBLE_EQ(iv.hi, 200.0);
+  // delta >= 1: unbounded above.
+  Interval wide = s.Invert(100.0, 1.5);
+  EXPECT_TRUE(std::isinf(wide.hi));
+  EXPECT_DOUBLE_EQ(wide.lo, 40.0);
+}
+
+TEST(ScoringFactoryTest, ProducesRequestedKind) {
+  EXPECT_EQ(MakeScoring(ScoreKind::kResidual)->name(), "residual");
+  EXPECT_EQ(MakeScoring(ScoreKind::kQError)->name(), "q-error");
+  EXPECT_EQ(MakeScoring(ScoreKind::kRelative)->name(), "relative");
+  EXPECT_STREQ(ScoreKindToString(ScoreKind::kQError), "q-error");
+}
+
+// The defining property connecting scores to intervals: for all y,
+// Score(est, y) <= delta  <=>  y in Invert(est, delta) (up to the >= 1
+// flooring of the q-error convention). This is what makes conformal
+// calibration valid for every scoring function.
+class ScoreInversionProperty
+    : public ::testing::TestWithParam<ScoreKind> {};
+
+TEST_P(ScoreInversionProperty, ScoreLeDeltaIffInsideInterval) {
+  auto scoring = MakeScoring(GetParam());
+  Rng rng(61);
+  for (int trial = 0; trial < 2000; ++trial) {
+    // Cardinalities >= 1 so the q-error flooring is inactive.
+    double est = 1.0 + rng.NextDouble() * 10000.0;
+    double y = 1.0 + rng.NextDouble() * 10000.0;
+    double delta = scoring->Score(est, 1.0 + rng.NextDouble() * 10000.0);
+    Interval iv = scoring->Invert(est, delta);
+    const bool inside = iv.Contains(y);
+    const bool small_score = scoring->Score(est, y) <= delta + 1e-9;
+    EXPECT_EQ(inside, small_score)
+        << "est=" << est << " y=" << y << " delta=" << delta << " ["
+        << iv.lo << "," << iv.hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScores, ScoreInversionProperty,
+                         ::testing::Values(ScoreKind::kResidual,
+                                           ScoreKind::kQError,
+                                           ScoreKind::kRelative));
+
+TEST(IntervalTest, BasicOps) {
+  Interval iv{2.0, 5.0};
+  EXPECT_DOUBLE_EQ(iv.width(), 3.0);
+  EXPECT_TRUE(iv.Contains(2.0));
+  EXPECT_TRUE(iv.Contains(5.0));
+  EXPECT_FALSE(iv.Contains(5.1));
+}
+
+TEST(IntervalTest, ClipToCardinality) {
+  Interval iv = ClipToCardinality({-10.0, 2000.0}, 1000.0);
+  EXPECT_DOUBLE_EQ(iv.lo, 0.0);
+  EXPECT_DOUBLE_EQ(iv.hi, 1000.0);
+  // Degenerate after clipping.
+  Interval deg = ClipToCardinality({-5.0, -1.0}, 1000.0);
+  EXPECT_DOUBLE_EQ(deg.lo, 0.0);
+  EXPECT_DOUBLE_EQ(deg.hi, 0.0);
+}
+
+TEST(IntervalTest, InfiniteIntervalContainsEverything) {
+  Interval iv = Interval::Infinite();
+  EXPECT_TRUE(iv.Contains(0.0));
+  EXPECT_TRUE(iv.Contains(1e18));
+  EXPECT_TRUE(iv.Contains(-1e18));
+}
+
+}  // namespace
+}  // namespace confcard

@@ -1,0 +1,139 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace confcard {
+namespace {
+
+TEST(ConformalRankTest, MatchesCeilFormula) {
+  // n=9, alpha=0.1: ceil(10 * 0.9) = 9.
+  EXPECT_EQ(ConformalRank(9, 0.1), 9u);
+  // n=10, alpha=0.1: ceil(11 * 0.9) = 10.
+  EXPECT_EQ(ConformalRank(10, 0.1), 10u);
+  // n=100, alpha=0.1: ceil(101 * 0.9) = 91.
+  EXPECT_EQ(ConformalRank(100, 0.1), 91u);
+  // n=100, alpha=0.05: ceil(101*0.95) = 96.
+  EXPECT_EQ(ConformalRank(100, 0.05), 96u);
+}
+
+TEST(ConformalQuantileTest, SmallKnownCase) {
+  // scores 1..10, alpha=0.1 -> rank ceil(11*0.9)=10 -> value 10.
+  std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(ConformalQuantile(v, 0.1), 10.0);
+  // alpha=0.5 -> rank ceil(11*0.5)=6 -> value 6.
+  EXPECT_DOUBLE_EQ(ConformalQuantile(v, 0.5), 6.0);
+}
+
+TEST(ConformalQuantileTest, UnsortedInput) {
+  std::vector<double> v = {5, 1, 4, 2, 3};
+  // alpha=0.4: rank = ceil(6*0.6)=4 -> 4th smallest = 4.
+  EXPECT_DOUBLE_EQ(ConformalQuantile(v, 0.4), 4.0);
+}
+
+TEST(ConformalQuantileTest, TooSmallCalibrationSetGivesInfinity) {
+  // n=5, alpha=0.1: rank ceil(6*0.9)=6 > 5 -> conservative infinity.
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_TRUE(std::isinf(ConformalQuantile(v, 0.1)));
+}
+
+TEST(ConformalQuantileTest, EmptyInputGivesInfinity) {
+  EXPECT_TRUE(std::isinf(ConformalQuantile({}, 0.1)));
+}
+
+TEST(ConformalQuantileTest, MonotoneInAlpha) {
+  std::vector<double> v;
+  for (int i = 0; i < 200; ++i) v.push_back(static_cast<double>(i));
+  double prev = -1.0;
+  for (double alpha : {0.5, 0.3, 0.2, 0.1, 0.05, 0.01}) {
+    double q = ConformalQuantile(v, alpha);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(ConformalQuantileLowerTest, SmallKnownCase) {
+  std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  // alpha=0.5: floor(0.5*11)=5 -> 5th smallest = 5.
+  EXPECT_DOUBLE_EQ(ConformalQuantileLower(v, 0.5), 5.0);
+  // alpha=0.05: floor(0.55)=0 -> -inf.
+  EXPECT_TRUE(std::isinf(ConformalQuantileLower(v, 0.05)));
+}
+
+TEST(PercentileTest, Interpolation) {
+  std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25.0), 2.5);
+}
+
+TEST(PercentileTest, SingleValueAndEmpty) {
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 90.0), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0);
+}
+
+TEST(PercentileTest, UnsortedHandled) {
+  std::vector<double> v = {9, 1, 5, 3, 7};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 5.0);
+}
+
+TEST(SummarizeTest, BasicStats) {
+  Summary s = Summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(SummarizeTest, EmptyIsZeroed) {
+  Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(MeanVarianceTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0, 6.0}), 4.0);
+  EXPECT_DOUBLE_EQ(Variance({2.0, 4.0, 6.0}), 4.0);
+  EXPECT_DOUBLE_EQ(Variance({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+// Property: the conformal quantile equals the value at the exact rank in
+// the sorted order, for a sweep of (n, alpha).
+class QuantileRankSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(QuantileRankSweep, MatchesSortedRank) {
+  const auto [n, alpha] = GetParam();
+  std::vector<double> v;
+  for (int i = 0; i < n; ++i) {
+    v.push_back(static_cast<double>((i * 7919) % n));  // scrambled
+  }
+  std::vector<double> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  size_t rank = ConformalRank(static_cast<size_t>(n), alpha);
+  double expected = rank > static_cast<size_t>(n)
+                        ? std::numeric_limits<double>::infinity()
+                        : sorted[rank - 1];
+  double got = ConformalQuantile(v, alpha);
+  if (std::isinf(expected)) {
+    EXPECT_TRUE(std::isinf(got));
+  } else {
+    EXPECT_DOUBLE_EQ(got, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QuantileRankSweep,
+    ::testing::Combine(::testing::Values(1, 2, 5, 10, 19, 100, 1000),
+                       ::testing::Values(0.01, 0.05, 0.1, 0.2, 0.5, 0.9)));
+
+}  // namespace
+}  // namespace confcard

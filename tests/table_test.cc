@@ -1,0 +1,65 @@
+#include "data/table.h"
+
+#include <gtest/gtest.h>
+
+namespace confcard {
+namespace {
+
+Table MakeTestTable() {
+  std::vector<Column> cols;
+  cols.push_back(Column::Categorical("a", 3, {0, 1, 2}));
+  cols.push_back(Column::Numeric("b", {1.5, 2.5, 3.5}));
+  return Table::Make("t", std::move(cols)).value();
+}
+
+TEST(TableTest, Basics) {
+  Table t = MakeTestTable();
+  EXPECT_EQ(t.name(), "t");
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_DOUBLE_EQ(t.At(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t.At(2, 1), 3.5);
+}
+
+TEST(TableTest, ColumnLookup) {
+  Table t = MakeTestTable();
+  EXPECT_EQ(t.ColumnIndex("a"), 0);
+  EXPECT_EQ(t.ColumnIndex("b"), 1);
+  EXPECT_EQ(t.ColumnIndex("zzz"), -1);
+  EXPECT_EQ(t.ColumnByName("b").name(), "b");
+}
+
+TEST(TableTest, RowMaterialization) {
+  Table t = MakeTestTable();
+  auto row = t.Row(1);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_DOUBLE_EQ(row[0], 1.0);
+  EXPECT_DOUBLE_EQ(row[1], 2.5);
+}
+
+TEST(TableTest, RejectsNoColumns) {
+  auto r = Table::Make("empty", {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, RejectsLengthMismatch) {
+  std::vector<Column> cols;
+  cols.push_back(Column::Numeric("a", {1, 2}));
+  cols.push_back(Column::Numeric("b", {1, 2, 3}));
+  auto r = Table::Make("bad", std::move(cols));
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("length mismatch"), std::string::npos);
+}
+
+TEST(TableTest, RejectsDuplicateNames) {
+  std::vector<Column> cols;
+  cols.push_back(Column::Numeric("a", {1}));
+  cols.push_back(Column::Numeric("a", {2}));
+  auto r = Table::Make("bad", std::move(cols));
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("duplicate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace confcard

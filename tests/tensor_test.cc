@@ -1,0 +1,106 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace confcard {
+namespace nn {
+namespace {
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t(2, 3);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.size(), 6u);
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TensorTest, AtReadWrite) {
+  Tensor t(2, 2);
+  t.At(1, 0) = 5.0f;
+  EXPECT_EQ(t.At(1, 0), 5.0f);
+  EXPECT_EQ(t.data()[2], 5.0f);  // row-major layout
+}
+
+TEST(TensorTest, FillScaleAdd) {
+  Tensor a(2, 2), b(2, 2);
+  a.Fill(1.0f);
+  b.Fill(2.0f);
+  a.Add(b);
+  a.Scale(0.5f);
+  for (float v : a.data()) EXPECT_EQ(v, 1.5f);
+}
+
+TEST(TensorTest, RandnMoments) {
+  Rng rng(1);
+  Tensor t = Tensor::Randn(100, 100, 2.0f, rng);
+  double sum = 0.0, sq = 0.0;
+  for (float v : t.data()) {
+    sum += v;
+    sq += static_cast<double>(v) * v;
+  }
+  const double n = 10000.0;
+  EXPECT_NEAR(sum / n, 0.0, 0.1);
+  EXPECT_NEAR(sq / n, 4.0, 0.3);
+}
+
+TEST(MatMulTest, KnownProduct) {
+  Tensor a(2, 3), b(3, 2);
+  // a = [[1,2,3],[4,5,6]], b = [[7,8],[9,10],[11,12]]
+  float av[] = {1, 2, 3, 4, 5, 6};
+  float bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data().begin());
+  std::copy(bv, bv + 6, b.data().begin());
+  Tensor c = MatMul(a, b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 154.0f);
+}
+
+TEST(MatMulTest, TransposedVariantsAgreeWithExplicitTranspose) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn(4, 5, 1.0f, rng);
+  Tensor b = Tensor::Randn(4, 6, 1.0f, rng);
+
+  // MatMulTransA(a, b) == a^T * b.
+  Tensor at(5, 4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 5; ++j) at.At(j, i) = a.At(i, j);
+  }
+  Tensor expect = MatMul(at, b);
+  Tensor got = MatMulTransA(a, b);
+  ASSERT_EQ(got.rows(), 5u);
+  ASSERT_EQ(got.cols(), 6u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], expect.data()[i], 1e-4f);
+  }
+
+  // MatMulTransB(a, c) == a * c^T for c (7, 5).
+  Tensor c = Tensor::Randn(7, 5, 1.0f, rng);
+  Tensor ct(5, 7);
+  for (size_t i = 0; i < 7; ++i) {
+    for (size_t j = 0; j < 5; ++j) ct.At(j, i) = c.At(i, j);
+  }
+  Tensor expect2 = MatMul(a, ct);
+  Tensor got2 = MatMulTransB(a, c);
+  for (size_t i = 0; i < got2.size(); ++i) {
+    EXPECT_NEAR(got2.data()[i], expect2.data()[i], 1e-4f);
+  }
+}
+
+TEST(MatMulTest, IdentityPreserves) {
+  Rng rng(4);
+  Tensor a = Tensor::Randn(3, 3, 1.0f, rng);
+  Tensor id(3, 3);
+  for (size_t i = 0; i < 3; ++i) id.At(i, i) = 1.0f;
+  Tensor c = MatMul(a, id);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(c.data()[i], a.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace confcard

@@ -1,0 +1,147 @@
+#include "conformal/weighted.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace confcard {
+namespace {
+
+// Covariate shift setup: x ~ U[0,1] in calibration, but the test
+// distribution concentrates on large x. Noise grows with x, so ignoring
+// the shift loses coverage; the likelihood ratio w(x) = p_test/p_calib
+// restores it.
+struct Stream {
+  std::vector<std::vector<float>> features;
+  std::vector<double> estimates;
+  std::vector<double> truths;
+};
+
+double NoiseAt(double x) { return 5.0 + 300.0 * x * x; }
+
+Stream MakeCalib(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Stream s;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.NextDouble();
+    s.features.push_back({static_cast<float>(x)});
+    s.estimates.push_back(100.0);
+    s.truths.push_back(100.0 + NoiseAt(x) * rng.NextGaussian());
+  }
+  return s;
+}
+
+// Test density p_test(x) = 2x on [0,1] (sampled by sqrt of a uniform).
+Stream MakeShiftedTest(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Stream s;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = std::sqrt(rng.NextDouble());
+    s.features.push_back({static_cast<float>(x)});
+    s.estimates.push_back(100.0);
+    s.truths.push_back(100.0 + NoiseAt(x) * rng.NextGaussian());
+  }
+  return s;
+}
+
+// w(x) = p_test / p_calib = 2x.
+double LikelihoodRatio(const std::vector<float>& f) {
+  return 2.0 * static_cast<double>(f[0]);
+}
+
+TEST(WeightedTest, UniformWeightsMatchPlainConformal) {
+  WeightedConformal wc(MakeScoring(ScoreKind::kResidual),
+                       [](const std::vector<float>&) { return 1.0; }, 0.2);
+  std::vector<std::vector<float>> feats(9, {0.0f});
+  std::vector<double> est(9, 10.0), truth;
+  for (int i = 1; i <= 9; ++i) truth.push_back(10.0 + i);
+  ASSERT_TRUE(wc.Calibrate(feats, est, truth).ok());
+  // Uniform weights: target = 0.8 * 10 = 8 -> 8th smallest score = 8,
+  // the same rank as the plain conformal quantile.
+  EXPECT_DOUBLE_EQ(wc.WeightedDelta({0.0f}), 8.0);
+  Interval iv = wc.Predict(100.0, {0.0f});
+  EXPECT_DOUBLE_EQ(iv.lo, 92.0);
+  EXPECT_DOUBLE_EQ(iv.hi, 108.0);
+}
+
+TEST(WeightedTest, RestoresCoverageUnderCovariateShift) {
+  double covered_w = 0.0, covered_plain = 0.0, total = 0.0;
+  for (uint64_t rep = 0; rep < 5; ++rep) {
+    Stream cal = MakeCalib(2500, 100 + rep);
+    Stream test = MakeShiftedTest(800, 200 + rep);
+
+    WeightedConformal wc(MakeScoring(ScoreKind::kResidual),
+                         LikelihoodRatio, 0.1);
+    ASSERT_TRUE(wc.Calibrate(cal.features, cal.estimates, cal.truths).ok());
+    // Plain S-CP baseline = weighted CP with unit weights.
+    WeightedConformal plain(
+        MakeScoring(ScoreKind::kResidual),
+        [](const std::vector<float>&) { return 1.0; }, 0.1);
+    ASSERT_TRUE(
+        plain.Calibrate(cal.features, cal.estimates, cal.truths).ok());
+
+    for (size_t i = 0; i < test.truths.size(); ++i) {
+      covered_w += wc.Predict(test.estimates[i], test.features[i])
+                           .Contains(test.truths[i])
+                       ? 1.0
+                       : 0.0;
+      covered_plain += plain.Predict(test.estimates[i], test.features[i])
+                               .Contains(test.truths[i])
+                           ? 1.0
+                           : 0.0;
+      total += 1.0;
+    }
+  }
+  const double cov_w = covered_w / total;
+  const double cov_plain = covered_plain / total;
+  // The shift pushes mass toward high-noise x: plain CP under-covers,
+  // weighted CP holds ~0.9.
+  EXPECT_LT(cov_plain, 0.885);
+  EXPECT_GE(cov_w, 0.885);
+}
+
+TEST(WeightedTest, EffectiveSampleSize) {
+  WeightedConformal wc(MakeScoring(ScoreKind::kResidual),
+                       LikelihoodRatio, 0.1);
+  Stream cal = MakeCalib(2000, 7);
+  ASSERT_TRUE(wc.Calibrate(cal.features, cal.estimates, cal.truths).ok());
+  const double ess = wc.EffectiveSampleSize();
+  // ESS for w = 2x over U[0,1]: (E w)^2 / E w^2 = 1 / (4/3) = 0.75n.
+  EXPECT_GT(ess, 0.6 * 2000);
+  EXPECT_LT(ess, 0.9 * 2000);
+}
+
+TEST(WeightedTest, ExtremeTestWeightGivesTrivialInterval) {
+  WeightedConformal wc(
+      MakeScoring(ScoreKind::kResidual),
+      [](const std::vector<float>& f) {
+        return f[0] > 0.5f ? 1e12 : 1.0;
+      },
+      0.1);
+  Stream cal = MakeCalib(200, 8);
+  for (auto& f : cal.features) f[0] = 0.0f;  // calibration weight 1
+  ASSERT_TRUE(wc.Calibrate(cal.features, cal.estimates, cal.truths).ok());
+  Interval iv = wc.Predict(100.0, {1.0f});  // test weight dominates
+  EXPECT_TRUE(std::isinf(iv.hi));
+}
+
+TEST(WeightedTest, RejectsBadWeights) {
+  WeightedConformal wc(
+      MakeScoring(ScoreKind::kResidual),
+      [](const std::vector<float>&) { return -1.0; }, 0.1);
+  Stream cal = MakeCalib(50, 9);
+  EXPECT_FALSE(wc.Calibrate(cal.features, cal.estimates, cal.truths).ok());
+}
+
+TEST(WeightedTest, RejectsAllZeroWeights) {
+  WeightedConformal wc(
+      MakeScoring(ScoreKind::kResidual),
+      [](const std::vector<float>&) { return 0.0; }, 0.1);
+  Stream cal = MakeCalib(50, 10);
+  EXPECT_FALSE(wc.Calibrate(cal.features, cal.estimates, cal.truths).ok());
+}
+
+}  // namespace
+}  // namespace confcard

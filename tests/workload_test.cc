@@ -1,0 +1,204 @@
+#include "query/workload.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "exec/scan.h"
+
+namespace confcard {
+namespace {
+
+Table SmallTable() {
+  TableSpec spec;
+  spec.name = "t";
+  spec.num_rows = 3000;
+  spec.seed = 21;
+  ColumnSpec a;
+  a.name = "a";
+  a.kind = ColumnKind::kCategorical;
+  a.domain_size = 6;
+  a.zipf_skew = 1.0;
+  ColumnSpec b;
+  b.name = "b";
+  b.kind = ColumnKind::kNumeric;
+  b.num_min = 0.0;
+  b.num_max = 100.0;
+  ColumnSpec c;
+  c.name = "c";
+  c.kind = ColumnKind::kCategorical;
+  c.domain_size = 20;
+  c.zipf_skew = 0.5;
+  spec.columns = {a, b, c};
+  return GenerateTable(spec).value();
+}
+
+TEST(WorkloadTest, ProducesRequestedCount) {
+  Table t = SmallTable();
+  WorkloadConfig cfg;
+  cfg.num_queries = 200;
+  auto wl = GenerateWorkload(t, cfg);
+  ASSERT_TRUE(wl.ok());
+  EXPECT_EQ(wl->size(), 200u);
+}
+
+TEST(WorkloadTest, LabelsAreExact) {
+  Table t = SmallTable();
+  WorkloadConfig cfg;
+  cfg.num_queries = 100;
+  cfg.seed = 3;
+  auto wl = GenerateWorkload(t, cfg).value();
+  for (const LabeledQuery& lq : wl) {
+    EXPECT_DOUBLE_EQ(lq.cardinality,
+                     static_cast<double>(CountMatches(t, lq.query)));
+    EXPECT_DOUBLE_EQ(lq.num_rows, 3000.0);
+  }
+}
+
+TEST(WorkloadTest, PredicateCountWithinBounds) {
+  Table t = SmallTable();
+  WorkloadConfig cfg;
+  cfg.num_queries = 150;
+  cfg.min_predicates = 2;
+  cfg.max_predicates = 3;
+  auto wl = GenerateWorkload(t, cfg).value();
+  for (const LabeledQuery& lq : wl) {
+    EXPECT_GE(lq.query.predicates.size(), 2u);
+    EXPECT_LE(lq.query.predicates.size(), 3u);
+  }
+}
+
+TEST(WorkloadTest, DedupProducesDistinctQueries) {
+  Table t = SmallTable();
+  WorkloadConfig cfg;
+  cfg.num_queries = 300;
+  cfg.dedup = true;
+  auto wl = GenerateWorkload(t, cfg).value();
+  std::set<std::string> keys;
+  for (const LabeledQuery& lq : wl) keys.insert(ToString(lq.query));
+  EXPECT_EQ(keys.size(), wl.size());
+}
+
+TEST(WorkloadTest, SelectivityWindowHonored) {
+  Table t = SmallTable();
+  WorkloadConfig cfg;
+  cfg.num_queries = 100;
+  cfg.min_selectivity = 0.01;
+  cfg.max_selectivity = 0.2;
+  auto wl = GenerateWorkload(t, cfg).value();
+  EXPECT_FALSE(wl.empty());
+  for (const LabeledQuery& lq : wl) {
+    EXPECT_GE(lq.selectivity(), 0.01);
+    EXPECT_LE(lq.selectivity(), 0.2);
+  }
+}
+
+TEST(WorkloadTest, AllowedColumnsRestricted) {
+  Table t = SmallTable();
+  WorkloadConfig cfg;
+  cfg.num_queries = 100;
+  cfg.allowed_columns = {0, 2};
+  auto wl = GenerateWorkload(t, cfg).value();
+  for (const LabeledQuery& lq : wl) {
+    for (const Predicate& p : lq.query.predicates) {
+      EXPECT_TRUE(p.column == 0 || p.column == 2);
+    }
+  }
+}
+
+TEST(WorkloadTest, CategoricalAlwaysEquality) {
+  Table t = SmallTable();
+  WorkloadConfig cfg;
+  cfg.num_queries = 200;
+  cfg.range_prob = 1.0;
+  auto wl = GenerateWorkload(t, cfg).value();
+  for (const LabeledQuery& lq : wl) {
+    for (const Predicate& p : lq.query.predicates) {
+      if (t.column(static_cast<size_t>(p.column)).is_categorical()) {
+        EXPECT_EQ(p.op, PredOp::kEq);
+      }
+    }
+  }
+}
+
+TEST(WorkloadTest, RangeProbZeroMeansAllPoints) {
+  Table t = SmallTable();
+  WorkloadConfig cfg;
+  cfg.num_queries = 100;
+  cfg.range_prob = 0.0;
+  auto wl = GenerateWorkload(t, cfg).value();
+  for (const LabeledQuery& lq : wl) {
+    for (const Predicate& p : lq.query.predicates) {
+      EXPECT_EQ(p.op, PredOp::kEq);
+    }
+  }
+}
+
+TEST(WorkloadTest, DataCenteredQueriesMostlyNonEmpty) {
+  Table t = SmallTable();
+  WorkloadConfig cfg;
+  cfg.num_queries = 300;
+  cfg.center_mode = CenterMode::kDataCentered;
+  auto wl = GenerateWorkload(t, cfg).value();
+  size_t nonempty = 0;
+  for (const LabeledQuery& lq : wl) nonempty += lq.cardinality > 0 ? 1 : 0;
+  EXPECT_GT(nonempty, wl.size() * 9 / 10);
+}
+
+TEST(WorkloadTest, UniformModeShiftsSelectivityDown) {
+  Table t = SmallTable();
+  WorkloadConfig data_cfg, uni_cfg;
+  data_cfg.num_queries = uni_cfg.num_queries = 300;
+  data_cfg.min_predicates = uni_cfg.min_predicates = 2;
+  data_cfg.max_predicates = uni_cfg.max_predicates = 3;
+  uni_cfg.center_mode = CenterMode::kUniform;
+  auto dw = GenerateWorkload(t, data_cfg).value();
+  auto uw = GenerateWorkload(t, uni_cfg).value();
+  double ds = 0, us = 0;
+  for (const auto& q : dw) ds += q.selectivity();
+  for (const auto& q : uw) us += q.selectivity();
+  EXPECT_LT(us / static_cast<double>(uw.size()),
+            ds / static_cast<double>(dw.size()));
+}
+
+TEST(WorkloadTest, DeterministicBySeed) {
+  Table t = SmallTable();
+  WorkloadConfig cfg;
+  cfg.num_queries = 50;
+  cfg.seed = 77;
+  auto a = GenerateWorkload(t, cfg).value();
+  auto b = GenerateWorkload(t, cfg).value();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].query, b[i].query);
+  }
+}
+
+TEST(WorkloadValidationTest, RejectsBadConfigs) {
+  Table t = SmallTable();
+  WorkloadConfig cfg;
+  cfg.min_predicates = 0;
+  EXPECT_FALSE(GenerateWorkload(t, cfg).ok());
+
+  cfg = {};
+  cfg.range_prob = 1.5;
+  EXPECT_FALSE(GenerateWorkload(t, cfg).ok());
+
+  cfg = {};
+  cfg.max_range_frac = 0.0;
+  EXPECT_FALSE(GenerateWorkload(t, cfg).ok());
+
+  cfg = {};
+  cfg.min_selectivity = 0.5;
+  cfg.max_selectivity = 0.1;
+  EXPECT_FALSE(GenerateWorkload(t, cfg).ok());
+
+  cfg = {};
+  cfg.allowed_columns = {99};
+  EXPECT_FALSE(GenerateWorkload(t, cfg).ok());
+}
+
+}  // namespace
+}  // namespace confcard
