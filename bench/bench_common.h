@@ -15,10 +15,26 @@
 #include "data/datasets.h"
 #include "harness/scale.h"
 #include "harness/single_table.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "query/workload.h"
 
 namespace confcard {
 namespace bench {
+
+/// Arms the end-of-process metrics artifact when CONFCARD_METRICS_JSON
+/// names a path (no-op otherwise). Every binary that includes this
+/// header gets the behaviour for free via the inline global below — no
+/// per-binary wiring required.
+inline bool InstallMetricsEmitter() {
+  const bool armed = obs::InstallExitEmitter();
+  if (armed) {
+    obs::Metrics().SetMeta("scale", BenchScale());
+  }
+  return armed;
+}
+
+inline const bool kMetricsEmitterInstalled = InstallMetricsEmitter();
 
 /// Default row count for single-table experiments.
 inline size_t DefaultRows() { return Scaled(40000, 2000); }
@@ -42,6 +58,9 @@ inline Splits MakeSplits(const Table& table, double max_selectivity = 0.2,
                          size_t train_n = TrainQueries(),
                          size_t calib_n = CalibQueries(),
                          size_t test_n = TestQueries()) {
+  obs::Metrics().SetMeta("workload.seed_base",
+                         static_cast<double>(seed_base));
+  obs::Metrics().SetMeta("workload.max_selectivity", max_selectivity);
   WorkloadConfig wc;
   wc.max_selectivity = max_selectivity;
   wc.num_queries = train_n;

@@ -7,6 +7,7 @@
 // (benchmarked through the MSCN forward pass).
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "ce/mscn.h"
 #include "common/rng.h"
 #include "common/stats.h"

@@ -8,6 +8,9 @@
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "nn/serialize.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace confcard {
 namespace {
@@ -49,6 +52,14 @@ Status LwnnEstimator::Train(const Table& table, const Workload& workload) {
   if (workload.empty()) {
     return Status::InvalidArgument("lw-nn: empty training workload");
   }
+  obs::TraceSpan span("train.lw-nn");
+  span.SetAttr("train_queries", static_cast<double>(workload.size()));
+  obs::Metrics().SetMeta(
+      "config.lw-nn", "epochs=" + std::to_string(options_.epochs) +
+                          " hidden1=" + std::to_string(options_.hidden1) +
+                          " hidden2=" + std::to_string(options_.hidden2) +
+                          " seed=" + std::to_string(options_.seed));
+  obs::Metrics().GetCounter("ce.lw-nn.trainings").Increment();
   num_rows_ = static_cast<double>(table.num_rows());
   flat_ = std::make_unique<FlatQueryFeaturizer>(table);
   histogram_ =
@@ -73,8 +84,13 @@ Status LwnnEstimator::Train(const Table& table, const Workload& workload) {
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   const size_t bs = std::max<size_t>(1, options_.batch_size);
 
+  obs::Gauge& loss_gauge = obs::Metrics().GetGauge("nn.lw-nn.last_loss");
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    obs::TraceSpan epoch_span("epoch");
+    epoch_span.SetAttr("epoch", static_cast<double>(epoch));
     rng.Shuffle(order);
+    double loss_sum = 0.0;
+    size_t num_batches = 0;
     for (size_t start = 0; start < order.size(); start += bs) {
       const size_t end = std::min(order.size(), start + bs);
       nn::Tensor batch(end - start, dim);
@@ -88,24 +104,36 @@ Status LwnnEstimator::Train(const Table& table, const Workload& workload) {
       nn::Tensor pred = net_->Forward(batch);
       nn::Tensor grad;
       if (options_.loss.kind == LossSpec::kPinball) {
-        nn::PinballLoss(pred, y, options_.loss.tau, &grad);
+        loss_sum += nn::PinballLoss(pred, y, options_.loss.tau, &grad);
       } else {
-        nn::MseLoss(pred, y, &grad);
+        loss_sum += nn::MseLoss(pred, y, &grad);
       }
       net_->Backward(grad);
       adam.Step();
+      ++num_batches;
     }
+    const double mean_loss =
+        num_batches == 0 ? 0.0 : loss_sum / static_cast<double>(num_batches);
+    epoch_span.SetAttr("loss", mean_loss);
+    loss_gauge.Set(mean_loss);
   }
   return Status::OK();
 }
 
 double LwnnEstimator::EstimateCardinality(const Query& query) const {
   CONFCARD_CHECK_MSG(net_ != nullptr, "lw-nn: not trained");
+  static obs::Counter& queries =
+      obs::Metrics().GetCounter("ce.lw-nn.queries");
+  static obs::Histogram& latency =
+      obs::Metrics().GetHistogram("ce.lw-nn.infer_us");
+  Stopwatch watch;
   std::vector<float> f = Features(query);
   nn::Tensor in(1, f.size());
   std::copy(f.begin(), f.end(), in.RowPtr(0));
   nn::Tensor out = net_->Forward(in);
   double card = std::exp(static_cast<double>(out.At(0, 0))) - 1.0;
+  latency.Record(watch.ElapsedMicros());
+  queries.Increment();
   return std::clamp(card, 0.0, num_rows_);
 }
 

@@ -5,6 +5,9 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace confcard {
 
@@ -22,6 +25,16 @@ Status MscnEstimator::Train(const Table& table, const Workload& workload) {
   if (workload.empty()) {
     return Status::InvalidArgument("mscn: empty training workload");
   }
+  obs::TraceSpan span("train.mscn");
+  span.SetAttr("train_queries", static_cast<double>(workload.size()));
+  obs::Metrics().SetMeta(
+      "config.mscn", "epochs=" + std::to_string(options_.model.epochs) +
+                         " set_hidden=" +
+                         std::to_string(options_.model.set_hidden) +
+                         " final_hidden=" +
+                         std::to_string(options_.model.final_hidden) +
+                         " seed=" + std::to_string(options_.model.seed));
+  obs::Metrics().GetCounter("ce.mscn.trainings").Increment();
   num_rows_ = static_cast<double>(table.num_rows());
   if (options_.bitmap_size > 0) {
     sampler_ = std::make_unique<SamplingEstimator>(
@@ -48,7 +61,14 @@ Status MscnEstimator::Train(const Table& table, const Workload& workload) {
 
 double MscnEstimator::EstimateCardinality(const Query& query) const {
   CONFCARD_CHECK_MSG(model_ != nullptr, "mscn: not trained");
+  static obs::Counter& queries =
+      obs::Metrics().GetCounter("ce.mscn.queries");
+  static obs::Histogram& latency =
+      obs::Metrics().GetHistogram("ce.mscn.infer_us");
+  Stopwatch watch;
   double log_card = model_->PredictLogCard(featurizer_->Featurize(query));
+  latency.Record(watch.ElapsedMicros());
+  queries.Increment();
   // A single-table count can never exceed the table size; clamping also
   // guards against exp() blow-ups on out-of-distribution queries.
   return std::clamp(std::exp(log_card) - 1.0, 0.0, num_rows_);
@@ -144,6 +164,9 @@ Status MscnJoinEstimator::Train(const Database& db,
   if (workload.empty()) {
     return Status::InvalidArgument("mscn-join: empty training workload");
   }
+  obs::TraceSpan span("train.mscn-join");
+  span.SetAttr("train_queries", static_cast<double>(workload.size()));
+  obs::Metrics().GetCounter("ce.mscn-join.trainings").Increment();
   featurizer_ = std::make_unique<MscnJoinFeaturizer>(db);
   model_ = std::make_unique<MscnModel>(featurizer_->table_dim(),
                                        featurizer_->join_dim(),
@@ -162,7 +185,14 @@ Status MscnJoinEstimator::Train(const Database& db,
 
 double MscnJoinEstimator::EstimateCardinality(const JoinQuery& query) const {
   CONFCARD_CHECK_MSG(model_ != nullptr, "mscn-join: not trained");
+  static obs::Counter& queries =
+      obs::Metrics().GetCounter("ce.mscn-join.queries");
+  static obs::Histogram& latency =
+      obs::Metrics().GetHistogram("ce.mscn-join.infer_us");
+  Stopwatch watch;
   double log_card = model_->PredictLogCard(featurizer_->Featurize(query));
+  latency.Record(watch.ElapsedMicros());
+  queries.Increment();
   return std::max(0.0, std::exp(log_card) - 1.0);
 }
 

@@ -8,6 +8,8 @@
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace confcard {
 namespace {
@@ -168,7 +170,10 @@ Status MscnModel::Train(const std::vector<MscnInput>& inputs,
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
   const size_t bs = std::max<size_t>(1, config_.batch_size);
+  obs::Gauge& loss_gauge = obs::Metrics().GetGauge("nn.mscn.last_loss");
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    obs::TraceSpan epoch_span("epoch");
+    epoch_span.SetAttr("epoch", static_cast<double>(epoch));
     // Step decay stabilizes the heavy-tailed q-error loss: full rate for
     // the first half of training, then halved twice.
     double lr = config_.lr;
@@ -176,6 +181,8 @@ Status MscnModel::Train(const std::vector<MscnInput>& inputs,
     if (epoch >= 3 * config_.epochs / 4) lr *= 0.5;
     adam.set_lr(lr);
     rng.Shuffle(order);
+    double loss_sum = 0.0;
+    size_t num_batches = 0;
     for (size_t start = 0; start < order.size(); start += bs) {
       const size_t end = std::min(order.size(), start + bs);
       std::vector<const MscnInput*> batch;
@@ -188,13 +195,18 @@ Status MscnModel::Train(const std::vector<MscnInput>& inputs,
       nn::Tensor pred = Forward(batch);
       nn::Tensor grad;
       if (config_.loss.kind == LossSpec::kPinball) {
-        nn::PinballLoss(pred, targets, config_.loss.tau, &grad);
+        loss_sum += nn::PinballLoss(pred, targets, config_.loss.tau, &grad);
       } else {
-        nn::QErrorLogLoss(pred, targets, &grad);
+        loss_sum += nn::QErrorLogLoss(pred, targets, &grad);
       }
       Backward(grad);
       adam.Step();
+      ++num_batches;
     }
+    const double mean_loss =
+        num_batches == 0 ? 0.0 : loss_sum / static_cast<double>(num_batches);
+    epoch_span.SetAttr("loss", mean_loss);
+    loss_gauge.Set(mean_loss);
   }
   return Status::OK();
 }

@@ -8,6 +8,9 @@
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "nn/serialize.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace confcard {
 namespace {
@@ -159,6 +162,14 @@ Status NaruEstimator::Train(const Table& table) {
   if (table.num_rows() == 0) {
     return Status::InvalidArgument("naru: empty table");
   }
+  obs::TraceSpan span("train.naru");
+  span.SetAttr("rows", static_cast<double>(table.num_rows()));
+  obs::Metrics().SetMeta(
+      "config.naru", "epochs=" + std::to_string(config_.epochs) +
+                         " hidden=" + std::to_string(config_.hidden) +
+                         " num_samples=" + std::to_string(config_.num_samples) +
+                         " seed=" + std::to_string(config_.seed));
+  obs::Metrics().GetCounter("ce.naru.trainings").Increment();
   num_rows_ = static_cast<double>(table.num_rows());
   binner_ = std::make_unique<TableBinner>(table, config_.numeric_bins);
   Rng rng(config_.seed);
@@ -185,8 +196,13 @@ Status NaruEstimator::Train(const Table& table) {
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   const size_t bs = std::max<size_t>(1, config_.batch_size);
 
+  obs::Gauge& loss_gauge = obs::Metrics().GetGauge("nn.naru.last_loss");
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    obs::TraceSpan epoch_span("epoch");
+    epoch_span.SetAttr("epoch", static_cast<double>(epoch));
     rng.Shuffle(order);
+    double loss_sum = 0.0;
+    size_t num_batches = 0;
     for (size_t start = 0; start < order.size(); start += bs) {
       const size_t end = std::min(order.size(), start + bs);
       const size_t b = end - start;
@@ -202,10 +218,16 @@ Status NaruEstimator::Train(const Table& table) {
       }
       nn::Tensor logits = net_->Forward(input);
       nn::Tensor grad;
-      nn::BlockSoftmaxCrossEntropy(logits, block_offsets_, targets, &grad);
+      loss_sum +=
+          nn::BlockSoftmaxCrossEntropy(logits, block_offsets_, targets, &grad);
       net_->Backward(grad);
       adam.Step();
+      ++num_batches;
     }
+    const double mean_loss =
+        num_batches == 0 ? 0.0 : loss_sum / static_cast<double>(num_batches);
+    epoch_span.SetAttr("loss", mean_loss);
+    loss_gauge.Set(mean_loss);
   }
   return Status::OK();
 }
@@ -216,6 +238,7 @@ double NaruEstimator::ProgressiveSample(
   const size_t num_cols = binner_->num_columns();
   const size_t total = binner_->TotalBins();
   const size_t S = std::max<size_t>(1, config_.num_samples);
+  obs::Metrics().GetCounter("ce.naru.progressive_samples").Increment(S);
 
   // Deterministic per-call sampler: inference must be repeatable.
   Rng rng(config_.seed ^ 0x5EEDBEEFULL);
@@ -294,7 +317,15 @@ double NaruEstimator::EstimateSelectivity(const Query& query) const {
 }
 
 double NaruEstimator::EstimateCardinality(const Query& query) const {
-  return EstimateSelectivity(query) * num_rows_;
+  static obs::Counter& queries =
+      obs::Metrics().GetCounter("ce.naru.queries");
+  static obs::Histogram& latency =
+      obs::Metrics().GetHistogram("ce.naru.infer_us");
+  Stopwatch watch;
+  const double selectivity = EstimateSelectivity(query);
+  latency.Record(watch.ElapsedMicros());
+  queries.Increment();
+  return selectivity * num_rows_;
 }
 
 }  // namespace confcard

@@ -6,22 +6,51 @@
 
 namespace confcard {
 
-/// Monotonic stopwatch started at construction.
+/// Monotonic stopwatch started at construction. Accumulates running time
+/// across Pause()/Resume() cycles, so a caller can exclude nested setup
+/// work from a measurement; the Elapsed* readings report accumulated
+/// running time only.
 class Stopwatch {
  public:
   Stopwatch() : start_(Clock::now()) {}
 
-  void Restart() { start_ = Clock::now(); }
+  /// Discards all accumulated time and restarts in the running state.
+  void Restart() {
+    accumulated_ = Duration::zero();
+    running_ = true;
+    start_ = Clock::now();
+  }
+
+  /// Stops accumulating. No-op when already paused.
+  void Pause() {
+    if (!running_) return;
+    accumulated_ += Clock::now() - start_;
+    running_ = false;
+  }
+
+  /// Resumes accumulating. No-op when already running.
+  void Resume() {
+    if (running_) return;
+    running_ = true;
+    start_ = Clock::now();
+  }
+
+  bool IsRunning() const { return running_; }
 
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    Duration total = accumulated_;
+    if (running_) total += Clock::now() - start_;
+    return std::chrono::duration<double>(total).count();
   }
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
   double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
 
  private:
   using Clock = std::chrono::steady_clock;
+  using Duration = Clock::duration;
   Clock::time_point start_;
+  Duration accumulated_ = Duration::zero();
+  bool running_ = true;
 };
 
 }  // namespace confcard

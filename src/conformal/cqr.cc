@@ -4,6 +4,8 @@
 
 #include "common/check.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace confcard {
 
@@ -23,13 +25,22 @@ Status ConformalizedQuantileRegression::Calibrate(
   if (truths.empty()) {
     return Status::InvalidArgument("empty calibration set");
   }
+  obs::TraceSpan span("calibrate.cqr");
+  obs::Metrics().GetGauge("conformal.cqr.calib_size")
+      .Set(static_cast<double>(truths.size()));
   std::vector<double> scores(truths.size());
-  for (size_t i = 0; i < truths.size(); ++i) {
-    scores[i] =
-        std::max(lo_estimates[i] - truths[i], truths[i] - hi_estimates[i]);
+  {
+    obs::TraceSpan score_span("score");
+    for (size_t i = 0; i < truths.size(); ++i) {
+      scores[i] =
+          std::max(lo_estimates[i] - truths[i], truths[i] - hi_estimates[i]);
+    }
+    obs::Metrics().GetHistogram("conformal.cqr.score_us")
+        .Record(score_span.ElapsedMicros());
   }
   delta_ = ConformalQuantile(std::move(scores), alpha_);
   calibrated_ = true;
+  obs::Metrics().GetCounter("conformal.cqr.calibrations").Increment();
   return Status::OK();
 }
 

@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace confcard {
 
@@ -25,6 +27,7 @@ Status LocallyWeightedConformal::FitDifficulty(
   if (features.empty()) {
     return Status::InvalidArgument("empty difficulty training set");
   }
+  obs::TraceSpan span("calibrate.lw-s-cp.fit_difficulty");
   const size_t dim = features.front().size();
   std::vector<float> X;
   X.reserve(features.size() * dim);
@@ -70,13 +73,22 @@ Status LocallyWeightedConformal::Calibrate(
   if (features.empty()) {
     return Status::InvalidArgument("empty calibration set");
   }
+  obs::TraceSpan span("calibrate.lw-s-cp");
+  obs::Metrics().GetGauge("conformal.lw-s-cp.calib_size")
+      .Set(static_cast<double>(features.size()));
   std::vector<double> scaled(features.size());
-  for (size_t i = 0; i < features.size(); ++i) {
-    scaled[i] =
-        std::fabs(truths[i] - estimates[i]) / Difficulty(features[i]);
+  {
+    obs::TraceSpan score_span("score");
+    for (size_t i = 0; i < features.size(); ++i) {
+      scaled[i] =
+          std::fabs(truths[i] - estimates[i]) / Difficulty(features[i]);
+    }
+    obs::Metrics().GetHistogram("conformal.lw-s-cp.score_us")
+        .Record(score_span.ElapsedMicros());
   }
   delta_ = ConformalQuantile(std::move(scaled), options_.alpha);
   calibrated_ = true;
+  obs::Metrics().GetCounter("conformal.lw-s-cp.calibrations").Increment();
   return Status::OK();
 }
 

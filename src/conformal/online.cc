@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
 
 namespace confcard {
 
@@ -27,6 +28,9 @@ Status OnlineConformal::Warmup(const std::vector<double>& estimates,
 }
 
 void OnlineConformal::Observe(double estimate, double truth) {
+  static obs::Counter& observations =
+      obs::Metrics().GetCounter("conformal.online.observations");
+  observations.Increment();
   const double score = scoring_->Score(estimate, truth);
   recency_.push_back(score);
   sorted_.insert(std::lower_bound(sorted_.begin(), sorted_.end(), score),

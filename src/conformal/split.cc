@@ -2,6 +2,8 @@
 
 #include "common/check.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace confcard {
 
@@ -20,12 +22,21 @@ Status SplitConformal::Calibrate(const std::vector<double>& estimates,
   if (estimates.empty()) {
     return Status::InvalidArgument("empty calibration set");
   }
+  obs::TraceSpan span("calibrate.s-cp");
+  obs::Metrics().GetGauge("conformal.s-cp.calib_size")
+      .Set(static_cast<double>(estimates.size()));
   std::vector<double> scores(estimates.size());
-  for (size_t i = 0; i < estimates.size(); ++i) {
-    scores[i] = scoring_->Score(estimates[i], truths[i]);
+  {
+    obs::TraceSpan score_span("score");
+    for (size_t i = 0; i < estimates.size(); ++i) {
+      scores[i] = scoring_->Score(estimates[i], truths[i]);
+    }
+    obs::Metrics().GetHistogram("conformal.s-cp.score_us")
+        .Record(score_span.ElapsedMicros());
   }
   delta_ = ConformalQuantile(std::move(scores), alpha_);
   calibrated_ = true;
+  obs::Metrics().GetCounter("conformal.s-cp.calibrations").Increment();
   return Status::OK();
 }
 

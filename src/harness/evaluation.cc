@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/stats.h"
+#include "obs/metrics.h"
 
 namespace confcard {
 
@@ -33,6 +34,46 @@ void FinalizeMethodResult(MethodResult* result, double num_rows) {
   result->median_width_sel = Percentile(widths, 50.0);
   result->p90_width_sel = Percentile(widths, 90.0);
   result->mean_qerror = Percentile(qerrs, 50.0);
+}
+
+PrepTimer::PrepTimer(MethodResult* result)
+    : timer_("prep", &result->prep_millis,
+             &obs::Metrics().GetHistogram("harness.prep_us")) {}
+
+InferTimer::InferTimer(MethodResult* result, size_t num_queries)
+    : timer_("infer", nullptr,
+             &obs::Metrics().GetHistogram("harness.infer_us"),
+             static_cast<double>(std::max<size_t>(num_queries, 1))) {
+  // infer_micros is the per-query average; route the span's elapsed
+  // micros through the divisor and mirror it into the result afterwards.
+  result_ = result;
+  num_queries_ = std::max<size_t>(num_queries, 1);
+}
+
+InferTimer::~InferTimer() {
+  result_->infer_micros =
+      timer_.span().ElapsedMicros() / static_cast<double>(num_queries_);
+}
+
+ClipCounter::ClipCounter(const std::string& method)
+    : clipped_(obs::Metrics().GetCounter("conformal.clip." + method)),
+      total_(obs::Metrics().GetCounter("conformal.clip." + method +
+                                       ".total")) {}
+
+Interval ClipCounter::Clip(Interval iv, double num_rows) {
+  const Interval out = ClipToCardinality(iv, num_rows);
+  total_.Increment();
+  if (out.lo != iv.lo || out.hi != iv.hi) clipped_.Increment();
+  return out;
+}
+
+Interval ClipCounter::ClipNonNegative(Interval iv) {
+  total_.Increment();
+  if (iv.lo < 0.0) {
+    iv.lo = 0.0;
+    clipped_.Increment();
+  }
+  return iv;
 }
 
 }  // namespace confcard

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "conformal/interval.h"
+#include "obs/trace.h"
 
 namespace confcard {
 
@@ -49,6 +50,49 @@ struct MethodResult {
 /// Fills the aggregate fields of `result` from `result.rows` (widths
 /// normalized by `num_rows`).
 void FinalizeMethodResult(MethodResult* result, double num_rows);
+
+/// RAII timer for the prep phase of one method run (model-extra training
+/// plus calibration): opens a "prep" trace span and, on destruction,
+/// fills result->prep_millis and the "harness.prep_us" histogram.
+class PrepTimer {
+ public:
+  explicit PrepTimer(MethodResult* result);
+
+ private:
+  obs::ScopedTimer timer_;
+};
+
+/// RAII timer for the per-query inference loop: opens an "infer" trace
+/// span; on destruction fills result->infer_micros (per query over
+/// `num_queries`) and the "harness.infer_us" histogram.
+class InferTimer {
+ public:
+  InferTimer(MethodResult* result, size_t num_queries);
+  ~InferTimer();
+
+ private:
+  obs::ScopedTimer timer_;
+  MethodResult* result_;
+  size_t num_queries_;
+};
+
+/// Interval clipping with per-method accounting: behaves like
+/// ClipToCardinality (or the joins' lower-bound-only clip) and bumps
+/// "conformal.clip.<method>" whenever clipping moved a bound, plus the
+/// matching ".total" counter per interval seen.
+class ClipCounter {
+ public:
+  explicit ClipCounter(const std::string& method);
+
+  /// ClipToCardinality(iv, num_rows), counted.
+  Interval Clip(Interval iv, double num_rows);
+  /// max(lo, 0) only — join cardinalities have no table-size cap.
+  Interval ClipNonNegative(Interval iv);
+
+ private:
+  obs::Counter& clipped_;
+  obs::Counter& total_;
+};
 
 }  // namespace confcard
 

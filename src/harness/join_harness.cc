@@ -5,7 +5,6 @@
 
 #include "common/check.h"
 #include "common/stats.h"
-#include "common/stopwatch.h"
 #include "conformal/cqr.h"
 #include "conformal/jackknife.h"
 #include "conformal/locally_weighted.h"
@@ -61,23 +60,25 @@ MethodResult JoinHarness::RunScp(const MscnJoinEstimator& model) const {
   result.method = "s-cp";
   result.alpha = options_.alpha;
 
-  Stopwatch prep;
+  obs::TraceSpan span("harness.join.s-cp");
   SplitConformal scp(scoring_, options_.alpha);
-  CONFCARD_CHECK(scp.Calibrate(Estimates(model, calib_), Truths(calib_))
-                     .ok());
-  result.prep_millis = prep.ElapsedMillis();
+  {
+    PrepTimer prep(&result);
+    CONFCARD_CHECK(scp.Calibrate(Estimates(model, calib_), Truths(calib_))
+                       .ok());
+  }
 
   std::vector<double> test_est = Estimates(model, test_);
   const double norm = Normalizer();
-  Stopwatch infer;
-  for (size_t i = 0; i < test_.size(); ++i) {
-    Interval iv = scp.Predict(test_est[i]);
-    iv.lo = std::max(iv.lo, 0.0);
-    result.rows.push_back(
-        {test_[i].cardinality, test_est[i], iv.lo, iv.hi});
+  ClipCounter clip(result.method);
+  {
+    InferTimer infer(&result, test_.size());
+    for (size_t i = 0; i < test_.size(); ++i) {
+      Interval iv = clip.ClipNonNegative(scp.Predict(test_est[i]));
+      result.rows.push_back(
+          {test_[i].cardinality, test_est[i], iv.lo, iv.hi});
+    }
   }
-  result.infer_micros =
-      infer.ElapsedMicros() / static_cast<double>(test_.size());
   FinalizeMethodResult(&result, norm);
   return result;
 }
@@ -97,32 +98,36 @@ MethodResult JoinHarness::RunLwScp(const MscnJoinEstimator& model) const {
     return out;
   };
 
-  Stopwatch prep;
+  obs::TraceSpan span("harness.join.lw-s-cp");
   LocallyWeightedConformal::Options opts;
   opts.alpha = options_.alpha;
   opts.gbdt = options_.gbdt;
   LocallyWeightedConformal lw(opts);
-  CONFCARD_CHECK(lw.FitDifficulty(features(train_),
-                                  Estimates(model, train_), Truths(train_))
-                     .ok());
-  CONFCARD_CHECK(
-      lw.Calibrate(features(calib_), Estimates(model, calib_),
-                   Truths(calib_))
-          .ok());
-  result.prep_millis = prep.ElapsedMillis();
+  {
+    PrepTimer prep(&result);
+    CONFCARD_CHECK(lw.FitDifficulty(features(train_),
+                                    Estimates(model, train_),
+                                    Truths(train_))
+                       .ok());
+    CONFCARD_CHECK(
+        lw.Calibrate(features(calib_), Estimates(model, calib_),
+                     Truths(calib_))
+            .ok());
+  }
 
   std::vector<double> test_est = Estimates(model, test_);
   std::vector<std::vector<float>> test_feat = features(test_);
   const double norm = Normalizer();
-  Stopwatch infer;
-  for (size_t i = 0; i < test_.size(); ++i) {
-    Interval iv = lw.Predict(test_est[i], test_feat[i]);
-    iv.lo = std::max(iv.lo, 0.0);
-    result.rows.push_back(
-        {test_[i].cardinality, test_est[i], iv.lo, iv.hi});
+  ClipCounter clip(result.method);
+  {
+    InferTimer infer(&result, test_.size());
+    for (size_t i = 0; i < test_.size(); ++i) {
+      Interval iv =
+          clip.ClipNonNegative(lw.Predict(test_est[i], test_feat[i]));
+      result.rows.push_back(
+          {test_[i].cardinality, test_est[i], iv.lo, iv.hi});
+    }
   }
-  result.infer_micros =
-      infer.ElapsedMicros() / static_cast<double>(test_.size());
   FinalizeMethodResult(&result, norm);
   return result;
 }
@@ -133,31 +138,35 @@ MethodResult JoinHarness::RunCqr(const MscnJoinEstimator& prototype) const {
   result.method = "cqr";
   result.alpha = options_.alpha;
 
-  Stopwatch prep;
+  obs::TraceSpan span("harness.join.cqr");
   ConformalizedQuantileRegression cqr(options_.alpha);
-  auto lo_model = prototype.CloneArchitecture(2101);
-  lo_model->SetLoss(LossSpec::Pinball(cqr.lower_tau()));
-  CONFCARD_CHECK(lo_model->Train(*db_, train_).ok());
-  auto hi_model = prototype.CloneArchitecture(2203);
-  hi_model->SetLoss(LossSpec::Pinball(cqr.upper_tau()));
-  CONFCARD_CHECK(hi_model->Train(*db_, train_).ok());
-  CONFCARD_CHECK(cqr.Calibrate(Estimates(*lo_model, calib_),
-                               Estimates(*hi_model, calib_), Truths(calib_))
-                     .ok());
-  result.prep_millis = prep.ElapsedMillis();
+  std::unique_ptr<MscnJoinEstimator> lo_model, hi_model;
+  {
+    PrepTimer prep(&result);
+    lo_model = prototype.CloneArchitecture(2101);
+    lo_model->SetLoss(LossSpec::Pinball(cqr.lower_tau()));
+    CONFCARD_CHECK(lo_model->Train(*db_, train_).ok());
+    hi_model = prototype.CloneArchitecture(2203);
+    hi_model->SetLoss(LossSpec::Pinball(cqr.upper_tau()));
+    CONFCARD_CHECK(hi_model->Train(*db_, train_).ok());
+    CONFCARD_CHECK(cqr.Calibrate(Estimates(*lo_model, calib_),
+                                 Estimates(*hi_model, calib_),
+                                 Truths(calib_))
+                       .ok());
+  }
 
   std::vector<double> lo_test = Estimates(*lo_model, test_);
   std::vector<double> hi_test = Estimates(*hi_model, test_);
   const double norm = Normalizer();
-  Stopwatch infer;
-  for (size_t i = 0; i < test_.size(); ++i) {
-    Interval iv = cqr.Predict(lo_test[i], hi_test[i]);
-    iv.lo = std::max(iv.lo, 0.0);
-    const double center = 0.5 * (lo_test[i] + hi_test[i]);
-    result.rows.push_back({test_[i].cardinality, center, iv.lo, iv.hi});
+  ClipCounter clip(result.method);
+  {
+    InferTimer infer(&result, test_.size());
+    for (size_t i = 0; i < test_.size(); ++i) {
+      Interval iv = clip.ClipNonNegative(cqr.Predict(lo_test[i], hi_test[i]));
+      const double center = 0.5 * (lo_test[i] + hi_test[i]);
+      result.rows.push_back({test_[i].cardinality, center, iv.lo, iv.hi});
+    }
   }
-  result.infer_micros =
-      infer.ElapsedMicros() / static_cast<double>(test_.size());
   FinalizeMethodResult(&result, norm);
   return result;
 }
@@ -173,45 +182,48 @@ MethodResult JoinHarness::RunJkCv(const MscnJoinEstimator& prototype,
   all.insert(all.end(), calib_.begin(), calib_.end());
   const int k = options_.jk_folds;
 
-  Stopwatch prep;
-  std::vector<int> fold_of = AssignFolds(all.size(), k, options_.seed);
+  obs::TraceSpan span("harness.join.jk-cv+");
   std::vector<std::unique_ptr<MscnJoinEstimator>> fold_models;
-  for (int f = 0; f < k; ++f) {
-    JoinWorkload fold_train;
-    for (size_t i = 0; i < all.size(); ++i) {
-      if (fold_of[i] != f) fold_train.push_back(all[i]);
-    }
-    auto clone = prototype.CloneArchitecture(3000 + static_cast<uint64_t>(f));
-    CONFCARD_CHECK(clone->Train(*db_, fold_train).ok());
-    fold_models.push_back(std::move(clone));
-  }
-  std::vector<double> oof(all.size()), truths(all.size());
-  for (size_t i = 0; i < all.size(); ++i) {
-    oof[i] = fold_models[static_cast<size_t>(fold_of[i])]
-                 ->EstimateCardinality(all[i].query);
-    truths[i] = all[i].cardinality;
-  }
   JackknifeCvPlus jk(scoring_, options_.alpha);
-  CONFCARD_CHECK(jk.Calibrate(oof, truths, fold_of, k).ok());
-  result.prep_millis = prep.ElapsedMillis();
+  {
+    PrepTimer prep(&result);
+    std::vector<int> fold_of = AssignFolds(all.size(), k, options_.seed);
+    for (int f = 0; f < k; ++f) {
+      JoinWorkload fold_train;
+      for (size_t i = 0; i < all.size(); ++i) {
+        if (fold_of[i] != f) fold_train.push_back(all[i]);
+      }
+      auto clone =
+          prototype.CloneArchitecture(3000 + static_cast<uint64_t>(f));
+      CONFCARD_CHECK(clone->Train(*db_, fold_train).ok());
+      fold_models.push_back(std::move(clone));
+    }
+    std::vector<double> oof(all.size()), truths(all.size());
+    for (size_t i = 0; i < all.size(); ++i) {
+      oof[i] = fold_models[static_cast<size_t>(fold_of[i])]
+                   ->EstimateCardinality(all[i].query);
+      truths[i] = all[i].cardinality;
+    }
+    CONFCARD_CHECK(jk.Calibrate(oof, truths, fold_of, k).ok());
+  }
 
   std::vector<double> full_est = Estimates(full_model, test_);
   const double norm = Normalizer();
-  Stopwatch infer;
-  std::vector<double> fold_est(static_cast<size_t>(k));
-  for (size_t i = 0; i < test_.size(); ++i) {
-    for (int f = 0; f < k; ++f) {
-      fold_est[static_cast<size_t>(f)] =
-          fold_models[static_cast<size_t>(f)]->EstimateCardinality(
-              test_[i].query);
+  ClipCounter clip(result.method);
+  {
+    InferTimer infer(&result, test_.size());
+    std::vector<double> fold_est(static_cast<size_t>(k));
+    for (size_t i = 0; i < test_.size(); ++i) {
+      for (int f = 0; f < k; ++f) {
+        fold_est[static_cast<size_t>(f)] =
+            fold_models[static_cast<size_t>(f)]->EstimateCardinality(
+                test_[i].query);
+      }
+      Interval iv = clip.ClipNonNegative(jk.Predict(fold_est, full_est[i]));
+      result.rows.push_back(
+          {test_[i].cardinality, full_est[i], iv.lo, iv.hi});
     }
-    Interval iv = jk.Predict(fold_est, full_est[i]);
-    iv.lo = std::max(iv.lo, 0.0);
-    result.rows.push_back(
-        {test_[i].cardinality, full_est[i], iv.lo, iv.hi});
   }
-  result.infer_micros =
-      infer.ElapsedMicros() / static_cast<double>(test_.size());
   FinalizeMethodResult(&result, norm);
   return result;
 }

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/csv.h"
+#include "obs/metrics.h"
 
 namespace confcard {
 
@@ -11,6 +12,8 @@ void PrintExperimentHeader(const std::string& id, const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s — %s\n", id.c_str(), title.c_str());
   std::printf("================================================================\n");
+  obs::Metrics().SetMeta("experiment.id", id);
+  obs::Metrics().SetMeta("experiment.title", title);
 }
 
 void PrintMethodTable(const std::vector<MethodResult>& results) {
@@ -53,7 +56,7 @@ void PrintSeries(const MethodResult& result, double num_rows,
   }
 }
 
-void WriteSeriesCsv(const std::string& path, const MethodResult& result) {
+Status WriteSeriesCsv(const std::string& path, const MethodResult& result) {
   std::vector<std::vector<std::string>> rows;
   rows.reserve(result.rows.size());
   for (size_t i = 0; i < result.rows.size(); ++i) {
@@ -62,13 +65,10 @@ void WriteSeriesCsv(const std::string& path, const MethodResult& result) {
                     std::to_string(r.estimate), std::to_string(r.lo),
                     std::to_string(r.hi)});
   }
-  Status st = WriteCsv(path, {"query", "truth", "estimate", "lo", "hi"},
-                       rows);
-  if (st.ok()) {
-    std::printf("  wrote %s (%zu rows)\n", path.c_str(), result.rows.size());
-  } else {
-    std::printf("  csv write failed: %s\n", st.ToString().c_str());
-  }
+  CONFCARD_RETURN_NOT_OK(
+      WriteCsv(path, {"query", "truth", "estimate", "lo", "hi"}, rows));
+  std::printf("  wrote %s (%zu rows)\n", path.c_str(), result.rows.size());
+  return Status::OK();
 }
 
 }  // namespace confcard

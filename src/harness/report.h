@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "harness/evaluation.h"
 
 namespace confcard {
@@ -24,8 +25,10 @@ void PrintSeries(const MethodResult& result, double num_rows,
                  size_t max_points = 20);
 
 /// Writes the full series of `result` as CSV (query index, truth,
-/// estimate, lo, hi in tuples) for offline plotting. Prints the path.
-void WriteSeriesCsv(const std::string& path, const MethodResult& result);
+/// estimate, lo, hi in tuples) for offline plotting. Prints the path on
+/// success; returns the underlying I/O error otherwise so callers can
+/// surface partially written figure data instead of silently dropping it.
+Status WriteSeriesCsv(const std::string& path, const MethodResult& result);
 
 }  // namespace confcard
 

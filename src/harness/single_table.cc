@@ -6,7 +6,6 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/stats.h"
-#include "common/stopwatch.h"
 #include "conformal/cqr.h"
 #include "conformal/jackknife.h"
 #include "conformal/locally_weighted.h"
@@ -81,21 +80,24 @@ MethodResult SingleTableHarness::MakeResult(
 MethodResult SingleTableHarness::RunScp(
     const CardinalityEstimator& model) const {
   MethodResult result = MakeResult(model, "s-cp");
-  Stopwatch prep;
-  std::vector<double> calib_est = Estimates(model, calib_);
+  obs::TraceSpan span("harness.s-cp");
   SplitConformal scp(scoring_, options_.alpha);
-  CONFCARD_CHECK(scp.Calibrate(calib_est, Truths(calib_)).ok());
-  result.prep_millis = prep.ElapsedMillis();
+  {
+    PrepTimer prep(&result);
+    std::vector<double> calib_est = Estimates(model, calib_);
+    CONFCARD_CHECK(scp.Calibrate(calib_est, Truths(calib_)).ok());
+  }
 
   std::vector<double> test_est = Estimates(model, test_);
-  Stopwatch infer;
-  for (size_t i = 0; i < test_.size(); ++i) {
-    Interval iv = ClipToCardinality(scp.Predict(test_est[i]), num_rows_);
-    result.rows.push_back(
-        {test_[i].cardinality, test_est[i], iv.lo, iv.hi});
+  ClipCounter clip(result.method);
+  {
+    InferTimer infer(&result, test_.size());
+    for (size_t i = 0; i < test_.size(); ++i) {
+      Interval iv = clip.Clip(scp.Predict(test_est[i]), num_rows_);
+      result.rows.push_back(
+          {test_[i].cardinality, test_est[i], iv.lo, iv.hi});
+    }
   }
-  result.infer_micros =
-      infer.ElapsedMicros() / static_cast<double>(test_.size());
   FinalizeMethodResult(&result, num_rows_);
   return result;
 }
@@ -112,27 +114,31 @@ MethodResult SingleTableHarness::RunLwScp(
   if (source == DifficultySource::kGbdtMad) {
     CONFCARD_CHECK_MSG(!train_.empty(),
                        "lw-s-cp(gbdt) needs a training split");
-    Stopwatch prep;
+    obs::TraceSpan span("harness.lw-s-cp");
     LocallyWeightedConformal::Options opts;
     opts.alpha = options_.alpha;
     opts.gbdt = options_.gbdt;
     LocallyWeightedConformal lw(opts);
-    CONFCARD_CHECK(
-        lw.FitDifficulty(Features(train_), train_est, Truths(train_)).ok());
-    CONFCARD_CHECK(lw.Calibrate(Features(calib_), calib_est, calib_truth)
-                       .ok());
-    result.prep_millis = prep.ElapsedMillis();
+    {
+      PrepTimer prep(&result);
+      CONFCARD_CHECK(
+          lw.FitDifficulty(Features(train_), train_est, Truths(train_))
+              .ok());
+      CONFCARD_CHECK(lw.Calibrate(Features(calib_), calib_est, calib_truth)
+                         .ok());
+    }
 
     std::vector<std::vector<float>> test_feat = Features(test_);
-    Stopwatch infer;
-    for (size_t i = 0; i < test_.size(); ++i) {
-      Interval iv = ClipToCardinality(
-          lw.Predict(test_est[i], test_feat[i]), num_rows_);
-      result.rows.push_back(
-          {test_[i].cardinality, test_est[i], iv.lo, iv.hi});
+    ClipCounter clip(result.method);
+    {
+      InferTimer infer(&result, test_.size());
+      for (size_t i = 0; i < test_.size(); ++i) {
+        Interval iv =
+            clip.Clip(lw.Predict(test_est[i], test_feat[i]), num_rows_);
+        result.rows.push_back(
+            {test_[i].cardinality, test_est[i], iv.lo, iv.hi});
+      }
     }
-    result.infer_micros =
-        infer.ElapsedMicros() / static_cast<double>(test_.size());
     FinalizeMethodResult(&result, num_rows_);
     return result;
   }
@@ -141,7 +147,8 @@ MethodResult SingleTableHarness::RunLwScp(
   result.method = source == DifficultySource::kEnsemble
                       ? "lw-s-cp(ens)"
                       : "lw-s-cp(pert)";
-  Stopwatch prep;
+  obs::TraceSpan span("harness." + result.method);
+  auto prep = std::make_unique<PrepTimer>(&result);
   std::vector<double> u_calib(calib_.size()), u_test(test_.size());
   if (source == DifficultySource::kEnsemble) {
     CONFCARD_CHECK_MSG(prototype != nullptr,
@@ -203,18 +210,19 @@ MethodResult SingleTableHarness::RunLwScp(
     scaled[i] = std::fabs(calib_truth[i] - calib_est[i]) / u_calib[i];
   }
   const double delta = ConformalQuantile(std::move(scaled), options_.alpha);
-  result.prep_millis = prep.ElapsedMillis();
+  prep.reset();
 
-  Stopwatch infer;
-  for (size_t i = 0; i < test_.size(); ++i) {
-    const double half = delta * u_test[i];
-    Interval iv = ClipToCardinality(
-        {test_est[i] - half, test_est[i] + half}, num_rows_);
-    result.rows.push_back(
-        {test_[i].cardinality, test_est[i], iv.lo, iv.hi});
+  ClipCounter clip(result.method);
+  {
+    InferTimer infer(&result, test_.size());
+    for (size_t i = 0; i < test_.size(); ++i) {
+      const double half = delta * u_test[i];
+      Interval iv =
+          clip.Clip({test_est[i] - half, test_est[i] + half}, num_rows_);
+      result.rows.push_back(
+          {test_[i].cardinality, test_est[i], iv.lo, iv.hi});
+    }
   }
-  result.infer_micros =
-      infer.ElapsedMicros() / static_cast<double>(test_.size());
   FinalizeMethodResult(&result, num_rows_);
   return result;
 }
@@ -225,32 +233,36 @@ MethodResult SingleTableHarness::RunCqr(
   result.model = prototype.name();
   result.method = "cqr";
   result.alpha = options_.alpha;
+  obs::TraceSpan span("harness.cqr");
 
-  Stopwatch prep;
   ConformalizedQuantileRegression cqr(options_.alpha);
-  auto lo_model = prototype.CloneArchitecture(2101);
-  lo_model->SetLoss(LossSpec::Pinball(cqr.lower_tau()));
-  CONFCARD_CHECK(lo_model->Train(*table_, train_).ok());
-  auto hi_model = prototype.CloneArchitecture(2203);
-  hi_model->SetLoss(LossSpec::Pinball(cqr.upper_tau()));
-  CONFCARD_CHECK(hi_model->Train(*table_, train_).ok());
+  std::unique_ptr<SupervisedEstimator> lo_model, hi_model;
+  {
+    PrepTimer prep(&result);
+    lo_model = prototype.CloneArchitecture(2101);
+    lo_model->SetLoss(LossSpec::Pinball(cqr.lower_tau()));
+    CONFCARD_CHECK(lo_model->Train(*table_, train_).ok());
+    hi_model = prototype.CloneArchitecture(2203);
+    hi_model->SetLoss(LossSpec::Pinball(cqr.upper_tau()));
+    CONFCARD_CHECK(hi_model->Train(*table_, train_).ok());
 
-  std::vector<double> lo_calib = Estimates(*lo_model, calib_);
-  std::vector<double> hi_calib = Estimates(*hi_model, calib_);
-  CONFCARD_CHECK(cqr.Calibrate(lo_calib, hi_calib, Truths(calib_)).ok());
-  result.prep_millis = prep.ElapsedMillis();
+    std::vector<double> lo_calib = Estimates(*lo_model, calib_);
+    std::vector<double> hi_calib = Estimates(*hi_model, calib_);
+    CONFCARD_CHECK(cqr.Calibrate(lo_calib, hi_calib, Truths(calib_)).ok());
+  }
 
   std::vector<double> lo_test = Estimates(*lo_model, test_);
   std::vector<double> hi_test = Estimates(*hi_model, test_);
-  Stopwatch infer;
-  for (size_t i = 0; i < test_.size(); ++i) {
-    Interval iv = ClipToCardinality(cqr.Predict(lo_test[i], hi_test[i]),
-                                    num_rows_);
-    const double center = 0.5 * (lo_test[i] + hi_test[i]);
-    result.rows.push_back({test_[i].cardinality, center, iv.lo, iv.hi});
+  ClipCounter clip(result.method);
+  {
+    InferTimer infer(&result, test_.size());
+    for (size_t i = 0; i < test_.size(); ++i) {
+      Interval iv =
+          clip.Clip(cqr.Predict(lo_test[i], hi_test[i]), num_rows_);
+      const double center = 0.5 * (lo_test[i] + hi_test[i]);
+      result.rows.push_back({test_[i].cardinality, center, iv.lo, iv.hi});
+    }
   }
-  result.infer_micros =
-      infer.ElapsedMicros() / static_cast<double>(test_.size());
   FinalizeMethodResult(&result, num_rows_);
   return result;
 }
@@ -265,50 +277,53 @@ MethodResult SingleTableHarness::RunJkCv(
   Workload all = train_;
   all.insert(all.end(), calib_.begin(), calib_.end());
   const int k = options_.jk_folds;
+  obs::TraceSpan span("harness." + result.method);
 
-  Stopwatch prep;
-  std::vector<int> fold_of = AssignFolds(all.size(), k, options_.seed);
   std::vector<std::unique_ptr<SupervisedEstimator>> fold_models;
-  for (int f = 0; f < k; ++f) {
-    Workload fold_train;
-    for (size_t i = 0; i < all.size(); ++i) {
-      if (fold_of[i] != f) fold_train.push_back(all[i]);
-    }
-    auto clone = prototype.CloneArchitecture(3000 + static_cast<uint64_t>(f));
-    CONFCARD_CHECK(clone->Train(*table_, fold_train).ok());
-    fold_models.push_back(std::move(clone));
-  }
-  std::vector<double> oof(all.size());
-  std::vector<double> truths(all.size());
-  for (size_t i = 0; i < all.size(); ++i) {
-    oof[i] = fold_models[static_cast<size_t>(fold_of[i])]
-                 ->EstimateCardinality(all[i].query);
-    truths[i] = all[i].cardinality;
-  }
   JackknifeCvPlus jk(scoring_, options_.alpha,
                      simplified ? JackknifeCvPlus::Mode::kSimplified
                                 : JackknifeCvPlus::Mode::kFull);
-  CONFCARD_CHECK(jk.Calibrate(oof, truths, fold_of, k).ok());
-  result.prep_millis = prep.ElapsedMillis();
+  {
+    PrepTimer prep(&result);
+    std::vector<int> fold_of = AssignFolds(all.size(), k, options_.seed);
+    for (int f = 0; f < k; ++f) {
+      Workload fold_train;
+      for (size_t i = 0; i < all.size(); ++i) {
+        if (fold_of[i] != f) fold_train.push_back(all[i]);
+      }
+      auto clone =
+          prototype.CloneArchitecture(3000 + static_cast<uint64_t>(f));
+      CONFCARD_CHECK(clone->Train(*table_, fold_train).ok());
+      fold_models.push_back(std::move(clone));
+    }
+    std::vector<double> oof(all.size());
+    std::vector<double> truths(all.size());
+    for (size_t i = 0; i < all.size(); ++i) {
+      oof[i] = fold_models[static_cast<size_t>(fold_of[i])]
+                   ->EstimateCardinality(all[i].query);
+      truths[i] = all[i].cardinality;
+    }
+    CONFCARD_CHECK(jk.Calibrate(oof, truths, fold_of, k).ok());
+  }
 
   std::vector<double> full_est = Estimates(full_model, test_);
-  Stopwatch infer;
-  std::vector<double> fold_est(static_cast<size_t>(k));
-  for (size_t i = 0; i < test_.size(); ++i) {
-    if (!simplified) {
-      for (int f = 0; f < k; ++f) {
-        fold_est[static_cast<size_t>(f)] =
-            fold_models[static_cast<size_t>(f)]->EstimateCardinality(
-                test_[i].query);
+  ClipCounter clip(result.method);
+  {
+    InferTimer infer(&result, test_.size());
+    std::vector<double> fold_est(static_cast<size_t>(k));
+    for (size_t i = 0; i < test_.size(); ++i) {
+      if (!simplified) {
+        for (int f = 0; f < k; ++f) {
+          fold_est[static_cast<size_t>(f)] =
+              fold_models[static_cast<size_t>(f)]->EstimateCardinality(
+                  test_[i].query);
+        }
       }
+      Interval iv = clip.Clip(jk.Predict(fold_est, full_est[i]), num_rows_);
+      result.rows.push_back(
+          {test_[i].cardinality, full_est[i], iv.lo, iv.hi});
     }
-    Interval iv =
-        ClipToCardinality(jk.Predict(fold_est, full_est[i]), num_rows_);
-    result.rows.push_back(
-        {test_[i].cardinality, full_est[i], iv.lo, iv.hi});
   }
-  result.infer_micros =
-      infer.ElapsedMicros() / static_cast<double>(test_.size());
   FinalizeMethodResult(&result, num_rows_);
   return result;
 }
@@ -319,31 +334,33 @@ MethodResult SingleTableHarness::RunJkCvFixedModel(
   Workload all = train_;
   all.insert(all.end(), calib_.begin(), calib_.end());
   const int k = options_.jk_folds;
+  obs::TraceSpan span("harness.jk-cv+");
 
-  Stopwatch prep;
-  std::vector<int> fold_of = AssignFolds(all.size(), k, options_.seed);
-  // Compose the out-of-fold estimates from the per-split caches (the
-  // fold models all coincide with `model`).
-  std::vector<double> oof = Estimates(model, train_);
-  const std::vector<double>& calib_est = Estimates(model, calib_);
-  oof.insert(oof.end(), calib_est.begin(), calib_est.end());
-  std::vector<double> truths = Truths(all);
   JackknifeCvPlus jk(scoring_, options_.alpha);
-  CONFCARD_CHECK(jk.Calibrate(oof, truths, fold_of, k).ok());
-  result.prep_millis = prep.ElapsedMillis();
+  {
+    PrepTimer prep(&result);
+    std::vector<int> fold_of = AssignFolds(all.size(), k, options_.seed);
+    // Compose the out-of-fold estimates from the per-split caches (the
+    // fold models all coincide with `model`).
+    std::vector<double> oof = Estimates(model, train_);
+    const std::vector<double>& calib_est = Estimates(model, calib_);
+    oof.insert(oof.end(), calib_est.begin(), calib_est.end());
+    std::vector<double> truths = Truths(all);
+    CONFCARD_CHECK(jk.Calibrate(oof, truths, fold_of, k).ok());
+  }
 
   std::vector<double> test_est = Estimates(model, test_);
-  Stopwatch infer;
-  for (size_t i = 0; i < test_.size(); ++i) {
-    // All fold models coincide with the full model.
-    std::vector<double> fold_est(static_cast<size_t>(k), test_est[i]);
-    Interval iv =
-        ClipToCardinality(jk.Predict(fold_est, test_est[i]), num_rows_);
-    result.rows.push_back(
-        {test_[i].cardinality, test_est[i], iv.lo, iv.hi});
+  ClipCounter clip(result.method);
+  {
+    InferTimer infer(&result, test_.size());
+    for (size_t i = 0; i < test_.size(); ++i) {
+      // All fold models coincide with the full model.
+      std::vector<double> fold_est(static_cast<size_t>(k), test_est[i]);
+      Interval iv = clip.Clip(jk.Predict(fold_est, test_est[i]), num_rows_);
+      result.rows.push_back(
+          {test_[i].cardinality, test_est[i], iv.lo, iv.hi});
+    }
   }
-  result.infer_micros =
-      infer.ElapsedMicros() / static_cast<double>(test_.size());
   FinalizeMethodResult(&result, num_rows_);
   return result;
 }

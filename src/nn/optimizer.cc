@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace confcard {
 namespace nn {
 
@@ -17,7 +19,15 @@ Sgd::Sgd(std::vector<Parameter*> params, double lr, double momentum)
   }
 }
 
+Sgd::~Sgd() {
+  if (steps_ > 0) {
+    obs::Metrics().GetCounter("nn.sgd.steps").Increment(
+        static_cast<uint64_t>(steps_));
+  }
+}
+
 void Sgd::Step() {
+  ++steps_;
   const float lr = static_cast<float>(lr_);
   const float mom = static_cast<float>(momentum_);
   for (size_t i = 0; i < params_.size(); ++i) {
@@ -45,6 +55,13 @@ Adam::Adam(std::vector<Parameter*> params, double lr, double beta1,
   for (Parameter* p : params_) {
     m_.push_back(Tensor::Zeros(p->value.rows(), p->value.cols()));
     v_.push_back(Tensor::Zeros(p->value.rows(), p->value.cols()));
+  }
+}
+
+Adam::~Adam() {
+  if (t_ > 0) {
+    obs::Metrics().GetCounter("nn.adam.steps").Increment(
+        static_cast<uint64_t>(t_));
   }
 }
 

@@ -28,11 +28,16 @@ class Optimizer {
 class Sgd : public Optimizer {
  public:
   Sgd(std::vector<Parameter*> params, double lr, double momentum = 0.0);
+  /// Flushes the step count to the "nn.sgd.steps" registry counter.
+  /// Deferred to destruction: Step() is too hot for even a relaxed
+  /// atomic without measurable wall-time impact.
+  ~Sgd() override;
   void Step() override;
 
  private:
   double lr_;
   double momentum_;
+  int64_t steps_ = 0;
   std::vector<Tensor> velocity_;
 };
 
@@ -41,6 +46,9 @@ class Adam : public Optimizer {
  public:
   Adam(std::vector<Parameter*> params, double lr, double beta1 = 0.9,
        double beta2 = 0.999, double eps = 1e-8);
+  /// Flushes the step count to the "nn.adam.steps" registry counter
+  /// (see ~Sgd for why this is not done per Step).
+  ~Adam() override;
   void Step() override;
 
   void set_lr(double lr) { lr_ = lr; }

@@ -1,0 +1,481 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+
+#include "common/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace confcard {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// Writer
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!first_in_scope_.back()) out_ += ',';
+  first_in_scope_.back() = false;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  first_in_scope_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  first_in_scope_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  String(key);
+  out_ += ':';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  for (char c : value) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  if (!std::isfinite(value)) return Null();
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    CONFCARD_RETURN_NOT_OK(ParseValue(&v));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument("json: " + msg + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Error(std::string("expected '") + c + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return ParseObject(out);
+      case '[': return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string_value);
+      case 't':
+      case 'f': return ParseLiteral(out);
+      case 'n': return ParseLiteral(out);
+      default: return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    CONFCARD_RETURN_NOT_OK(Expect('{'));
+    SkipWs();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWs();
+      std::string key;
+      CONFCARD_RETURN_NOT_OK(ParseString(&key));
+      SkipWs();
+      CONFCARD_RETURN_NOT_OK(Expect(':'));
+      JsonValue value;
+      CONFCARD_RETURN_NOT_OK(ParseValue(&value));
+      out->members.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Consume('}')) return Status::OK();
+      CONFCARD_RETURN_NOT_OK(Expect(','));
+    }
+  }
+
+  Status ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    CONFCARD_RETURN_NOT_OK(Expect('['));
+    SkipWs();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue value;
+      CONFCARD_RETURN_NOT_OK(ParseValue(&value));
+      out->elements.push_back(std::move(value));
+      SkipWs();
+      if (Consume(']')) return Status::OK();
+      CONFCARD_RETURN_NOT_OK(Expect(','));
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    CONFCARD_RETURN_NOT_OK(Expect('"'));
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("dangling escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else return Error("bad \\u escape");
+          }
+          // Our artifacts only escape control characters; anything in the
+          // Latin-1 range round-trips, the rest degrades to '?'.
+          out->push_back(code < 0x100 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default: return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseLiteral(JsonValue* out) {
+    auto match = [&](std::string_view word) {
+      if (text_.substr(pos_, word.size()) != word) return false;
+      pos_ += word.size();
+      return true;
+    };
+    if (match("true")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = true;
+      return Status::OK();
+    }
+    if (match("false")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = false;
+      return Status::OK();
+    }
+    if (match("null")) {
+      out->kind = JsonValue::Kind::kNull;
+      return Status::OK();
+    }
+    return Error("unknown literal");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    // text_ views a NUL-terminated buffer in every caller (std::string);
+    // strtod stops at the first non-number character regardless.
+    out->number = std::strtod(begin, &end);
+    if (end == begin) return Error("invalid number");
+    pos_ += static_cast<size_t>(end - begin);
+    out->kind = JsonValue::Kind::kNumber;
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+// ---------------------------------------------------------------------------
+// Run artifact
+
+namespace {
+
+void WriteHistogram(JsonWriter* w, const Histogram::Snapshot& h) {
+  w->BeginObject();
+  w->Key("count").Int(h.count);
+  w->Key("sum").Number(h.sum);
+  w->Key("min").Number(h.min);
+  w->Key("max").Number(h.max);
+  w->Key("mean").Number(h.Mean());
+  w->Key("p50").Number(h.Percentile(50));
+  w->Key("p90").Number(h.Percentile(90));
+  w->Key("p99").Number(h.Percentile(99));
+  w->Key("buckets").BeginArray();
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    if (h.buckets[i] == 0) continue;  // sparse encoding
+    w->BeginObject();
+    w->Key("le").Number(Histogram::BucketUpperBound(i));
+    w->Key("count").Int(h.buckets[i]);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+void WriteSpan(JsonWriter* w, const SpanNode& span) {
+  w->BeginObject();
+  w->Key("name").String(span.name);
+  w->Key("start_us").Number(span.start_micros);
+  w->Key("dur_us").Number(span.duration_micros);
+  if (!span.attrs.empty()) {
+    w->Key("attrs").BeginObject();
+    for (const auto& [key, value] : span.attrs) {
+      w->Key(key).Number(value);
+    }
+    w->EndObject();
+  }
+  if (!span.children.empty()) {
+    w->Key("children").BeginArray();
+    for (const auto& child : span.children) WriteSpan(w, *child);
+    w->EndArray();
+  }
+  w->EndObject();
+}
+
+void CollectDurations(const SpanNode& span,
+                      std::map<std::string, std::vector<double>>* by_name) {
+  (*by_name)[span.name].push_back(span.duration_micros);
+  for (const auto& child : span.children) CollectDurations(*child, by_name);
+}
+
+}  // namespace
+
+std::string RenderRunArtifact(const std::string& run_name) {
+  const MetricsRegistry::Snapshot snap = Metrics().TakeSnapshot();
+
+  JsonWriter w;
+  w.BeginObject();
+
+  w.Key("run").BeginObject();
+  w.Key("name").String(run_name);
+  w.Key("wall_time_seconds").Number(TraceNowMicros() * 1e-6);
+  w.Key("meta").BeginObject();
+  for (const auto& [key, value] : snap.meta) w.Key(key).String(value);
+  w.EndObject();
+  w.EndObject();
+
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : snap.counters) w.Key(name).Int(value);
+  w.EndObject();
+
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, value] : snap.gauges) w.Key(name).Number(value);
+  w.EndObject();
+
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, hist] : snap.histograms) {
+    w.Key(name);
+    WriteHistogram(&w, hist);
+  }
+  w.EndObject();
+
+  w.Key("spans").BeginArray();
+  std::map<std::string, std::vector<double>> durations;
+  TraceStore::Instance().ForEachRoot([&](const SpanNode& root) {
+    WriteSpan(&w, root);
+    CollectDurations(root, &durations);
+  });
+  w.EndArray();
+
+  // Per-span-name duration summaries via common/stats.h, so span timing
+  // is quotable without re-walking the tree.
+  w.Key("span_summaries").BeginObject();
+  for (const auto& [name, micros] : durations) {
+    const Summary s = Summarize(micros);
+    w.Key(name).BeginObject();
+    w.Key("count").Int(s.count);
+    w.Key("mean_us").Number(s.mean);
+    w.Key("min_us").Number(s.min);
+    w.Key("max_us").Number(s.max);
+    w.Key("p50_us").Number(s.median);
+    w.Key("p90_us").Number(s.p90);
+    w.Key("p99_us").Number(s.p99);
+    w.EndObject();
+  }
+  w.EndObject();
+
+  w.EndObject();
+  return w.TakeString();
+}
+
+Status WriteRunArtifact(const std::string& path,
+                        const std::string& run_name) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open metrics artifact: " + path);
+  }
+  out << RenderRunArtifact(run_name) << '\n';
+  out.flush();
+  if (!out.good()) {
+    return Status::IOError("write failed for metrics artifact: " + path);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Plain buffer, not std::string: InstallExitEmitter may run during
+// another TU's static initialization (the bench_common.h inline global),
+// before/after this TU's dynamic init in unspecified order. A
+// constant-initialized array has no such lifetime hazard, and stays
+// alive for the atexit hook.
+char g_emit_path[4096] = {0};
+
+void EmitAtExit() {
+  // Prefer the experiment id recorded by PrintExperimentHeader; fall
+  // back to the artifact's file stem.
+  std::string name;
+  for (const auto& [key, value] : Metrics().TakeSnapshot().meta) {
+    if (key == "experiment.id") name = value;
+  }
+  if (name.empty()) {
+    name = g_emit_path;
+    const size_t slash = name.find_last_of("/\\");
+    if (slash != std::string::npos) name = name.substr(slash + 1);
+    const size_t dot = name.find_last_of('.');
+    if (dot != std::string::npos) name = name.substr(0, dot);
+  }
+  const Status st = WriteRunArtifact(g_emit_path, name);
+  if (st.ok()) {
+    std::fprintf(stderr, "metrics artifact written to %s\n", g_emit_path);
+  } else {
+    std::fprintf(stderr, "metrics artifact emission failed: %s\n",
+                 st.ToString().c_str());
+  }
+}
+
+}  // namespace
+
+bool InstallExitEmitter() {
+  static const bool installed = [] {
+    const char* path = std::getenv("CONFCARD_METRICS_JSON");
+    if (path == nullptr || path[0] == '\0') return false;
+    std::snprintf(g_emit_path, sizeof(g_emit_path), "%s", path);
+    TraceStore::Instance().SetEnabled(true);
+    std::atexit(&EmitAtExit);
+    return true;
+  }();
+  return installed;
+}
+
+}  // namespace obs
+}  // namespace confcard

@@ -1,0 +1,85 @@
+// Machine-readable run artifacts: a minimal JSON writer/parser and the
+// emitter that serializes a full run — registry snapshot, span tree, and
+// run metadata — to the BENCH_<name>.json schema documented in
+// docs/OBSERVABILITY.md. The parser exists so tests and the ctest smoke
+// gate can validate emitted artifacts without external dependencies.
+#ifndef CONFCARD_OBS_JSON_H_
+#define CONFCARD_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace confcard {
+namespace obs {
+
+/// Streaming JSON writer with automatic comma management. Non-finite
+/// numbers (the +inf of an empty-calibration delta, say) serialize as
+/// null, keeping the output standard-compliant.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  /// Writes an object key; must be followed by exactly one value.
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);
+  JsonWriter& Int(uint64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+ private:
+  void BeforeValue();
+  std::string out_;
+  // One entry per open container: true until its first element is
+  // written.
+  std::vector<bool> first_in_scope_{true};
+  bool pending_key_ = false;
+};
+
+/// Parsed JSON document (object keys keep insertion order).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+  std::vector<JsonValue> elements;                         // kArray
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Strict parse of a complete JSON document (trailing garbage is an
+/// error).
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Renders the current process state — run metadata, every registry
+/// counter/gauge/histogram, completed span trees, and per-span-name
+/// duration summaries — as one JSON document.
+std::string RenderRunArtifact(const std::string& run_name);
+
+/// RenderRunArtifact + write to `path`.
+Status WriteRunArtifact(const std::string& path, const std::string& run_name);
+
+/// When CONFCARD_METRICS_JSON names a path: enables trace collection and
+/// registers an atexit hook that writes the run artifact there, named
+/// after the experiment metadata (falling back to the file stem).
+/// Returns whether the emitter is armed. Idempotent.
+bool InstallExitEmitter();
+
+}  // namespace obs
+}  // namespace confcard
+
+#endif  // CONFCARD_OBS_JSON_H_

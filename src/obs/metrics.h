@@ -1,0 +1,135 @@
+// Process-wide metrics: named counters, gauges, and fixed-bucket latency
+// histograms cheap enough for per-query hot paths. Registration goes
+// through a mutex-protected registry; recording touches only per-metric
+// atomics, so call sites should resolve a metric once (typically via a
+// function-local static reference) and record lock-free afterwards.
+// Metric objects live for the whole process: Reset() zeroes values but
+// never invalidates references handed out by the registry.
+#ifndef CONFCARD_OBS_METRICS_H_
+#define CONFCARD_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace confcard {
+namespace obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar (calibration-set sizes, epoch losses, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed power-of-two-bucket histogram for non-negative samples
+/// (canonically latencies in microseconds). Bucket i holds samples in
+/// (2^(i-1), 2^i]; the last bucket is unbounded. Recording is a handful
+/// of relaxed atomic operations; summary percentiles are interpolated
+/// from the bucket boundaries at snapshot time.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 40;
+
+  void Record(double value);
+  void Reset();
+
+  /// Upper bound of bucket `i` (+inf for the last bucket).
+  static double BucketUpperBound(size_t i);
+
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  // 0 when count == 0
+    double max = 0.0;
+    std::array<uint64_t, kNumBuckets> buckets{};
+
+    double Mean() const { return count == 0 ? 0.0 : sum / count; }
+    /// Percentile estimate (p in [0, 100]) by linear interpolation within
+    /// the containing bucket, clamped to the observed [min, max].
+    double Percentile(double p) const;
+  };
+  Snapshot TakeSnapshot() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Process-wide registry. Names are dot-separated paths, lowercase, with
+/// the owning layer as the first segment and the unit as a suffix where
+/// one applies (see docs/OBSERVABILITY.md), e.g. "ce.mscn.infer_us".
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  /// Finds or creates; the returned reference is valid for the process
+  /// lifetime.
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  /// Free-form run metadata (scale, seeds, model configs) carried into
+  /// the JSON artifact. Last write per key wins.
+  void SetMeta(std::string_view key, std::string_view value);
+  void SetMeta(std::string_view key, double value);
+
+  struct Snapshot {
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+    std::vector<std::pair<std::string, std::string>> meta;
+  };
+  /// Consistent-enough point-in-time view (each metric is read
+  /// atomically; the set of metrics is read under the registry lock).
+  Snapshot TakeSnapshot() const;
+
+  /// Zeroes every metric and clears metadata without destroying the
+  /// metric objects (outstanding references stay valid). Test-only.
+  void ResetForTest();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::string, std::less<>> meta_;
+};
+
+/// Shorthand for MetricsRegistry::Instance().
+inline MetricsRegistry& Metrics() { return MetricsRegistry::Instance(); }
+
+}  // namespace obs
+}  // namespace confcard
+
+#endif  // CONFCARD_OBS_METRICS_H_

@@ -1,0 +1,96 @@
+#include "obs/trace.h"
+
+namespace confcard {
+namespace obs {
+namespace {
+
+// Innermost live (collected) span on this thread.
+thread_local SpanNode* tls_current_span = nullptr;
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+double TraceNowMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - TraceEpoch())
+      .count();
+}
+
+TraceStore& TraceStore::Instance() {
+  static TraceStore* store = new TraceStore();
+  return *store;
+}
+
+void TraceStore::SetEnabled(bool enabled) {
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+bool TraceStore::enabled() const {
+  return enabled_.load(std::memory_order_relaxed);
+}
+
+void TraceStore::AddRoot(std::unique_ptr<SpanNode> root) {
+  std::lock_guard<std::mutex> lock(mu_);
+  roots_.push_back(std::move(root));
+}
+
+void TraceStore::ForEachRoot(
+    const std::function<void(const SpanNode&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& root : roots_) fn(*root);
+}
+
+size_t TraceStore::NumRoots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return roots_.size();
+}
+
+void TraceStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  roots_.clear();
+}
+
+TraceSpan::TraceSpan(std::string_view name) {
+  if (!TraceStore::Instance().enabled()) return;
+  node_ = std::make_unique<SpanNode>();
+  node_->name = std::string(name);
+  node_->start_micros = TraceNowMicros();
+  parent_ = tls_current_span;
+  tls_current_span = node_.get();
+}
+
+TraceSpan::~TraceSpan() {
+  if (node_ == nullptr) return;
+  node_->duration_micros = watch_.ElapsedMicros();
+  tls_current_span = parent_;
+  if (parent_ != nullptr) {
+    parent_->children.push_back(std::move(node_));
+  } else {
+    TraceStore::Instance().AddRoot(std::move(node_));
+  }
+}
+
+void TraceSpan::SetAttr(std::string_view key, double value) {
+  if (node_ == nullptr) return;
+  node_->attrs.emplace_back(std::string(key), value);
+}
+
+ScopedTimer::ScopedTimer(std::string_view span_name, double* millis_out,
+                         Histogram* histogram, double divisor)
+    : span_(span_name),
+      millis_out_(millis_out),
+      histogram_(histogram),
+      divisor_(divisor > 0.0 ? divisor : 1.0) {}
+
+ScopedTimer::~ScopedTimer() {
+  const double micros = span_.ElapsedMicros();
+  if (millis_out_ != nullptr) *millis_out_ = micros * 1e-3;
+  if (histogram_ != nullptr) histogram_->Record(micros / divisor_);
+}
+
+}  // namespace obs
+}  // namespace confcard

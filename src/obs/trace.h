@@ -1,0 +1,118 @@
+// Scoped tracing: RAII spans that assemble a per-thread tree of timed
+// sections (train -> epoch, calibrate -> score, query -> infer ->
+// interval). Completed root spans accumulate in the process-wide
+// TraceStore, from where the JSON emitter serializes them. Collection is
+// off by default; when disabled a span costs one atomic load and two
+// clock reads, so spans stay affordable on warm paths (per-epoch,
+// per-method) — per-query work should use Histogram instead.
+#ifndef CONFCARD_OBS_TRACE_H_
+#define CONFCARD_OBS_TRACE_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+
+namespace confcard {
+namespace obs {
+
+/// One completed (or in-flight) span in the trace tree. Durations are
+/// accumulated-run time (pauses excluded); start is relative to the
+/// process trace epoch.
+struct SpanNode {
+  std::string name;
+  double start_micros = 0.0;
+  double duration_micros = 0.0;
+  std::vector<std::pair<std::string, double>> attrs;
+  std::vector<std::unique_ptr<SpanNode>> children;
+};
+
+/// Repository of completed root spans, one tree per outermost TraceSpan.
+class TraceStore {
+ public:
+  static TraceStore& Instance();
+
+  /// Enables/disables collection process-wide. Spans opened while
+  /// disabled are never recorded, even if collection is enabled before
+  /// they close.
+  void SetEnabled(bool enabled);
+  bool enabled() const;
+
+  void AddRoot(std::unique_ptr<SpanNode> root);
+  /// Visits every completed root under the store lock.
+  void ForEachRoot(const std::function<void(const SpanNode&)>& fn) const;
+  size_t NumRoots() const;
+  void Clear();
+
+ private:
+  TraceStore() = default;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<SpanNode>> roots_;
+};
+
+/// Micros since the process trace epoch (first use).
+double TraceNowMicros();
+
+/// RAII span. Construction opens a child of the innermost live span on
+/// this thread (or a new root); destruction closes it. Pause()/Resume()
+/// exclude nested setup work from the recorded duration, backed by the
+/// accumulating Stopwatch. The elapsed accessors work whether or not
+/// collection is enabled, so a TraceSpan can replace a bare Stopwatch.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void SetAttr(std::string_view key, double value);
+  void Pause() { watch_.Pause(); }
+  void Resume() { watch_.Resume(); }
+
+  double ElapsedSeconds() const { return watch_.ElapsedSeconds(); }
+  double ElapsedMillis() const { return watch_.ElapsedMillis(); }
+  double ElapsedMicros() const { return watch_.ElapsedMicros(); }
+
+ private:
+  Stopwatch watch_;
+  std::unique_ptr<SpanNode> node_;  // null when collection is disabled
+  SpanNode* parent_ = nullptr;
+};
+
+/// TraceSpan that additionally reports its elapsed time on destruction:
+/// into `*millis_out` (total milliseconds), and/or into a registry
+/// histogram as microseconds divided by `divisor` (e.g. a per-query
+/// average over a test loop). Either sink may be null/empty.
+class ScopedTimer {
+ public:
+  ScopedTimer(std::string_view span_name, double* millis_out,
+              Histogram* histogram = nullptr, double divisor = 1.0);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  TraceSpan& span() { return span_; }
+  void Pause() { span_.Pause(); }
+  void Resume() { span_.Resume(); }
+
+ private:
+  TraceSpan span_;
+  double* millis_out_;
+  Histogram* histogram_;
+  double divisor_;
+};
+
+}  // namespace obs
+}  // namespace confcard
+
+#endif  // CONFCARD_OBS_TRACE_H_

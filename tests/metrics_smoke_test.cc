@@ -1,0 +1,125 @@
+// End-to-end gate for the observability pipeline: runs one real bench
+// binary at tiny scale with CONFCARD_METRICS_JSON set and validates the
+// emitted artifact — well-formed JSON, required keys, at least one
+// counter and one latency histogram, and a span tree whose durations are
+// all non-negative. The binary path is baked in by CMake via
+// CONFCARD_SMOKE_BENCH_PATH.
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace confcard {
+namespace {
+
+using obs::JsonValue;
+
+void CheckSpanTree(const JsonValue& span, size_t* num_spans) {
+  ASSERT_EQ(span.kind, JsonValue::Kind::kObject);
+  const JsonValue* name = span.Find("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_FALSE(name->string_value.empty());
+  const JsonValue* dur = span.Find("dur_us");
+  ASSERT_NE(dur, nullptr) << "span " << name->string_value;
+  EXPECT_GE(dur->number, 0.0) << "span " << name->string_value;
+  const JsonValue* start = span.Find("start_us");
+  ASSERT_NE(start, nullptr);
+  EXPECT_GE(start->number, 0.0);
+  ++*num_spans;
+  if (const JsonValue* children = span.Find("children")) {
+    for (const JsonValue& child : children->elements) {
+      CheckSpanTree(child, num_spans);
+    }
+  }
+}
+
+TEST(MetricsSmokeTest, BenchEmitsValidArtifact) {
+#ifndef CONFCARD_SMOKE_BENCH_PATH
+  GTEST_SKIP() << "bench path not configured";
+#else
+  const auto artifact = std::filesystem::temp_directory_path() /
+                        "confcard_metrics_smoke.json";
+  std::filesystem::remove(artifact);
+  const std::string cmd = std::string("CONFCARD_SCALE=0.01 ") +
+                          "CONFCARD_METRICS_JSON=" + artifact.string() + " " +
+                          CONFCARD_SMOKE_BENCH_PATH + " > /dev/null 2>&1";
+  const int rc = std::system(cmd.c_str());
+  ASSERT_EQ(rc, 0) << cmd;
+  ASSERT_TRUE(std::filesystem::exists(artifact));
+
+  std::ifstream in(artifact);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  Result<JsonValue> doc = obs::ParseJson(text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+
+  // Run metadata.
+  const JsonValue* run = doc->Find("run");
+  ASSERT_NE(run, nullptr);
+  ASSERT_NE(run->Find("name"), nullptr);
+  EXPECT_FALSE(run->Find("name")->string_value.empty());
+  ASSERT_NE(run->Find("wall_time_seconds"), nullptr);
+  EXPECT_GT(run->Find("wall_time_seconds")->number, 0.0);
+  const JsonValue* meta = run->Find("meta");
+  ASSERT_NE(meta, nullptr);
+  EXPECT_NE(meta->Find("scale"), nullptr);
+
+  // At least one counter with a positive value.
+  const JsonValue* counters = doc->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_GE(counters->members.size(), 1u);
+  bool positive_counter = false;
+  for (const auto& [cname, cvalue] : counters->members) {
+    positive_counter |= cvalue.number > 0.0;
+  }
+  EXPECT_TRUE(positive_counter);
+
+  // At least one latency histogram with samples and sane summary.
+  const JsonValue* histograms = doc->Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  ASSERT_GE(histograms->members.size(), 1u);
+  bool sampled_histogram = false;
+  for (const auto& [hname, h] : histograms->members) {
+    const JsonValue* count = h.Find("count");
+    ASSERT_NE(count, nullptr) << hname;
+    if (count->number == 0.0) continue;
+    sampled_histogram = true;
+    EXPECT_GE(h.Find("max")->number, h.Find("min")->number) << hname;
+    EXPECT_GE(h.Find("p99")->number, h.Find("p50")->number) << hname;
+    ASSERT_NE(h.Find("buckets"), nullptr) << hname;
+    EXPECT_GE(h.Find("buckets")->elements.size(), 1u) << hname;
+  }
+  EXPECT_TRUE(sampled_histogram);
+
+  // Span tree: present, all durations >= 0, and covering the
+  // train -> calibrate -> inference pipeline.
+  const JsonValue* spans = doc->Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_GE(spans->elements.size(), 1u);
+  size_t num_spans = 0;
+  for (const JsonValue& root : spans->elements) {
+    CheckSpanTree(root, &num_spans);
+  }
+  EXPECT_GE(num_spans, 3u);
+  const JsonValue* summaries = doc->Find("span_summaries");
+  ASSERT_NE(summaries, nullptr);
+  bool saw_train = false, saw_calibrate = false, saw_infer = false;
+  for (const auto& [sname, unused] : summaries->members) {
+    saw_train |= sname.rfind("train.", 0) == 0;
+    saw_calibrate |= sname.rfind("calibrate.", 0) == 0;
+    saw_infer |= sname == "infer";
+  }
+  EXPECT_TRUE(saw_train);
+  EXPECT_TRUE(saw_calibrate);
+  EXPECT_TRUE(saw_infer);
+
+  std::filesystem::remove(artifact);
+#endif
+}
+
+}  // namespace
+}  // namespace confcard

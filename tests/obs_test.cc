@@ -1,0 +1,324 @@
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace confcard {
+namespace obs {
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Metrics().ResetForTest();
+    TraceStore::Instance().Clear();
+    TraceStore::Instance().SetEnabled(false);
+  }
+  void TearDown() override {
+    Metrics().ResetForTest();
+    TraceStore::Instance().Clear();
+    TraceStore::Instance().SetEnabled(false);
+  }
+};
+
+TEST_F(ObsTest, CounterIncrementsAndResets) {
+  Counter& c = Metrics().GetCounter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, RegistryReturnsSameObjectForSameName) {
+  Counter& a = Metrics().GetCounter("test.same");
+  Counter& b = Metrics().GetCounter("test.same");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST_F(ObsTest, ResetForTestKeepsReferencesValid) {
+  Counter& c = Metrics().GetCounter("test.stable");
+  c.Increment(7);
+  Metrics().ResetForTest();
+  // The object survives the reset; only its value is zeroed.
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(&c, &Metrics().GetCounter("test.stable"));
+}
+
+TEST_F(ObsTest, GaugeLastWriteWins) {
+  Gauge& g = Metrics().GetGauge("test.gauge");
+  g.Set(3.5);
+  g.Set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundsArePowersOfTwo) {
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(0), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(1), 2.0);
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(10), 1024.0);
+  EXPECT_TRUE(std::isinf(
+      Histogram::BucketUpperBound(Histogram::kNumBuckets - 1)));
+}
+
+TEST_F(ObsTest, HistogramSnapshotTracksCountSumMinMax) {
+  Histogram& h = Metrics().GetHistogram("test.hist");
+  h.Record(10.0);
+  h.Record(100.0);
+  h.Record(1000.0);
+  Histogram::Snapshot s = h.TakeSnapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 1110.0);
+  EXPECT_DOUBLE_EQ(s.min, 10.0);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 370.0);
+}
+
+TEST_F(ObsTest, EmptyHistogramSnapshotIsZeroed) {
+  Histogram& h = Metrics().GetHistogram("test.empty_hist");
+  Histogram::Snapshot s = h.TakeSnapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50.0), 0.0);
+}
+
+TEST_F(ObsTest, HistogramPercentilesClampToObservedRange) {
+  Histogram& h = Metrics().GetHistogram("test.pct");
+  for (int i = 0; i < 100; ++i) h.Record(100.0);
+  Histogram::Snapshot s = h.TakeSnapshot();
+  // All mass in one bucket: every percentile collapses to the sample.
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100.0), 100.0);
+}
+
+TEST_F(ObsTest, HistogramPercentilesAreMonotone) {
+  Histogram& h = Metrics().GetHistogram("test.mono");
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i));
+  Histogram::Snapshot s = h.TakeSnapshot();
+  double prev = 0.0;
+  for (double p : {1.0, 10.0, 50.0, 90.0, 99.0, 100.0}) {
+    const double v = s.Percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    EXPECT_GE(v, s.min);
+    EXPECT_LE(v, s.max);
+    prev = v;
+  }
+  // p50 of 1..1000 lands in the (256, 512] bucket.
+  EXPECT_GT(s.Percentile(50.0), 256.0);
+  EXPECT_LE(s.Percentile(50.0), 512.0);
+}
+
+TEST_F(ObsTest, HistogramIsThreadSafe) {
+  Histogram& h = Metrics().GetHistogram("test.threads");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.Record(5.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  Histogram::Snapshot s = h.TakeSnapshot();
+  EXPECT_EQ(s.count, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_DOUBLE_EQ(s.sum, 5.0 * kThreads * kPerThread);
+}
+
+TEST_F(ObsTest, SnapshotCarriesMeta) {
+  Metrics().SetMeta("k", "v");
+  Metrics().SetMeta("x", 2.5);
+  Metrics().SetMeta("k", "v2");  // last write wins
+  MetricsRegistry::Snapshot s = Metrics().TakeSnapshot();
+  ASSERT_EQ(s.meta.size(), 2u);
+  bool saw_k = false;
+  for (const auto& [key, value] : s.meta) {
+    if (key == "k") {
+      saw_k = true;
+      EXPECT_EQ(value, "v2");
+    }
+  }
+  EXPECT_TRUE(saw_k);
+}
+
+TEST_F(ObsTest, DisabledSpansAreNotCollected) {
+  ASSERT_FALSE(TraceStore::Instance().enabled());
+  {
+    TraceSpan span("not.collected");
+    EXPECT_GE(span.ElapsedMicros(), 0.0);  // timing still works
+  }
+  EXPECT_EQ(TraceStore::Instance().NumRoots(), 0u);
+}
+
+TEST_F(ObsTest, EnabledSpansBuildNestedTree) {
+  TraceStore::Instance().SetEnabled(true);
+  {
+    TraceSpan outer("outer");
+    outer.SetAttr("depth", 0.0);
+    {
+      TraceSpan inner("inner");
+      inner.SetAttr("depth", 1.0);
+    }
+    { TraceSpan sibling("sibling"); }
+  }
+  ASSERT_EQ(TraceStore::Instance().NumRoots(), 1u);
+  TraceStore::Instance().ForEachRoot([](const SpanNode& root) {
+    EXPECT_EQ(root.name, "outer");
+    EXPECT_GE(root.duration_micros, 0.0);
+    ASSERT_EQ(root.children.size(), 2u);
+    EXPECT_EQ(root.children[0]->name, "inner");
+    EXPECT_EQ(root.children[1]->name, "sibling");
+    // Children close before the parent, so their durations fit inside.
+    EXPECT_LE(root.children[0]->duration_micros, root.duration_micros);
+    ASSERT_EQ(root.children[0]->attrs.size(), 1u);
+    EXPECT_EQ(root.children[0]->attrs[0].first, "depth");
+    EXPECT_DOUBLE_EQ(root.children[0]->attrs[0].second, 1.0);
+  });
+}
+
+TEST_F(ObsTest, SequentialRootsAccumulate) {
+  TraceStore::Instance().SetEnabled(true);
+  { TraceSpan a("a"); }
+  { TraceSpan b("b"); }
+  EXPECT_EQ(TraceStore::Instance().NumRoots(), 2u);
+}
+
+TEST_F(ObsTest, ScopedTimerWritesMillisAndHistogram) {
+  Histogram& h = Metrics().GetHistogram("test.scoped");
+  double millis = -1.0;
+  { ScopedTimer timer("scoped", &millis, &h, 2.0); }
+  EXPECT_GE(millis, 0.0);
+  Histogram::Snapshot s = h.TakeSnapshot();
+  EXPECT_EQ(s.count, 1u);
+  // The histogram sample is micros / divisor.
+  EXPECT_NEAR(s.sum, millis * 1000.0 / 2.0, millis * 1000.0 * 0.5 + 1.0);
+}
+
+TEST_F(ObsTest, JsonWriterProducesParseableDocument) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("name")
+      .String("a \"quoted\" \n value")
+      .Key("n")
+      .Number(1.5)
+      .Key("inf")
+      .Number(std::numeric_limits<double>::infinity())
+      .Key("i")
+      .Int(42)
+      .Key("flag")
+      .Bool(true)
+      .Key("arr")
+      .BeginArray()
+      .Number(1.0)
+      .Number(2.0)
+      .EndArray()
+      .EndObject();
+  Result<JsonValue> doc = ParseJson(w.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("name")->string_value, "a \"quoted\" \n value");
+  EXPECT_DOUBLE_EQ(doc->Find("n")->number, 1.5);
+  // Non-finite serializes as null to keep the document standard JSON.
+  EXPECT_EQ(doc->Find("inf")->kind, JsonValue::Kind::kNull);
+  EXPECT_DOUBLE_EQ(doc->Find("i")->number, 42.0);
+  EXPECT_TRUE(doc->Find("flag")->bool_value);
+  ASSERT_EQ(doc->Find("arr")->elements.size(), 2u);
+  EXPECT_DOUBLE_EQ(doc->Find("arr")->elements[1].number, 2.0);
+}
+
+TEST_F(ObsTest, JsonParserRejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("{}extra").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{'single': 1}").ok());
+  EXPECT_TRUE(ParseJson(" { \"a\" : [ null , false ] } ").ok());
+}
+
+TEST_F(ObsTest, RenderRunArtifactContainsRegistryAndSpans) {
+  TraceStore::Instance().SetEnabled(true);
+  Metrics().GetCounter("test.events").Increment(3);
+  Metrics().GetGauge("test.level").Set(0.5);
+  Metrics().GetHistogram("test.lat_us").Record(123.0);
+  Metrics().SetMeta("scale", 1.0);
+  {
+    TraceSpan outer("outer");
+    TraceSpan inner("inner");
+  }
+  const std::string text = RenderRunArtifact("unit");
+  Result<JsonValue> doc = ParseJson(text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+
+  const JsonValue* run = doc->Find("run");
+  ASSERT_NE(run, nullptr);
+  EXPECT_EQ(run->Find("name")->string_value, "unit");
+  EXPECT_GE(run->Find("wall_time_seconds")->number, 0.0);
+  ASSERT_NE(run->Find("meta"), nullptr);
+  EXPECT_NE(run->Find("meta")->Find("scale"), nullptr);
+
+  const JsonValue* counters = doc->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->Find("test.events")->number, 3.0);
+
+  const JsonValue* hist = doc->Find("histograms");
+  ASSERT_NE(hist, nullptr);
+  const JsonValue* lat = hist->Find("test.lat_us");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_DOUBLE_EQ(lat->Find("count")->number, 1.0);
+  EXPECT_DOUBLE_EQ(lat->Find("min")->number, 123.0);
+  ASSERT_NE(lat->Find("buckets"), nullptr);
+  EXPECT_GE(lat->Find("buckets")->elements.size(), 1u);
+
+  const JsonValue* spans = doc->Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->elements.size(), 1u);
+  const JsonValue& root = spans->elements[0];
+  EXPECT_EQ(root.Find("name")->string_value, "outer");
+  EXPECT_GE(root.Find("dur_us")->number, 0.0);
+  ASSERT_EQ(root.Find("children")->elements.size(), 1u);
+  EXPECT_EQ(root.Find("children")->elements[0].Find("name")->string_value,
+            "inner");
+
+  const JsonValue* summaries = doc->Find("span_summaries");
+  ASSERT_NE(summaries, nullptr);
+  const JsonValue* outer_sum = summaries->Find("outer");
+  ASSERT_NE(outer_sum, nullptr);
+  EXPECT_DOUBLE_EQ(outer_sum->Find("count")->number, 1.0);
+}
+
+TEST_F(ObsTest, WriteRunArtifactRoundtrips) {
+  Metrics().GetCounter("test.events").Increment();
+  const auto path =
+      std::filesystem::temp_directory_path() / "confcard_obs_test.json";
+  Status st = WriteRunArtifact(path.string(), "roundtrip");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  Result<JsonValue> doc = ParseJson(text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("run")->Find("name")->string_value, "roundtrip");
+  std::filesystem::remove(path);
+}
+
+TEST_F(ObsTest, WriteRunArtifactFailsOnBadPath) {
+  Status st = WriteRunArtifact("/nonexistent-dir/x/y.json", "bad");
+  EXPECT_FALSE(st.ok());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace confcard

@@ -95,13 +95,21 @@ TEST(ReportTest, WriteSeriesCsvRoundtrips) {
   const auto path = std::filesystem::temp_directory_path() /
                     "confcard_report_test.csv";
   ::testing::internal::CaptureStdout();
-  WriteSeriesCsv(path.string(), MakeResult());
+  Status st = WriteSeriesCsv(path.string(), MakeResult());
   (void)::testing::internal::GetCapturedStdout();
+  ASSERT_TRUE(st.ok()) << st.ToString();
   auto rows = ReadCsv(path.string(), true);
   ASSERT_TRUE(rows.ok());
   EXPECT_EQ(rows->size(), 3u);
   EXPECT_EQ((*rows)[0].size(), 5u);
   std::filesystem::remove(path);
+}
+
+TEST(ReportTest, WriteSeriesCsvPropagatesOpenFailure) {
+  // Directory component that cannot exist: the open fails and the error
+  // must surface as a non-OK Status instead of a printf.
+  Status st = WriteSeriesCsv("/nonexistent-dir/x/series.csv", MakeResult());
+  EXPECT_FALSE(st.ok());
 }
 
 TEST(ScaleTest, ScaledAppliesFloorAndFactor) {

@@ -80,6 +80,23 @@ TEST(PercentileTest, UnsortedHandled) {
   EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 5.0);
 }
 
+TEST(PercentileTest, SingleValueAtExtremes) {
+  // n=1 with p=0 and p=100: both interpolation endpoints collapse to the
+  // only sample (these summaries now back the obs histogram artifacts).
+  EXPECT_DOUBLE_EQ(Percentile({3.25}, 0.0), 3.25);
+  EXPECT_DOUBLE_EQ(Percentile({3.25}, 100.0), 3.25);
+}
+
+TEST(ConformalQuantileTest, RankOverflowAtExtremeAlphaGivesInfinity) {
+  // ceil((n+1)(1-alpha)) > n forces the +inf sentinel even for larger
+  // calibration sets when alpha is tiny.
+  std::vector<double> v(50);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i);
+  EXPECT_TRUE(std::isinf(ConformalQuantile(v, 0.001)));
+  // A single-element set overflows for any alpha < 0.5.
+  EXPECT_TRUE(std::isinf(ConformalQuantile({1.0}, 0.4)));
+}
+
 TEST(SummarizeTest, BasicStats) {
   Summary s = Summarize({1.0, 2.0, 3.0, 4.0});
   EXPECT_EQ(s.count, 4u);
@@ -96,6 +113,16 @@ TEST(SummarizeTest, EmptyIsZeroed) {
   EXPECT_DOUBLE_EQ(s.mean, 0.0);
   EXPECT_DOUBLE_EQ(s.min, 0.0);
   EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(SummarizeTest, SingleValue) {
+  Summary s = Summarize({7.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.min, 7.0);
+  EXPECT_DOUBLE_EQ(s.max, 7.0);
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
 }
 
 TEST(MeanVarianceTest, KnownValues) {

@@ -1,0 +1,91 @@
+#include "common/stopwatch.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace confcard {
+namespace {
+
+void SpinFor(std::chrono::microseconds us) {
+  // Busy-wait: sleep_for can oversleep by milliseconds on loaded CI
+  // machines, which would make the paused-time assertions flaky.
+  const auto until = std::chrono::steady_clock::now() + us;
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+TEST(StopwatchTest, StartsRunningAndAdvances) {
+  Stopwatch w;
+  EXPECT_TRUE(w.IsRunning());
+  SpinFor(std::chrono::microseconds(200));
+  EXPECT_GT(w.ElapsedMicros(), 0.0);
+}
+
+TEST(StopwatchTest, ElapsedIsMonotoneWhileRunning) {
+  Stopwatch w;
+  const double a = w.ElapsedSeconds();
+  SpinFor(std::chrono::microseconds(100));
+  const double b = w.ElapsedSeconds();
+  EXPECT_GE(b, a);
+}
+
+TEST(StopwatchTest, PausedElapsedIsStable) {
+  Stopwatch w;
+  SpinFor(std::chrono::microseconds(200));
+  w.Pause();
+  EXPECT_FALSE(w.IsRunning());
+  const double frozen = w.ElapsedMicros();
+  SpinFor(std::chrono::microseconds(500));
+  EXPECT_DOUBLE_EQ(w.ElapsedMicros(), frozen);
+}
+
+TEST(StopwatchTest, PauseExcludesAndResumeAccumulates) {
+  Stopwatch w;
+  SpinFor(std::chrono::microseconds(200));
+  w.Pause();
+  const double before_gap = w.ElapsedMicros();
+  SpinFor(std::chrono::milliseconds(2));  // excluded
+  w.Resume();
+  EXPECT_TRUE(w.IsRunning());
+  SpinFor(std::chrono::microseconds(200));
+  const double total = w.ElapsedMicros();
+  // The 2 ms gap is excluded: total grew, but by far less than the gap.
+  EXPECT_GT(total, before_gap);
+  EXPECT_LT(total, before_gap + 1900.0);
+}
+
+TEST(StopwatchTest, PauseAndResumeAreIdempotent) {
+  Stopwatch w;
+  w.Pause();
+  const double frozen = w.ElapsedMicros();
+  w.Pause();  // no-op
+  EXPECT_DOUBLE_EQ(w.ElapsedMicros(), frozen);
+  w.Resume();
+  w.Resume();  // no-op
+  EXPECT_TRUE(w.IsRunning());
+}
+
+TEST(StopwatchTest, RestartDiscardsAccumulatedTime) {
+  Stopwatch w;
+  SpinFor(std::chrono::milliseconds(2));
+  w.Pause();
+  EXPECT_GT(w.ElapsedMicros(), 1000.0);
+  w.Restart();
+  EXPECT_TRUE(w.IsRunning());
+  // Fresh start: far below the ~2 ms accumulated before the restart.
+  EXPECT_LT(w.ElapsedMicros(), 1000.0);
+}
+
+TEST(StopwatchTest, RestartWhilePausedResumesRunning) {
+  Stopwatch w;
+  w.Pause();
+  w.Restart();
+  EXPECT_TRUE(w.IsRunning());
+  SpinFor(std::chrono::microseconds(100));
+  EXPECT_GT(w.ElapsedMicros(), 0.0);
+}
+
+}  // namespace
+}  // namespace confcard
