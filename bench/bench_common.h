@@ -15,6 +15,7 @@
 #include "data/datasets.h"
 #include "harness/scale.h"
 #include "harness/single_table.h"
+#include "obs/event_log.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "query/workload.h"
@@ -25,11 +26,20 @@ namespace bench {
 /// Arms the end-of-process metrics artifact when CONFCARD_METRICS_JSON
 /// names a path (no-op otherwise). Every binary that includes this
 /// header gets the behaviour for free via the inline global below — no
-/// per-binary wiring required.
+/// per-binary wiring required. Safe to trigger from multiple translation
+/// units: InstallExitEmitter is idempotent and the process emits at most
+/// one artifact.
+///
+/// Also touches the per-query event log singleton so a bench armed with
+/// CONFCARD_EVENTS_JSONL opens (and truncates) its JSONL sink before any
+/// harness work, and records in the artifact meta whether events were
+/// streamed this run.
 inline bool InstallMetricsEmitter() {
   const bool armed = obs::InstallExitEmitter();
+  const bool events = obs::EventLog::Instance().enabled();
   if (armed) {
     obs::Metrics().SetMeta("scale", BenchScale());
+    obs::Metrics().SetMeta("events_jsonl", events ? 1.0 : 0.0);
   }
   return armed;
 }

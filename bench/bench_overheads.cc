@@ -98,6 +98,68 @@ void BM_OnlineObserve(benchmark::State& state) {
 }
 BENCHMARK(BM_OnlineObserve);
 
+// The event-log gate on the un-instrumented path: Append when
+// CONFCARD_EVENTS_JSONL is unset must be one relaxed load and a return
+// (the <2% harness-overhead budget rides on this).
+void BM_EventLogAppendDisabled(benchmark::State& state) {
+  obs::EventLog& elog = obs::EventLog::Instance();
+  if (elog.enabled()) {
+    state.SkipWithError("CONFCARD_EVENTS_JSONL is set; gate not measurable");
+    return;
+  }
+  obs::QueryEvent e;
+  e.model = "bench";
+  e.method = "s-cp";
+  for (auto _ : state) {
+    elog.Append(e);
+    benchmark::DoNotOptimize(elog.enabled());
+  }
+}
+BENCHMARK(BM_EventLogAppendDisabled);
+
+// Full cost of an armed append: render + buffered write (amortized
+// 64 KiB flushes to /dev/null).
+void BM_EventLogAppendEnabled(benchmark::State& state) {
+  obs::EventLog& elog = obs::EventLog::Instance();
+  if (elog.enabled()) {
+    state.SkipWithError("CONFCARD_EVENTS_JSONL is set; sink in use");
+    return;
+  }
+  CONFCARD_CHECK(elog.OpenForTest("/dev/null").ok());
+  obs::QueryEvent e;
+  e.model = "bench";
+  e.method = "s-cp";
+  e.alpha = 0.1;
+  e.estimate = 123.0;
+  e.lo = 80.0;
+  e.hi = 240.0;
+  e.truth = 150.0;
+  e.latency_us = 1.5;
+  uint64_t q = 0;
+  for (auto _ : state) {
+    e.query_id = q++;
+    elog.Append(e);
+  }
+  elog.CloseForTest();
+}
+BENCHMARK(BM_EventLogAppendEnabled);
+
+void BM_RenderQueryEvent(benchmark::State& state) {
+  obs::QueryEvent e;
+  e.model = "mscn";
+  e.method = "lw-s-cp";
+  e.alpha = 0.1;
+  e.estimate = 123.0;
+  e.lo = 80.0;
+  e.hi = 240.0;
+  e.truth = 150.0;
+  e.latency_us = 1.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::RenderQueryEvent(e));
+  }
+}
+BENCHMARK(BM_RenderQueryEvent);
+
 void BM_ExchangeabilityObserve(benchmark::State& state) {
   ExchangeabilityTest test;
   Rng rng(8);

@@ -5,13 +5,19 @@
 
 #include "common/check.h"
 #include "common/stats.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace confcard {
 
 OnlineConformal::OnlineConformal(
     std::shared_ptr<const ScoringFunction> scoring, Options options)
-    : scoring_(std::move(scoring)), options_(options) {
+    : scoring_(std::move(scoring)),
+      options_(std::move(options)),
+      coverage_window_(options_.monitor_window),
+      width_window_(options_.monitor_window),
+      score_window_(options_.monitor_window) {
   CONFCARD_CHECK(scoring_ != nullptr);
   CONFCARD_CHECK(options_.alpha > 0.0 && options_.alpha < 1.0);
 }
@@ -27,11 +33,42 @@ Status OnlineConformal::Warmup(const std::vector<double>& estimates,
   return Status::OK();
 }
 
+double OnlineConformal::score_drift() const {
+  if (observed_ == 0) return 1.0;
+  const double lifetime_mean = score_sum_ / static_cast<double>(observed_);
+  if (lifetime_mean <= 0.0) return 1.0;
+  return score_window_.Mean() / lifetime_mean;
+}
+
 void OnlineConformal::Observe(double estimate, double truth) {
   static obs::Counter& observations =
       obs::Metrics().GetCounter("conformal.online.observations");
+  static obs::Counter& evictions =
+      obs::Metrics().GetCounter("conformal.online.evictions");
+  static obs::Gauge& occupancy =
+      obs::Metrics().GetGauge("conformal.online.window_occupancy");
+  static obs::Gauge& rolling_cov =
+      obs::Metrics().GetGauge("conformal.online.rolling_coverage");
+  static obs::Gauge& rolling_width =
+      obs::Metrics().GetGauge("conformal.online.rolling_width");
+  static obs::Gauge& drift =
+      obs::Metrics().GetGauge("conformal.online.score_drift");
+
+  obs::EventLog& elog = obs::EventLog::Instance();
+  const bool log_events = elog.enabled();
+  const double t0 = log_events ? obs::TraceNowMicros() : 0.0;
+
+  // Prequential monitoring: judge the interval the caller would have
+  // been given for this query BEFORE the update absorbs its truth.
+  const Interval iv = Predict(estimate);
+  coverage_window_.Push(iv.Contains(truth) ? 1.0 : 0.0);
+  if (std::isfinite(iv.width())) width_window_.Push(iv.width());
+
   observations.Increment();
   const double score = scoring_->Score(estimate, truth);
+  score_window_.Push(score);
+  score_sum_ += score;
+  ++observed_;
   recency_.push_back(score);
   sorted_.insert(std::lower_bound(sorted_.begin(), sorted_.end(), score),
                  score);
@@ -41,6 +78,27 @@ void OnlineConformal::Observe(double estimate, double truth) {
     auto it = std::lower_bound(sorted_.begin(), sorted_.end(), evicted);
     CONFCARD_DCHECK(it != sorted_.end() && *it == evicted);
     sorted_.erase(it);
+    evictions.Increment();
+  }
+
+  occupancy.Set(static_cast<double>(recency_.size()));
+  rolling_cov.Set(coverage_window_.Mean());
+  if (width_window_.size() > 0) rolling_width.Set(width_window_.Mean());
+  drift.Set(score_drift());
+
+  if (log_events) {
+    obs::QueryEvent e;
+    e.run_seq = 0;  // the online stream has no batch finalization
+    e.query_id = observed_ - 1;
+    e.model = options_.estimator_label;
+    e.method = "online-s-cp";
+    e.alpha = options_.alpha;
+    e.estimate = estimate;
+    e.lo = iv.lo;
+    e.hi = iv.hi;
+    e.truth = truth;
+    e.latency_us = obs::TraceNowMicros() - t0;
+    elog.Append(e);
   }
 }
 

@@ -4,16 +4,26 @@
 // remains exchangeable, so PIs tighten as the calibration set adapts to
 // the live workload. An optional sliding window keeps only the most
 // recent scores (the paper's "last 24 hours" variant).
+//
+// Observe() additionally publishes rolling monitors through the metrics
+// registry — prequential coverage and mean width over the last
+// `monitor_window` observations, a residual-drift gauge, window
+// occupancy, and eviction counts — so the Fig. 8/11 shift experiments
+// expose their degradation live instead of only in final tables. See
+// docs/OBSERVABILITY.md ("conformal.online.*").
 #ifndef CONFCARD_CONFORMAL_ONLINE_H_
 #define CONFCARD_CONFORMAL_ONLINE_H_
 
+#include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "conformal/interval.h"
 #include "conformal/scoring.h"
+#include "obs/rolling.h"
 
 namespace confcard {
 
@@ -25,6 +35,12 @@ class OnlineConformal {
     double alpha = 0.1;
     /// Keep at most this many most-recent scores (0 = unbounded).
     size_t window = 0;
+    /// Rolling-monitor horizon: coverage/width/drift gauges average over
+    /// this many most-recent observations.
+    size_t monitor_window = 256;
+    /// Label recorded as the `model` field of per-query events emitted
+    /// from Observe (the estimator is not visible at this layer).
+    std::string estimator_label = "online";
   };
 
   OnlineConformal(std::shared_ptr<const ScoringFunction> scoring,
@@ -35,6 +51,9 @@ class OnlineConformal {
                 const std::vector<double>& truths);
 
   /// Adds one executed query's (estimate, truth) to the calibration set.
+  /// Prequentially scores the pre-update interval against `truth` for
+  /// the rolling monitors, and appends a per-query event when the event
+  /// log is armed.
   void Observe(double estimate, double truth);
 
   /// PI under the current calibration set. Infinite until at least
@@ -46,6 +65,16 @@ class OnlineConformal {
 
   size_t size() const { return recency_.size(); }
 
+  /// Lifetime observation count (never decremented by eviction).
+  uint64_t observed() const { return observed_; }
+  /// Prequential coverage over the last monitor_window observations.
+  double rolling_coverage() const { return coverage_window_.Mean(); }
+  /// Mean finite interval width over the same horizon.
+  double rolling_width() const { return width_window_.Mean(); }
+  /// Rolling mean score divided by lifetime mean score (~1 when the
+  /// stream is stationary; rises under residual drift).
+  double score_drift() const;
+
  private:
   std::shared_ptr<const ScoringFunction> scoring_;
   Options options_;
@@ -53,6 +82,12 @@ class OnlineConformal {
   // (multiset semantics via a sorted vector) for O(log n) quantiles.
   std::deque<double> recency_;
   std::vector<double> sorted_;
+  // Rolling monitors (prequential: judged before the update).
+  obs::RollingWindow coverage_window_;
+  obs::RollingWindow width_window_;
+  obs::RollingWindow score_window_;
+  uint64_t observed_ = 0;
+  double score_sum_ = 0.0;
 };
 
 }  // namespace confcard

@@ -1,12 +1,20 @@
 #include "harness/evaluation.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/stats.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 
 namespace confcard {
+
+EventClock::EventClock() : enabled_(obs::EventLog::Instance().enabled()) {}
+
+double EventClock::NowUs() const {
+  return enabled_ ? obs::TraceNowMicros() : 0.0;
+}
 
 void FinalizeMethodResult(MethodResult* result, double num_rows) {
   if (result->rows.empty()) return;
@@ -34,6 +42,37 @@ void FinalizeMethodResult(MethodResult* result, double num_rows) {
   result->median_width_sel = Percentile(widths, 50.0);
   result->p90_width_sel = Percentile(widths, 90.0);
   result->mean_qerror = Percentile(qerrs, 50.0);
+
+  // Per-process method-run ordinal: benches finalize in a deterministic
+  // order, so the same run reproduces the same sequence and obsdiff can
+  // align per-run gauges by name across two runs.
+  static std::atomic<uint64_t> g_run_seq{0};
+  result->run_seq = g_run_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::string suffix = "." + std::to_string(result->run_seq) + "." +
+                             result->model + "." + result->method;
+  obs::Metrics().GetGauge("harness.coverage" + suffix).Set(result->coverage);
+  obs::Metrics()
+      .GetGauge("harness.width_sel" + suffix)
+      .Set(result->mean_width_sel);
+
+  obs::EventLog& elog = obs::EventLog::Instance();
+  if (elog.enabled()) {
+    for (size_t i = 0; i < result->rows.size(); ++i) {
+      const PiRow& r = result->rows[i];
+      obs::QueryEvent e;
+      e.run_seq = result->run_seq;
+      e.query_id = i;
+      e.model = result->model;
+      e.method = result->method;
+      e.alpha = result->alpha;
+      e.estimate = r.estimate;
+      e.lo = r.lo;
+      e.hi = r.hi;
+      e.truth = r.truth;
+      e.latency_us = r.latency_us;
+      elog.Append(e);
+    }
+  }
 }
 
 PrepTimer::PrepTimer(MethodResult* result)

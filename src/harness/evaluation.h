@@ -4,6 +4,7 @@
 #ifndef CONFCARD_HARNESS_EVALUATION_H_
 #define CONFCARD_HARNESS_EVALUATION_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,10 @@ struct PiRow {
   double estimate = 0.0;
   double lo = 0.0;
   double hi = 0.0;
+  /// Per-query PI inference latency. Stamped only while the event log is
+  /// armed (see EventClock); 0 otherwise, so the hot loop stays free of
+  /// clock syscalls in normal runs.
+  double latency_us = 0.0;
 
   bool covered() const { return truth >= lo && truth <= hi; }
   double width() const { return hi - lo; }
@@ -29,6 +34,13 @@ struct MethodResult {
   std::string model;
   std::string method;
   double alpha = 0.1;
+  /// Per-process ordinal assigned by FinalizeMethodResult (1, 2, ...).
+  /// Disambiguates repeated (model, method) pairs — ablations rerun the
+  /// same method at several alphas, and some benches rename `method`
+  /// after finalization — in both gauge names
+  /// ("harness.coverage.<run_seq>.<model>.<method>") and the `run` field
+  /// of per-query events. Deterministic across identical runs.
+  uint64_t run_seq = 0;
 
   double coverage = 0.0;          // fraction of rows covered
   double mean_width_sel = 0.0;    // mean width / N
@@ -48,8 +60,25 @@ struct MethodResult {
 };
 
 /// Fills the aggregate fields of `result` from `result.rows` (widths
-/// normalized by `num_rows`).
+/// normalized by `num_rows`), assigns `result->run_seq`, publishes
+/// "harness.coverage.<seq>.<model>.<method>" /
+/// "harness.width_sel.<seq>.<model>.<method>" gauges, and — when
+/// CONFCARD_EVENTS_JSONL is set — streams one per-query event record per
+/// row to the event log.
 void FinalizeMethodResult(MethodResult* result, double num_rows);
+
+/// Clock for per-query latency stamping that is free when the event log
+/// is disarmed: NowUs() returns 0 without touching the clock, so
+/// `row.latency_us = clock.NowUs() - t0` costs one predictable branch in
+/// normal runs. Construct once per inference loop, outside it.
+class EventClock {
+ public:
+  EventClock();
+  double NowUs() const;
+
+ private:
+  bool enabled_;
+};
 
 /// RAII timer for the prep phase of one method run (model-extra training
 /// plus calibration): opens a "prep" trace span and, on destruction,

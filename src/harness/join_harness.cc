@@ -73,10 +73,12 @@ MethodResult JoinHarness::RunScp(const MscnJoinEstimator& model) const {
   ClipCounter clip(result.method);
   {
     InferTimer infer(&result, test_.size());
+    EventClock clock;
     for (size_t i = 0; i < test_.size(); ++i) {
+      const double t0 = clock.NowUs();
       Interval iv = clip.ClipNonNegative(scp.Predict(test_est[i]));
-      result.rows.push_back(
-          {test_[i].cardinality, test_est[i], iv.lo, iv.hi});
+      result.rows.push_back({test_[i].cardinality, test_est[i], iv.lo,
+                             iv.hi, clock.NowUs() - t0});
     }
   }
   FinalizeMethodResult(&result, norm);
@@ -121,11 +123,13 @@ MethodResult JoinHarness::RunLwScp(const MscnJoinEstimator& model) const {
   ClipCounter clip(result.method);
   {
     InferTimer infer(&result, test_.size());
+    EventClock clock;
     for (size_t i = 0; i < test_.size(); ++i) {
+      const double t0 = clock.NowUs();
       Interval iv =
           clip.ClipNonNegative(lw.Predict(test_est[i], test_feat[i]));
-      result.rows.push_back(
-          {test_[i].cardinality, test_est[i], iv.lo, iv.hi});
+      result.rows.push_back({test_[i].cardinality, test_est[i], iv.lo,
+                             iv.hi, clock.NowUs() - t0});
     }
   }
   FinalizeMethodResult(&result, norm);
@@ -161,10 +165,13 @@ MethodResult JoinHarness::RunCqr(const MscnJoinEstimator& prototype) const {
   ClipCounter clip(result.method);
   {
     InferTimer infer(&result, test_.size());
+    EventClock clock;
     for (size_t i = 0; i < test_.size(); ++i) {
+      const double t0 = clock.NowUs();
       Interval iv = clip.ClipNonNegative(cqr.Predict(lo_test[i], hi_test[i]));
       const double center = 0.5 * (lo_test[i] + hi_test[i]);
-      result.rows.push_back({test_[i].cardinality, center, iv.lo, iv.hi});
+      result.rows.push_back({test_[i].cardinality, center, iv.lo, iv.hi,
+                             clock.NowUs() - t0});
     }
   }
   FinalizeMethodResult(&result, norm);
@@ -212,16 +219,18 @@ MethodResult JoinHarness::RunJkCv(const MscnJoinEstimator& prototype,
   ClipCounter clip(result.method);
   {
     InferTimer infer(&result, test_.size());
+    EventClock clock;
     std::vector<double> fold_est(static_cast<size_t>(k));
     for (size_t i = 0; i < test_.size(); ++i) {
+      const double t0 = clock.NowUs();
       for (int f = 0; f < k; ++f) {
         fold_est[static_cast<size_t>(f)] =
             fold_models[static_cast<size_t>(f)]->EstimateCardinality(
                 test_[i].query);
       }
       Interval iv = clip.ClipNonNegative(jk.Predict(fold_est, full_est[i]));
-      result.rows.push_back(
-          {test_[i].cardinality, full_est[i], iv.lo, iv.hi});
+      result.rows.push_back({test_[i].cardinality, full_est[i], iv.lo,
+                             iv.hi, clock.NowUs() - t0});
     }
   }
   FinalizeMethodResult(&result, norm);

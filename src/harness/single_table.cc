@@ -92,10 +92,12 @@ MethodResult SingleTableHarness::RunScp(
   ClipCounter clip(result.method);
   {
     InferTimer infer(&result, test_.size());
+    EventClock clock;
     for (size_t i = 0; i < test_.size(); ++i) {
+      const double t0 = clock.NowUs();
       Interval iv = clip.Clip(scp.Predict(test_est[i]), num_rows_);
-      result.rows.push_back(
-          {test_[i].cardinality, test_est[i], iv.lo, iv.hi});
+      result.rows.push_back({test_[i].cardinality, test_est[i], iv.lo,
+                             iv.hi, clock.NowUs() - t0});
     }
   }
   FinalizeMethodResult(&result, num_rows_);
@@ -132,11 +134,13 @@ MethodResult SingleTableHarness::RunLwScp(
     ClipCounter clip(result.method);
     {
       InferTimer infer(&result, test_.size());
+      EventClock clock;
       for (size_t i = 0; i < test_.size(); ++i) {
+        const double t0 = clock.NowUs();
         Interval iv =
             clip.Clip(lw.Predict(test_est[i], test_feat[i]), num_rows_);
-        result.rows.push_back(
-            {test_[i].cardinality, test_est[i], iv.lo, iv.hi});
+        result.rows.push_back({test_[i].cardinality, test_est[i], iv.lo,
+                               iv.hi, clock.NowUs() - t0});
       }
     }
     FinalizeMethodResult(&result, num_rows_);
@@ -215,12 +219,14 @@ MethodResult SingleTableHarness::RunLwScp(
   ClipCounter clip(result.method);
   {
     InferTimer infer(&result, test_.size());
+    EventClock clock;
     for (size_t i = 0; i < test_.size(); ++i) {
+      const double t0 = clock.NowUs();
       const double half = delta * u_test[i];
       Interval iv =
           clip.Clip({test_est[i] - half, test_est[i] + half}, num_rows_);
-      result.rows.push_back(
-          {test_[i].cardinality, test_est[i], iv.lo, iv.hi});
+      result.rows.push_back({test_[i].cardinality, test_est[i], iv.lo,
+                             iv.hi, clock.NowUs() - t0});
     }
   }
   FinalizeMethodResult(&result, num_rows_);
@@ -256,11 +262,14 @@ MethodResult SingleTableHarness::RunCqr(
   ClipCounter clip(result.method);
   {
     InferTimer infer(&result, test_.size());
+    EventClock clock;
     for (size_t i = 0; i < test_.size(); ++i) {
+      const double t0 = clock.NowUs();
       Interval iv =
           clip.Clip(cqr.Predict(lo_test[i], hi_test[i]), num_rows_);
       const double center = 0.5 * (lo_test[i] + hi_test[i]);
-      result.rows.push_back({test_[i].cardinality, center, iv.lo, iv.hi});
+      result.rows.push_back({test_[i].cardinality, center, iv.lo, iv.hi,
+                             clock.NowUs() - t0});
     }
   }
   FinalizeMethodResult(&result, num_rows_);
@@ -310,8 +319,10 @@ MethodResult SingleTableHarness::RunJkCv(
   ClipCounter clip(result.method);
   {
     InferTimer infer(&result, test_.size());
+    EventClock clock;
     std::vector<double> fold_est(static_cast<size_t>(k));
     for (size_t i = 0; i < test_.size(); ++i) {
+      const double t0 = clock.NowUs();
       if (!simplified) {
         for (int f = 0; f < k; ++f) {
           fold_est[static_cast<size_t>(f)] =
@@ -320,8 +331,8 @@ MethodResult SingleTableHarness::RunJkCv(
         }
       }
       Interval iv = clip.Clip(jk.Predict(fold_est, full_est[i]), num_rows_);
-      result.rows.push_back(
-          {test_[i].cardinality, full_est[i], iv.lo, iv.hi});
+      result.rows.push_back({test_[i].cardinality, full_est[i], iv.lo,
+                             iv.hi, clock.NowUs() - t0});
     }
   }
   FinalizeMethodResult(&result, num_rows_);
@@ -353,12 +364,14 @@ MethodResult SingleTableHarness::RunJkCvFixedModel(
   ClipCounter clip(result.method);
   {
     InferTimer infer(&result, test_.size());
+    EventClock clock;
     for (size_t i = 0; i < test_.size(); ++i) {
+      const double t0 = clock.NowUs();
       // All fold models coincide with the full model.
       std::vector<double> fold_est(static_cast<size_t>(k), test_est[i]);
       Interval iv = clip.Clip(jk.Predict(fold_est, test_est[i]), num_rows_);
-      result.rows.push_back(
-          {test_[i].cardinality, test_est[i], iv.lo, iv.hi});
+      result.rows.push_back({test_[i].cardinality, test_est[i], iv.lo,
+                             iv.hi, clock.NowUs() - t0});
     }
   }
   FinalizeMethodResult(&result, num_rows_);

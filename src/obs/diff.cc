@@ -1,0 +1,405 @@
+#include "obs/diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <utility>
+
+#include "common/stats.h"
+#include "obs/event_log.h"
+
+namespace confcard {
+namespace obs {
+
+namespace {
+
+double NumberOr(const JsonValue* v, double fallback) {
+  if (v == nullptr) return fallback;
+  if (v->kind == JsonValue::Kind::kNull) {
+    // Non-finite values serialize as null in artifacts.
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return v->number;
+}
+
+RunView::HistView HistViewFrom(const JsonValue& h, const char* suffix) {
+  RunView::HistView out;
+  out.count = static_cast<uint64_t>(NumberOr(h.Find("count"), 0.0));
+  out.sum = NumberOr(h.Find("sum"), 0.0);
+  const std::string mean = std::string("mean") + suffix;
+  const std::string p50 = std::string("p50") + suffix;
+  const std::string p90 = std::string("p90") + suffix;
+  const std::string p99 = std::string("p99") + suffix;
+  out.mean = NumberOr(h.Find(mean), 0.0);
+  out.p50 = NumberOr(h.Find(p50), 0.0);
+  out.p90 = NumberOr(h.Find(p90), 0.0);
+  out.p99 = NumberOr(h.Find(p99), 0.0);
+  if (out.sum == 0.0 && out.count > 0) {
+    out.sum = out.mean * static_cast<double>(out.count);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<RunView> RunViewFromArtifact(const JsonValue& doc) {
+  const JsonValue* run = doc.Find("run");
+  if (run == nullptr) {
+    return Status::InvalidArgument("artifact has no \"run\" object");
+  }
+  RunView view;
+  if (const JsonValue* name = run->Find("name")) {
+    view.name = name->string_value;
+  }
+  view.wall_time_seconds = NumberOr(run->Find("wall_time_seconds"), 0.0);
+
+  if (const JsonValue* counters = doc.Find("counters")) {
+    for (const auto& [name, value] : counters->members) {
+      view.counters[name] = static_cast<uint64_t>(value.number);
+    }
+  }
+  if (const JsonValue* gauges = doc.Find("gauges")) {
+    for (const auto& [name, value] : gauges->members) {
+      view.gauges[name] = NumberOr(&value, 0.0);
+    }
+  }
+  if (const JsonValue* histograms = doc.Find("histograms")) {
+    for (const auto& [name, h] : histograms->members) {
+      view.histograms[name] = HistViewFrom(h, "");
+    }
+  }
+  if (const JsonValue* summaries = doc.Find("span_summaries")) {
+    for (const auto& [name, s] : summaries->members) {
+      view.span_summaries[name] = HistViewFrom(s, "_us");
+    }
+  }
+  return view;
+}
+
+Result<RunView> RunViewFromEvents(const std::vector<JsonValue>& events,
+                                  const std::string& name) {
+  struct Group {
+    uint64_t count = 0;
+    uint64_t covered = 0;
+    std::vector<double> widths;
+    std::vector<double> latencies;
+  };
+  std::map<std::string, Group> groups;
+  for (const JsonValue& e : events) {
+    if (e.kind != JsonValue::Kind::kObject) {
+      return Status::InvalidArgument("event record is not an object");
+    }
+    const JsonValue* model = e.Find("model");
+    const JsonValue* method = e.Find("method");
+    if (model == nullptr || method == nullptr) {
+      return Status::InvalidArgument("event record lacks model/method");
+    }
+    const uint64_t run_seq =
+        static_cast<uint64_t>(NumberOr(e.Find("run"), 0.0));
+    const std::string key = "events." + std::to_string(run_seq) + "." +
+                            model->string_value + "." +
+                            method->string_value;
+    Group& g = groups[key];
+    ++g.count;
+    bool covered;
+    if (const JsonValue* c = e.Find("covered");
+        c != nullptr && c->kind == JsonValue::Kind::kBool) {
+      covered = c->bool_value;
+    } else {
+      const double truth = NumberOr(e.Find("truth"), 0.0);
+      const double lo = NumberOr(e.Find("lo"), 0.0);
+      const double hi = NumberOr(e.Find("hi"), 0.0);
+      covered = truth >= lo && truth <= hi;
+    }
+    g.covered += covered ? 1 : 0;
+    const double width = NumberOr(e.Find("width"), 0.0);
+    if (std::isfinite(width)) g.widths.push_back(width);
+    const double lat = NumberOr(e.Find("lat_us"), 0.0);
+    if (std::isfinite(lat)) g.latencies.push_back(lat);
+  }
+
+  RunView view;
+  view.name = name;
+  for (auto& [key, g] : groups) {
+    view.counters[key + ".count"] = g.count;
+    view.gauges[key + ".coverage"] =
+        static_cast<double>(g.covered) / static_cast<double>(g.count);
+    view.gauges[key + ".width_mean"] = Mean(g.widths);
+    RunView::HistView lat;
+    lat.count = g.latencies.size();
+    for (double v : g.latencies) lat.sum += v;
+    lat.mean = Mean(g.latencies);
+    lat.p50 = Percentile(g.latencies, 50.0);
+    lat.p90 = Percentile(g.latencies, 90.0);
+    lat.p99 = Percentile(g.latencies, 99.0);
+    view.histograms[key + ".lat_us"] = lat;
+  }
+  return view;
+}
+
+Result<RunView> LoadRunView(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open run file: " + path);
+  }
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+
+  std::string stem = path;
+  const size_t slash = stem.find_last_of("/\\");
+  if (slash != std::string::npos) stem = stem.substr(slash + 1);
+
+  // A whole-file strict parse that carries a "run" key is an artifact;
+  // everything else (including a one-line log) is treated as JSONL.
+  Result<JsonValue> doc = ParseJson(text);
+  if (doc.ok() && doc->Find("run") != nullptr) {
+    CONFCARD_ASSIGN_OR_RETURN(RunView view, RunViewFromArtifact(*doc));
+    if (view.name.empty()) view.name = stem;
+    return view;
+  }
+  CONFCARD_ASSIGN_OR_RETURN(std::vector<JsonValue> events,
+                            ParseJsonl(text));
+  if (events.empty()) {
+    return Status::InvalidArgument("no parseable records in " + path);
+  }
+  return RunViewFromEvents(events, stem);
+}
+
+// ---------------------------------------------------------------------------
+// Diff
+
+namespace {
+
+using Severity = DiffFinding::Severity;
+
+void Add(DiffReport* report, Severity severity, std::string metric,
+         double baseline, double candidate, std::string detail) {
+  DiffFinding f;
+  f.severity = severity;
+  f.metric = std::move(metric);
+  f.baseline = baseline;
+  f.candidate = candidate;
+  f.detail = std::move(detail);
+  report->findings.push_back(std::move(f));
+}
+
+std::string Pct(double baseline, double candidate) {
+  const double rel =
+      (candidate - baseline) / std::max(std::fabs(baseline), 1e-12);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", rel * 100.0);
+  return buf;
+}
+
+bool IsCoverageName(const std::string& name) {
+  return name.find("coverage") != std::string::npos;
+}
+
+void DiffQuantiles(const std::string& prefix, const RunView::HistView& a,
+                   const RunView::HistView& b, const DiffOptions& opt,
+                   DiffReport* report) {
+  const std::pair<const char*, std::pair<double, double>> quantiles[] = {
+      {"mean", {a.mean, b.mean}},
+      {"p50", {a.p50, b.p50}},
+      {"p90", {a.p90, b.p90}},
+      {"p99", {a.p99, b.p99}},
+  };
+  for (const auto& [label, values] : quantiles) {
+    const auto [old_v, new_v] = values;
+    if (std::isnan(old_v) || std::isnan(new_v)) continue;
+    if (std::max(old_v, new_v) < opt.latency_floor_us) continue;
+    ++report->compared;
+    const std::string metric = prefix + "/" + label;
+    if (new_v > old_v * (1.0 + opt.latency_rel_tol)) {
+      Add(report, Severity::kRegression, metric, old_v, new_v,
+          "latency inflated " + Pct(old_v, new_v) + " (tol +" +
+              std::to_string(static_cast<int>(opt.latency_rel_tol * 100)) +
+              "%)");
+    } else if (old_v > new_v * (1.0 + opt.latency_rel_tol)) {
+      Add(report, Severity::kNote, metric, old_v, new_v,
+          "latency improved " + Pct(old_v, new_v));
+    }
+  }
+}
+
+}  // namespace
+
+size_t DiffReport::NumRegressions() const {
+  size_t n = 0;
+  for (const DiffFinding& f : findings) {
+    n += f.severity == Severity::kRegression ? 1 : 0;
+  }
+  return n;
+}
+
+std::string DiffReport::ToText(bool include_notes) const {
+  std::string out = "obsdiff: baseline=" + baseline_name +
+                    " candidate=" + candidate_name + "\n";
+  for (const DiffFinding& f : findings) {
+    if (!include_notes && f.severity == Severity::kNote) continue;
+    char line[512];
+    std::snprintf(line, sizeof(line), "%s %s: %.6g -> %.6g  %s\n",
+                  f.severity == Severity::kRegression ? "REGRESSION"
+                                                      : "note      ",
+                  f.metric.c_str(), f.baseline, f.candidate,
+                  f.detail.c_str());
+    out += line;
+  }
+  char tail[160];
+  std::snprintf(tail, sizeof(tail),
+                "%zu comparisons, %zu regression(s), %zu note(s)\n",
+                compared, NumRegressions(),
+                findings.size() - NumRegressions());
+  out += tail;
+  return out;
+}
+
+std::string DiffReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("baseline").String(baseline_name);
+  w.Key("candidate").String(candidate_name);
+  w.Key("compared").Int(compared);
+  w.Key("regressions").Int(NumRegressions());
+  w.Key("findings").BeginArray();
+  for (const DiffFinding& f : findings) {
+    w.BeginObject();
+    w.Key("severity").String(
+        f.severity == Severity::kRegression ? "regression" : "note");
+    w.Key("metric").String(f.metric);
+    w.Key("baseline").Number(f.baseline);
+    w.Key("candidate").Number(f.candidate);
+    w.Key("detail").String(f.detail);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+DiffReport DiffRuns(const RunView& baseline, const RunView& candidate,
+                    const DiffOptions& opt) {
+  DiffReport report;
+  report.baseline_name = baseline.name;
+  report.candidate_name = candidate.name;
+  const Severity missing_sev =
+      opt.fail_on_missing ? Severity::kRegression : Severity::kNote;
+
+  // Counters: exact by default.
+  for (const auto& [name, old_v] : baseline.counters) {
+    auto it = candidate.counters.find(name);
+    const std::string metric = "counter/" + name;
+    if (it == candidate.counters.end()) {
+      Add(&report, missing_sev, metric, static_cast<double>(old_v), 0.0,
+          "counter missing from candidate");
+      continue;
+    }
+    ++report.compared;
+    const double a = static_cast<double>(old_v);
+    const double b = static_cast<double>(it->second);
+    const double rel = std::fabs(b - a) / std::max(a, 1.0);
+    if (rel > opt.count_rel_tol) {
+      Add(&report, Severity::kRegression, metric, a, b,
+          "counter changed " + Pct(a, b));
+    }
+  }
+  for (const auto& [name, new_v] : candidate.counters) {
+    if (baseline.counters.count(name) == 0) {
+      Add(&report, Severity::kNote, "counter/" + name, 0.0,
+          static_cast<double>(new_v), "new counter in candidate");
+    }
+  }
+
+  // Gauges: coverage by absolute tolerance (drops only), the rest by
+  // relative tolerance.
+  for (const auto& [name, old_v] : baseline.gauges) {
+    auto it = candidate.gauges.find(name);
+    const std::string metric = "gauge/" + name;
+    if (it == candidate.gauges.end()) {
+      Add(&report, missing_sev, metric, old_v, 0.0,
+          "gauge missing from candidate");
+      continue;
+    }
+    const double new_v = it->second;
+    if (std::isnan(old_v) || std::isnan(new_v)) {
+      if (std::isnan(old_v) != std::isnan(new_v)) {
+        Add(&report, Severity::kNote, metric, old_v, new_v,
+            "non-finite on one side only");
+      }
+      continue;
+    }
+    ++report.compared;
+    if (IsCoverageName(name)) {
+      const double drop = old_v - new_v;
+      if (drop > opt.coverage_abs_tol) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "coverage dropped %.4f points (tol %.4f)", drop,
+                      opt.coverage_abs_tol);
+        Add(&report, Severity::kRegression, metric, old_v, new_v, buf);
+      } else if (new_v - old_v > opt.coverage_abs_tol) {
+        Add(&report, Severity::kNote, metric, old_v, new_v,
+            "coverage rose (wider intervals?)");
+      }
+      continue;
+    }
+    const double rel =
+        std::fabs(new_v - old_v) / std::max(std::fabs(old_v), 1e-12);
+    if (rel > opt.gauge_rel_tol) {
+      Add(&report, Severity::kRegression, metric, old_v, new_v,
+          "gauge changed " + Pct(old_v, new_v));
+    }
+  }
+
+  // Histograms: sample counts exactly, quantiles with latency slack.
+  for (const auto& [name, old_h] : baseline.histograms) {
+    auto it = candidate.histograms.find(name);
+    const std::string prefix = "histogram/" + name;
+    if (it == candidate.histograms.end()) {
+      Add(&report, missing_sev, prefix,
+          static_cast<double>(old_h.count), 0.0,
+          "histogram missing from candidate");
+      continue;
+    }
+    const RunView::HistView& new_h = it->second;
+    ++report.compared;
+    const double a = static_cast<double>(old_h.count);
+    const double b = static_cast<double>(new_h.count);
+    if (std::fabs(b - a) / std::max(a, 1.0) > opt.count_rel_tol) {
+      Add(&report, Severity::kRegression, prefix + "/count", a, b,
+          "sample count changed " + Pct(a, b));
+    }
+    DiffQuantiles(prefix, old_h, new_h, opt, &report);
+  }
+
+  // Span summaries: timing-only, and tracing may be armed in one run but
+  // not the other — absence is never more than a note.
+  for (const auto& [name, old_s] : baseline.span_summaries) {
+    auto it = candidate.span_summaries.find(name);
+    const std::string prefix = "span/" + name;
+    if (it == candidate.span_summaries.end()) {
+      Add(&report, Severity::kNote, prefix,
+          static_cast<double>(old_s.count), 0.0,
+          "span summary missing from candidate");
+      continue;
+    }
+    DiffQuantiles(prefix, old_s, it->second, opt, &report);
+  }
+
+  // Wall time: informational only.
+  if (baseline.wall_time_seconds > 0.0 &&
+      candidate.wall_time_seconds >
+          baseline.wall_time_seconds * (1.0 + opt.latency_rel_tol)) {
+    Add(&report, Severity::kNote, "run/wall_time_seconds",
+        baseline.wall_time_seconds, candidate.wall_time_seconds,
+        "wall time inflated " +
+            Pct(baseline.wall_time_seconds, candidate.wall_time_seconds));
+  }
+
+  return report;
+}
+
+}  // namespace obs
+}  // namespace confcard

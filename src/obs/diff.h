@@ -1,0 +1,113 @@
+// Artifact regression detection: loads two run artifacts (BENCH_*.json)
+// and/or per-query event logs (CONFCARD_EVENTS_JSONL output), aligns
+// their metrics by name, and computes deltas under configurable
+// thresholds — counters exactly, coverage within an absolute tolerance,
+// latency histogram quantiles within a relative tolerance above a noise
+// floor. The `obsdiff` tool wraps DiffRuns with a CLI and nonzero exit
+// on regression, giving CI a primitive that gates on the trajectory
+// files instead of eyeballing printf tables.
+#ifndef CONFCARD_OBS_DIFF_H_
+#define CONFCARD_OBS_DIFF_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace confcard {
+namespace obs {
+
+/// Comparison thresholds. Defaults assume the deterministic-seeded
+/// benches of this repo: everything except timing reproduces exactly, so
+/// only latency quantiles get slack.
+struct DiffOptions {
+  /// Latency quantile regression: candidate > baseline * (1 + tol).
+  double latency_rel_tol = 0.5;
+  /// Quantiles where both sides are below this many microseconds are
+  /// scheduler noise — skipped.
+  double latency_floor_us = 100.0;
+  /// Coverage gauges (name contains "coverage"): regression when the
+  /// candidate drops more than this many coverage points.
+  double coverage_abs_tol = 0.02;
+  /// Counters and histogram sample counts: relative tolerance (0 =
+  /// exact).
+  double count_rel_tol = 0.0;
+  /// Non-coverage gauges: relative tolerance.
+  double gauge_rel_tol = 1e-6;
+  /// When false, a metric present in the baseline but absent from the
+  /// candidate is a note instead of a regression.
+  bool fail_on_missing = true;
+};
+
+struct DiffFinding {
+  enum class Severity { kNote, kRegression };
+  Severity severity = Severity::kNote;
+  /// Qualified metric name, e.g. "histogram/harness.prep_us/p99" or
+  /// "gauge/harness.coverage.3.mscn.s-cp".
+  std::string metric;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  std::string detail;
+};
+
+struct DiffReport {
+  std::string baseline_name;
+  std::string candidate_name;
+  size_t compared = 0;
+  std::vector<DiffFinding> findings;
+
+  size_t NumRegressions() const;
+  bool HasRegression() const { return NumRegressions() > 0; }
+  /// Human-readable multi-line report.
+  std::string ToText(bool include_notes = true) const;
+  /// Machine-readable report (single JSON object).
+  std::string ToJson() const;
+};
+
+/// Flattened, diffable view of one run. Both artifact JSON and event
+/// logs reduce to this shape; event logs synthesize per-(run, model,
+/// method) coverage/width gauges, count counters, and latency summaries
+/// under the "events." prefix.
+struct RunView {
+  struct HistView {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+
+  std::string name;
+  double wall_time_seconds = 0.0;
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistView> histograms;
+  /// Span-name duration summaries (timing semantics, like histograms).
+  std::map<std::string, HistView> span_summaries;
+};
+
+/// Builds a RunView from a parsed run artifact document.
+Result<RunView> RunViewFromArtifact(const JsonValue& doc);
+
+/// Builds a RunView from parsed event-log records (see
+/// obs/event_log.h); `name` labels the view in reports.
+Result<RunView> RunViewFromEvents(const std::vector<JsonValue>& events,
+                                  const std::string& name);
+
+/// Loads either format from disk: a file whose first non-space byte
+/// opens a document containing a "run" key is an artifact, anything else
+/// is treated as JSONL events.
+Result<RunView> LoadRunView(const std::string& path);
+
+/// Aligns the two views by metric name and applies the thresholds.
+DiffReport DiffRuns(const RunView& baseline, const RunView& candidate,
+                    const DiffOptions& options);
+
+}  // namespace obs
+}  // namespace confcard
+
+#endif  // CONFCARD_OBS_DIFF_H_

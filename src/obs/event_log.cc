@@ -1,0 +1,148 @@
+#include "obs/event_log.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+
+namespace confcard {
+namespace obs {
+
+std::string RenderQueryEvent(const QueryEvent& e) {
+  const bool covered = e.truth >= e.lo && e.truth <= e.hi;
+  const double width = e.hi - e.lo;
+  const double est = std::max(e.estimate, 1.0);
+  const double truth = std::max(e.truth, 1.0);
+  const double qerr = std::max(est / truth, truth / est);
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("run").Int(e.run_seq);
+  w.Key("q").Int(e.query_id);
+  w.Key("model").String(e.model);
+  w.Key("method").String(e.method);
+  w.Key("alpha").Number(e.alpha);
+  w.Key("est").Number(e.estimate);
+  w.Key("lo").Number(e.lo);
+  w.Key("hi").Number(e.hi);
+  w.Key("truth").Number(e.truth);
+  w.Key("covered").Bool(covered);
+  w.Key("width").Number(width);
+  w.Key("qerr").Number(qerr);
+  w.Key("lat_us").Number(e.latency_us);
+  w.EndObject();
+  return w.TakeString();
+}
+
+EventLog& EventLog::Instance() {
+  static EventLog* log = new EventLog();  // never destroyed: atexit-safe
+  return *log;
+}
+
+EventLog::EventLog() {
+  const char* path = std::getenv("CONFCARD_EVENTS_JSONL");
+  if (path == nullptr || path[0] == '\0') return;
+  file_ = std::fopen(path, "wb");
+  if (file_ == nullptr) {
+    std::fprintf(stderr, "event log: cannot open %s; logging disabled\n",
+                 path);
+    return;
+  }
+  buffer_.reserve(kFlushBytes + 4096);
+  enabled_.store(true, std::memory_order_relaxed);
+  std::atexit([] { Instance().Flush(); });
+}
+
+void EventLog::Append(const QueryEvent& e) {
+  if (!enabled()) return;
+  std::string line = RenderQueryEvent(e);
+  line += '\n';
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  buffer_ += line;
+  appended_.fetch_add(1, std::memory_order_relaxed);
+  if (buffer_.size() >= kFlushBytes) FlushLocked();
+}
+
+void EventLog::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  FlushLocked();
+}
+
+void EventLog::FlushLocked() {
+  if (file_ == nullptr || buffer_.empty()) return;
+  std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
+  std::fflush(file_);
+  buffer_.clear();
+}
+
+Status EventLog::OpenForTest(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FlushLocked();
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    enabled_.store(false, std::memory_order_relaxed);
+    return Status::IOError("event log: cannot open " + path);
+  }
+  appended_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void EventLog::CloseForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  FlushLocked();
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = nullptr;
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+Result<std::vector<JsonValue>> ParseJsonl(std::string_view text,
+                                          size_t* skipped_partial) {
+  if (skipped_partial != nullptr) *skipped_partial = 0;
+  std::vector<JsonValue> out;
+  size_t pos = 0;
+  std::vector<std::string_view> lines;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) nl = text.size();
+    std::string_view line = text.substr(pos, nl - pos);
+    // Trim a trailing \r and surrounding spaces.
+    while (!line.empty() &&
+           (line.back() == '\r' || line.back() == ' ' ||
+            line.back() == '\t')) {
+      line.remove_suffix(1);
+    }
+    if (!line.empty()) lines.push_back(line);
+    pos = nl + 1;
+  }
+  for (size_t i = 0; i < lines.size(); ++i) {
+    Result<JsonValue> value = ParseJson(lines[i]);
+    if (!value.ok()) {
+      if (i + 1 == lines.size()) {
+        // Crash-truncated final record: usable prefix, skip the tail.
+        if (skipped_partial != nullptr) ++*skipped_partial;
+        break;
+      }
+      return Status::InvalidArgument("jsonl: line " + std::to_string(i + 1) +
+                                     ": " + value.status().message());
+    }
+    out.push_back(std::move(value).value());
+  }
+  return out;
+}
+
+Result<std::vector<JsonValue>> ReadJsonlFile(const std::string& path,
+                                             size_t* skipped_partial) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open event log: " + path);
+  }
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  return ParseJsonl(text, skipped_partial);
+}
+
+}  // namespace obs
+}  // namespace confcard

@@ -1,0 +1,108 @@
+// Per-query event log: one JSONL record per evaluated query (identity,
+// point estimate, interval, truth, derived covered/width/q-error, and
+// PI-construction latency), streamed to the path named by
+// CONFCARD_EVENTS_JSONL. Appends are buffered behind a mutex and flushed
+// in 64 KiB chunks; with the variable unset, enabled() is a single
+// relaxed atomic load and Append returns immediately, keeping the
+// per-query overhead of an un-instrumented run negligible. The JSONL
+// reader tolerates a truncated final line (crash mid-write) so partial
+// logs stay usable.
+#ifndef CONFCARD_OBS_EVENT_LOG_H_
+#define CONFCARD_OBS_EVENT_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace confcard {
+namespace obs {
+
+/// One evaluated query. covered/width/qerr are derived at render time
+/// from (truth, estimate, lo, hi), so call sites only supply the raw
+/// outcome.
+struct QueryEvent {
+  /// Method-run ordinal assigned by FinalizeMethodResult (0 for the
+  /// online stream, which has no batch finalization).
+  uint64_t run_seq = 0;
+  /// Query index within the method's test stream.
+  uint64_t query_id = 0;
+  std::string_view model;
+  std::string_view method;
+  double alpha = 0.0;
+  double estimate = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  double truth = 0.0;
+  /// Per-query PI-construction latency in microseconds (0 when the
+  /// caller did not measure).
+  double latency_us = 0.0;
+};
+
+/// Renders one event as a single-line JSON object (no trailing newline):
+/// {"run","q","model","method","alpha","est","lo","hi","truth",
+///  "covered","width","qerr","lat_us"}. Non-finite bounds serialize as
+/// null per the JsonWriter convention.
+std::string RenderQueryEvent(const QueryEvent& e);
+
+/// Process-wide JSONL sink, armed by CONFCARD_EVENTS_JSONL at first use.
+class EventLog {
+ public:
+  static EventLog& Instance();
+
+  /// Cheap gate for hot paths: one relaxed atomic load.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Buffers one record; no-op when disabled.
+  void Append(const QueryEvent& e);
+
+  /// Flushes the buffer to disk (also registered atexit when armed).
+  void Flush();
+
+  /// Total records accepted since the log was armed.
+  uint64_t appended() const {
+    return appended_.load(std::memory_order_relaxed);
+  }
+
+  /// Redirects the log to `path` regardless of the environment —
+  /// test-only. CloseForTest flushes, closes, and disables again.
+  Status OpenForTest(const std::string& path);
+  void CloseForTest();
+
+ private:
+  EventLog();
+
+  void FlushLocked();
+
+  static constexpr size_t kFlushBytes = 64 * 1024;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> appended_{0};
+  std::mutex mu_;
+  std::string buffer_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Parses a JSONL document: one JSON value per non-empty line. A final
+/// line that fails to parse is treated as a crash-truncated partial
+/// write — it is skipped and counted in `*skipped_partial` (when
+/// non-null) instead of failing the whole read. A malformed line
+/// anywhere else is an error.
+Result<std::vector<JsonValue>> ParseJsonl(std::string_view text,
+                                          size_t* skipped_partial = nullptr);
+
+/// ParseJsonl over the contents of `path`.
+Result<std::vector<JsonValue>> ReadJsonlFile(const std::string& path,
+                                             size_t* skipped_partial =
+                                                 nullptr);
+
+}  // namespace obs
+}  // namespace confcard
+
+#endif  // CONFCARD_OBS_EVENT_LOG_H_

@@ -1,5 +1,6 @@
 #include "obs/json.h"
 
+#include <atomic>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -304,6 +305,48 @@ Result<JsonValue> ParseJson(std::string_view text) {
   return Parser(text).Parse();
 }
 
+namespace {
+
+void WriteJsonValue(JsonWriter* w, const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull:
+      w->Null();
+      break;
+    case JsonValue::Kind::kBool:
+      w->Bool(v.bool_value);
+      break;
+    case JsonValue::Kind::kNumber:
+      w->Number(v.number);
+      break;
+    case JsonValue::Kind::kString:
+      w->String(v.string_value);
+      break;
+    case JsonValue::Kind::kObject:
+      w->BeginObject();
+      for (const auto& [key, member] : v.members) {
+        w->Key(key);
+        WriteJsonValue(w, member);
+      }
+      w->EndObject();
+      break;
+    case JsonValue::Kind::kArray:
+      w->BeginArray();
+      for (const JsonValue& element : v.elements) {
+        WriteJsonValue(w, element);
+      }
+      w->EndArray();
+      break;
+  }
+}
+
+}  // namespace
+
+std::string SerializeJson(const JsonValue& value) {
+  JsonWriter w;
+  WriteJsonValue(&w, value);
+  return w.TakeString();
+}
+
 // ---------------------------------------------------------------------------
 // Run artifact
 
@@ -440,7 +483,12 @@ namespace {
 // alive for the atexit hook.
 char g_emit_path[4096] = {0};
 
+// Double-emission guard: even if the atexit hook were registered from
+// more than one arming path, only the first invocation writes.
+std::atomic<bool> g_emitted{false};
+
 void EmitAtExit() {
+  if (g_emitted.exchange(true)) return;
   // Prefer the experiment id recorded by PrintExperimentHeader; fall
   // back to the artifact's file stem.
   std::string name;
@@ -466,11 +514,16 @@ void EmitAtExit() {
 }  // namespace
 
 bool InstallExitEmitter() {
+  // The function-local static makes arming idempotent across every
+  // caller — bench TUs, tests, and tools all funnel through this one
+  // definition, so linking several TUs that arm via inline globals still
+  // registers exactly one atexit hook.
   static const bool installed = [] {
     const char* path = std::getenv("CONFCARD_METRICS_JSON");
     if (path == nullptr || path[0] == '\0') return false;
     std::snprintf(g_emit_path, sizeof(g_emit_path), "%s", path);
     TraceStore::Instance().SetEnabled(true);
+    Metrics().GetCounter("obs.emitter.installs").Increment();
     std::atexit(&EmitAtExit);
     return true;
   }();

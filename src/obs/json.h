@@ -65,6 +65,11 @@ struct JsonValue {
 /// error).
 Result<JsonValue> ParseJson(std::string_view text);
 
+/// Re-renders a parsed document (numbers via %.17g, so integral values
+/// round-trip unchanged). Lets tools rewrite artifacts — e.g. the
+/// obsdiff gate test injecting a synthetic regression into a run.
+std::string SerializeJson(const JsonValue& value);
+
 /// Renders the current process state — run metadata, every registry
 /// counter/gauge/histogram, completed span trees, and per-span-name
 /// duration summaries — as one JSON document.
@@ -76,7 +81,11 @@ Status WriteRunArtifact(const std::string& path, const std::string& run_name);
 /// When CONFCARD_METRICS_JSON names a path: enables trace collection and
 /// registers an atexit hook that writes the run artifact there, named
 /// after the experiment metadata (falling back to the file stem).
-/// Returns whether the emitter is armed. Idempotent.
+/// Returns whether the emitter is armed. Idempotent: repeated calls —
+/// including from inline globals instantiated in several TUs — arm the
+/// hook at most once (the "obs.emitter.installs" counter records the
+/// single arming), and the hook itself writes at most one artifact even
+/// if registered twice.
 bool InstallExitEmitter();
 
 }  // namespace obs

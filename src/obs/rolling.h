@@ -1,0 +1,60 @@
+// Fixed-capacity rolling window over doubles: O(1) push, O(1) mean.
+// Backs the online monitors (windowed coverage, mean width, score drift)
+// published from OnlineConformal::Observe, where a full re-scan per
+// observation would be too expensive for the Fig. 8/11 streams. The
+// running sum is recomputed from the buffer once per wrap-around so
+// floating-point drift stays bounded on long streams.
+#ifndef CONFCARD_OBS_ROLLING_H_
+#define CONFCARD_OBS_ROLLING_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace confcard {
+namespace obs {
+
+class RollingWindow {
+ public:
+  explicit RollingWindow(size_t capacity)
+      : buf_(capacity > 0 ? capacity : 1) {}
+
+  void Push(double v) {
+    if (size_ == buf_.size()) {
+      sum_ -= buf_[next_];
+    } else {
+      ++size_;
+    }
+    buf_[next_] = v;
+    sum_ += v;
+    next_ = (next_ + 1) % buf_.size();
+    if (next_ == 0) {
+      sum_ = 0.0;
+      for (size_t i = 0; i < size_; ++i) sum_ += buf_[i];
+    }
+  }
+
+  double Sum() const { return sum_; }
+  double Mean() const {
+    return size_ == 0 ? 0.0 : sum_ / static_cast<double>(size_);
+  }
+  size_t size() const { return size_; }
+  size_t capacity() const { return buf_.size(); }
+  bool full() const { return size_ == buf_.size(); }
+
+  void Clear() {
+    size_ = 0;
+    next_ = 0;
+    sum_ = 0.0;
+  }
+
+ private:
+  std::vector<double> buf_;
+  size_t next_ = 0;
+  size_t size_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace obs
+}  // namespace confcard
+
+#endif  // CONFCARD_OBS_ROLLING_H_

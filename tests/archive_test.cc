@@ -1,5 +1,7 @@
 #include "common/archive.h"
 
+#include <unistd.h>
+
 #include <cmath>
 #include <filesystem>
 
@@ -93,8 +95,10 @@ TEST(ArchiveTest, MissingFileIsIOError) {
 class GbdtPersistenceTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // Each gtest case runs as its own ctest process; a fixed name would
+    // let parallel cases of this fixture clobber each other's file.
     path_ = (std::filesystem::temp_directory_path() /
-             "confcard_gbdt_test.bin")
+             ("confcard_gbdt_test_" + std::to_string(::getpid()) + ".bin"))
                 .string();
     Rng rng(3);
     const size_t n = 2000;

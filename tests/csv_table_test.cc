@@ -1,5 +1,7 @@
 #include "data/csv_table.h"
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 
@@ -11,8 +13,11 @@ namespace {
 class CsvTableTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // Pid suffix keeps parallel ctest cases of this fixture from
+    // clobbering each other's file.
     path_ = std::filesystem::temp_directory_path() /
-            "confcard_csv_table_test.csv";
+            ("confcard_csv_table_test_" + std::to_string(::getpid()) +
+             ".csv");
   }
   void TearDown() override { std::filesystem::remove(path_); }
 

@@ -1,5 +1,7 @@
 #include "common/csv.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -51,11 +53,10 @@ TEST(SplitCsvLineTest, CustomDelimiter) {
 class CsvFileTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // random_seed() is 0 in every process unless shuffling is on, so it
+    // does not disambiguate parallel ctest cases; the pid does.
     path_ = std::filesystem::temp_directory_path() /
-            ("confcard_csv_test_" +
-             std::to_string(::testing::UnitTest::GetInstance()
-                                ->random_seed()) +
-             ".csv");
+            ("confcard_csv_test_" + std::to_string(::getpid()) + ".csv");
   }
   void TearDown() override { std::filesystem::remove(path_); }
   std::filesystem::path path_;

@@ -1,0 +1,87 @@
+// Duplicate-arming gate for the exit emitter: this binary links two
+// translation units that both include bench_common.h (each instantiating
+// the inline arming global) and one of which calls InstallMetricsEmitter
+// again explicitly. The test re-executes itself with
+// CONFCARD_METRICS_JSON set and asserts that the child wrote exactly one
+// artifact, logged the "metrics artifact written" line exactly once, and
+// recorded a single arming in the "obs.emitter.installs" counter.
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bench_common.h"
+
+namespace confcard {
+namespace bench {
+// Defined in emitter_dup_other.cc; referencing it keeps that TU's static
+// initializer (the duplicate arming path) in the link.
+bool SecondTuInstalled();
+}  // namespace bench
+
+namespace {
+
+size_t CountOccurrences(const std::string& text, const std::string& needle) {
+  size_t n = 0;
+  for (size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+std::string ReadFileOrEmpty(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+// Child mode: both arming paths already ran during static init; exiting
+// normally lets the atexit hook emit. Nothing to assert here — the
+// parent inspects the output.
+TEST(EmitterDedupTest, ChildIsNoop) {
+  SUCCEED();
+}
+
+TEST(EmitterDedupTest, TwoArmingTusEmitExactlyOneArtifact) {
+  // Without the env var, neither arming path does anything — and both
+  // report the same disarmed state.
+  ASSERT_EQ(std::getenv("CONFCARD_METRICS_JSON"), nullptr)
+      << "test binary must run without CONFCARD_METRICS_JSON";
+  EXPECT_FALSE(bench::kMetricsEmitterInstalled);
+  EXPECT_FALSE(bench::SecondTuInstalled());
+
+  const auto self = std::filesystem::read_symlink("/proc/self/exe");
+  const auto tmp = std::filesystem::temp_directory_path();
+  const auto artifact = tmp / "confcard_emitter_dedup.json";
+  const auto stderr_path = tmp / "confcard_emitter_dedup.stderr";
+  std::filesystem::remove(artifact);
+  std::filesystem::remove(stderr_path);
+
+  const std::string cmd =
+      "CONFCARD_METRICS_JSON=" + artifact.string() + " " + self.string() +
+      " --gtest_filter=EmitterDedupTest.ChildIsNoop > /dev/null 2> " +
+      stderr_path.string();
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  // Exactly one emission line, one artifact, one recorded arming.
+  const std::string err = ReadFileOrEmpty(stderr_path);
+  EXPECT_EQ(CountOccurrences(err, "metrics artifact written"), 1u) << err;
+
+  ASSERT_TRUE(std::filesystem::exists(artifact));
+  Result<obs::JsonValue> doc = obs::ParseJson(ReadFileOrEmpty(artifact));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const obs::JsonValue* counters = doc->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const obs::JsonValue* installs = counters->Find("obs.emitter.installs");
+  ASSERT_NE(installs, nullptr);
+  EXPECT_EQ(installs->number, 1.0);
+
+  std::filesystem::remove(artifact);
+  std::filesystem::remove(stderr_path);
+}
+
+}  // namespace
+}  // namespace confcard

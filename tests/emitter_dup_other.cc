@@ -1,0 +1,19 @@
+// Second translation unit for the emitter-dedup test. Mimics a bench
+// binary assembled from several objects: this TU includes bench_common.h
+// (whose inline global arms the emitter during static init) AND calls
+// InstallMetricsEmitter again through its own namespace-scope initializer.
+// Linking this next to emitter_dedup_test.cc must still register exactly
+// one atexit hook and emit exactly one artifact.
+#include "bench_common.h"
+
+namespace confcard {
+namespace bench {
+
+namespace {
+const bool kSecondTuInstall = InstallMetricsEmitter();
+}  // namespace
+
+bool SecondTuInstalled() { return kSecondTuInstall; }
+
+}  // namespace bench
+}  // namespace confcard

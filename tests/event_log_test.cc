@@ -1,0 +1,223 @@
+// Per-query event log: record rendering (derived covered/width/q-error),
+// the JSONL write -> read round trip through the test-only sink, the
+// crash-truncated-final-line tolerance of ParseJsonl, and the
+// RollingWindow that backs the online monitors.
+#include "obs/event_log.h"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/rolling.h"
+
+namespace confcard {
+namespace {
+
+using obs::EventLog;
+using obs::JsonValue;
+using obs::ParseJsonl;
+using obs::QueryEvent;
+using obs::RenderQueryEvent;
+using obs::RollingWindow;
+
+QueryEvent MakeEvent() {
+  QueryEvent e;
+  e.run_seq = 3;
+  e.query_id = 17;
+  e.model = "mscn";
+  e.method = "lw-s-cp";
+  e.alpha = 0.1;
+  e.estimate = 120.0;
+  e.lo = 80.0;
+  e.hi = 240.0;
+  e.truth = 150.0;
+  e.latency_us = 2.5;
+  return e;
+}
+
+TEST(RenderQueryEventTest, EmitsAllFieldsAndDerivations) {
+  const std::string line = RenderQueryEvent(MakeEvent());
+  Result<JsonValue> v = obs::ParseJson(line);
+  ASSERT_TRUE(v.ok()) << v.status().ToString() << "\n" << line;
+  EXPECT_EQ(v->Find("run")->number, 3.0);
+  EXPECT_EQ(v->Find("q")->number, 17.0);
+  EXPECT_EQ(v->Find("model")->string_value, "mscn");
+  EXPECT_EQ(v->Find("method")->string_value, "lw-s-cp");
+  EXPECT_DOUBLE_EQ(v->Find("alpha")->number, 0.1);
+  EXPECT_DOUBLE_EQ(v->Find("est")->number, 120.0);
+  EXPECT_DOUBLE_EQ(v->Find("lo")->number, 80.0);
+  EXPECT_DOUBLE_EQ(v->Find("hi")->number, 240.0);
+  EXPECT_DOUBLE_EQ(v->Find("truth")->number, 150.0);
+  EXPECT_TRUE(v->Find("covered")->bool_value);
+  EXPECT_DOUBLE_EQ(v->Find("width")->number, 160.0);
+  // qerr = max(est/truth, truth/est) with both floored at 1.
+  EXPECT_DOUBLE_EQ(v->Find("qerr")->number, 150.0 / 120.0);
+  EXPECT_DOUBLE_EQ(v->Find("lat_us")->number, 2.5);
+}
+
+TEST(RenderQueryEventTest, MissIsUncoveredAndQerrFloorsAtOne) {
+  QueryEvent e = MakeEvent();
+  e.truth = 300.0;  // above hi
+  Result<JsonValue> v = obs::ParseJson(RenderQueryEvent(e));
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v->Find("covered")->bool_value);
+
+  e.truth = e.estimate;
+  v = obs::ParseJson(RenderQueryEvent(e));
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->Find("qerr")->number, 1.0);
+
+  // Sub-tuple values floor to 1 before the ratio.
+  e.estimate = 0.0;
+  e.truth = 0.5;
+  v = obs::ParseJson(RenderQueryEvent(e));
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->Find("qerr")->number, 1.0);
+}
+
+TEST(RenderQueryEventTest, InfiniteBoundsSerializeAsNull) {
+  QueryEvent e = MakeEvent();
+  e.lo = -std::numeric_limits<double>::infinity();
+  e.hi = std::numeric_limits<double>::infinity();
+  const std::string line = RenderQueryEvent(e);
+  Result<JsonValue> v = obs::ParseJson(line);
+  ASSERT_TRUE(v.ok()) << line;
+  EXPECT_EQ(v->Find("lo")->kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(v->Find("hi")->kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(v->Find("width")->kind, JsonValue::Kind::kNull);
+  // An infinite interval covers everything.
+  EXPECT_TRUE(v->Find("covered")->bool_value);
+}
+
+TEST(EventLogTest, DisabledByDefaultAndAppendIsNoOp) {
+  EventLog& log = EventLog::Instance();
+  ASSERT_FALSE(log.enabled())
+      << "CONFCARD_EVENTS_JSONL must be unset for this test binary";
+  const uint64_t before = log.appended();
+  log.Append(MakeEvent());
+  EXPECT_EQ(log.appended(), before);
+}
+
+TEST(EventLogTest, RoundTripThroughTestSink) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "confcard_event_log_test.jsonl";
+  EventLog& log = EventLog::Instance();
+  ASSERT_TRUE(log.OpenForTest(path.string()).ok());
+  ASSERT_TRUE(log.enabled());
+  for (uint64_t i = 0; i < 100; ++i) {
+    QueryEvent e = MakeEvent();
+    e.query_id = i;
+    e.truth = 100.0 + static_cast<double>(i);
+    log.Append(e);
+  }
+  EXPECT_EQ(log.appended(), 100u);
+  log.CloseForTest();
+  EXPECT_FALSE(log.enabled());
+
+  size_t skipped = 0;
+  Result<std::vector<JsonValue>> events =
+      obs::ReadJsonlFile(path.string(), &skipped);
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(events->size(), 100u);
+  for (size_t i = 0; i < events->size(); ++i) {
+    EXPECT_EQ((*events)[i].Find("q")->number, static_cast<double>(i));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ParseJsonlTest, SkipsBlankLinesAndCrlf) {
+  size_t skipped = 0;
+  Result<std::vector<JsonValue>> v =
+      ParseJsonl("{\"a\":1}\r\n\n  \n{\"a\":2}\n", &skipped);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(skipped, 0u);
+  ASSERT_EQ(v->size(), 2u);
+  EXPECT_EQ((*v)[1].Find("a")->number, 2.0);
+}
+
+TEST(ParseJsonlTest, TruncatedFinalLineIsSkippedAndCounted) {
+  // Crash mid-write: the final record is cut off. The usable prefix
+  // must survive.
+  size_t skipped = 0;
+  Result<std::vector<JsonValue>> v = ParseJsonl(
+      "{\"a\":1}\n{\"a\":2}\n{\"a\":3, \"trunc", &skipped);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(skipped, 1u);
+  ASSERT_EQ(v->size(), 2u);
+}
+
+TEST(ParseJsonlTest, MalformedMiddleLineIsAnError) {
+  Result<std::vector<JsonValue>> v =
+      ParseJsonl("{\"a\":1}\nnot json\n{\"a\":2}\n");
+  EXPECT_FALSE(v.ok());
+}
+
+TEST(ParseJsonlTest, EmptyInputYieldsNoRecords) {
+  size_t skipped = 7;
+  Result<std::vector<JsonValue>> v = ParseJsonl("", &skipped);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(skipped, 0u);
+  EXPECT_TRUE(v->empty());
+}
+
+TEST(RollingWindowTest, PartialFillMeanAndSum) {
+  RollingWindow w(4);
+  EXPECT_EQ(w.Mean(), 0.0);
+  w.Push(1.0);
+  w.Push(3.0);
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_FALSE(w.full());
+  EXPECT_DOUBLE_EQ(w.Sum(), 4.0);
+  EXPECT_DOUBLE_EQ(w.Mean(), 2.0);
+}
+
+TEST(RollingWindowTest, EvictsOldestWhenFull) {
+  RollingWindow w(3);
+  w.Push(1.0);
+  w.Push(2.0);
+  w.Push(3.0);
+  EXPECT_TRUE(w.full());
+  w.Push(10.0);  // evicts 1.0
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w.Sum(), 15.0);
+  w.Push(20.0);  // evicts 2.0
+  EXPECT_DOUBLE_EQ(w.Sum(), 33.0);
+}
+
+TEST(RollingWindowTest, LongStreamMatchesDirectWindowMean) {
+  RollingWindow w(7);
+  std::vector<double> history;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = std::sin(static_cast<double>(i)) * 100.0;
+    w.Push(v);
+    history.push_back(v);
+    double expect = 0.0;
+    const size_t n = std::min<size_t>(history.size(), 7);
+    for (size_t k = history.size() - n; k < history.size(); ++k) {
+      expect += history[k];
+    }
+    ASSERT_NEAR(w.Sum(), expect, 1e-9) << "at i=" << i;
+  }
+}
+
+TEST(RollingWindowTest, ClearAndDegenerateCapacity) {
+  RollingWindow w(2);
+  w.Push(5.0);
+  w.Clear();
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_EQ(w.Mean(), 0.0);
+
+  RollingWindow one(0);  // clamps to capacity 1
+  EXPECT_EQ(one.capacity(), 1u);
+  one.Push(4.0);
+  one.Push(6.0);
+  EXPECT_DOUBLE_EQ(one.Mean(), 6.0);
+}
+
+}  // namespace
+}  // namespace confcard

@@ -1,0 +1,121 @@
+// Edge cases of the artifact JSON parser and the SerializeJson
+// re-renderer: escape handling, deep nesting, truncated documents,
+// duplicate keys, and write -> parse -> serialize -> parse round trips
+// (the rewrite path the obsdiff gate test uses to inject synthetic
+// regressions).
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace confcard {
+namespace {
+
+using obs::JsonValue;
+using obs::ParseJson;
+using obs::SerializeJson;
+
+TEST(JsonEdgeTest, StringEscapes) {
+  Result<JsonValue> v =
+      ParseJson("\"a\\nb\\t\\\"q\\\"\\\\\\/\\b\\f\\r\\u0041\"");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->string_value, "a\nb\t\"q\"\\/\b\f\rA");
+}
+
+TEST(JsonEdgeTest, UnicodeEscapeBeyondLatin1DegradesToPlaceholder) {
+  Result<JsonValue> v = ParseJson("\"\\u1234\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value, "?");
+}
+
+TEST(JsonEdgeTest, BadEscapesAreErrors) {
+  EXPECT_FALSE(ParseJson("\"\\x41\"").ok());   // unknown escape
+  EXPECT_FALSE(ParseJson("\"\\u12\"").ok());   // short \u
+  EXPECT_FALSE(ParseJson("\"\\u12zz\"").ok());  // non-hex \u
+  EXPECT_FALSE(ParseJson("\"dangling\\").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+}
+
+TEST(JsonEdgeTest, DeepNestingParses) {
+  const int depth = 200;
+  std::string text;
+  for (int i = 0; i < depth; ++i) text += '[';
+  text += "1";
+  for (int i = 0; i < depth; ++i) text += ']';
+  Result<JsonValue> v = ParseJson(text);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  const JsonValue* cur = &*v;
+  for (int i = 0; i < depth; ++i) {
+    ASSERT_EQ(cur->kind, JsonValue::Kind::kArray);
+    ASSERT_EQ(cur->elements.size(), 1u);
+    cur = &cur->elements[0];
+  }
+  EXPECT_EQ(cur->number, 1.0);
+}
+
+TEST(JsonEdgeTest, TruncatedDocumentsAreErrors) {
+  EXPECT_FALSE(ParseJson("{\"a\": 1").ok());
+  EXPECT_FALSE(ParseJson("[1, 2").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":").ok());
+  EXPECT_FALSE(ParseJson("[[[").ok());
+  EXPECT_FALSE(ParseJson("").ok());
+}
+
+TEST(JsonEdgeTest, TrailingGarbageAndCommasAreErrors) {
+  EXPECT_FALSE(ParseJson("{} x").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1,}").ok());
+}
+
+TEST(JsonEdgeTest, DuplicateKeysKeepBothMembersFindReturnsFirst) {
+  Result<JsonValue> v = ParseJson("{\"a\": 1, \"a\": 2}");
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->members.size(), 2u);
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->number, 1.0);
+}
+
+TEST(JsonEdgeTest, SerializeRoundTripsMixedDocument) {
+  const std::string text =
+      "{\"name\":\"run \\\"x\\\"\",\"n\":1234567890123,\"f\":-1.5e-3,"
+      "\"flag\":true,\"none\":null,\"arr\":[1,2,[3,{\"k\":\"v\"}]],"
+      "\"empty_obj\":{},\"empty_arr\":[]}";
+  Result<JsonValue> first = ParseJson(text);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const std::string rendered = SerializeJson(*first);
+  Result<JsonValue> second = ParseJson(rendered);
+  ASSERT_TRUE(second.ok()) << second.status().ToString() << "\n" << rendered;
+  // %.17g keeps the round trip value-stable.
+  EXPECT_EQ(SerializeJson(*second), rendered);
+  EXPECT_EQ(second->Find("name")->string_value, "run \"x\"");
+  EXPECT_EQ(second->Find("n")->number, 1234567890123.0);
+  EXPECT_DOUBLE_EQ(second->Find("f")->number, -1.5e-3);
+  EXPECT_TRUE(second->Find("flag")->bool_value);
+  EXPECT_EQ(second->Find("none")->kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(second->Find("arr")->elements[2].elements[1].Find("k")
+                ->string_value,
+            "v");
+}
+
+TEST(JsonEdgeTest, SerializePreservesDuplicateKeysAndOrder) {
+  Result<JsonValue> v = ParseJson("{\"b\":2,\"a\":1,\"b\":3}");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(SerializeJson(*v), "{\"b\":2,\"a\":1,\"b\":3}");
+}
+
+TEST(JsonEdgeTest, SerializeEscapesControlCharacters) {
+  JsonValue v;
+  v.kind = JsonValue::Kind::kString;
+  v.string_value = std::string("a\001b\n", 4);
+  const std::string rendered = SerializeJson(v);
+  EXPECT_EQ(rendered, "\"a\\u0001b\\n\"");
+  Result<JsonValue> back = ParseJson(rendered);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->string_value, v.string_value);
+}
+
+}  // namespace
+}  // namespace confcard

@@ -8,6 +8,7 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
 
 namespace confcard {
 namespace {
@@ -88,6 +89,71 @@ TEST(OnlineConformalTest, IntervalsTightenAsCalibrationGrows) {
   EXPECT_LT(late, early);
   // Settles near 2 * 1.645 * sigma.
   EXPECT_NEAR(late, 2.0 * 1.645 * 20.0, 12.0);
+}
+
+TEST(OnlineConformalTest, RollingMonitorsTrackPrequentialStream) {
+  OnlineConformal::Options opts;
+  opts.alpha = 0.2;
+  opts.monitor_window = 50;
+  OnlineConformal oc(MakeScoring(ScoreKind::kResidual), opts);
+  EXPECT_EQ(oc.observed(), 0u);
+  EXPECT_EQ(oc.rolling_coverage(), 0.0);
+  EXPECT_EQ(oc.rolling_width(), 0.0);
+  EXPECT_DOUBLE_EQ(oc.score_drift(), 1.0);
+
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    oc.Observe(0.0, 30.0 * rng.NextGaussian());
+  }
+  EXPECT_EQ(oc.observed(), 500u);
+  // Prequential coverage over the last 50 observations hovers near
+  // 1 - alpha; 50 samples of a Bernoulli(0.8) stay well within 0.2.
+  EXPECT_NEAR(oc.rolling_coverage(), 0.8, 0.2);
+  EXPECT_GT(oc.rolling_width(), 0.0);
+  // Stationary stream: rolling mean score ~ lifetime mean score.
+  EXPECT_NEAR(oc.score_drift(), 1.0, 0.5);
+}
+
+TEST(OnlineConformalTest, DriftGaugeRisesUnderResidualShift) {
+  OnlineConformal::Options opts;
+  opts.alpha = 0.1;
+  opts.monitor_window = 50;
+  OnlineConformal oc(MakeScoring(ScoreKind::kResidual), opts);
+  Rng rng(10);
+  for (int i = 0; i < 500; ++i) {
+    oc.Observe(0.0, 30.0 * rng.NextGaussian());
+  }
+  const double stationary = oc.score_drift();
+  // 10x residual shift: the rolling window absorbs it long before the
+  // lifetime mean does.
+  for (int i = 0; i < 100; ++i) {
+    oc.Observe(0.0, 300.0 * rng.NextGaussian());
+  }
+  EXPECT_GT(oc.score_drift(), 2.0);
+  EXPECT_GT(oc.score_drift(), stationary);
+}
+
+TEST(OnlineConformalTest, PublishesOccupancyAndEvictionMetrics) {
+  obs::Metrics().ResetForTest();
+  OnlineConformal oc = Make(0.2, /*window=*/50);
+  Rng rng(11);
+  for (int i = 0; i < 120; ++i) {
+    oc.Observe(0.0, 10.0 * rng.NextGaussian());
+  }
+  EXPECT_EQ(obs::Metrics().GetCounter("conformal.online.observations")
+                .value(),
+            120u);
+  EXPECT_EQ(obs::Metrics().GetCounter("conformal.online.evictions").value(),
+            70u);
+  EXPECT_DOUBLE_EQ(
+      obs::Metrics().GetGauge("conformal.online.window_occupancy").value(),
+      50.0);
+  const double cov =
+      obs::Metrics().GetGauge("conformal.online.rolling_coverage").value();
+  EXPECT_EQ(cov, oc.rolling_coverage());
+  EXPECT_DOUBLE_EQ(
+      obs::Metrics().GetGauge("conformal.online.score_drift").value(),
+      oc.score_drift());
 }
 
 TEST(OnlineConformalTest, CoverageOnStream) {

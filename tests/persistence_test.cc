@@ -1,6 +1,8 @@
 // Model persistence: save a trained estimator, load it against the same
 // table, and get bit-identical estimates — the deployment path where a
 // model is trained offline and shipped with its conformal delta.
+#include <unistd.h>
+
 #include <filesystem>
 
 #include <gtest/gtest.h>
@@ -41,8 +43,11 @@ class PersistenceTest : public ::testing::Test {
     wc.num_queries = 100;
     test_ = GenerateWorkload(*table_, wc).value();
 
+    // Pid suffix: parallel ctest runs each case in its own process, and
+    // a shared fixed name races across cases of this fixture.
     path_ = (std::filesystem::temp_directory_path() /
-             "confcard_persistence_test.bin")
+             ("confcard_persistence_test_" + std::to_string(::getpid()) +
+              ".bin"))
                 .string();
   }
   void TearDown() override { std::filesystem::remove(path_); }

@@ -1,0 +1,143 @@
+// obsdiff: compare two run artifacts and/or per-query event logs and
+// exit nonzero when a regression is detected. The CI-facing face of
+// src/obs/diff — see docs/OBSERVABILITY.md for threshold semantics.
+//
+//   obsdiff baseline.json candidate.json [options]
+//   obsdiff baseline.jsonl candidate.jsonl --json report.json
+//
+// Exit codes: 0 = no regression, 1 = regression detected, 2 = usage or
+// I/O error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "obs/diff.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: obsdiff <baseline> <candidate> [options]\n"
+      "  <baseline>/<candidate>: run artifacts (CONFCARD_METRICS_JSON)\n"
+      "  or per-query event logs (CONFCARD_EVENTS_JSONL), mixed freely.\n"
+      "options:\n"
+      "  --latency-tol F       relative tolerance for latency quantiles\n"
+      "                        (default 0.5 = candidate may be 1.5x)\n"
+      "  --latency-floor-us F  skip quantiles where both sides are below\n"
+      "                        this many microseconds (default 100)\n"
+      "  --coverage-tol F      absolute tolerance for coverage-gauge\n"
+      "                        drops (default 0.02)\n"
+      "  --gauge-tol F         relative tolerance for other gauges\n"
+      "                        (default 1e-6)\n"
+      "  --count-tol F         relative tolerance for counters and\n"
+      "                        histogram sample counts (default 0)\n"
+      "  --allow-missing       missing metrics are notes, not failures\n"
+      "  --json PATH           also write a machine-readable report\n"
+      "  --quiet               suppress notes in the text report\n");
+}
+
+bool ParseDouble(const char* flag, const char* text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "obsdiff: bad value for %s: %s\n", flag, text);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using confcard::obs::DiffOptions;
+  using confcard::obs::DiffReport;
+  using confcard::obs::RunView;
+
+  std::string paths[2];
+  size_t num_paths = 0;
+  DiffOptions options;
+  std::string json_out;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](double* out) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "obsdiff: %s needs a value\n", arg.c_str());
+        return false;
+      }
+      return ParseDouble(arg.c_str(), argv[++i], out);
+    };
+    if (arg == "--latency-tol") {
+      if (!value(&options.latency_rel_tol)) return 2;
+    } else if (arg == "--latency-floor-us") {
+      if (!value(&options.latency_floor_us)) return 2;
+    } else if (arg == "--coverage-tol") {
+      if (!value(&options.coverage_abs_tol)) return 2;
+    } else if (arg == "--gauge-tol") {
+      if (!value(&options.gauge_rel_tol)) return 2;
+    } else if (arg == "--count-tol") {
+      if (!value(&options.count_rel_tol)) return 2;
+    } else if (arg == "--allow-missing") {
+      options.fail_on_missing = false;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "obsdiff: --json needs a path\n");
+        return 2;
+      }
+      json_out = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "obsdiff: unknown option %s\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    } else if (num_paths < 2) {
+      paths[num_paths++] = arg;
+    } else {
+      std::fprintf(stderr, "obsdiff: too many positional arguments\n");
+      PrintUsage();
+      return 2;
+    }
+  }
+  if (num_paths != 2) {
+    PrintUsage();
+    return 2;
+  }
+
+  confcard::Result<RunView> baseline =
+      confcard::obs::LoadRunView(paths[0]);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "obsdiff: %s\n",
+                 baseline.status().ToString().c_str());
+    return 2;
+  }
+  confcard::Result<RunView> candidate =
+      confcard::obs::LoadRunView(paths[1]);
+  if (!candidate.ok()) {
+    std::fprintf(stderr, "obsdiff: %s\n",
+                 candidate.status().ToString().c_str());
+    return 2;
+  }
+
+  const DiffReport report =
+      confcard::obs::DiffRuns(*baseline, *candidate, options);
+  std::fputs(report.ToText(!quiet).c_str(), stdout);
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::binary | std::ios::trunc);
+    out << report.ToJson() << '\n';
+    if (!out.good()) {
+      std::fprintf(stderr, "obsdiff: cannot write %s\n", json_out.c_str());
+      return 2;
+    }
+  }
+
+  return report.HasRegression() ? 1 : 0;
+}
