@@ -9,8 +9,10 @@
 
 #include "bench_common.h"
 #include "ce/mscn.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "nn/tensor.h"
 #include "conformal/exchangeability.h"
 #include "conformal/locally_weighted.h"
 #include "conformal/online.h"
@@ -194,6 +196,46 @@ void BM_MscnForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MscnForward);
+
+// Dispatch cost of an empty-ish ParallelFor: what a hot loop pays for
+// going through the pool instead of a plain for. Arg = iteration count.
+void BM_ParallelForDispatch(benchmark::State& state) {
+  const int saved = CurrentThreads();
+  SetThreads(4);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    ParallelFor(n, 0, [&out](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) out[i] = static_cast<double>(i);
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+  SetThreads(saved);
+}
+BENCHMARK(BM_ParallelForDispatch)->Arg(1)->Arg(1024)->Arg(65536);
+
+// Blocked GEMM at serial and pooled thread counts. Arg0 = square size,
+// Arg1 = thread count.
+void BM_BlockedMatMul(benchmark::State& state) {
+  const int saved = CurrentThreads();
+  SetThreads(static_cast<int>(state.range(1)));
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(21);
+  nn::Tensor a = nn::Tensor::Randn(n, n, 1.0f, rng);
+  nn::Tensor b = nn::Tensor::Randn(n, n, 1.0f, rng);
+  for (auto _ : state) {
+    nn::Tensor c = nn::MatMul(a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(2 * n * n * n));
+  SetThreads(saved);
+}
+BENCHMARK(BM_BlockedMatMul)
+    ->Args({64, 1})
+    ->Args({192, 1})
+    ->Args({192, 2})
+    ->Args({192, 4});
 
 }  // namespace
 }  // namespace confcard

@@ -1,0 +1,131 @@
+// Parallel-speedup bench: serial vs pooled wall clock for the two hot
+// loops the thread pool accelerates — JK-CV+ fold training/evaluation
+// and the blocked GEMM kernels — swept over 1/2/4 threads. Emits
+// BENCH_parallel.json with per-thread-count wall times and speedups
+// relative to 1 thread, plus a correctness cross-check that every sweep
+// produced bit-identical results. On a single-core host the speedups
+// honestly report ~1.0x (oversubscription), which is the expected
+// reading there.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/parallel.h"
+#include "common/stopwatch.h"
+#include "nn/tensor.h"
+
+namespace confcard {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 4};
+
+struct Sweep {
+  std::vector<double> millis;    // one entry per kThreadCounts
+  bool identical = true;         // results bit-identical across counts
+};
+
+Sweep SweepJkCv(const Table& table, const bench::Splits& splits) {
+  Sweep sweep;
+  std::vector<std::vector<double>> lows;
+  for (int threads : kThreadCounts) {
+    SetThreads(threads);
+    // Fresh harness per count: the estimate cache must not let a later
+    // sweep reuse inference paid for by an earlier one.
+    SingleTableHarness::Options opts;
+    opts.jk_folds = 4;
+    SingleTableHarness h(table, splits.train, splits.calib, splits.test,
+                         opts);
+    LwnnEstimator proto(bench::LwnnDefaults());
+    CONFCARD_CHECK(proto.Train(table, splits.train).ok());
+    Stopwatch watch;
+    MethodResult r = h.RunJkCv(proto, proto, /*simplified=*/false);
+    sweep.millis.push_back(watch.ElapsedMillis());
+    std::vector<double> lo;
+    lo.reserve(r.rows.size());
+    for (const PiRow& row : r.rows) lo.push_back(row.lo);
+    lows.push_back(std::move(lo));
+    std::printf("jk-cv+  threads=%d  %8.1f ms  coverage=%.3f\n", threads,
+                sweep.millis.back(), r.coverage);
+  }
+  for (size_t i = 1; i < lows.size(); ++i) {
+    if (lows[i] != lows[0]) sweep.identical = false;
+  }
+  return sweep;
+}
+
+Sweep SweepGemm() {
+  Sweep sweep;
+  Rng rng(19);
+  const size_t n = 192, k = 256, m = 192;
+  nn::Tensor a = nn::Tensor::Randn(n, k, 1.0f, rng);
+  nn::Tensor b = nn::Tensor::Randn(k, m, 1.0f, rng);
+  const int reps = 40;
+  std::vector<nn::Tensor> products;
+  for (int threads : kThreadCounts) {
+    SetThreads(threads);
+    nn::Tensor c = nn::MatMul(a, b);  // warm the pool before timing
+    Stopwatch watch;
+    for (int r = 0; r < reps; ++r) c = nn::MatMul(a, b);
+    sweep.millis.push_back(watch.ElapsedMillis());
+    products.push_back(std::move(c));
+    std::printf("gemm    threads=%d  %8.1f ms (%d reps of %zux%zux%zu)\n",
+                threads, sweep.millis.back(), reps, n, k, m);
+  }
+  for (size_t i = 1; i < products.size(); ++i) {
+    if (products[i].data() != products[0].data()) sweep.identical = false;
+  }
+  return sweep;
+}
+
+void WriteSweep(obs::JsonWriter* w, const char* name, const Sweep& sweep) {
+  w->Key(name).BeginObject();
+  w->Key("threads").BeginArray();
+  for (int t : kThreadCounts) w->Int(static_cast<uint64_t>(t));
+  w->EndArray();
+  w->Key("millis").BeginArray();
+  for (double ms : sweep.millis) w->Number(ms);
+  w->EndArray();
+  w->Key("speedup").BeginArray();
+  for (double ms : sweep.millis) w->Number(sweep.millis[0] / ms);
+  w->EndArray();
+  w->Key("bit_identical").Bool(sweep.identical);
+  w->EndObject();
+}
+
+int Main() {
+  bench::PrintScaleNote();
+  const int saved_threads = CurrentThreads();
+  std::printf("hardware threads: %d\n", HardwareThreads());
+
+  Table table = MakeDmv(bench::DefaultRows(), 3).value();
+  bench::Splits splits = bench::MakeSplits(table);
+
+  Sweep jk = SweepJkCv(table, splits);
+  Sweep gemm = SweepGemm();
+  SetThreads(saved_threads);
+
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String("parallel");
+  w.Key("hardware_threads").Int(static_cast<uint64_t>(HardwareThreads()));
+  w.Key("scale").Number(bench::BenchScale());
+  WriteSweep(&w, "jk_cv", jk);
+  WriteSweep(&w, "gemm", gemm);
+  w.EndObject();
+
+  const char* path = "BENCH_parallel.json";
+  std::ofstream out(path, std::ios::binary);
+  CONFCARD_CHECK_MSG(out.is_open(), "cannot write BENCH_parallel.json");
+  out << w.str() << "\n";
+  std::printf("wrote %s\n", path);
+  CONFCARD_CHECK_MSG(jk.identical && gemm.identical,
+                     "thread sweep produced non-identical results");
+  return 0;
+}
+
+}  // namespace
+}  // namespace confcard
+
+int main() { return confcard::Main(); }

@@ -70,6 +70,14 @@ class SupervisedEstimator : public CardinalityEstimator {
 
   /// Selects the training loss for subsequent Train calls.
   virtual void SetLoss(const LossSpec& loss) = 0;
+
+  /// Re-publishes the last-write-wins telemetry this model's Train
+  /// emitted (loss gauges, config meta). When the harness trains
+  /// several fold/ensemble models concurrently, the registry's final
+  /// state would otherwise depend on scheduling; calling this on the
+  /// model that a serial run would have trained last restores the
+  /// serial outcome. Default: no-op.
+  virtual void RepublishTrainingTelemetry() const {}
 };
 
 /// A data-driven estimator trained directly on the table (no workload).

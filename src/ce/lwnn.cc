@@ -48,17 +48,27 @@ std::vector<float> LwnnEstimator::Features(const Query& query) const {
   return f;
 }
 
+void LwnnEstimator::PublishTrainMeta() const {
+  obs::Metrics().SetMeta(
+      "config.lw-nn", "epochs=" + std::to_string(options_.epochs) +
+                          " hidden1=" + std::to_string(options_.hidden1) +
+                          " hidden2=" + std::to_string(options_.hidden2) +
+                          " seed=" + std::to_string(options_.seed));
+}
+
+void LwnnEstimator::RepublishTrainingTelemetry() const {
+  if (net_ == nullptr) return;
+  PublishTrainMeta();
+  obs::Metrics().GetGauge("nn.lw-nn.last_loss").Set(last_loss_);
+}
+
 Status LwnnEstimator::Train(const Table& table, const Workload& workload) {
   if (workload.empty()) {
     return Status::InvalidArgument("lw-nn: empty training workload");
   }
   obs::TraceSpan span("train.lw-nn");
   span.SetAttr("train_queries", static_cast<double>(workload.size()));
-  obs::Metrics().SetMeta(
-      "config.lw-nn", "epochs=" + std::to_string(options_.epochs) +
-                          " hidden1=" + std::to_string(options_.hidden1) +
-                          " hidden2=" + std::to_string(options_.hidden2) +
-                          " seed=" + std::to_string(options_.seed));
+  PublishTrainMeta();
   obs::Metrics().GetCounter("ce.lw-nn.trainings").Increment();
   num_rows_ = static_cast<double>(table.num_rows());
   flat_ = std::make_unique<FlatQueryFeaturizer>(table);
@@ -116,6 +126,7 @@ Status LwnnEstimator::Train(const Table& table, const Workload& workload) {
         num_batches == 0 ? 0.0 : loss_sum / static_cast<double>(num_batches);
     epoch_span.SetAttr("loss", mean_loss);
     loss_gauge.Set(mean_loss);
+    last_loss_ = mean_loss;
   }
   return Status::OK();
 }
@@ -130,7 +141,7 @@ double LwnnEstimator::EstimateCardinality(const Query& query) const {
   std::vector<float> f = Features(query);
   nn::Tensor in(1, f.size());
   std::copy(f.begin(), f.end(), in.RowPtr(0));
-  nn::Tensor out = net_->Forward(in);
+  nn::Tensor out = net_->Apply(in);
   double card = std::exp(static_cast<double>(out.At(0, 0))) - 1.0;
   latency.Record(watch.ElapsedMicros());
   queries.Increment();

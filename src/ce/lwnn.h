@@ -40,6 +40,7 @@ class LwnnEstimator : public SupervisedEstimator {
   std::unique_ptr<SupervisedEstimator> CloneArchitecture(
       uint64_t seed_offset) const override;
   void SetLoss(const LossSpec& loss) override { options_.loss = loss; }
+  void RepublishTrainingTelemetry() const override;
 
   /// The heuristic feature vector for a query (exposed for tests).
   std::vector<float> Features(const Query& query) const;
@@ -52,12 +53,14 @@ class LwnnEstimator : public SupervisedEstimator {
                                             const std::string& path);
 
  private:
+  void PublishTrainMeta() const;
+
   Options options_;
   std::unique_ptr<FlatQueryFeaturizer> flat_;
   std::unique_ptr<HistogramEstimator> histogram_;
   double num_rows_ = 1.0;
-  // Forward caching makes inference logically-const but not bitwise.
-  mutable std::unique_ptr<nn::Mlp> net_;
+  double last_loss_ = 0.0;
+  std::unique_ptr<nn::Mlp> net_;
 };
 
 }  // namespace confcard

@@ -21,12 +21,7 @@ MscnEstimator::MscnEstimator() : MscnEstimator(Options{}) {}
 
 MscnEstimator::MscnEstimator(Options options) : options_(options) {}
 
-Status MscnEstimator::Train(const Table& table, const Workload& workload) {
-  if (workload.empty()) {
-    return Status::InvalidArgument("mscn: empty training workload");
-  }
-  obs::TraceSpan span("train.mscn");
-  span.SetAttr("train_queries", static_cast<double>(workload.size()));
+void MscnEstimator::PublishTrainMeta() const {
   obs::Metrics().SetMeta(
       "config.mscn", "epochs=" + std::to_string(options_.model.epochs) +
                          " set_hidden=" +
@@ -34,6 +29,21 @@ Status MscnEstimator::Train(const Table& table, const Workload& workload) {
                          " final_hidden=" +
                          std::to_string(options_.model.final_hidden) +
                          " seed=" + std::to_string(options_.model.seed));
+}
+
+void MscnEstimator::RepublishTrainingTelemetry() const {
+  if (model_ == nullptr) return;
+  PublishTrainMeta();
+  obs::Metrics().GetGauge("nn.mscn.last_loss").Set(model_->last_loss());
+}
+
+Status MscnEstimator::Train(const Table& table, const Workload& workload) {
+  if (workload.empty()) {
+    return Status::InvalidArgument("mscn: empty training workload");
+  }
+  obs::TraceSpan span("train.mscn");
+  span.SetAttr("train_queries", static_cast<double>(workload.size()));
+  PublishTrainMeta();
   obs::Metrics().GetCounter("ce.mscn.trainings").Increment();
   num_rows_ = static_cast<double>(table.num_rows());
   if (options_.bitmap_size > 0) {
@@ -150,6 +160,11 @@ std::unique_ptr<SupervisedEstimator> MscnEstimator::CloneArchitecture(
   Options opts = options_;
   opts.model.seed += seed_offset;
   return std::make_unique<MscnEstimator>(opts);
+}
+
+void MscnJoinEstimator::RepublishTrainingTelemetry() const {
+  if (model_ == nullptr) return;
+  obs::Metrics().GetGauge("nn.mscn.last_loss").Set(model_->last_loss());
 }
 
 uint64_t MscnJoinEstimator::NextInstanceId() {

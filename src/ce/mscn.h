@@ -32,6 +32,7 @@ class MscnEstimator : public SupervisedEstimator {
   std::unique_ptr<SupervisedEstimator> CloneArchitecture(
       uint64_t seed_offset) const override;
   void SetLoss(const LossSpec& loss) override { options_.model.loss = loss; }
+  void RepublishTrainingTelemetry() const override;
 
   /// Persists the trained estimator (options + network weights) to
   /// `path`. The featurizer and sample bitmaps are deterministic
@@ -44,13 +45,13 @@ class MscnEstimator : public SupervisedEstimator {
                                             const std::string& path);
 
  private:
+  void PublishTrainMeta() const;
+
   Options options_;
   double num_rows_ = 0.0;
   std::unique_ptr<SamplingEstimator> sampler_;
   std::unique_ptr<MscnFeaturizer> featurizer_;
-  // Inference runs a forward pass that caches activations inside the
-  // model; the cache is internal scratch, hence mutable.
-  mutable std::unique_ptr<MscnModel> model_;
+  std::unique_ptr<MscnModel> model_;
 };
 
 /// MSCN over SPJ join queries (Figures 3-4). Not a CardinalityEstimator
@@ -72,6 +73,9 @@ class MscnJoinEstimator {
       uint64_t seed_offset) const;
   void SetLoss(const LossSpec& loss) { config_.loss = loss; }
 
+  /// Same contract as SupervisedEstimator::RepublishTrainingTelemetry.
+  void RepublishTrainingTelemetry() const;
+
   /// Flat features for the difficulty model U(X) on join workloads.
   std::vector<float> FlatFeatures(const JoinQuery& query) const;
 
@@ -81,7 +85,7 @@ class MscnJoinEstimator {
   MscnConfig config_;
   uint64_t instance_id_ = NextInstanceId();
   std::unique_ptr<MscnJoinFeaturizer> featurizer_;
-  mutable std::unique_ptr<MscnModel> model_;
+  std::unique_ptr<MscnModel> model_;
 };
 
 }  // namespace confcard

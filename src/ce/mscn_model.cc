@@ -207,6 +207,7 @@ Status MscnModel::Train(const std::vector<MscnInput>& inputs,
         num_batches == 0 ? 0.0 : loss_sum / static_cast<double>(num_batches);
     epoch_span.SetAttr("loss", mean_loss);
     loss_gauge.Set(mean_loss);
+    last_loss_ = mean_loss;
   }
   return Status::OK();
 }
@@ -227,9 +228,35 @@ Status MscnModel::DeserializeParams(ArchiveReader* reader) {
   return Status::OK();
 }
 
-double MscnModel::PredictLogCard(const MscnInput& input) {
+nn::Tensor MscnModel::Apply(const std::vector<const MscnInput*>& batch) const {
+  const size_t batch_size = batch.size();
+  const size_t h = config_.set_hidden;
+
+  nn::Tensor pooled(batch_size, 3 * h);
+
+  auto run_set = [&](const std::vector<std::vector<float>> MscnInput::*member,
+                     const nn::Mlp* mlp, size_t dim, size_t out_offset) {
+    std::vector<size_t> offsets;
+    nn::Tensor packed = PackSet(batch, member, dim, &offsets);
+    if (offsets.back() == 0) return;  // all sets empty: pooled stays zero
+    nn::Tensor hidden = mlp->Apply(packed);
+    nn::Tensor mean = PoolMean(hidden, offsets, batch_size);
+    for (size_t b = 0; b < batch_size; ++b) {
+      std::copy(mean.RowPtr(b), mean.RowPtr(b) + h,
+                pooled.RowPtr(b) + out_offset);
+    }
+  };
+
+  run_set(&MscnInput::tables, table_mlp_.get(), table_dim_, 0);
+  run_set(&MscnInput::joins, join_mlp_.get(), join_dim_, h);
+  run_set(&MscnInput::predicates, pred_mlp_.get(), pred_dim_, 2 * h);
+
+  return out_mlp_->Apply(pooled);
+}
+
+double MscnModel::PredictLogCard(const MscnInput& input) const {
   std::vector<const MscnInput*> batch = {&input};
-  nn::Tensor pred = Forward(batch);
+  nn::Tensor pred = Apply(batch);
   return static_cast<double>(pred.At(0, 0));
 }
 

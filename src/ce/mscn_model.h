@@ -38,8 +38,14 @@ class MscnModel {
   Status Train(const std::vector<MscnInput>& inputs,
                const std::vector<double>& log_targets);
 
-  /// Forward pass for one query.
-  double PredictLogCard(const MscnInput& input);
+  /// Forward pass for one query. Touches no training scratch, so a
+  /// trained model can serve many threads concurrently.
+  double PredictLogCard(const MscnInput& input) const;
+
+  /// Mean loss of the final training epoch (0 before Train). Lets the
+  /// harness republish the nn.mscn.last_loss gauge deterministically
+  /// after parallel fold training.
+  double last_loss() const { return last_loss_; }
 
   const MscnConfig& config() const { return config_; }
 
@@ -52,6 +58,8 @@ class MscnModel {
  private:
   /// Batched forward over `batch`; returns (batch_size, 1) predictions.
   nn::Tensor Forward(const std::vector<const MscnInput*>& batch);
+  /// Inference-only forward: same numbers as Forward, no cached scratch.
+  nn::Tensor Apply(const std::vector<const MscnInput*>& batch) const;
   /// Backprop of dLoss/dPred through the whole network.
   void Backward(const nn::Tensor& grad_pred);
   std::vector<nn::Parameter*> Parameters();
@@ -70,6 +78,7 @@ class MscnModel {
   };
   SetScratch table_scratch_, join_scratch_, pred_scratch_;
   size_t batch_size_ = 0;
+  double last_loss_ = 0.0;
 };
 
 }  // namespace confcard

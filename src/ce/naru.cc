@@ -250,7 +250,7 @@ double NaruEstimator::ProgressiveSample(
   for (int c = 0; c <= last_constrained; ++c) {
     const size_t lo_off = block_offsets_[static_cast<size_t>(c)];
     const size_t width = block_offsets_[static_cast<size_t>(c) + 1] - lo_off;
-    nn::Tensor logits = net_->Forward(input);
+    nn::Tensor logits = net_->Apply(input);
 
     const auto [blo, bhi] = bin_ranges[static_cast<size_t>(c)];
     for (size_t s = 0; s < S; ++s) {

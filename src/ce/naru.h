@@ -67,8 +67,9 @@ class NaruEstimator : public DataDrivenEstimator {
   double num_rows_ = 0.0;
   std::unique_ptr<TableBinner> binner_;
   std::vector<size_t> block_offsets_;  // per-column logit block offsets
-  // Forward passes cache activations; scratch only, hence mutable.
-  mutable std::unique_ptr<nn::Sequential> net_;
+  // Inference goes through the cache-free Apply path, so const methods
+  // (and concurrent per-query evaluation) never touch training scratch.
+  std::unique_ptr<nn::Sequential> net_;
 };
 
 }  // namespace confcard

@@ -31,8 +31,12 @@ void ArchiveWriter::WriteDoubleVec(const std::vector<double>& v) {
 }
 
 void ArchiveWriter::WriteFloatVec(const std::vector<float>& v) {
-  WriteU64(v.size());
-  Append(v.data(), v.size() * sizeof(float));
+  WriteFloats(v.data(), v.size());
+}
+
+void ArchiveWriter::WriteFloats(const float* data, size_t n) {
+  WriteU64(n);
+  Append(data, n * sizeof(float));
 }
 
 Status ArchiveWriter::SaveToFile(const std::string& path) const {
@@ -152,6 +156,20 @@ std::vector<float> ArchiveReader::ReadFloatVec() {
   v.resize(static_cast<size_t>(n));
   Take(v.data(), v.size() * sizeof(float));
   return v;
+}
+
+void ArchiveReader::ReadFloatsInto(float* out, size_t n) {
+  const uint64_t stored = ReadU64();
+  if (!status_.ok()) return;
+  if (stored != n) {
+    Fail("float vector length mismatch");
+    return;
+  }
+  if (pos_ + n * sizeof(float) > bytes_.size()) {
+    Fail("truncated vector");
+    return;
+  }
+  Take(out, n * sizeof(float));
 }
 
 }  // namespace confcard

@@ -29,6 +29,9 @@ class ArchiveWriter {
 
   void WriteDoubleVec(const std::vector<double>& v);
   void WriteFloatVec(const std::vector<float>& v);
+  /// Same wire format as WriteFloatVec for callers whose buffer is not a
+  /// std::vector<float> (e.g. nn::Tensor's default-init buffer).
+  void WriteFloats(const float* data, size_t n);
 
   const std::vector<uint8_t>& bytes() const { return bytes_; }
 
@@ -61,6 +64,10 @@ class ArchiveReader {
   std::string ReadString();
   std::vector<double> ReadDoubleVec();
   std::vector<float> ReadFloatVec();
+  /// Reads a WriteFloatVec/WriteFloats payload into a caller-owned
+  /// buffer of exactly `n` floats; fails (sticky status) on a length
+  /// mismatch or truncation.
+  void ReadFloatsInto(float* out, size_t n);
 
   /// OK iff no read has overrun and the header matched.
   const Status& status() const { return status_; }

@@ -1,0 +1,227 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace confcard {
+namespace {
+
+double NowMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Set while a thread is executing ParallelFor chunks; nested loops see
+// it and run inline instead of re-entering the pool.
+thread_local bool t_in_parallel_worker = false;
+
+struct InWorkerScope {
+  InWorkerScope() : prev(t_in_parallel_worker) { t_in_parallel_worker = true; }
+  ~InWorkerScope() { t_in_parallel_worker = prev; }
+  bool prev;
+};
+
+// 0 = not yet resolved from the environment.
+std::atomic<int> g_threads{0};
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+
+int ResolveThreadsFromEnv() {
+  if (const char* env = std::getenv("CONFCARD_THREADS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) {
+      return static_cast<int>(std::min<long>(v, 256));
+    }
+  }
+  return HardwareThreads();
+}
+
+// Returns a pool with at least `helpers` workers, creating or growing
+// the process-wide pool on demand. Never shrinks: a larger pool is
+// harmless because ParallelFor only submits as many helper tasks as it
+// wants.
+ThreadPool* PoolWithCapacity(int helpers) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (!g_pool || g_pool->num_threads() < helpers) {
+    g_pool.reset();  // join the old workers before spawning the new set
+    g_pool = std::make_unique<ThreadPool>(helpers);
+  }
+  return g_pool.get();
+}
+
+struct LoopState {
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<bool> failed{false};
+  size_t n = 0;
+  size_t chunk = 0;
+  size_t num_chunks = 0;
+  const std::function<void(size_t, size_t)>* body = nullptr;
+  std::mutex error_mu;
+  std::exception_ptr error;
+};
+
+// Claims chunks until the range (or an error) exhausts them. Runs on
+// the caller and on every helper; determinism does not depend on which
+// thread claims which chunk because callers write results by index.
+void DrainLoop(const std::shared_ptr<LoopState>& state) {
+  InWorkerScope scope;
+  for (;;) {
+    if (state->failed.load(std::memory_order_relaxed)) return;
+    const size_t c = state->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= state->num_chunks) return;
+    const size_t begin = c * state->chunk;
+    const size_t end = std::min(state->n, begin + state->chunk);
+    try {
+      (*state->body)(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state->error_mu);
+      if (!state->error) state->error = std::current_exception();
+      state->failed.store(true, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  start_micros_ = NowMicros();
+  obs::Metrics().GetGauge("pool.threads").Set(static_cast<double>(n));
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  // Lifetime busy fraction: total task time over total worker
+  // wall-time. Telemetry only — excluded from obsdiff gating.
+  const double wall = NowMicros() - start_micros_;
+  const double denom = wall * static_cast<double>(workers_.size());
+  if (denom > 0) {
+    const double busy = static_cast<double>(
+        obs::Metrics().GetCounter("pool.busy_us").value());
+    obs::Metrics()
+        .GetGauge("pool.worker_busy_fraction")
+        .Set(std::min(1.0, busy / denom));
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> fut = task.get_future();
+  size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CONFCARD_CHECK_MSG(!stop_, "ThreadPool::Submit after shutdown began");
+    queue_.push_back(std::move(task));
+    depth = queue_.size();
+  }
+  obs::Metrics().GetGauge("pool.queue_depth").Set(static_cast<double>(depth));
+  cv_.notify_one();
+  return fut;
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::WorkerLoop() {
+  obs::Counter& executed = obs::Metrics().GetCounter("pool.tasks_executed");
+  obs::Counter& busy_us = obs::Metrics().GetCounter("pool.busy_us");
+  obs::Gauge& depth_gauge = obs::Metrics().GetGauge("pool.queue_depth");
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ && drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      depth_gauge.Set(static_cast<double>(queue_.size()));
+    }
+    const double t0 = NowMicros();
+    task();  // exceptions land in the task's future
+    busy_us.Increment(static_cast<uint64_t>(NowMicros() - t0));
+    executed.Increment();
+  }
+}
+
+int HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int CurrentThreads() {
+  int v = g_threads.load(std::memory_order_relaxed);
+  if (v == 0) {
+    v = ResolveThreadsFromEnv();
+    int expected = 0;
+    if (!g_threads.compare_exchange_strong(expected, v,
+                                           std::memory_order_relaxed)) {
+      v = expected;
+    }
+  }
+  return v;
+}
+
+void SetThreads(int n) {
+  g_threads.store(std::max(1, std::min(n, 256)), std::memory_order_relaxed);
+}
+
+bool InParallelWorker() { return t_in_parallel_worker; }
+
+void ParallelFor(size_t n, size_t chunk,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  const int threads = CurrentThreads();
+  if (chunk == 0) {
+    chunk = std::max<size_t>(
+        1, n / (static_cast<size_t>(std::max(threads, 1)) * 8));
+  }
+  const size_t num_chunks = (n + chunk - 1) / chunk;
+  if (threads <= 1 || num_chunks <= 1 || t_in_parallel_worker) {
+    InWorkerScope scope;
+    fn(0, n);
+    return;
+  }
+
+  obs::Metrics().GetCounter("pool.parallel_for_calls").Increment();
+  auto state = std::make_shared<LoopState>();
+  state->n = n;
+  state->chunk = chunk;
+  state->num_chunks = num_chunks;
+  state->body = &fn;  // outlives the loop: we join every helper below
+
+  const int helpers = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(threads - 1), num_chunks - 1));
+  ThreadPool* pool = PoolWithCapacity(helpers);
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<size_t>(helpers));
+  for (int i = 0; i < helpers; ++i) {
+    futures.push_back(pool->Submit([state] { DrainLoop(state); }));
+  }
+  DrainLoop(state);  // the caller participates
+  for (std::future<void>& f : futures) f.get();
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace confcard

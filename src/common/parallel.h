@@ -1,0 +1,99 @@
+// Deterministic thread-pool parallelism for the repo's hot loops (fold
+// training, progressive sampling, per-query harness evaluation, GEMM
+// row blocks). Design rules that keep N-thread runs bit-identical to
+// 1-thread runs:
+//   * ParallelFor partitions an index range; callers write results into
+//     pre-sized slots by index, so output order never depends on
+//     scheduling.
+//   * All randomness stays in per-task seeded Rng instances (one per
+//     fold / per query / per call); no task reads another task's stream.
+//   * The caller thread participates in the loop, so ParallelFor makes
+//     progress even when every pool worker is busy (no deadlock under
+//     nesting) and `threads == 1` degenerates to a plain serial loop.
+//   * A ParallelFor issued from inside another ParallelFor runs inline
+//     on the issuing worker: the outer loop already owns the cores, and
+//     inlining keeps the task count bounded.
+// Thread count resolution: CONFCARD_THREADS env var if set, else
+// std::thread::hardware_concurrency(); SetThreads() overrides at
+// runtime (benches sweep 1/2/4; tests pin both sides of a determinism
+// comparison).
+#ifndef CONFCARD_COMMON_PARALLEL_H_
+#define CONFCARD_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace confcard {
+
+/// Fixed-size worker pool with a FIFO work queue. Destruction is
+/// graceful: every task already queued is executed before the workers
+/// join. Publishes scheduling telemetry under the "pool." metric prefix
+/// (see docs/OBSERVABILITY.md); those metrics are deliberately excluded
+/// from obsdiff gating because they vary with thread count by design.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (floored at 1).
+  explicit ThreadPool(int num_threads);
+  /// Drains the queue (queued tasks still run), then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn`; the future resolves when it completes and carries
+  /// any exception it threw. Must not be called during/after
+  /// destruction.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Tasks currently queued (not yet started).
+  size_t queue_depth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> workers_;
+  double start_micros_ = 0.0;
+};
+
+/// std::thread::hardware_concurrency() floored at 1.
+int HardwareThreads();
+
+/// The effective thread count: the last SetThreads() value if any, else
+/// CONFCARD_THREADS (clamped to [1, 256]), else HardwareThreads().
+int CurrentThreads();
+
+/// Runtime override of the thread count (n <= 1 forces serial
+/// execution). Not safe to call concurrently with a running
+/// ParallelFor; intended for benches and tests that sweep counts.
+void SetThreads(int n);
+
+/// True while the calling thread is executing a ParallelFor chunk
+/// (worker or participating caller). Nested ParallelFor calls run
+/// inline in that case.
+bool InParallelWorker();
+
+/// Runs fn(begin, end) over disjoint chunks covering [0, n). `chunk` is
+/// the max indices per invocation; 0 picks a default that yields ~8
+/// chunks per thread. Serial (one fn(0, n) call on this thread) when n
+/// fits one chunk, the effective thread count is 1, or the caller is
+/// already inside a ParallelFor. The first exception thrown by any
+/// chunk is rethrown on the calling thread after remaining chunks are
+/// cancelled. Blocks until every chunk has finished.
+void ParallelFor(size_t n, size_t chunk,
+                 const std::function<void(size_t, size_t)>& fn);
+
+}  // namespace confcard
+
+#endif  // CONFCARD_COMMON_PARALLEL_H_

@@ -57,9 +57,12 @@ void FinalizeMethodResult(MethodResult* result, double num_rows) {
 
   obs::EventLog& elog = obs::EventLog::Instance();
   if (elog.enabled()) {
+    // One batch in query-index order under a single lock acquisition, so
+    // a method's events are contiguous even with concurrent appenders.
+    std::vector<obs::QueryEvent> events(result->rows.size());
     for (size_t i = 0; i < result->rows.size(); ++i) {
       const PiRow& r = result->rows[i];
-      obs::QueryEvent e;
+      obs::QueryEvent& e = events[i];
       e.run_seq = result->run_seq;
       e.query_id = i;
       e.model = result->model;
@@ -70,8 +73,8 @@ void FinalizeMethodResult(MethodResult* result, double num_rows) {
       e.hi = r.hi;
       e.truth = r.truth;
       e.latency_us = r.latency_us;
-      elog.Append(e);
     }
+    elog.AppendAll(events);
   }
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/stats.h"
 #include "conformal/cqr.h"
 #include "conformal/jackknife.h"
@@ -31,11 +32,14 @@ const std::vector<double>& JoinHarness::Estimates(
                             static_cast<const void*>(&wl));
   auto it = estimate_cache_.find(key);
   if (it != estimate_cache_.end()) return it->second;
-  std::vector<double> out;
-  out.reserve(wl.size());
-  for (const LabeledJoinQuery& lq : wl) {
-    out.push_back(model.EstimateCardinality(lq.query));
-  }
+  // Queries fan out across the pool into pre-sized slots; inference is
+  // const and cache-free, so order and values are scheduling-independent.
+  std::vector<double> out(wl.size());
+  ParallelFor(wl.size(), 0, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      out[i] = model.EstimateCardinality(wl[i].query);
+    }
+  });
   return estimate_cache_.emplace(key, std::move(out)).first->second;
 }
 
@@ -92,11 +96,12 @@ MethodResult JoinHarness::RunLwScp(const MscnJoinEstimator& model) const {
   result.alpha = options_.alpha;
 
   auto features = [&](const JoinWorkload& wl) {
-    std::vector<std::vector<float>> out;
-    out.reserve(wl.size());
-    for (const LabeledJoinQuery& lq : wl) {
-      out.push_back(model.FlatFeatures(lq.query));
-    }
+    std::vector<std::vector<float>> out(wl.size());
+    ParallelFor(wl.size(), 0, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        out[i] = model.FlatFeatures(wl[i].query);
+      }
+    });
     return out;
   };
 
@@ -149,10 +154,17 @@ MethodResult JoinHarness::RunCqr(const MscnJoinEstimator& prototype) const {
     PrepTimer prep(&result);
     lo_model = prototype.CloneArchitecture(2101);
     lo_model->SetLoss(LossSpec::Pinball(cqr.lower_tau()));
-    CONFCARD_CHECK(lo_model->Train(*db_, train_).ok());
     hi_model = prototype.CloneArchitecture(2203);
     hi_model->SetLoss(LossSpec::Pinball(cqr.upper_tau()));
-    CONFCARD_CHECK(hi_model->Train(*db_, train_).ok());
+    // Quantile heads train concurrently; the upper head trains last in a
+    // serial run, so its telemetry is republished after the join.
+    MscnJoinEstimator* heads[2] = {lo_model.get(), hi_model.get()};
+    ParallelFor(2, 1, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        CONFCARD_CHECK(heads[i]->Train(*db_, train_).ok());
+      }
+    });
+    hi_model->RepublishTrainingTelemetry();
     CONFCARD_CHECK(cqr.Calibrate(Estimates(*lo_model, calib_),
                                  Estimates(*hi_model, calib_),
                                  Truths(calib_))
@@ -195,22 +207,33 @@ MethodResult JoinHarness::RunJkCv(const MscnJoinEstimator& prototype,
   {
     PrepTimer prep(&result);
     std::vector<int> fold_of = AssignFolds(all.size(), k, options_.seed);
+    // Fold models train concurrently (clones created serially for
+    // deterministic instance ids; each fold seeded by 3000 + f).
+    fold_models.reserve(static_cast<size_t>(k));
     for (int f = 0; f < k; ++f) {
-      JoinWorkload fold_train;
-      for (size_t i = 0; i < all.size(); ++i) {
-        if (fold_of[i] != f) fold_train.push_back(all[i]);
+      fold_models.push_back(
+          prototype.CloneArchitecture(3000 + static_cast<uint64_t>(f)));
+    }
+    ParallelFor(static_cast<size_t>(k), 1, [&](size_t begin, size_t end) {
+      for (size_t f = begin; f < end; ++f) {
+        JoinWorkload fold_train;
+        fold_train.reserve(all.size());
+        for (size_t i = 0; i < all.size(); ++i) {
+          if (fold_of[i] != static_cast<int>(f)) fold_train.push_back(all[i]);
+        }
+        CONFCARD_CHECK(fold_models[f]->Train(*db_, fold_train).ok());
       }
-      auto clone =
-          prototype.CloneArchitecture(3000 + static_cast<uint64_t>(f));
-      CONFCARD_CHECK(clone->Train(*db_, fold_train).ok());
-      fold_models.push_back(std::move(clone));
-    }
+    });
+    // A serial run trains fold k-1 last; restore its telemetry.
+    fold_models.back()->RepublishTrainingTelemetry();
     std::vector<double> oof(all.size()), truths(all.size());
-    for (size_t i = 0; i < all.size(); ++i) {
-      oof[i] = fold_models[static_cast<size_t>(fold_of[i])]
-                   ->EstimateCardinality(all[i].query);
-      truths[i] = all[i].cardinality;
-    }
+    ParallelFor(all.size(), 0, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        oof[i] = fold_models[static_cast<size_t>(fold_of[i])]
+                     ->EstimateCardinality(all[i].query);
+        truths[i] = all[i].cardinality;
+      }
+    });
     CONFCARD_CHECK(jk.Calibrate(oof, truths, fold_of, k).ok());
   }
 
@@ -220,18 +243,23 @@ MethodResult JoinHarness::RunJkCv(const MscnJoinEstimator& prototype,
   {
     InferTimer infer(&result, test_.size());
     EventClock clock;
-    std::vector<double> fold_est(static_cast<size_t>(k));
-    for (size_t i = 0; i < test_.size(); ++i) {
-      const double t0 = clock.NowUs();
-      for (int f = 0; f < k; ++f) {
-        fold_est[static_cast<size_t>(f)] =
-            fold_models[static_cast<size_t>(f)]->EstimateCardinality(
-                test_[i].query);
+    // Each test query runs all K fold models; queries fan out with one
+    // scratch fold_est per chunk, writing rows into pre-sized slots.
+    result.rows.resize(test_.size());
+    ParallelFor(test_.size(), 0, [&](size_t begin, size_t end) {
+      std::vector<double> fold_est(static_cast<size_t>(k));
+      for (size_t i = begin; i < end; ++i) {
+        const double t0 = clock.NowUs();
+        for (int f = 0; f < k; ++f) {
+          fold_est[static_cast<size_t>(f)] =
+              fold_models[static_cast<size_t>(f)]->EstimateCardinality(
+                  test_[i].query);
+        }
+        Interval iv = clip.ClipNonNegative(jk.Predict(fold_est, full_est[i]));
+        result.rows[i] = {test_[i].cardinality, full_est[i], iv.lo, iv.hi,
+                          clock.NowUs() - t0};
       }
-      Interval iv = clip.ClipNonNegative(jk.Predict(fold_est, full_est[i]));
-      result.rows.push_back({test_[i].cardinality, full_est[i], iv.lo,
-                             iv.hi, clock.NowUs() - t0});
-    }
+    });
   }
   FinalizeMethodResult(&result, norm);
   return result;

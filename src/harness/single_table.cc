@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "conformal/cqr.h"
@@ -42,21 +43,26 @@ const std::vector<double>& SingleTableHarness::Estimates(
                             static_cast<const void*>(&workload));
   auto it = estimate_cache_.find(key);
   if (it != estimate_cache_.end()) return it->second;
-  std::vector<double> out;
-  out.reserve(workload.size());
-  for (const LabeledQuery& lq : workload) {
-    out.push_back(model.EstimateCardinality(lq.query));
-  }
+  // Per-query inference is independent (inference paths are const and
+  // cache-free), so queries fan out across the pool; each slot is
+  // written exactly once, keeping output order scheduling-independent.
+  std::vector<double> out(workload.size());
+  ParallelFor(workload.size(), 0, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      out[i] = model.EstimateCardinality(workload[i].query);
+    }
+  });
   return estimate_cache_.emplace(key, std::move(out)).first->second;
 }
 
 std::vector<std::vector<float>> SingleTableHarness::Features(
     const Workload& workload) const {
-  std::vector<std::vector<float>> out;
-  out.reserve(workload.size());
-  for (const LabeledQuery& lq : workload) {
-    out.push_back(featurizer_->Featurize(lq.query));
-  }
+  std::vector<std::vector<float>> out(workload.size());
+  ParallelFor(workload.size(), 0, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      out[i] = featurizer_->Featurize(workload[i].query);
+    }
+  });
   return out;
 }
 
@@ -157,28 +163,43 @@ MethodResult SingleTableHarness::RunLwScp(
   if (source == DifficultySource::kEnsemble) {
     CONFCARD_CHECK_MSG(prototype != nullptr,
                        "ensemble difficulty needs a prototype");
+    // Clones are created serially (instance ids stay deterministic) and
+    // trained concurrently; each member's weights depend only on its own
+    // seed, so the ensemble is identical at any thread count.
     std::vector<std::unique_ptr<SupervisedEstimator>> ensemble;
+    ensemble.reserve(static_cast<size_t>(options_.ensemble_size));
     for (int m = 0; m < options_.ensemble_size; ++m) {
-      auto clone =
-          prototype->CloneArchitecture(1000 + static_cast<uint64_t>(m));
-      CONFCARD_CHECK(clone->Train(*table_, train_).ok());
-      ensemble.push_back(std::move(clone));
+      ensemble.push_back(
+          prototype->CloneArchitecture(1000 + static_cast<uint64_t>(m)));
     }
-    auto difficulty = [&](const Workload& wl, std::vector<double>* out) {
-      for (size_t i = 0; i < wl.size(); ++i) {
-        std::vector<double> preds;
-        preds.reserve(ensemble.size());
-        for (const auto& m : ensemble) {
-          preds.push_back(m->EstimateCardinality(wl[i].query));
-        }
-        (*out)[i] = std::max(1.0, StdDev(preds));
+    ParallelFor(ensemble.size(), 1, [&](size_t begin, size_t end) {
+      for (size_t m = begin; m < end; ++m) {
+        CONFCARD_CHECK(ensemble[m]->Train(*table_, train_).ok());
       }
+    });
+    // A serial run leaves the last member's training telemetry in the
+    // registry; restore that state after the concurrent phase.
+    ensemble.back()->RepublishTrainingTelemetry();
+    auto difficulty = [&](const Workload& wl, std::vector<double>* out) {
+      ParallelFor(wl.size(), 0, [&](size_t begin, size_t end) {
+        std::vector<double> preds;
+        for (size_t i = begin; i < end; ++i) {
+          preds.clear();
+          preds.reserve(ensemble.size());
+          for (const auto& m : ensemble) {
+            preds.push_back(m->EstimateCardinality(wl[i].query));
+          }
+          (*out)[i] = std::max(1.0, StdDev(preds));
+        }
+      });
     };
     difficulty(calib_, &u_calib);
     difficulty(test_, &u_test);
   } else {
     // Perturbation: jitter each predicate's bounds by up to 2% of the
-    // column span and measure the estimate's sensitivity.
+    // column span and measure the estimate's sensitivity. One Rng stream
+    // is shared sequentially across queries, so this path must stay
+    // serial: fanning it out would reorder the draws and change outputs.
     Rng rng(options_.seed ^ 0x9E37ull);
     auto perturb = [&](const Query& q, Rng& r) {
       Query out = q;
@@ -247,10 +268,17 @@ MethodResult SingleTableHarness::RunCqr(
     PrepTimer prep(&result);
     lo_model = prototype.CloneArchitecture(2101);
     lo_model->SetLoss(LossSpec::Pinball(cqr.lower_tau()));
-    CONFCARD_CHECK(lo_model->Train(*table_, train_).ok());
     hi_model = prototype.CloneArchitecture(2203);
     hi_model->SetLoss(LossSpec::Pinball(cqr.upper_tau()));
-    CONFCARD_CHECK(hi_model->Train(*table_, train_).ok());
+    // The two quantile heads train concurrently; a serial run trains the
+    // upper head last, so its telemetry is republished after the join.
+    SupervisedEstimator* heads[2] = {lo_model.get(), hi_model.get()};
+    ParallelFor(2, 1, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        CONFCARD_CHECK(heads[i]->Train(*table_, train_).ok());
+      }
+    });
+    hi_model->RepublishTrainingTelemetry();
 
     std::vector<double> lo_calib = Estimates(*lo_model, calib_);
     std::vector<double> hi_calib = Estimates(*hi_model, calib_);
@@ -295,23 +323,37 @@ MethodResult SingleTableHarness::RunJkCv(
   {
     PrepTimer prep(&result);
     std::vector<int> fold_of = AssignFolds(all.size(), k, options_.seed);
+    // The K fold models are the dominant cost of JK-CV+ (the paper's
+    // headline finding); they train concurrently. Clones are created
+    // serially so instance ids stay deterministic, and each fold's
+    // weights depend only on its own seed (3000 + f) and sub-workload,
+    // so results are bit-identical at any thread count.
+    fold_models.reserve(static_cast<size_t>(k));
     for (int f = 0; f < k; ++f) {
-      Workload fold_train;
-      for (size_t i = 0; i < all.size(); ++i) {
-        if (fold_of[i] != f) fold_train.push_back(all[i]);
-      }
-      auto clone =
-          prototype.CloneArchitecture(3000 + static_cast<uint64_t>(f));
-      CONFCARD_CHECK(clone->Train(*table_, fold_train).ok());
-      fold_models.push_back(std::move(clone));
+      fold_models.push_back(
+          prototype.CloneArchitecture(3000 + static_cast<uint64_t>(f)));
     }
+    ParallelFor(static_cast<size_t>(k), 1, [&](size_t begin, size_t end) {
+      for (size_t f = begin; f < end; ++f) {
+        Workload fold_train;
+        fold_train.reserve(all.size());
+        for (size_t i = 0; i < all.size(); ++i) {
+          if (fold_of[i] != static_cast<int>(f)) fold_train.push_back(all[i]);
+        }
+        CONFCARD_CHECK(fold_models[f]->Train(*table_, fold_train).ok());
+      }
+    });
+    // A serial run trains fold k-1 last; restore its telemetry.
+    fold_models.back()->RepublishTrainingTelemetry();
     std::vector<double> oof(all.size());
     std::vector<double> truths(all.size());
-    for (size_t i = 0; i < all.size(); ++i) {
-      oof[i] = fold_models[static_cast<size_t>(fold_of[i])]
-                   ->EstimateCardinality(all[i].query);
-      truths[i] = all[i].cardinality;
-    }
+    ParallelFor(all.size(), 0, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        oof[i] = fold_models[static_cast<size_t>(fold_of[i])]
+                     ->EstimateCardinality(all[i].query);
+        truths[i] = all[i].cardinality;
+      }
+    });
     CONFCARD_CHECK(jk.Calibrate(oof, truths, fold_of, k).ok());
   }
 
@@ -320,20 +362,26 @@ MethodResult SingleTableHarness::RunJkCv(
   {
     InferTimer infer(&result, test_.size());
     EventClock clock;
-    std::vector<double> fold_est(static_cast<size_t>(k));
-    for (size_t i = 0; i < test_.size(); ++i) {
-      const double t0 = clock.NowUs();
-      if (!simplified) {
-        for (int f = 0; f < k; ++f) {
-          fold_est[static_cast<size_t>(f)] =
-              fold_models[static_cast<size_t>(f)]->EstimateCardinality(
-                  test_[i].query);
+    // In full mode each test query runs all K fold models, the most
+    // expensive per-query loop in the harness; queries fan out with one
+    // scratch fold_est per chunk, writing rows into pre-sized slots.
+    result.rows.resize(test_.size());
+    ParallelFor(test_.size(), 0, [&](size_t begin, size_t end) {
+      std::vector<double> fold_est(static_cast<size_t>(k));
+      for (size_t i = begin; i < end; ++i) {
+        const double t0 = clock.NowUs();
+        if (!simplified) {
+          for (int f = 0; f < k; ++f) {
+            fold_est[static_cast<size_t>(f)] =
+                fold_models[static_cast<size_t>(f)]->EstimateCardinality(
+                    test_[i].query);
+          }
         }
+        Interval iv = clip.Clip(jk.Predict(fold_est, full_est[i]), num_rows_);
+        result.rows[i] = {test_[i].cardinality, full_est[i], iv.lo, iv.hi,
+                          clock.NowUs() - t0};
       }
-      Interval iv = clip.Clip(jk.Predict(fold_est, full_est[i]), num_rows_);
-      result.rows.push_back({test_[i].cardinality, full_est[i], iv.lo,
-                             iv.hi, clock.NowUs() - t0});
-    }
+    });
   }
   FinalizeMethodResult(&result, num_rows_);
   return result;

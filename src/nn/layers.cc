@@ -4,6 +4,22 @@
 
 namespace confcard {
 namespace nn {
+namespace {
+
+// out = in * W + b, shared by the Forward and Apply paths of the dense
+// layers (the weight is identical; only activation caching differs).
+Tensor LinearForward(const Tensor& input, const Parameter& weight,
+                     const Parameter& bias) {
+  Tensor out = MatMul(input, weight.value);
+  for (size_t r = 0; r < out.rows(); ++r) {
+    float* row = out.RowPtr(r);
+    const float* b = bias.value.RowPtr(0);
+    for (size_t c = 0; c < out.cols(); ++c) row[c] += b[c];
+  }
+  return out;
+}
+
+}  // namespace
 
 Dense::Dense(size_t in_dim, size_t out_dim, Rng& rng) {
   weight_.value = Tensor::HeInit(in_dim, out_dim, rng);
@@ -15,13 +31,12 @@ Dense::Dense(size_t in_dim, size_t out_dim, Rng& rng) {
 Tensor Dense::Forward(const Tensor& input) {
   CONFCARD_DCHECK(input.cols() == weight_.value.rows());
   input_ = input;
-  Tensor out = MatMul(input, weight_.value);
-  for (size_t r = 0; r < out.rows(); ++r) {
-    float* row = out.RowPtr(r);
-    const float* b = bias_.value.RowPtr(0);
-    for (size_t c = 0; c < out.cols(); ++c) row[c] += b[c];
-  }
-  return out;
+  return LinearForward(input, weight_, bias_);
+}
+
+Tensor Dense::Apply(const Tensor& input) const {
+  CONFCARD_DCHECK(input.cols() == weight_.value.rows());
+  return LinearForward(input, weight_, bias_);
 }
 
 Tensor Dense::Backward(const Tensor& grad_output) {
@@ -57,13 +72,11 @@ Tensor MaskedDense::Forward(const Tensor& input) {
   // The weight is kept masked at all times (see Backward), so a plain
   // dense forward suffices.
   input_ = input;
-  Tensor out = MatMul(input, weight_.value);
-  for (size_t r = 0; r < out.rows(); ++r) {
-    float* row = out.RowPtr(r);
-    const float* b = bias_.value.RowPtr(0);
-    for (size_t c = 0; c < out.cols(); ++c) row[c] += b[c];
-  }
-  return out;
+  return LinearForward(input, weight_, bias_);
+}
+
+Tensor MaskedDense::Apply(const Tensor& input) const {
+  return LinearForward(input, weight_, bias_);
 }
 
 Tensor MaskedDense::Backward(const Tensor& grad_output) {
@@ -87,6 +100,10 @@ std::vector<Parameter*> MaskedDense::Parameters() {
 
 Tensor Relu::Forward(const Tensor& input) {
   input_ = input;
+  return Apply(input);
+}
+
+Tensor Relu::Apply(const Tensor& input) const {
   Tensor out = input;
   for (float& v : out.data()) {
     if (v < 0.0f) v = 0.0f;
@@ -106,6 +123,12 @@ Tensor Relu::Backward(const Tensor& grad_output) {
 Tensor Sequential::Forward(const Tensor& input) {
   Tensor x = input;
   for (auto& layer : layers_) x = layer->Forward(x);
+  return x;
+}
+
+Tensor Sequential::Apply(const Tensor& input) const {
+  Tensor x = input;
+  for (const auto& layer : layers_) x = layer->Apply(x);
   return x;
 }
 

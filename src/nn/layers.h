@@ -28,6 +28,12 @@ class Layer {
   /// cache whatever they need for Backward.
   virtual Tensor Forward(const Tensor& input) = 0;
 
+  /// Inference-only forward: numerically identical to Forward but caches
+  /// nothing, so a trained model can be applied from many threads
+  /// concurrently (the harness fans per-query evaluation out across the
+  /// pool). Backward after Apply is invalid.
+  virtual Tensor Apply(const Tensor& input) const = 0;
+
   /// Given dLoss/dOutput, accumulates parameter gradients and returns
   /// dLoss/dInput. Must be called after Forward on the same batch.
   virtual Tensor Backward(const Tensor& grad_output) = 0;
@@ -42,6 +48,7 @@ class Dense : public Layer {
   Dense(size_t in_dim, size_t out_dim, Rng& rng);
 
   Tensor Forward(const Tensor& input) override;
+  Tensor Apply(const Tensor& input) const override;
   Tensor Backward(const Tensor& grad_output) override;
   std::vector<Parameter*> Parameters() override;
 
@@ -65,6 +72,7 @@ class MaskedDense : public Layer {
   MaskedDense(size_t in_dim, size_t out_dim, Tensor mask, Rng& rng);
 
   Tensor Forward(const Tensor& input) override;
+  Tensor Apply(const Tensor& input) const override;
   Tensor Backward(const Tensor& grad_output) override;
   std::vector<Parameter*> Parameters() override;
 
@@ -83,6 +91,7 @@ class MaskedDense : public Layer {
 class Relu : public Layer {
  public:
   Tensor Forward(const Tensor& input) override;
+  Tensor Apply(const Tensor& input) const override;
   Tensor Backward(const Tensor& grad_output) override;
 
  private:
@@ -99,6 +108,7 @@ class Sequential : public Layer {
   }
 
   Tensor Forward(const Tensor& input) override;
+  Tensor Apply(const Tensor& input) const override;
   Tensor Backward(const Tensor& grad_output) override;
   std::vector<Parameter*> Parameters() override;
 

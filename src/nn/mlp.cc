@@ -21,6 +21,8 @@ Mlp::Mlp(const std::vector<size_t>& dims, Rng& rng) {
 
 Tensor Mlp::Forward(const Tensor& input) { return net_.Forward(input); }
 
+Tensor Mlp::Apply(const Tensor& input) const { return net_.Apply(input); }
+
 Tensor Mlp::Backward(const Tensor& grad_output) {
   return net_.Backward(grad_output);
 }

@@ -18,6 +18,7 @@ class Mlp : public Layer {
   Mlp(const std::vector<size_t>& dims, Rng& rng);
 
   Tensor Forward(const Tensor& input) override;
+  Tensor Apply(const Tensor& input) const override;
   Tensor Backward(const Tensor& grad_output) override;
   std::vector<Parameter*> Parameters() override;
 

@@ -9,7 +9,7 @@ void SerializeParameters(Layer& layer, ArchiveWriter* writer) {
   for (Parameter* p : params) {
     writer->WriteU64(p->value.rows());
     writer->WriteU64(p->value.cols());
-    writer->WriteFloatVec(p->value.data());
+    writer->WriteFloats(p->value.data().data(), p->value.size());
   }
 }
 
@@ -23,13 +23,12 @@ Status DeserializeParameters(Layer& layer, ArchiveReader* reader) {
   for (Parameter* p : params) {
     const uint64_t rows = reader->ReadU64();
     const uint64_t cols = reader->ReadU64();
-    std::vector<float> values = reader->ReadFloatVec();
     CONFCARD_RETURN_NOT_OK(reader->status());
-    if (rows != p->value.rows() || cols != p->value.cols() ||
-        values.size() != p->value.size()) {
+    if (rows != p->value.rows() || cols != p->value.cols()) {
       return Status::InvalidArgument("parameter shape mismatch");
     }
-    p->value.data() = std::move(values);
+    reader->ReadFloatsInto(p->value.data().data(), p->value.size());
+    CONFCARD_RETURN_NOT_OK(reader->status());
   }
   return Status::OK();
 }

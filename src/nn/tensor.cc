@@ -1,8 +1,12 @@
 #include "nn/tensor.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <functional>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace confcard {
 namespace nn {
@@ -10,8 +14,16 @@ namespace nn {
 Tensor::Tensor(size_t rows, size_t cols)
     : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
 
+Tensor Tensor::Uninitialized(size_t rows, size_t cols) {
+  Tensor t;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  t.data_.resize(rows * cols);  // default-init allocator: no zero-fill
+  return t;
+}
+
 Tensor Tensor::Randn(size_t rows, size_t cols, float stddev, Rng& rng) {
-  Tensor t(rows, cols);
+  Tensor t = Uninitialized(rows, cols);
   for (float& v : t.data_) {
     v = stddev * static_cast<float>(rng.NextGaussian());
   }
@@ -36,13 +48,67 @@ void Tensor::Scale(float s) {
   for (float& v : data_) v *= s;
 }
 
-Tensor MatMul(const Tensor& a, const Tensor& b) {
-  CONFCARD_DCHECK(a.cols() == b.rows());
-  Tensor c(a.rows(), b.cols());
-  const size_t n = a.rows(), k = a.cols(), m = b.cols();
-  for (size_t i = 0; i < n; ++i) {
+namespace {
+
+// Products smaller than this many flops run serially: pool dispatch
+// costs a few microseconds, which swamps tiny GEMMs (e.g. single-query
+// inference rows).
+constexpr size_t kMinFlopsToParallelize = size_t{1} << 18;
+
+// Output-row chunk aligned to the 4-row micro block, so the grouping of
+// rows into blocks — and therefore the zero-block skip decisions — is
+// identical at every thread count.
+size_t RowChunk(size_t rows) {
+  const size_t threads = static_cast<size_t>(std::max(1, CurrentThreads()));
+  size_t chunk = std::max<size_t>(1, rows / (threads * 4));
+  return (chunk + 3) & ~size_t{3};
+}
+
+void ForEachRowBlock(size_t rows, size_t flops,
+                     const std::function<void(size_t, size_t)>& kernel) {
+  if (flops >= kMinFlopsToParallelize && rows >= 8) {
+    ParallelFor(rows, RowChunk(rows), kernel);
+  } else {
+    kernel(0, rows);
+  }
+}
+
+// C[r0:r1) = A[r0:r1) * B. Four output rows share one streaming pass
+// over B; each row's element is still a p-ascending sum, so values are
+// bit-identical to the single-row loop. The zero test skips fully-zero
+// blocks of A (one-hot Naru inputs), matching the naive kernel's
+// per-row skip exactly for finite B.
+void MatMulRows(const Tensor& a, const Tensor& b, Tensor* c, size_t r0,
+                size_t r1) {
+  const size_t k = a.cols(), m = b.cols();
+  size_t i = r0;
+  for (; i + 4 <= r1; i += 4) {
+    const float* a0 = a.RowPtr(i);
+    const float* a1 = a.RowPtr(i + 1);
+    const float* a2 = a.RowPtr(i + 2);
+    const float* a3 = a.RowPtr(i + 3);
+    float* c0 = c->RowPtr(i);
+    float* c1 = c->RowPtr(i + 1);
+    float* c2 = c->RowPtr(i + 2);
+    float* c3 = c->RowPtr(i + 3);
+    std::memset(c0, 0, 4 * m * sizeof(float));  // rows are contiguous
+    for (size_t p = 0; p < k; ++p) {
+      const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+      if (v0 == 0.0f && v1 == 0.0f && v2 == 0.0f && v3 == 0.0f) continue;
+      const float* brow = b.RowPtr(p);
+      for (size_t j = 0; j < m; ++j) {
+        const float bj = brow[j];
+        c0[j] += v0 * bj;
+        c1[j] += v1 * bj;
+        c2[j] += v2 * bj;
+        c3[j] += v3 * bj;
+      }
+    }
+  }
+  for (; i < r1; ++i) {
     const float* arow = a.RowPtr(i);
-    float* crow = c.RowPtr(i);
+    float* crow = c->RowPtr(i);
+    std::memset(crow, 0, m * sizeof(float));
     for (size_t p = 0; p < k; ++p) {
       const float av = arow[p];
       if (av == 0.0f) continue;
@@ -50,40 +116,114 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       for (size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
     }
   }
-  return c;
 }
 
-Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
-  CONFCARD_DCHECK(a.rows() == b.rows());
-  Tensor c(a.cols(), b.cols());
-  const size_t k = a.rows(), n = a.cols(), m = b.cols();
-  for (size_t p = 0; p < k; ++p) {
-    const float* arow = a.RowPtr(p);
-    const float* brow = b.RowPtr(p);
-    for (size_t i = 0; i < n; ++i) {
-      const float av = arow[i];
+// C[r0:r1) of C = A^T * B: output row i reads column i of A. Blocked
+// four columns at a time so B streams once per block; per-element sums
+// stay p-ascending, matching the p-outer naive loop bit for bit.
+void MatMulTransARows(const Tensor& a, const Tensor& b, Tensor* c, size_t r0,
+                      size_t r1) {
+  const size_t k = a.rows(), m = b.cols();
+  size_t i = r0;
+  for (; i + 4 <= r1; i += 4) {
+    float* c0 = c->RowPtr(i);
+    float* c1 = c->RowPtr(i + 1);
+    float* c2 = c->RowPtr(i + 2);
+    float* c3 = c->RowPtr(i + 3);
+    std::memset(c0, 0, 4 * m * sizeof(float));
+    for (size_t p = 0; p < k; ++p) {
+      const float* arow = a.RowPtr(p);
+      const float v0 = arow[i], v1 = arow[i + 1], v2 = arow[i + 2],
+                  v3 = arow[i + 3];
+      if (v0 == 0.0f && v1 == 0.0f && v2 == 0.0f && v3 == 0.0f) continue;
+      const float* brow = b.RowPtr(p);
+      for (size_t j = 0; j < m; ++j) {
+        const float bj = brow[j];
+        c0[j] += v0 * bj;
+        c1[j] += v1 * bj;
+        c2[j] += v2 * bj;
+        c3[j] += v3 * bj;
+      }
+    }
+  }
+  for (; i < r1; ++i) {
+    float* crow = c->RowPtr(i);
+    std::memset(crow, 0, m * sizeof(float));
+    for (size_t p = 0; p < k; ++p) {
+      const float av = a.At(p, i);
       if (av == 0.0f) continue;
-      float* crow = c.RowPtr(i);
+      const float* brow = b.RowPtr(p);
       for (size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
     }
   }
-  return c;
 }
 
-Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
-  CONFCARD_DCHECK(a.cols() == b.cols());
-  Tensor c(a.rows(), b.rows());
-  const size_t n = a.rows(), k = a.cols(), m = b.rows();
-  for (size_t i = 0; i < n; ++i) {
+// C[r0:r1) of C = A * B^T: independent dot products; four B rows share
+// one streaming pass over the A row. Accumulators are per-element, so
+// the j-blocking cannot change any value.
+void MatMulTransBRows(const Tensor& a, const Tensor& b, Tensor* c, size_t r0,
+                      size_t r1) {
+  const size_t k = a.cols(), m = b.rows();
+  for (size_t i = r0; i < r1; ++i) {
     const float* arow = a.RowPtr(i);
-    float* crow = c.RowPtr(i);
-    for (size_t j = 0; j < m; ++j) {
+    float* crow = c->RowPtr(i);
+    size_t j = 0;
+    for (; j + 4 <= m; j += 4) {
+      const float* b0 = b.RowPtr(j);
+      const float* b1 = b.RowPtr(j + 1);
+      const float* b2 = b.RowPtr(j + 2);
+      const float* b3 = b.RowPtr(j + 3);
+      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+      for (size_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        acc0 += av * b0[p];
+        acc1 += av * b1[p];
+        acc2 += av * b2[p];
+        acc3 += av * b3[p];
+      }
+      crow[j] = acc0;
+      crow[j + 1] = acc1;
+      crow[j + 2] = acc2;
+      crow[j + 3] = acc3;
+    }
+    for (; j < m; ++j) {
       const float* brow = b.RowPtr(j);
       float acc = 0.0f;
       for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
       crow[j] = acc;
     }
   }
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  CONFCARD_DCHECK(a.cols() == b.rows());
+  const size_t n = a.rows(), k = a.cols(), m = b.cols();
+  Tensor c = Tensor::Uninitialized(n, m);
+  ForEachRowBlock(n, 2 * n * k * m, [&](size_t r0, size_t r1) {
+    MatMulRows(a, b, &c, r0, r1);
+  });
+  return c;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  CONFCARD_DCHECK(a.rows() == b.rows());
+  const size_t k = a.rows(), n = a.cols(), m = b.cols();
+  Tensor c = Tensor::Uninitialized(n, m);
+  ForEachRowBlock(n, 2 * n * k * m, [&](size_t r0, size_t r1) {
+    MatMulTransARows(a, b, &c, r0, r1);
+  });
+  return c;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  CONFCARD_DCHECK(a.cols() == b.cols());
+  const size_t n = a.rows(), k = a.cols(), m = b.rows();
+  Tensor c = Tensor::Uninitialized(n, m);
+  ForEachRowBlock(n, 2 * n * k * m, [&](size_t r0, size_t r1) {
+    MatMulTransBRows(a, b, &c, r0, r1);
+  });
   return c;
 }
 

@@ -6,12 +6,40 @@
 #define CONFCARD_NN_TENSOR_H_
 
 #include <cstddef>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
 
 namespace confcard {
 namespace nn {
+
+/// std::allocator variant whose default construction leaves trivial
+/// elements uninitialized, so FloatBuffer::resize skips the zero-fill
+/// pass. Tensor::Uninitialized relies on this; everything else is
+/// unchanged because explicit-value construction still value-initializes.
+template <typename T>
+class DefaultInitAllocator : public std::allocator<T> {
+ public:
+  template <typename U>
+  struct rebind {
+    using other = DefaultInitAllocator<U>;
+  };
+
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    if constexpr (sizeof...(Args) == 0) {
+      ::new (static_cast<void*>(p)) U;  // default-init: no zeroing for PODs
+    } else {
+      ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+    }
+  }
+};
+
+/// Backing storage of Tensor. Behaves like std::vector<float> except
+/// that resize() without a fill value leaves new elements uninitialized.
+using FloatBuffer = std::vector<float, DefaultInitAllocator<float>>;
 
 /// Row-major matrix of floats.
 class Tensor {
@@ -21,6 +49,14 @@ class Tensor {
   Tensor(size_t rows, size_t cols);
 
   static Tensor Zeros(size_t rows, size_t cols) { return Tensor(rows, cols); }
+  /// rows x cols tensor whose contents are UNINITIALIZED — every element
+  /// must be written before it is read. For kernel outputs that
+  /// overwrite (or memset-then-accumulate) the whole buffer.
+  static Tensor Uninitialized(size_t rows, size_t cols);
+  /// Uninitialized tensor with `other`'s shape.
+  static Tensor UninitializedLike(const Tensor& other) {
+    return Uninitialized(other.rows(), other.cols());
+  }
   /// i.i.d. N(0, stddev^2) entries.
   static Tensor Randn(size_t rows, size_t cols, float stddev, Rng& rng);
   /// Kaiming/He initialization for a fan_in -> fan_out weight matrix.
@@ -37,8 +73,8 @@ class Tensor {
   float* RowPtr(size_t r) { return data_.data() + r * cols_; }
   const float* RowPtr(size_t r) const { return data_.data() + r * cols_; }
 
-  std::vector<float>& data() { return data_; }
-  const std::vector<float>& data() const { return data_; }
+  FloatBuffer& data() { return data_; }
+  const FloatBuffer& data() const { return data_; }
 
   void Fill(float value);
   /// this += other (same shape).
@@ -49,8 +85,16 @@ class Tensor {
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
-  std::vector<float> data_;
+  FloatBuffer data_;
 };
+
+// The products below use cache-blocked kernels (4-output-row micro
+// blocks so each B row streams once per block instead of once per row)
+// and fan output rows out across the thread pool above a flop
+// threshold. Per output element the accumulation order over the shared
+// dimension is ascending regardless of blocking or thread count, so
+// results are bit-identical to the naive triple loop for finite inputs
+// and across any CONFCARD_THREADS setting.
 
 /// C = A * B. Shapes: (n,k) x (k,m) -> (n,m).
 Tensor MatMul(const Tensor& a, const Tensor& b);

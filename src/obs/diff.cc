@@ -197,6 +197,14 @@ bool IsCoverageName(const std::string& name) {
   return name.find("coverage") != std::string::npos;
 }
 
+// Thread-pool scheduling telemetry (queue depth, tasks executed, busy
+// fractions) legitimately varies with CONFCARD_THREADS while every
+// result metric stays bit-identical, so pool.* never participates in
+// the diff in either direction.
+bool IsSchedulingName(const std::string& name) {
+  return name.rfind("pool.", 0) == 0;
+}
+
 void DiffQuantiles(const std::string& prefix, const RunView::HistView& a,
                    const RunView::HistView& b, const DiffOptions& opt,
                    DiffReport* report) {
@@ -289,6 +297,7 @@ DiffReport DiffRuns(const RunView& baseline, const RunView& candidate,
 
   // Counters: exact by default.
   for (const auto& [name, old_v] : baseline.counters) {
+    if (IsSchedulingName(name)) continue;
     auto it = candidate.counters.find(name);
     const std::string metric = "counter/" + name;
     if (it == candidate.counters.end()) {
@@ -306,6 +315,7 @@ DiffReport DiffRuns(const RunView& baseline, const RunView& candidate,
     }
   }
   for (const auto& [name, new_v] : candidate.counters) {
+    if (IsSchedulingName(name)) continue;
     if (baseline.counters.count(name) == 0) {
       Add(&report, Severity::kNote, "counter/" + name, 0.0,
           static_cast<double>(new_v), "new counter in candidate");
@@ -315,6 +325,7 @@ DiffReport DiffRuns(const RunView& baseline, const RunView& candidate,
   // Gauges: coverage by absolute tolerance (drops only), the rest by
   // relative tolerance.
   for (const auto& [name, old_v] : baseline.gauges) {
+    if (IsSchedulingName(name)) continue;
     auto it = candidate.gauges.find(name);
     const std::string metric = "gauge/" + name;
     if (it == candidate.gauges.end()) {
@@ -355,6 +366,7 @@ DiffReport DiffRuns(const RunView& baseline, const RunView& candidate,
 
   // Histograms: sample counts exactly, quantiles with latency slack.
   for (const auto& [name, old_h] : baseline.histograms) {
+    if (IsSchedulingName(name)) continue;
     auto it = candidate.histograms.find(name);
     const std::string prefix = "histogram/" + name;
     if (it == candidate.histograms.end()) {

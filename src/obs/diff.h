@@ -41,6 +41,9 @@ struct DiffOptions {
   /// candidate is a note instead of a regression.
   bool fail_on_missing = true;
 };
+// Note: metrics under the "pool." prefix (thread-pool scheduling
+// telemetry) are excluded from DiffRuns in both directions — they vary
+// with CONFCARD_THREADS by design while result metrics stay identical.
 
 struct DiffFinding {
   enum class Severity { kNote, kRegression };

@@ -64,6 +64,20 @@ void EventLog::Append(const QueryEvent& e) {
   if (buffer_.size() >= kFlushBytes) FlushLocked();
 }
 
+void EventLog::AppendAll(const std::vector<QueryEvent>& events) {
+  if (!enabled() || events.empty()) return;
+  std::string lines;
+  for (const QueryEvent& e : events) {
+    lines += RenderQueryEvent(e);
+    lines += '\n';
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  buffer_ += lines;
+  appended_.fetch_add(events.size(), std::memory_order_relaxed);
+  if (buffer_.size() >= kFlushBytes) FlushLocked();
+}
+
 void EventLog::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
   FlushLocked();

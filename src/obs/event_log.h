@@ -7,6 +7,13 @@
 // per-query overhead of an un-instrumented run negligible. The JSONL
 // reader tolerates a truncated final line (crash mid-write) so partial
 // logs stay usable.
+//
+// Thread safety: Append/AppendAll/Flush may be called concurrently from
+// any thread — each record is rendered outside the lock and spliced into
+// the buffer whole, so lines never interleave. Concurrent appenders that
+// need a deterministic file order must serialize themselves (the harness
+// does: workers fill pre-sized row slots and a single thread emits the
+// events in index order via AppendAll).
 #ifndef CONFCARD_OBS_EVENT_LOG_H_
 #define CONFCARD_OBS_EVENT_LOG_H_
 
@@ -61,6 +68,11 @@ class EventLog {
 
   /// Buffers one record; no-op when disabled.
   void Append(const QueryEvent& e);
+
+  /// Buffers a batch under one lock acquisition: all lines are rendered
+  /// up front, then spliced contiguously, so a batch is never
+  /// interleaved with concurrent appenders. No-op when disabled.
+  void AppendAll(const std::vector<QueryEvent>& events);
 
   /// Flushes the buffer to disk (also registered atexit when armed).
   void Flush();

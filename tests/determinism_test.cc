@@ -1,0 +1,172 @@
+// The determinism contract of the parallel harness: running the same
+// tiny single-table experiment at CONFCARD_THREADS=1 and =4 must produce
+// bit-identical intervals, identical coverage gauges, and byte-identical
+// event-log payloads (after stripping the wall-clock latency field and
+// the process-global run ordinal, the only legitimately timing-dependent
+// values).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ce/lwnn.h"
+#include "ce/naru.h"
+#include "common/parallel.h"
+#include "data/generators.h"
+#include "harness/single_table.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "query/workload.h"
+
+namespace confcard {
+namespace {
+
+struct Fixture {
+  Table table;
+  Workload train, calib, test;
+};
+
+Fixture MakeFixture() {
+  TableSpec spec;
+  spec.name = "t";
+  spec.num_rows = 3000;
+  spec.seed = 77;
+  ColumnSpec a;
+  a.name = "a";
+  a.domain_size = 6;
+  a.zipf_skew = 0.8;
+  ColumnSpec b;
+  b.name = "b";
+  b.kind = ColumnKind::kNumeric;
+  b.num_min = 0.0;
+  b.num_max = 50.0;
+  spec.columns = {a, b};
+  Table table = GenerateTable(spec).value();
+
+  WorkloadConfig wc;
+  wc.num_queries = 150;
+  wc.seed = 11;
+  Workload train = GenerateWorkload(table, wc).value();
+  wc.seed = 12;
+  Workload calib = GenerateWorkload(table, wc).value();
+  wc.seed = 13;
+  wc.num_queries = 100;
+  Workload test = GenerateWorkload(table, wc).value();
+  return {std::move(table), std::move(train), std::move(calib),
+          std::move(test)};
+}
+
+struct RunOutput {
+  std::vector<MethodResult> results;
+  std::vector<double> coverage_gauges;
+  std::string normalized_events;
+};
+
+// Drops the two timing-dependent fields from each event line: "lat_us"
+// (wall clock) and "run" (a process-global ordinal that differs between
+// the two runs inside this test, not between two processes).
+std::string NormalizeEvents(const std::string& text) {
+  std::istringstream in(text);
+  std::string out, line;
+  while (std::getline(in, line)) {
+    const size_t run = line.find("\"run\":");
+    if (run != std::string::npos) {
+      const size_t comma = line.find(',', run);
+      if (comma != std::string::npos) line.erase(run, comma - run + 1);
+    }
+    const size_t lat = line.find("\"lat_us\":");
+    if (lat != std::string::npos) {
+      size_t end = lat;
+      while (end < line.size() && line[end] != ',' && line[end] != '}') {
+        ++end;
+      }
+      line.erase(lat, end - lat);
+    }
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+RunOutput RunExperiment(const Fixture& f, int threads,
+                        const std::string& event_path) {
+  SetThreads(threads);
+  obs::EventLog& elog = obs::EventLog::Instance();
+  EXPECT_TRUE(elog.OpenForTest(event_path).ok());
+
+  SingleTableHarness::Options opts;
+  opts.jk_folds = 3;
+  SingleTableHarness h(f.table, f.train, f.calib, f.test, opts);
+
+  LwnnEstimator::Options lo;
+  lo.epochs = 8;
+  lo.hidden1 = 16;
+  lo.hidden2 = 8;
+  LwnnEstimator proto(lo);
+  EXPECT_TRUE(proto.Train(f.table, f.train).ok());
+
+  NaruConfig nc;
+  nc.hidden = 16;
+  nc.hidden_layers = 1;
+  nc.epochs = 2;
+  nc.num_samples = 8;
+  NaruEstimator naru(nc);
+  EXPECT_TRUE(naru.Train(f.table).ok());
+
+  RunOutput out;
+  out.results.push_back(h.RunJkCv(proto, proto, /*simplified=*/false));
+  out.results.push_back(h.RunCqr(proto));
+  out.results.push_back(h.RunScp(naru));
+  elog.CloseForTest();
+
+  for (const MethodResult& r : out.results) {
+    const std::string name = "harness.coverage." + std::to_string(r.run_seq) +
+                             "." + r.model + "." + r.method;
+    out.coverage_gauges.push_back(obs::Metrics().GetGauge(name).value());
+  }
+
+  std::ifstream in(event_path, std::ios::binary);
+  EXPECT_TRUE(in.is_open());
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  out.normalized_events = NormalizeEvents(text);
+  return out;
+}
+
+TEST(DeterminismTest, OneThreadAndFourThreadsProduceIdenticalRuns) {
+  const int saved_threads = CurrentThreads();
+  Fixture f = MakeFixture();
+  const std::string dir = ::testing::TempDir();
+  RunOutput serial = RunExperiment(f, 1, dir + "determinism_t1.jsonl");
+  RunOutput pooled = RunExperiment(f, 4, dir + "determinism_t4.jsonl");
+  SetThreads(saved_threads);
+
+  ASSERT_EQ(serial.results.size(), pooled.results.size());
+  for (size_t m = 0; m < serial.results.size(); ++m) {
+    const MethodResult& a = serial.results[m];
+    const MethodResult& b = pooled.results[m];
+    SCOPED_TRACE(a.model + "/" + a.method);
+    EXPECT_EQ(a.model, b.model);
+    EXPECT_EQ(a.method, b.method);
+    ASSERT_EQ(a.rows.size(), b.rows.size());
+    for (size_t i = 0; i < a.rows.size(); ++i) {
+      // Bit-identical, not approximately equal: the whole point of the
+      // determinism contract.
+      ASSERT_EQ(a.rows[i].truth, b.rows[i].truth) << "query " << i;
+      ASSERT_EQ(a.rows[i].estimate, b.rows[i].estimate) << "query " << i;
+      ASSERT_EQ(a.rows[i].lo, b.rows[i].lo) << "query " << i;
+      ASSERT_EQ(a.rows[i].hi, b.rows[i].hi) << "query " << i;
+    }
+    EXPECT_EQ(a.coverage, b.coverage);
+    EXPECT_EQ(a.mean_width_sel, b.mean_width_sel);
+    EXPECT_EQ(serial.coverage_gauges[m], pooled.coverage_gauges[m]);
+  }
+
+  EXPECT_FALSE(serial.normalized_events.empty());
+  EXPECT_EQ(serial.normalized_events, pooled.normalized_events);
+}
+
+}  // namespace
+}  // namespace confcard

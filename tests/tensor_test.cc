@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
+#include "common/parallel.h"
+
 namespace confcard {
 namespace nn {
 namespace {
@@ -88,6 +93,113 @@ TEST(MatMulTest, TransposedVariantsAgreeWithExplicitTranspose) {
   for (size_t i = 0; i < got2.size(); ++i) {
     EXPECT_NEAR(got2.data()[i], expect2.data()[i], 1e-4f);
   }
+}
+
+TEST(TensorTest, UninitializedHasShapeOnly) {
+  Tensor t = Tensor::Uninitialized(3, 4);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 4u);
+  EXPECT_EQ(t.size(), 12u);
+  t.Fill(2.0f);  // contents are writable garbage until filled
+  for (float v : t.data()) EXPECT_EQ(v, 2.0f);
+  Tensor u = Tensor::UninitializedLike(t);
+  EXPECT_EQ(u.rows(), t.rows());
+  EXPECT_EQ(u.cols(), t.cols());
+}
+
+// Textbook reference kernels: one float accumulator per output element,
+// inner index ascending — the summation order the blocked kernels
+// guarantee to preserve.
+Tensor RefMatMul(const Tensor& a, const Tensor& b) {
+  Tensor c(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      float acc = 0.0f;
+      for (size_t p = 0; p < a.cols(); ++p) acc += a.At(i, p) * b.At(p, j);
+      c.At(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+Tensor RefMatMulTransA(const Tensor& a, const Tensor& b) {
+  Tensor c(a.cols(), b.cols());
+  for (size_t i = 0; i < a.cols(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      float acc = 0.0f;
+      for (size_t p = 0; p < a.rows(); ++p) acc += a.At(p, i) * b.At(p, j);
+      c.At(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+Tensor RefMatMulTransB(const Tensor& a, const Tensor& b) {
+  Tensor c(a.rows(), b.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.rows(); ++j) {
+      float acc = 0.0f;
+      for (size_t p = 0; p < a.cols(); ++p) acc += a.At(i, p) * b.At(j, p);
+      c.At(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+void ExpectClose(const Tensor& got, const Tensor& want, const char* label) {
+  ASSERT_EQ(got.rows(), want.rows()) << label;
+  ASSERT_EQ(got.cols(), want.cols()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    const float w = want.data()[i];
+    // Tight relative tolerance: the kernels may contract to FMA where
+    // the reference does not, but summation order is identical.
+    ASSERT_NEAR(got.data()[i], w, 1e-4f * (1.0f + std::fabs(w)))
+        << label << " flat index " << i;
+  }
+}
+
+void ExpectBitIdentical(const Tensor& got, const Tensor& want,
+                        const char* label) {
+  ASSERT_EQ(got.rows(), want.rows()) << label;
+  ASSERT_EQ(got.cols(), want.cols()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got.data()[i], want.data()[i]) << label << " flat " << i;
+  }
+}
+
+TEST(MatMulTest, BlockedKernelsMatchReferenceAcrossShapesAndThreads) {
+  const int saved_threads = CurrentThreads();
+  // Odd shapes exercise the 4-row/4-col remainders; the large shape
+  // crosses the parallelization flop threshold.
+  const struct {
+    size_t n, k, m;
+  } shapes[] = {{1, 1, 1}, {3, 5, 2}, {17, 9, 33}, {64, 128, 96}};
+  Rng rng(7);
+  for (const auto& s : shapes) {
+    Tensor a = Tensor::Randn(s.n, s.k, 1.0f, rng);
+    Tensor b = Tensor::Randn(s.k, s.m, 1.0f, rng);
+    // Zero some rows of a to exercise the skip-zero fast path.
+    if (s.n > 2) {
+      for (size_t j = 0; j < s.k; ++j) a.At(1, j) = 0.0f;
+    }
+    Tensor at = Tensor::Randn(s.k, s.n, 1.0f, rng);  // for TransA: k x n
+    Tensor bt = Tensor::Randn(s.m, s.k, 1.0f, rng);  // for TransB: m x k
+
+    SetThreads(1);
+    Tensor c1 = MatMul(a, b);
+    Tensor ta1 = MatMulTransA(at, b);
+    Tensor tb1 = MatMulTransB(a, bt);
+    ExpectClose(c1, RefMatMul(a, b), "MatMul");
+    ExpectClose(ta1, RefMatMulTransA(at, b), "MatMulTransA");
+    ExpectClose(tb1, RefMatMulTransB(a, bt), "MatMulTransB");
+
+    SetThreads(4);
+    // Bit-identity between thread counts is the determinism contract.
+    ExpectBitIdentical(MatMul(a, b), c1, "MatMul t4");
+    ExpectBitIdentical(MatMulTransA(at, b), ta1, "MatMulTransA t4");
+    ExpectBitIdentical(MatMulTransB(a, bt), tb1, "MatMulTransB t4");
+  }
+  SetThreads(saved_threads);
 }
 
 TEST(MatMulTest, IdentityPreserves) {
