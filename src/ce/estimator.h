@@ -7,6 +7,7 @@
 #define CONFCARD_CE_ESTIMATOR_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -27,6 +28,17 @@ class CardinalityEstimator {
 
   /// Estimated COUNT(*) for `query`, in tuples (>= 0).
   virtual double EstimateCardinality(const Query& query) const = 0;
+
+  /// Estimates `n` queries, writing results to out[0..n). Semantically a
+  /// loop over EstimateCardinality — and that is the default — but
+  /// batch-capable estimators override it to amortize model forwards
+  /// (one GEMM instead of n GEMVs, shared progressive-sampling steps).
+  /// Overrides must return bit-identical values to the per-query loop;
+  /// determinism_test enforces this.
+  virtual void EstimateBatch(const Query* queries, size_t n,
+                             double* out) const {
+    for (size_t i = 0; i < n; ++i) out[i] = EstimateCardinality(queries[i]);
+  }
 
   /// Process-unique id of this estimator instance. Used by caches in
   /// place of the object address, which can be reused after destruction

@@ -67,28 +67,36 @@ MscnFeaturizer::MscnFeaturizer(const Table& table,
   }
 }
 
+void MscnFeaturizer::FeaturizeTableRowInto(const Query& query,
+                                           float* dst) const {
+  std::fill(dst, dst + table_dim_, 0.0f);
+  dst[0] = 1.0f;
+  dst[1] = static_cast<float>(log_rows_ / 30.0);
+  if (bitmap_source_ != nullptr) {
+    bitmap_source_->SampleBitmapFloatInto(query, dst + 2);
+  }
+}
+
+void MscnFeaturizer::FeaturizePredicateRowInto(const Predicate& p,
+                                               float* dst) const {
+  std::fill(dst, dst + pred_dim_, 0.0f);
+  const size_t c = static_cast<size_t>(p.column);
+  dst[c] = 1.0f;
+  dst[num_columns_ + (p.op == PredOp::kEq ? 0 : 1)] = 1.0f;
+  double lo = std::clamp((p.lo - col_min_[c]) / col_span_[c], 0.0, 1.0);
+  double hi = std::clamp((p.hi - col_min_[c]) / col_span_[c], 0.0, 1.0);
+  dst[num_columns_ + 2] = static_cast<float>(lo);
+  dst[num_columns_ + 3] = static_cast<float>(hi);
+}
+
 MscnInput MscnFeaturizer::Featurize(const Query& query) const {
   MscnInput in;
-  std::vector<float> tf(table_dim_, 0.0f);
-  tf[0] = 1.0f;
-  tf[1] = static_cast<float>(log_rows_ / 30.0);
-  if (bitmap_source_ != nullptr) {
-    std::vector<uint8_t> bitmap = bitmap_source_->SampleBitmap(query);
-    for (size_t i = 0; i < bitmap.size(); ++i) {
-      tf[2 + i] = static_cast<float>(bitmap[i]);
-    }
-  }
+  std::vector<float> tf(table_dim_);
+  FeaturizeTableRowInto(query, tf.data());
   in.tables.push_back(std::move(tf));
-
   for (const Predicate& p : query.predicates) {
-    std::vector<float> pf(pred_dim_, 0.0f);
-    const size_t c = static_cast<size_t>(p.column);
-    pf[c] = 1.0f;
-    pf[num_columns_ + (p.op == PredOp::kEq ? 0 : 1)] = 1.0f;
-    double lo = std::clamp((p.lo - col_min_[c]) / col_span_[c], 0.0, 1.0);
-    double hi = std::clamp((p.hi - col_min_[c]) / col_span_[c], 0.0, 1.0);
-    pf[num_columns_ + 2] = static_cast<float>(lo);
-    pf[num_columns_ + 3] = static_cast<float>(hi);
+    std::vector<float> pf(pred_dim_);
+    FeaturizePredicateRowInto(p, pf.data());
     in.predicates.push_back(std::move(pf));
   }
   return in;
@@ -148,37 +156,55 @@ int MscnJoinFeaturizer::ColumnSlot(const std::string& table,
   return static_cast<int>(col_offsets_[static_cast<size_t>(ti)]) + column;
 }
 
+void MscnJoinFeaturizer::FeaturizeTableRowInto(const std::string& table,
+                                               float* dst) const {
+  std::fill(dst, dst + table_dim_, 0.0f);
+  int ti = TableIndex(table);
+  CONFCARD_DCHECK(ti >= 0);
+  dst[static_cast<size_t>(ti)] = 1.0f;
+  dst[table_names_.size()] = static_cast<float>(
+      std::log(static_cast<double>(db_->table(table).num_rows()) + 1.0) /
+      30.0);
+}
+
+void MscnJoinFeaturizer::FeaturizeJoinRowInto(const JoinEdge& e,
+                                              float* dst) const {
+  std::fill(dst, dst + join_dim_, 0.0f);
+  int ei = EdgeIndex(e);
+  if (ei >= 0) dst[static_cast<size_t>(ei)] = 1.0f;
+}
+
+void MscnJoinFeaturizer::FeaturizePredicateRowInto(const TablePredicate& tp,
+                                                   float* dst) const {
+  std::fill(dst, dst + pred_dim_, 0.0f);
+  int slot = ColumnSlot(tp.table, tp.pred.column);
+  CONFCARD_DCHECK(slot >= 0);
+  dst[static_cast<size_t>(slot)] = 1.0f;
+  dst[total_columns_ + (tp.pred.op == PredOp::kEq ? 0 : 1)] = 1.0f;
+  const size_t s = static_cast<size_t>(slot);
+  double lo =
+      std::clamp((tp.pred.lo - col_min_[s]) / col_span_[s], 0.0, 1.0);
+  double hi =
+      std::clamp((tp.pred.hi - col_min_[s]) / col_span_[s], 0.0, 1.0);
+  dst[total_columns_ + 2] = static_cast<float>(lo);
+  dst[total_columns_ + 3] = static_cast<float>(hi);
+}
+
 MscnInput MscnJoinFeaturizer::Featurize(const JoinQuery& query) const {
   MscnInput in;
   for (const std::string& t : query.tables) {
-    std::vector<float> tf(table_dim_, 0.0f);
-    int ti = TableIndex(t);
-    CONFCARD_DCHECK(ti >= 0);
-    tf[static_cast<size_t>(ti)] = 1.0f;
-    tf[table_names_.size()] = static_cast<float>(
-        std::log(static_cast<double>(db_->table(t).num_rows()) + 1.0) /
-        30.0);
+    std::vector<float> tf(table_dim_);
+    FeaturizeTableRowInto(t, tf.data());
     in.tables.push_back(std::move(tf));
   }
   for (const JoinEdge& e : query.joins) {
-    std::vector<float> jf(join_dim_, 0.0f);
-    int ei = EdgeIndex(e);
-    if (ei >= 0) jf[static_cast<size_t>(ei)] = 1.0f;
+    std::vector<float> jf(join_dim_);
+    FeaturizeJoinRowInto(e, jf.data());
     in.joins.push_back(std::move(jf));
   }
   for (const TablePredicate& tp : query.predicates) {
-    std::vector<float> pf(pred_dim_, 0.0f);
-    int slot = ColumnSlot(tp.table, tp.pred.column);
-    CONFCARD_DCHECK(slot >= 0);
-    pf[static_cast<size_t>(slot)] = 1.0f;
-    pf[total_columns_ + (tp.pred.op == PredOp::kEq ? 0 : 1)] = 1.0f;
-    const size_t s = static_cast<size_t>(slot);
-    double lo =
-        std::clamp((tp.pred.lo - col_min_[s]) / col_span_[s], 0.0, 1.0);
-    double hi =
-        std::clamp((tp.pred.hi - col_min_[s]) / col_span_[s], 0.0, 1.0);
-    pf[total_columns_ + 2] = static_cast<float>(lo);
-    pf[total_columns_ + 3] = static_cast<float>(hi);
+    std::vector<float> pf(pred_dim_);
+    FeaturizePredicateRowInto(tp, pf.data());
     in.predicates.push_back(std::move(pf));
   }
   return in;

@@ -57,6 +57,15 @@ class MscnFeaturizer {
 
   MscnInput Featurize(const Query& query) const;
 
+  /// Writes the query's single table-set row (table_dim() floats, zeros
+  /// included) straight into `dst` — the same values as
+  /// Featurize(query).tables[0], without the per-query heap vector.
+  /// Batched estimation packs rows directly into the model's input
+  /// tensors through these.
+  void FeaturizeTableRowInto(const Query& query, float* dst) const;
+  /// Writes one predicate-set row (predicate_dim() floats) for `p`.
+  void FeaturizePredicateRowInto(const Predicate& p, float* dst) const;
+
  private:
   const SamplingEstimator* bitmap_source_;
   size_t num_columns_;
@@ -78,6 +87,13 @@ class MscnJoinFeaturizer {
   size_t predicate_dim() const { return pred_dim_; }
 
   MscnInput Featurize(const JoinQuery& query) const;
+
+  /// Direct-into-buffer row writers mirroring MscnFeaturizer's: each
+  /// fills one set row (zeros included) with exactly the values the
+  /// corresponding Featurize row would hold.
+  void FeaturizeTableRowInto(const std::string& table, float* dst) const;
+  void FeaturizeJoinRowInto(const JoinEdge& e, float* dst) const;
+  void FeaturizePredicateRowInto(const TablePredicate& tp, float* dst) const;
 
   /// Flat concatenation (tables/joins as multi-hot + per-column
   /// predicate slots), for the GBDT difficulty model on join workloads.

@@ -148,6 +148,32 @@ double LwnnEstimator::EstimateCardinality(const Query& query) const {
   return std::clamp(card, 0.0, num_rows_);
 }
 
+void LwnnEstimator::EstimateBatch(const Query* queries, size_t n,
+                                  double* out) const {
+  if (n == 0) return;
+  CONFCARD_CHECK_MSG(net_ != nullptr, "lw-nn: not trained");
+  static obs::Counter& query_counter =
+      obs::Metrics().GetCounter("ce.lw-nn.queries");
+  static obs::Histogram& latency =
+      obs::Metrics().GetHistogram("ce.lw-nn.infer_us");
+  Stopwatch watch;
+  const size_t dim = flat_->dim() + 2;
+  nn::Tensor in = nn::Tensor::Uninitialized(n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<float> f = Features(queries[i]);
+    CONFCARD_DCHECK(f.size() == dim);
+    std::copy(f.begin(), f.end(), in.RowPtr(i));
+  }
+  nn::Tensor pred = net_->ApplyFused(in);
+  for (size_t i = 0; i < n; ++i) {
+    const double card = std::exp(static_cast<double>(pred.At(i, 0))) - 1.0;
+    out[i] = std::clamp(card, 0.0, num_rows_);
+  }
+  const double per_query_us = watch.ElapsedMicros() / static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) latency.Record(per_query_us);
+  query_counter.Increment(n);
+}
+
 Status LwnnEstimator::SaveToFile(const std::string& path) const {
   if (net_ == nullptr) return Status::FailedPrecondition("lw-nn: not trained");
   ArchiveWriter w(kLwnnMagic, kLwnnVersion);

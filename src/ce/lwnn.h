@@ -35,6 +35,11 @@ class LwnnEstimator : public SupervisedEstimator {
 
   std::string name() const override { return "lw-nn"; }
   double EstimateCardinality(const Query& query) const override;
+  /// Packs all featurized queries into one Tensor and runs a single
+  /// Apply (GEMM instead of n GEMVs). Bit-identical to the per-query
+  /// loop.
+  void EstimateBatch(const Query* queries, size_t n,
+                     double* out) const override;
 
   Status Train(const Table& table, const Workload& workload) override;
   std::unique_ptr<SupervisedEstimator> CloneArchitecture(

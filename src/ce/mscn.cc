@@ -15,6 +15,13 @@ namespace {
 // 'CMS1' — confcard mscn archive.
 constexpr uint32_t kMscnMagic = 0x434D5331;
 constexpr uint32_t kMscnVersion = 1;
+
+// Queries per internal forward. Each query's output rows depend only on
+// its own packed input rows, so chunk boundaries cannot change any value
+// — they only keep the packed set tensors and MLP intermediates inside
+// the last-level cache instead of streaming the whole workload through
+// DRAM per layer.
+constexpr size_t kMscnBatchChunk = 256;
 }  // namespace
 
 MscnEstimator::MscnEstimator() : MscnEstimator(Options{}) {}
@@ -82,6 +89,53 @@ double MscnEstimator::EstimateCardinality(const Query& query) const {
   // A single-table count can never exceed the table size; clamping also
   // guards against exp() blow-ups on out-of-distribution queries.
   return std::clamp(std::exp(log_card) - 1.0, 0.0, num_rows_);
+}
+
+void MscnEstimator::EstimateBatch(const Query* queries, size_t n,
+                                  double* out) const {
+  if (n == 0) return;
+  CONFCARD_CHECK_MSG(model_ != nullptr, "mscn: not trained");
+  static obs::Counter& query_counter =
+      obs::Metrics().GetCounter("ce.mscn.queries");
+  static obs::Histogram& latency =
+      obs::Metrics().GetHistogram("ce.mscn.infer_us");
+  Stopwatch watch;
+  for (size_t start = 0; start < n; start += kMscnBatchChunk) {
+    const size_t end = std::min(n, start + kMscnBatchChunk);
+    const size_t bq = end - start;
+    MscnPackedBatch packed;
+    packed.batch_size = bq;
+    packed.table_offsets.resize(bq + 1);
+    packed.pred_offsets.resize(bq + 1);
+    packed.join_offsets.assign(bq + 1, 0);  // single-table: no join set
+    packed.table_offsets[0] = 0;
+    packed.pred_offsets[0] = 0;
+    size_t npred = 0;
+    for (size_t i = 0; i < bq; ++i) {
+      packed.table_offsets[i + 1] = i + 1;
+      npred += queries[start + i].predicates.size();
+      packed.pred_offsets[i + 1] = npred;
+    }
+    packed.tables = nn::Tensor::Uninitialized(bq, featurizer_->table_dim());
+    packed.predicates =
+        nn::Tensor::Uninitialized(npred, featurizer_->predicate_dim());
+    for (size_t i = 0; i < bq; ++i) {
+      const Query& q = queries[start + i];
+      featurizer_->FeaturizeTableRowInto(q, packed.tables.RowPtr(i));
+      size_t row = packed.pred_offsets[i];
+      for (const Predicate& p : q.predicates) {
+        featurizer_->FeaturizePredicateRowInto(
+            p, packed.predicates.RowPtr(row++));
+      }
+    }
+    model_->PredictLogCardPacked(packed, out + start);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = std::clamp(std::exp(out[i]) - 1.0, 0.0, num_rows_);
+  }
+  const double per_query_us = watch.ElapsedMicros() / static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) latency.Record(per_query_us);
+  query_counter.Increment(n);
 }
 
 Status MscnEstimator::SaveToFile(const std::string& path) const {
@@ -209,6 +263,66 @@ double MscnJoinEstimator::EstimateCardinality(const JoinQuery& query) const {
   latency.Record(watch.ElapsedMicros());
   queries.Increment();
   return std::max(0.0, std::exp(log_card) - 1.0);
+}
+
+void MscnJoinEstimator::EstimateBatch(const JoinQuery* queries, size_t n,
+                                      double* out) const {
+  if (n == 0) return;
+  CONFCARD_CHECK_MSG(model_ != nullptr, "mscn-join: not trained");
+  static obs::Counter& query_counter =
+      obs::Metrics().GetCounter("ce.mscn-join.queries");
+  static obs::Histogram& latency =
+      obs::Metrics().GetHistogram("ce.mscn-join.infer_us");
+  Stopwatch watch;
+  for (size_t start = 0; start < n; start += kMscnBatchChunk) {
+    const size_t end = std::min(n, start + kMscnBatchChunk);
+    const size_t bq = end - start;
+    MscnPackedBatch packed;
+    packed.batch_size = bq;
+    packed.table_offsets.resize(bq + 1);
+    packed.join_offsets.resize(bq + 1);
+    packed.pred_offsets.resize(bq + 1);
+    packed.table_offsets[0] = 0;
+    packed.join_offsets[0] = 0;
+    packed.pred_offsets[0] = 0;
+    size_t nt = 0, nj = 0, np = 0;
+    for (size_t i = 0; i < bq; ++i) {
+      const JoinQuery& q = queries[start + i];
+      nt += q.tables.size();
+      nj += q.joins.size();
+      np += q.predicates.size();
+      packed.table_offsets[i + 1] = nt;
+      packed.join_offsets[i + 1] = nj;
+      packed.pred_offsets[i + 1] = np;
+    }
+    packed.tables = nn::Tensor::Uninitialized(nt, featurizer_->table_dim());
+    packed.joins = nn::Tensor::Uninitialized(nj, featurizer_->join_dim());
+    packed.predicates =
+        nn::Tensor::Uninitialized(np, featurizer_->predicate_dim());
+    for (size_t i = 0; i < bq; ++i) {
+      const JoinQuery& q = queries[start + i];
+      size_t trow = packed.table_offsets[i];
+      for (const std::string& t : q.tables) {
+        featurizer_->FeaturizeTableRowInto(t, packed.tables.RowPtr(trow++));
+      }
+      size_t jrow = packed.join_offsets[i];
+      for (const JoinEdge& e : q.joins) {
+        featurizer_->FeaturizeJoinRowInto(e, packed.joins.RowPtr(jrow++));
+      }
+      size_t prow = packed.pred_offsets[i];
+      for (const TablePredicate& tp : q.predicates) {
+        featurizer_->FeaturizePredicateRowInto(
+            tp, packed.predicates.RowPtr(prow++));
+      }
+    }
+    model_->PredictLogCardPacked(packed, out + start);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = std::max(0.0, std::exp(out[i]) - 1.0);
+  }
+  const double per_query_us = watch.ElapsedMicros() / static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) latency.Record(per_query_us);
+  query_counter.Increment(n);
 }
 
 std::unique_ptr<MscnJoinEstimator> MscnJoinEstimator::CloneArchitecture(

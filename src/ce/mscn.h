@@ -27,6 +27,11 @@ class MscnEstimator : public SupervisedEstimator {
 
   std::string name() const override { return "mscn"; }
   double EstimateCardinality(const Query& query) const override;
+  /// Featurizes all queries and runs one packed MscnModel forward (a
+  /// GEMM over the batch instead of n GEMVs). Bit-identical to the
+  /// per-query loop.
+  void EstimateBatch(const Query* queries, size_t n,
+                     double* out) const override;
 
   Status Train(const Table& table, const Workload& workload) override;
   std::unique_ptr<SupervisedEstimator> CloneArchitecture(
@@ -68,6 +73,10 @@ class MscnJoinEstimator {
 
   Status Train(const Database& db, const JoinWorkload& workload);
   double EstimateCardinality(const JoinQuery& query) const;
+  /// Batched counterpart of EstimateCardinality (one packed forward;
+  /// bit-identical results). Mirrors CardinalityEstimator::EstimateBatch
+  /// for the join-query type.
+  void EstimateBatch(const JoinQuery* queries, size_t n, double* out) const;
 
   std::unique_ptr<MscnJoinEstimator> CloneArchitecture(
       uint64_t seed_offset) const;

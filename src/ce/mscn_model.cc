@@ -26,7 +26,10 @@ nn::Tensor PackSet(const std::vector<const MscnInput*>& batch,
     total += (in->*member).size();
     offsets->push_back(total);
   }
-  nn::Tensor packed(std::max<size_t>(total, 1), dim);
+  // Every real row is overwritten below; the single padding row of an
+  // all-empty pack is never read (callers bail out when offsets.back()
+  // is 0), so skipping the zero-fill is safe.
+  nn::Tensor packed = nn::Tensor::Uninitialized(std::max<size_t>(total, 1), dim);
   size_t row = 0;
   for (const MscnInput* in : batch) {
     for (const auto& vec : in->*member) {
@@ -38,14 +41,16 @@ nn::Tensor PackSet(const std::vector<const MscnInput*>& batch,
   return packed;
 }
 
-// Mean-pools per-sample segments of `elems` into a (B, dim) tensor.
-nn::Tensor PoolMean(const nn::Tensor& elems,
-                    const std::vector<size_t>& offsets, size_t batch) {
-  nn::Tensor out(batch, elems.cols());
+// Mean-pools per-sample segments of `elems` into the elems.cols()-wide
+// block of `*out` starting at column `col_offset` (rows of `*out` must
+// be zero there). Writing the pooled means in place of the destination
+// block skips the (B, dim) temporary a pool-then-copy would need.
+void PoolMeanInto(const nn::Tensor& elems, const std::vector<size_t>& offsets,
+                  size_t batch, nn::Tensor* out, size_t col_offset) {
   for (size_t b = 0; b < batch; ++b) {
     const size_t lo = offsets[b], hi = offsets[b + 1];
     if (hi == lo) continue;  // empty set pools to zero
-    float* orow = out.RowPtr(b);
+    float* orow = out->RowPtr(b) + col_offset;
     for (size_t r = lo; r < hi; ++r) {
       const float* erow = elems.RowPtr(r);
       for (size_t c = 0; c < elems.cols(); ++c) orow[c] += erow[c];
@@ -53,6 +58,13 @@ nn::Tensor PoolMean(const nn::Tensor& elems,
     const float inv = 1.0f / static_cast<float>(hi - lo);
     for (size_t c = 0; c < elems.cols(); ++c) orow[c] *= inv;
   }
+}
+
+// Mean-pools per-sample segments of `elems` into a (B, dim) tensor.
+nn::Tensor PoolMean(const nn::Tensor& elems,
+                    const std::vector<size_t>& offsets, size_t batch) {
+  nn::Tensor out(batch, elems.cols());
+  PoolMeanInto(elems, offsets, batch, &out, 0);
   return out;
 }
 
@@ -240,11 +252,7 @@ nn::Tensor MscnModel::Apply(const std::vector<const MscnInput*>& batch) const {
     nn::Tensor packed = PackSet(batch, member, dim, &offsets);
     if (offsets.back() == 0) return;  // all sets empty: pooled stays zero
     nn::Tensor hidden = mlp->Apply(packed);
-    nn::Tensor mean = PoolMean(hidden, offsets, batch_size);
-    for (size_t b = 0; b < batch_size; ++b) {
-      std::copy(mean.RowPtr(b), mean.RowPtr(b) + h,
-                pooled.RowPtr(b) + out_offset);
-    }
+    PoolMeanInto(hidden, offsets, batch_size, &pooled, out_offset);
   };
 
   run_set(&MscnInput::tables, table_mlp_.get(), table_dim_, 0);
@@ -254,10 +262,49 @@ nn::Tensor MscnModel::Apply(const std::vector<const MscnInput*>& batch) const {
   return out_mlp_->Apply(pooled);
 }
 
+nn::Tensor MscnModel::ApplyPacked(const MscnPackedBatch& batch) const {
+  const size_t batch_size = batch.batch_size;
+  const size_t h = config_.set_hidden;
+
+  nn::Tensor pooled(batch_size, 3 * h);
+
+  auto run_set = [&](const nn::Tensor& packed,
+                     const std::vector<size_t>& offsets, const nn::Mlp* mlp,
+                     size_t out_offset) {
+    if (offsets.empty() || offsets.back() == 0) return;  // all sets empty
+    nn::Tensor hidden = mlp->ApplyFused(packed);
+    PoolMeanInto(hidden, offsets, batch_size, &pooled, out_offset);
+  };
+
+  run_set(batch.tables, batch.table_offsets, table_mlp_.get(), 0);
+  run_set(batch.joins, batch.join_offsets, join_mlp_.get(), h);
+  run_set(batch.predicates, batch.pred_offsets, pred_mlp_.get(), 2 * h);
+
+  return out_mlp_->ApplyFused(pooled);
+}
+
+void MscnModel::PredictLogCardPacked(const MscnPackedBatch& batch,
+                                     double* out) const {
+  if (batch.batch_size == 0) return;
+  nn::Tensor pred = ApplyPacked(batch);
+  for (size_t i = 0; i < batch.batch_size; ++i) {
+    out[i] = static_cast<double>(pred.At(i, 0));
+  }
+}
+
 double MscnModel::PredictLogCard(const MscnInput& input) const {
   std::vector<const MscnInput*> batch = {&input};
   nn::Tensor pred = Apply(batch);
   return static_cast<double>(pred.At(0, 0));
+}
+
+void MscnModel::PredictLogCardBatch(const std::vector<const MscnInput*>& batch,
+                                    double* out) const {
+  if (batch.empty()) return;
+  nn::Tensor pred = Apply(batch);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    out[i] = static_cast<double>(pred.At(i, 0));
+  }
 }
 
 }  // namespace confcard

@@ -27,6 +27,19 @@ struct MscnConfig {
   uint64_t seed = 1234;
 };
 
+/// An inference batch already packed for the model: one dense tensor
+/// per set kind, rows grouped per query, with offsets[b]..offsets[b+1]
+/// delimiting query b's rows (offsets have batch_size + 1 entries; an
+/// all-empty set kind has offsets.back() == 0 and its tensor is
+/// ignored). Row values must equal the corresponding MscnInput vectors;
+/// the estimators fill them straight from the featurizer's *RowInto
+/// writers, skipping the per-query heap vectors and the repack copy.
+struct MscnPackedBatch {
+  size_t batch_size = 0;
+  nn::Tensor tables, joins, predicates;
+  std::vector<size_t> table_offsets, join_offsets, pred_offsets;
+};
+
 /// The network itself, independent of featurization. Train / predict in
 /// log(card + 1) space.
 class MscnModel {
@@ -41,6 +54,18 @@ class MscnModel {
   /// Forward pass for one query. Touches no training scratch, so a
   /// trained model can serve many threads concurrently.
   double PredictLogCard(const MscnInput& input) const;
+
+  /// One forward for the whole batch, writing log-cardinalities to
+  /// out[0..batch.size()). Each sample's set elements occupy their own
+  /// rows of the packed tensors and pooling is per-sample, so every
+  /// prediction is bit-identical to a batch-of-1 PredictLogCard.
+  void PredictLogCardBatch(const std::vector<const MscnInput*>& batch,
+                           double* out) const;
+
+  /// PredictLogCardBatch over a pre-packed batch: identical bits (the
+  /// packed tensors hold the same rows PackSet would build), none of the
+  /// intermediate per-query allocations.
+  void PredictLogCardPacked(const MscnPackedBatch& batch, double* out) const;
 
   /// Mean loss of the final training epoch (0 before Train). Lets the
   /// harness republish the nn.mscn.last_loss gauge deterministically
@@ -60,6 +85,8 @@ class MscnModel {
   nn::Tensor Forward(const std::vector<const MscnInput*>& batch);
   /// Inference-only forward: same numbers as Forward, no cached scratch.
   nn::Tensor Apply(const std::vector<const MscnInput*>& batch) const;
+  /// Inference-only forward over pre-packed set tensors.
+  nn::Tensor ApplyPacked(const MscnPackedBatch& batch) const;
   /// Backprop of dLoss/dPred through the whole network.
   void Backward(const nn::Tensor& grad_pred);
   std::vector<nn::Parameter*> Parameters();

@@ -232,10 +232,9 @@ Status NaruEstimator::Train(const Table& table) {
   return Status::OK();
 }
 
-double NaruEstimator::ProgressiveSample(
+double NaruEstimator::ProgressiveSampleDense(
     const std::vector<std::pair<int, int>>& bin_ranges,
     int last_constrained) const {
-  const size_t num_cols = binner_->num_columns();
   const size_t total = binner_->TotalBins();
   const size_t S = std::max<size_t>(1, config_.num_samples);
   obs::Metrics().GetCounter("ce.naru.progressive_samples").Increment(S);
@@ -250,12 +249,12 @@ double NaruEstimator::ProgressiveSample(
   for (int c = 0; c <= last_constrained; ++c) {
     const size_t lo_off = block_offsets_[static_cast<size_t>(c)];
     const size_t width = block_offsets_[static_cast<size_t>(c) + 1] - lo_off;
+    probs.resize(width);
     nn::Tensor logits = net_->Apply(input);
 
     const auto [blo, bhi] = bin_ranges[static_cast<size_t>(c)];
     for (size_t s = 0; s < S; ++s) {
       if (path_prob[s] == 0.0) continue;
-      probs.resize(width);
       nn::SoftmaxRow(logits.RowPtr(s) + lo_off, width, probs.data());
 
       double mass = 0.0;
@@ -283,37 +282,164 @@ double NaruEstimator::ProgressiveSample(
       input.At(s, lo_off + static_cast<size_t>(chosen)) = 1.0f;
     }
   }
-  (void)num_cols;
 
   double mean = 0.0;
   for (double p : path_prob) mean += p;
   return mean / static_cast<double>(S);
 }
 
-double NaruEstimator::EstimateSelectivity(const Query& query) const {
-  CONFCARD_CHECK_MSG(net_ != nullptr, "naru: not trained");
-  const size_t num_cols = binner_->num_columns();
+void NaruEstimator::SampleBatchSparse(const PreparedQuery* queries, size_t n,
+                                      double* sel_out) const {
+  const size_t total = binner_->TotalBins();
+  const size_t S = std::max<size_t>(1, config_.num_samples);
+  obs::Metrics().GetCounter("ce.naru.progressive_samples").Increment(S * n);
 
-  // Per-column allowed bin range; unconstrained columns span everything.
-  std::vector<std::pair<int, int>> ranges(num_cols);
-  for (size_t c = 0; c < num_cols; ++c) {
-    ranges[c] = {0, binner_->column(c).num_bins() - 1};
+  const size_t num_layers = net_->num_layers();
+  const auto* first =
+      dynamic_cast<const nn::MaskedDense*>(&net_->layer(0));
+  const auto* last =
+      dynamic_cast<const nn::MaskedDense*>(&net_->layer(num_layers - 1));
+  CONFCARD_CHECK_MSG(first != nullptr && last != nullptr,
+                     "naru: unexpected network layout");
+
+  int max_last = -1;
+  for (size_t q = 0; q < n; ++q) {
+    max_last = std::max(max_last, queries[q].last_constrained);
   }
-  int last_constrained = -1;
+
+  // Row q*S+s is sample path s of query q. Each query draws from its own
+  // Rng stream so the draw sequence matches the per-query sampler no
+  // matter how queries are batched together.
+  std::vector<Rng> rngs;
+  rngs.reserve(n);
+  for (size_t q = 0; q < n; ++q) rngs.emplace_back(config_.seed ^ 0x5EEDBEEFULL);
+
+  std::vector<double> path_prob(n * S, 1.0);
+  // Per-row one-hot prefix as absolute logit indices. Block offsets grow
+  // with the column, so each prefix is ascending by construction — the
+  // order SparseRows requires for bit-identical accumulation.
+  std::vector<std::vector<uint32_t>> prefix(n * S);
+  const size_t max_steps = static_cast<size_t>(std::max(0, max_last) + 1);
+  for (auto& p : prefix) p.reserve(max_steps);
+
+  std::vector<size_t> active;       // live row ids, ascending
+  std::vector<uint32_t> indices;    // concatenated prefixes of live rows
+  std::vector<size_t> row_offsets;  // active.size() + 1 entries
+  std::vector<float> probs;
+
+  for (int c = 0; c <= max_last; ++c) {
+    const size_t lo_off = block_offsets_[static_cast<size_t>(c)];
+    const size_t width = block_offsets_[static_cast<size_t>(c) + 1] - lo_off;
+
+    // Active-path compaction: drop rows whose path already has zero
+    // probability and rows of queries with no constraint at or beyond
+    // this column. Surviving rows keep their (query asc, sample asc)
+    // order, which is the per-query draw order.
+    active.clear();
+    indices.clear();
+    row_offsets.clear();
+    row_offsets.push_back(0);
+    for (size_t q = 0; q < n; ++q) {
+      if (queries[q].last_constrained < c) continue;
+      for (size_t s = 0; s < S; ++s) {
+        const size_t r = q * S + s;
+        if (path_prob[r] == 0.0) continue;
+        active.push_back(r);
+        indices.insert(indices.end(), prefix[r].begin(), prefix[r].end());
+        row_offsets.push_back(indices.size());
+      }
+    }
+    if (active.empty()) continue;
+
+    const nn::SparseRows sparse{active.size(), total, indices.data(),
+                                row_offsets.data()};
+    // One-hot gather into the first layer; only the current block's
+    // output columns out of the last. Middle layers run dense on the
+    // compacted batch.
+    nn::Tensor logits;
+    if (num_layers == 1) {
+      logits = first->ApplyOneHotCols(sparse, lo_off, lo_off + width);
+    } else {
+      nn::Tensor x = first->ApplyOneHot(sparse);
+      for (size_t l = 1; l + 1 < num_layers; ++l) {
+        x = net_->layer(l).Apply(x);
+      }
+      logits = last->ApplyCols(x, lo_off, lo_off + width);
+    }
+
+    probs.resize(width);
+    for (size_t i = 0; i < active.size(); ++i) {
+      const size_t r = active[i];
+      const size_t q = r / S;
+      nn::SoftmaxRow(logits.RowPtr(i), width, probs.data());
+
+      const auto [blo, bhi] = queries[q].ranges[static_cast<size_t>(c)];
+      double mass = 0.0;
+      if (blo <= bhi) {
+        for (int b = blo; b <= bhi; ++b) {
+          mass += static_cast<double>(probs[static_cast<size_t>(b)]);
+        }
+      }
+      path_prob[r] *= mass;
+      if (path_prob[r] == 0.0) continue;
+
+      double u = rngs[q].NextDouble() * mass;
+      int chosen = blo;
+      double acc = 0.0;
+      for (int b = blo; b <= bhi; ++b) {
+        acc += static_cast<double>(probs[static_cast<size_t>(b)]);
+        if (u < acc) {
+          chosen = b;
+          break;
+        }
+        chosen = b;
+      }
+      prefix[r].push_back(static_cast<uint32_t>(lo_off +
+                                                static_cast<size_t>(chosen)));
+    }
+  }
+
+  for (size_t q = 0; q < n; ++q) {
+    double mean = 0.0;
+    for (size_t s = 0; s < S; ++s) mean += path_prob[q * S + s];
+    sel_out[q] = mean / static_cast<double>(S);
+  }
+}
+
+NaruEstimator::PreparedQuery NaruEstimator::Prepare(const Query& query) const {
+  const size_t num_cols = binner_->num_columns();
+  PreparedQuery out;
+  // Per-column allowed bin range; unconstrained columns span everything.
+  out.ranges.resize(num_cols);
+  for (size_t c = 0; c < num_cols; ++c) {
+    out.ranges[c] = {0, binner_->column(c).num_bins() - 1};
+  }
   for (const Predicate& p : query.predicates) {
     const size_t c = static_cast<size_t>(p.column);
     auto [blo, bhi] = binner_->PredicateBins(p);
     // Intersect with any existing constraint on the column.
-    ranges[c] = {std::max(ranges[c].first, blo),
-                 std::min(ranges[c].second, bhi)};
-    last_constrained = std::max(last_constrained, p.column);
+    out.ranges[c] = {std::max(out.ranges[c].first, blo),
+                     std::min(out.ranges[c].second, bhi)};
+    out.last_constrained = std::max(out.last_constrained, p.column);
   }
-  if (last_constrained < 0) return 1.0;
   for (const Predicate& p : query.predicates) {
-    const auto& r = ranges[static_cast<size_t>(p.column)];
-    if (r.first > r.second) return 0.0;  // empty bin range
+    const auto& r = out.ranges[static_cast<size_t>(p.column)];
+    if (r.first > r.second) out.empty_range = true;
   }
-  return ProgressiveSample(ranges, last_constrained);
+  return out;
+}
+
+double NaruEstimator::EstimateSelectivity(const Query& query) const {
+  CONFCARD_CHECK_MSG(net_ != nullptr, "naru: not trained");
+  const PreparedQuery prepared = Prepare(query);
+  if (prepared.last_constrained < 0) return 1.0;
+  if (prepared.empty_range) return 0.0;
+  if (config_.sparse_inference) {
+    double sel = 0.0;
+    SampleBatchSparse(&prepared, 1, &sel);
+    return sel;
+  }
+  return ProgressiveSampleDense(prepared.ranges, prepared.last_constrained);
 }
 
 double NaruEstimator::EstimateCardinality(const Query& query) const {
@@ -326,6 +452,60 @@ double NaruEstimator::EstimateCardinality(const Query& query) const {
   latency.Record(watch.ElapsedMicros());
   queries.Increment();
   return selectivity * num_rows_;
+}
+
+void NaruEstimator::EstimateBatch(const Query* queries, size_t n,
+                                  double* out) const {
+  if (n == 0) return;
+  CONFCARD_CHECK_MSG(net_ != nullptr, "naru: not trained");
+  static obs::Counter& query_counter =
+      obs::Metrics().GetCounter("ce.naru.queries");
+  static obs::Histogram& latency =
+      obs::Metrics().GetHistogram("ce.naru.infer_us");
+  Stopwatch watch;
+
+  // Trivial queries (no predicates / empty bin ranges) are answered
+  // directly, exactly as the per-query path does; the rest share the
+  // sampling engine.
+  std::vector<PreparedQuery> prepared(n);
+  std::vector<size_t> engine_idx;
+  engine_idx.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    prepared[i] = Prepare(queries[i]);
+    if (prepared[i].last_constrained < 0) {
+      out[i] = num_rows_;
+    } else if (prepared[i].empty_range) {
+      out[i] = 0.0;
+    } else {
+      engine_idx.push_back(i);
+    }
+  }
+  if (!engine_idx.empty()) {
+    if (config_.sparse_inference) {
+      std::vector<PreparedQuery> engine_queries;
+      engine_queries.reserve(engine_idx.size());
+      for (size_t idx : engine_idx) engine_queries.push_back(prepared[idx]);
+      std::vector<double> sel(engine_idx.size());
+      SampleBatchSparse(engine_queries.data(), engine_queries.size(),
+                        sel.data());
+      for (size_t k = 0; k < engine_idx.size(); ++k) {
+        out[engine_idx[k]] = sel[k] * num_rows_;
+      }
+    } else {
+      for (size_t idx : engine_idx) {
+        out[idx] = ProgressiveSampleDense(prepared[idx].ranges,
+                                          prepared[idx].last_constrained) *
+                   num_rows_;
+      }
+    }
+  }
+
+  // Telemetry parity with the per-query path: one count per query, and
+  // the histogram receives one (amortized) sample per query so its count
+  // matches a per-query run.
+  const double per_query_us = watch.ElapsedMicros() / static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) latency.Record(per_query_us);
+  query_counter.Increment(n);
 }
 
 }  // namespace confcard

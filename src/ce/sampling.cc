@@ -43,6 +43,22 @@ std::vector<uint8_t> SamplingEstimator::SampleBitmap(
   return bitmap;
 }
 
+void SamplingEstimator::SampleBitmapFloatInto(const Query& query,
+                                              float* dst) const {
+  const size_t n = sample_rows_.size();
+  for (size_t i = 0; i < n; ++i) dst[i] = 1.0f;
+  // A row's bit is 0 iff any predicate rejects it, so the evaluation
+  // order cannot change the result.
+  for (const Predicate& p : query.predicates) {
+    const size_t c = static_cast<size_t>(p.column);
+    for (size_t i = 0; i < n; ++i) {
+      if (dst[i] != 0.0f && !p.Matches(table_->At(sample_rows_[i], c))) {
+        dst[i] = 0.0f;
+      }
+    }
+  }
+}
+
 double SamplingEstimator::EstimateCardinality(const Query& query) const {
   const std::vector<uint8_t> bitmap = SampleBitmap(query);
   uint64_t hits = 0;

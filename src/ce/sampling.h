@@ -28,6 +28,12 @@ class SamplingEstimator : public CardinalityEstimator {
   /// query. MSCN consumes this as a query feature.
   std::vector<uint8_t> SampleBitmap(const Query& query) const;
 
+  /// SampleBitmap in the float form MSCN's table vector holds, written
+  /// straight into dst[0..sample_size()) — same bits (0.0f / 1.0f per
+  /// sampled row), no intermediate allocation, and predicate-outer
+  /// traversal so each column array is scanned contiguously.
+  void SampleBitmapFloatInto(const Query& query, float* dst) const;
+
   /// Closed-form ~95% confidence half-width for the estimate of `query`
   /// (binomial normal approximation) — the classic sampling bound the
   /// paper mentions traditional methods provide.

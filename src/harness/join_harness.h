@@ -7,6 +7,7 @@
 
 #include <map>
 #include <memory>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -52,7 +53,10 @@ class JoinHarness {
   JoinWorkload train_, calib_, test_;
   Options options_;
   std::shared_ptr<const ScoringFunction> scoring_;
-  mutable std::map<std::pair<uint64_t, const void*>, std::vector<double>>
+  // Keyed by (model instance id, workload slot, content hash) — see the
+  // single-table harness: member identity for the owned splits, content
+  // hash for anything else, never a raw caller address.
+  mutable std::map<std::tuple<uint64_t, int, uint64_t>, std::vector<double>>
       estimate_cache_;
 };
 

@@ -1,16 +1,19 @@
 #include "harness/single_table.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/check.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/stopwatch.h"
 #include "conformal/cqr.h"
 #include "conformal/jackknife.h"
 #include "conformal/locally_weighted.h"
 #include "conformal/split.h"
+#include "obs/metrics.h"
 
 namespace confcard {
 namespace {
@@ -18,6 +21,28 @@ namespace {
 // Variance-based difficulty floored away from zero.
 double StdDev(const std::vector<double>& values) {
   return std::sqrt(Variance(values));
+}
+
+// FNV-1a over the workload content (predicates + labels): the cache
+// identity for workloads the harness does not own.
+uint64_t HashWorkload(const Workload& workload) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(workload.size());
+  for (const LabeledQuery& lq : workload) {
+    mix(lq.query.predicates.size());
+    for (const Predicate& p : lq.query.predicates) {
+      mix(static_cast<uint64_t>(static_cast<int64_t>(p.column)));
+      mix(static_cast<uint64_t>(p.op));
+      mix(std::bit_cast<uint64_t>(p.lo));
+      mix(std::bit_cast<uint64_t>(p.hi));
+    }
+    mix(std::bit_cast<uint64_t>(lq.cardinality));
+  }
+  return h;
 }
 
 }  // namespace
@@ -39,19 +64,52 @@ SingleTableHarness::SingleTableHarness(const Table& table, Workload train,
 
 const std::vector<double>& SingleTableHarness::Estimates(
     const CardinalityEstimator& model, const Workload& workload) const {
-  auto key = std::make_pair(model.instance_id(),
-                            static_cast<const void*>(&workload));
+  // Harness-owned splits are identified by member (slot 0-2); any other
+  // workload by content hash, so the key never depends on a caller's
+  // buffer address.
+  int slot = 3;
+  uint64_t content_hash = 0;
+  if (&workload == &train_) {
+    slot = 0;
+  } else if (&workload == &calib_) {
+    slot = 1;
+  } else if (&workload == &test_) {
+    slot = 2;
+  } else {
+    content_hash = HashWorkload(workload);
+  }
+  const auto key = std::make_tuple(model.instance_id(), slot, content_hash);
+  static obs::Counter& hits =
+      obs::Metrics().GetCounter("ce.infer.cache_hits");
+  static obs::Counter& misses =
+      obs::Metrics().GetCounter("ce.infer.cache_misses");
   auto it = estimate_cache_.find(key);
-  if (it != estimate_cache_.end()) return it->second;
-  // Per-query inference is independent (inference paths are const and
-  // cache-free), so queries fan out across the pool; each slot is
-  // written exactly once, keeping output order scheduling-independent.
+  if (it != estimate_cache_.end()) {
+    hits.Increment();
+    return it->second;
+  }
+  misses.Increment();
+  // Chunks of queries fan out across the pool and each chunk runs one
+  // batched forward (inference paths are const and cache-free); each
+  // slot is written exactly once, keeping output order
+  // scheduling-independent, and EstimateBatch is bit-identical to the
+  // per-query loop.
+  std::vector<Query> queries(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    queries[i] = workload[i].query;
+  }
   std::vector<double> out(workload.size());
+  Stopwatch watch;
   ParallelFor(workload.size(), 0, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      out[i] = model.EstimateCardinality(workload[i].query);
-    }
+    model.EstimateBatch(queries.data() + begin, end - begin,
+                        out.data() + begin);
   });
+  const double elapsed_us = watch.ElapsedMicros();
+  if (elapsed_us > 0.0 && !workload.empty()) {
+    obs::Metrics()
+        .GetGauge("ce.infer.batch_queries_per_sec")
+        .Set(static_cast<double>(workload.size()) * 1e6 / elapsed_us);
+  }
   return estimate_cache_.emplace(key, std::move(out)).first->second;
 }
 

@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -98,11 +99,15 @@ class SingleTableHarness {
   std::shared_ptr<const ScoringFunction> scoring_;
   std::unique_ptr<FlatQueryFeaturizer> featurizer_;
   double num_rows_;
-  // Estimate cache keyed by (model instance id, workload address). The
-  // instance id (not the model address) guards against stack/heap slots
-  // being reused by a successor model; the workloads are owned by the
-  // harness, so their addresses are stable.
-  mutable std::map<std::pair<uint64_t, const void*>, std::vector<double>>
+  // Estimate cache keyed by (model instance id, workload slot, content
+  // hash). The instance id (not the model address) guards against
+  // stack/heap slots being reused by a successor model. The slot
+  // identifies the harness-owned splits (train/calib/test) by member —
+  // not by address, which a temporary or reused buffer could alias — and
+  // any other workload falls back to a content hash, so equal-content
+  // calls share an entry and a recycled address can never serve stale
+  // estimates.
+  mutable std::map<std::tuple<uint64_t, int, uint64_t>, std::vector<double>>
       estimate_cache_;
 };
 

@@ -1,21 +1,97 @@
 #include "nn/layers.h"
 
+#include <cstring>
+#include <utility>
+
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace confcard {
 namespace nn {
 namespace {
+
+void AddBiasRows(Tensor* out, const Parameter& bias) {
+  const float* b = bias.value.RowPtr(0);
+  for (size_t r = 0; r < out->rows(); ++r) {
+    float* row = out->RowPtr(r);
+    for (size_t c = 0; c < out->cols(); ++c) row[c] += b[c];
+  }
+}
 
 // out = in * W + b, shared by the Forward and Apply paths of the dense
 // layers (the weight is identical; only activation caching differs).
 Tensor LinearForward(const Tensor& input, const Parameter& weight,
                      const Parameter& bias) {
   Tensor out = MatMul(input, weight.value);
-  for (size_t r = 0; r < out.rows(); ++r) {
-    float* row = out.RowPtr(r);
-    const float* b = bias.value.RowPtr(0);
-    for (size_t c = 0; c < out.cols(); ++c) row[c] += b[c];
+  AddBiasRows(&out, bias);
+  return out;
+}
+
+// Same parallelization threshold as the GEMM kernels (tensor.cc): below
+// this many flops pool dispatch costs more than it saves. Rows are
+// independent, so fanning them out cannot change any value.
+constexpr size_t kMinFlopsToParallelize = size_t{1} << 18;
+
+void ForEachRow(size_t rows, size_t flops,
+                const std::function<void(size_t, size_t)>& kernel) {
+  if (flops >= kMinFlopsToParallelize && rows >= 8) {
+    ParallelFor(rows, 0, kernel);
+  } else {
+    kernel(0, rows);
   }
+}
+
+// out[r] = sum over the row's set indices p (ascending) of W[p, c0:c1),
+// then + bias — the exact accumulation sequence the dense GEMM performs
+// on the equivalent one-hot tensor (1.0f * w == w, and skipped zero
+// terms cannot perturb an accumulator that is never -0.0), restricted to
+// the requested output columns.
+Tensor OneHotForwardCols(const SparseRows& input, const Parameter& weight,
+                         const Parameter& bias, size_t c0, size_t c1) {
+  const size_t m = c1 - c0;
+  size_t nnz_total = input.rows == 0 ? 0 : input.row_offsets[input.rows];
+  Tensor out = Tensor::Uninitialized(input.rows, m);
+  ForEachRow(input.rows, 2 * nnz_total * m, [&](size_t r0, size_t r1) {
+    const float* brow = bias.value.RowPtr(0) + c0;
+    for (size_t r = r0; r < r1; ++r) {
+      float* orow = out.RowPtr(r);
+      std::memset(orow, 0, m * sizeof(float));
+      const uint32_t* idx = input.RowIndices(r);
+      const size_t nnz = input.RowNnz(r);
+      for (size_t t = 0; t < nnz; ++t) {
+        const float* wrow = weight.value.RowPtr(idx[t]) + c0;
+        for (size_t j = 0; j < m; ++j) orow[j] += wrow[j];
+      }
+      for (size_t j = 0; j < m; ++j) orow[j] += brow[j];
+    }
+  });
+  return out;
+}
+
+// Dense forward restricted to output columns [c0, c1): per element a
+// p-ascending sum with the same zero-input skip as the GEMM kernels,
+// then + bias — bit-identical to the corresponding slice of
+// LinearForward for finite weights.
+Tensor DenseForwardCols(const Tensor& input, const Parameter& weight,
+                        const Parameter& bias, size_t c0, size_t c1) {
+  const size_t k = input.cols(), m = c1 - c0;
+  Tensor out = Tensor::Uninitialized(input.rows(), m);
+  ForEachRow(input.rows(), 2 * input.rows() * k * m,
+             [&](size_t r0, size_t r1) {
+               const float* brow = bias.value.RowPtr(0) + c0;
+               for (size_t r = r0; r < r1; ++r) {
+                 const float* arow = input.RowPtr(r);
+                 float* orow = out.RowPtr(r);
+                 std::memset(orow, 0, m * sizeof(float));
+                 for (size_t p = 0; p < k; ++p) {
+                   const float av = arow[p];
+                   if (av == 0.0f) continue;
+                   const float* wrow = weight.value.RowPtr(p) + c0;
+                   for (size_t j = 0; j < m; ++j) orow[j] += av * wrow[j];
+                 }
+                 for (size_t j = 0; j < m; ++j) orow[j] += brow[j];
+               }
+             });
   return out;
 }
 
@@ -37,6 +113,24 @@ Tensor Dense::Forward(const Tensor& input) {
 Tensor Dense::Apply(const Tensor& input) const {
   CONFCARD_DCHECK(input.cols() == weight_.value.rows());
   return LinearForward(input, weight_, bias_);
+}
+
+Tensor Dense::ApplyActivated(const Tensor& input, bool relu) const {
+  CONFCARD_DCHECK(input.cols() == weight_.value.rows());
+  Tensor out = MatMul(input, weight_.value);
+  const float* b = bias_.value.RowPtr(0);
+  for (size_t r = 0; r < out.rows(); ++r) {
+    float* row = out.RowPtr(r);
+    if (relu) {
+      for (size_t c = 0; c < out.cols(); ++c) {
+        const float v = row[c] + b[c];
+        row[c] = v < 0.0f ? 0.0f : v;
+      }
+    } else {
+      for (size_t c = 0; c < out.cols(); ++c) row[c] += b[c];
+    }
+  }
+  return out;
 }
 
 Tensor Dense::Backward(const Tensor& grad_output) {
@@ -79,6 +173,25 @@ Tensor MaskedDense::Apply(const Tensor& input) const {
   return LinearForward(input, weight_, bias_);
 }
 
+Tensor MaskedDense::ApplyOneHot(const SparseRows& input) const {
+  CONFCARD_DCHECK(input.cols == weight_.value.rows());
+  return OneHotForwardCols(input, weight_, bias_, 0, weight_.value.cols());
+}
+
+Tensor MaskedDense::ApplyOneHotCols(const SparseRows& input, size_t col_begin,
+                                    size_t col_end) const {
+  CONFCARD_DCHECK(input.cols == weight_.value.rows());
+  CONFCARD_DCHECK(col_begin <= col_end && col_end <= weight_.value.cols());
+  return OneHotForwardCols(input, weight_, bias_, col_begin, col_end);
+}
+
+Tensor MaskedDense::ApplyCols(const Tensor& input, size_t col_begin,
+                              size_t col_end) const {
+  CONFCARD_DCHECK(input.cols() == weight_.value.rows());
+  CONFCARD_DCHECK(col_begin <= col_end && col_end <= weight_.value.cols());
+  return DenseForwardCols(input, weight_, bias_, col_begin, col_end);
+}
+
 Tensor MaskedDense::Backward(const Tensor& grad_output) {
   Tensor wgrad = MatMulTransA(input_, grad_output);
   // Mask the gradient so optimizer steps never resurrect masked weights.
@@ -111,6 +224,14 @@ Tensor Relu::Apply(const Tensor& input) const {
   return out;
 }
 
+Tensor Relu::Apply(Tensor&& input) const {
+  Tensor out = std::move(input);
+  for (float& v : out.data()) {
+    if (v < 0.0f) v = 0.0f;
+  }
+  return out;
+}
+
 Tensor Relu::Backward(const Tensor& grad_output) {
   CONFCARD_DCHECK(grad_output.size() == input_.size());
   Tensor grad = grad_output;
@@ -127,8 +248,14 @@ Tensor Sequential::Forward(const Tensor& input) {
 }
 
 Tensor Sequential::Apply(const Tensor& input) const {
-  Tensor x = input;
-  for (const auto& layer : layers_) x = layer->Apply(x);
+  // The first layer reads `input` in place (no copy); later layers take
+  // rvalues so in-place-capable layers (Relu) reuse the buffer. Values
+  // are unchanged — only copies are elided.
+  if (layers_.empty()) return input;
+  Tensor x = layers_.front()->Apply(input);
+  for (size_t i = 1; i < layers_.size(); ++i) {
+    x = layers_[i]->Apply(std::move(x));
+  }
   return x;
 }
 

@@ -34,6 +34,13 @@ class Layer {
   /// pool). Backward after Apply is invalid.
   virtual Tensor Apply(const Tensor& input) const = 0;
 
+  /// Apply for a caller that is done with `input`: layers that can work
+  /// in place (activations) reuse the buffer instead of copying it. The
+  /// values are identical to Apply(const Tensor&); only allocations and
+  /// copies differ. Batched inference pipes large intermediates through
+  /// this overload so each layer step stops costing a full-tensor copy.
+  virtual Tensor Apply(Tensor&& input) const { return Apply(input); }
+
   /// Given dLoss/dOutput, accumulates parameter gradients and returns
   /// dLoss/dInput. Must be called after Forward on the same batch.
   virtual Tensor Backward(const Tensor& grad_output) = 0;
@@ -51,6 +58,13 @@ class Dense : public Layer {
   Tensor Apply(const Tensor& input) const override;
   Tensor Backward(const Tensor& grad_output) override;
   std::vector<Parameter*> Parameters() override;
+
+  /// Inference forward with the bias-add and (optionally) the following
+  /// ReLU fused into one sweep over the output. Per element the sequence
+  /// is unchanged — products in ascending input order, then + bias, then
+  /// the clamp — so the result is bit-identical to Apply(input) followed
+  /// by Relu::Apply; only the number of passes over the tensor differs.
+  Tensor ApplyActivated(const Tensor& input, bool relu) const;
 
   size_t in_dim() const { return weight_.value.rows(); }
   size_t out_dim() const { return weight_.value.cols(); }
@@ -76,6 +90,27 @@ class MaskedDense : public Layer {
   Tensor Backward(const Tensor& grad_output) override;
   std::vector<Parameter*> Parameters() override;
 
+  /// Inference forward over a block-sparse one-hot input (see
+  /// SparseRows): gathers the weight rows named by each input row's set
+  /// indices instead of multiplying zeros — O(nnz * out) instead of
+  /// O(in * out). Nonzero contributions accumulate in the same ascending
+  /// index order as Apply's dense GEMM, so outputs are bit-identical to
+  /// Apply on the equivalent dense tensor (finite weights).
+  Tensor ApplyOneHot(const SparseRows& input) const;
+  /// ApplyOneHot restricted to output columns [col_begin, col_end).
+  /// Column j of the result equals column col_begin + j of ApplyOneHot.
+  Tensor ApplyOneHotCols(const SparseRows& input, size_t col_begin,
+                         size_t col_end) const;
+  /// Dense inference forward restricted to output columns
+  /// [col_begin, col_end) — what Naru's sampler needs from the MADE
+  /// output layer, which is softmaxed one column block at a time.
+  /// Bit-identical to the corresponding slice of Apply.
+  Tensor ApplyCols(const Tensor& input, size_t col_begin,
+                   size_t col_end) const;
+
+  size_t in_dim() const { return weight_.value.rows(); }
+  size_t out_dim() const { return weight_.value.cols(); }
+
   const Tensor& mask() const { return mask_; }
 
  private:
@@ -92,6 +127,9 @@ class Relu : public Layer {
  public:
   Tensor Forward(const Tensor& input) override;
   Tensor Apply(const Tensor& input) const override;
+  /// In-place clamp of a buffer the caller no longer needs: same values,
+  /// no copy.
+  Tensor Apply(Tensor&& input) const override;
   Tensor Backward(const Tensor& grad_output) override;
 
  private:
@@ -113,6 +151,7 @@ class Sequential : public Layer {
   std::vector<Parameter*> Parameters() override;
 
   size_t num_layers() const { return layers_.size(); }
+  const Layer& layer(size_t i) const { return *layers_[i]; }
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;

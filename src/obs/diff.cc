@@ -200,9 +200,12 @@ bool IsCoverageName(const std::string& name) {
 // Thread-pool scheduling telemetry (queue depth, tasks executed, busy
 // fractions) legitimately varies with CONFCARD_THREADS while every
 // result metric stays bit-identical, so pool.* never participates in
-// the diff in either direction.
+// the diff in either direction. The batched-inference throughput gauge
+// is wall-clock-derived the same way and is excluded for the same
+// reason.
 bool IsSchedulingName(const std::string& name) {
-  return name.rfind("pool.", 0) == 0;
+  return name.rfind("pool.", 0) == 0 ||
+         name == "ce.infer.batch_queries_per_sec";
 }
 
 void DiffQuantiles(const std::string& prefix, const RunView::HistView& a,

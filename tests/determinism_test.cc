@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "ce/lwnn.h"
+#include "ce/mscn.h"
 #include "ce/naru.h"
 #include "common/parallel.h"
 #include "data/generators.h"
@@ -166,6 +167,86 @@ TEST(DeterminismTest, OneThreadAndFourThreadsProduceIdenticalRuns) {
 
   EXPECT_FALSE(serial.normalized_events.empty());
   EXPECT_EQ(serial.normalized_events, pooled.normalized_events);
+}
+
+// The batched-inference contract: EstimateBatch (and, for Naru, the
+// sparsity-aware engine behind it) must be bit-identical to the
+// per-query dense path for all three estimators, at 1 and 4 threads.
+TEST(DeterminismTest, BatchedSparseInferenceMatchesPerQueryDense) {
+  const int saved_threads = CurrentThreads();
+  Fixture f = MakeFixture();
+
+  LwnnEstimator::Options lo;
+  lo.epochs = 8;
+  lo.hidden1 = 16;
+  lo.hidden2 = 8;
+  LwnnEstimator lwnn(lo);
+  ASSERT_TRUE(lwnn.Train(f.table, f.train).ok());
+
+  MscnEstimator::Options mo;
+  mo.model.epochs = 4;
+  mo.model.set_hidden = 16;
+  mo.model.final_hidden = 16;
+  MscnEstimator mscn(mo);
+  ASSERT_TRUE(mscn.Train(f.table, f.train).ok());
+
+  NaruConfig nc;
+  nc.hidden = 16;
+  nc.hidden_layers = 1;
+  nc.epochs = 2;
+  nc.num_samples = 8;
+  NaruEstimator naru(nc);
+  ASSERT_TRUE(naru.Train(f.table).ok());
+
+  std::vector<Query> queries;
+  queries.reserve(f.test.size());
+  for (const LabeledQuery& lq : f.test) queries.push_back(lq.query);
+
+  // Per-query dense references, computed once at 1 thread. Naru's dense
+  // path is the pre-engine reference implementation.
+  SetThreads(1);
+  naru.set_sparse_inference(false);
+  std::vector<double> lwnn_ref, mscn_ref, naru_ref;
+  for (const Query& q : queries) {
+    lwnn_ref.push_back(lwnn.EstimateCardinality(q));
+    mscn_ref.push_back(mscn.EstimateCardinality(q));
+    naru_ref.push_back(naru.EstimateCardinality(q));
+  }
+
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    SetThreads(threads);
+
+    // Per-query sparse Naru == per-query dense.
+    naru.set_sparse_inference(true);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(naru.EstimateCardinality(queries[i]), naru_ref[i])
+          << "query " << i;
+    }
+
+    // Batched == per-query, bit for bit, for every estimator.
+    std::vector<double> got(queries.size());
+    lwnn.EstimateBatch(queries.data(), queries.size(), got.data());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(got[i], lwnn_ref[i]) << "lw-nn query " << i;
+    }
+    mscn.EstimateBatch(queries.data(), queries.size(), got.data());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(got[i], mscn_ref[i]) << "mscn query " << i;
+    }
+    naru.EstimateBatch(queries.data(), queries.size(), got.data());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(got[i], naru_ref[i]) << "naru query " << i;
+    }
+
+    // The base-class default (a plain loop) must agree too.
+    naru.CardinalityEstimator::EstimateBatch(queries.data(), queries.size(),
+                                             got.data());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(got[i], naru_ref[i]) << "naru default-loop query " << i;
+    }
+  }
+  SetThreads(saved_threads);
 }
 
 }  // namespace
