@@ -1,0 +1,139 @@
+// Fault sweep: the guarded serving path under injected model faults at
+// 0% / 1% / 10% rates. The primary (LW-NN) is trained healthy, then
+// nan/fail/slow arms are configured on lwnn.forward and the guarded
+// S-CP harness runs end to end at each rate. The run must complete,
+// report how many queries degraded to the fallback chain, and keep the
+// coverage of *healthy* queries within one point of the no-fault run —
+// degraded queries are aggregated separately with conservatively
+// inflated intervals, so they cannot pollute the healthy guarantee.
+// Emits BENCH_faults.json. Breaker disabled: at a 10% injection rate a
+// long unlucky streak could trip it, and an open breaker makes the
+// sweep's degraded counts depend on query order rather than on the
+// per-query injection dice.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/fault.h"
+
+namespace confcard {
+namespace {
+
+constexpr double kRates[] = {0.0, 0.01, 0.10};
+
+struct SweepPoint {
+  double rate = 0.0;
+  uint64_t num_degraded = 0;
+  double coverage_healthy = 0.0;
+  double coverage_degraded = 0.0;
+  double mean_width_sel = 0.0;
+};
+
+std::string SpecFor(double rate) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "lwnn.forward:nan@%.6f;lwnn.forward:fail@%.6f;"
+                "lwnn.forward:slow@%.6f",
+                rate, rate, rate);
+  return buf;
+}
+
+int Main() {
+  bench::PrintScaleNote();
+
+  Table table = MakeDmv(bench::DefaultRows(), 3).value();
+  bench::Splits splits = bench::MakeSplits(table);
+
+  // Train once, healthy: faults target serving, not training.
+  LwnnEstimator primary(bench::LwnnDefaults());
+  CONFCARD_CHECK(primary.Train(table, splits.train).ok());
+
+  fault::Registry& reg = fault::Registry::Instance();
+  reg.set_slow_micros(100);  // keep injected sleeps bench-friendly
+
+  GuardOptions gopts;
+  // No retries: with a retry, a query only degrades when two independent
+  // injection rolls both fire (~0.01% at the 1% rate), leaving the
+  // degraded slice empty at bench sizes. Retry semantics are covered by
+  // guarded_test; here every fired fault must reach the fallback chain.
+  gopts.max_retries = 0;
+  gopts.breaker_threshold = 0;  // see header comment
+  GuardedEstimator guard(primary, table, gopts);
+
+  std::vector<SweepPoint> points;
+  for (double rate : kRates) {
+    CONFCARD_CHECK(reg.ConfigureFromString(SpecFor(rate)).ok());
+    SingleTableHarness h(table, splits.train, splits.calib, splits.test,
+                         {});
+    MethodResult r = h.RunScpGuarded(guard);
+    for (const PiRow& row : r.rows) {
+      CONFCARD_CHECK_MSG(std::isfinite(row.lo) && std::isfinite(row.hi),
+                         "fault sweep produced a non-finite interval");
+    }
+    SweepPoint p;
+    p.rate = rate;
+    p.num_degraded = r.num_degraded;
+    p.coverage_healthy = r.coverage;
+    p.coverage_degraded = r.coverage_degraded;
+    p.mean_width_sel = r.mean_width_sel;
+    points.push_back(p);
+    std::printf(
+        "rate=%4.2f  degraded=%4llu/%zu  coverage(healthy)=%.3f  "
+        "coverage(degraded)=%.3f  width_sel=%.4f\n",
+        rate, static_cast<unsigned long long>(r.num_degraded), r.rows.size(),
+        r.coverage, r.coverage_degraded, r.mean_width_sel);
+  }
+  reg.Clear();
+
+  // The acceptance gate: faults must not move the healthy-slice
+  // coverage by more than a point relative to the no-fault run. The
+  // extra 1/healthy_n absorbs the one-query granularity of the smoke
+  // scale (100 test queries -> 1pp per row).
+  const size_t test_n = splits.test.size();
+  const double tolerance = 0.01 + 1.0 / static_cast<double>(test_n);
+  CONFCARD_CHECK_MSG(points[0].num_degraded == 0,
+                     "no-fault run reported degraded queries");
+  for (size_t i = 1; i < points.size(); ++i) {
+    const double drift =
+        std::fabs(points[i].coverage_healthy - points[0].coverage_healthy);
+    CONFCARD_CHECK_MSG(drift <= tolerance,
+                       "healthy coverage drifted past tolerance under faults");
+    CONFCARD_CHECK_MSG(points[i].num_degraded > 0,
+                       "faulted run degraded nothing; injection inert?");
+  }
+
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String("faults");
+  w.Key("scale").Number(bench::BenchScale());
+  w.Key("model").String(guard.name());
+  w.Key("test_queries").Int(static_cast<uint64_t>(test_n));
+  w.Key("coverage_tolerance").Number(tolerance);
+  w.Key("sweep").BeginArray();
+  for (const SweepPoint& p : points) {
+    w.BeginObject();
+    w.Key("rate").Number(p.rate);
+    w.Key("num_degraded").Int(p.num_degraded);
+    w.Key("coverage_healthy").Number(p.coverage_healthy);
+    w.Key("coverage_degraded").Number(p.coverage_degraded);
+    w.Key("mean_width_sel").Number(p.mean_width_sel);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  const char* path = "BENCH_faults.json";
+  std::ofstream out(path, std::ios::binary);
+  CONFCARD_CHECK_MSG(out.is_open(), "cannot write BENCH_faults.json");
+  out << w.str() << "\n";
+  std::printf("wrote %s\n", path);
+  return 0;
+}
+
+}  // namespace
+}  // namespace confcard
+
+int main() { return confcard::Main(); }

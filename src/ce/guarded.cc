@@ -1,0 +1,272 @@
+#include "ce/guarded.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/fault.h"
+#include "common/stopwatch.h"
+#include "obs/event_log.h"
+#include "obs/json.h"
+#include "query/validate.h"
+
+namespace confcard {
+
+GuardedEstimator::GuardMetrics::GuardMetrics()
+    : queries(obs::Metrics().GetCounter("ce.guard.queries")),
+      primary_ok(obs::Metrics().GetCounter("ce.guard.primary_ok")),
+      sanitized_nan(obs::Metrics().GetCounter("ce.guard.sanitized_nan")),
+      sanitized_negative(
+          obs::Metrics().GetCounter("ce.guard.sanitized_negative")),
+      budget_exceeded(obs::Metrics().GetCounter("ce.guard.budget_exceeded")),
+      retries(obs::Metrics().GetCounter("ce.guard.retries")),
+      retry_success(obs::Metrics().GetCounter("ce.guard.retry_success")),
+      fallback_served(obs::Metrics().GetCounter("ce.guard.fallback_served")),
+      invalid_query(obs::Metrics().GetCounter("ce.guard.invalid_query")),
+      breaker_trips(obs::Metrics().GetCounter("ce.guard.breaker_trips")),
+      breaker_probes(obs::Metrics().GetCounter("ce.guard.breaker_probes")),
+      breaker_recoveries(
+          obs::Metrics().GetCounter("ce.guard.breaker_recoveries")),
+      breaker_open(obs::Metrics().GetGauge("ce.guard.breaker_open")),
+      latency_us(obs::Metrics().GetHistogram("ce.guard.latency_us")) {}
+
+GuardedEstimator::GuardMetrics& GuardedEstimator::SharedMetrics() {
+  static GuardMetrics* metrics = new GuardMetrics();
+  return *metrics;
+}
+
+GuardedEstimator::GuardedEstimator(const CardinalityEstimator& primary,
+                                   const Table& table, GuardOptions options)
+    : primary_(&primary),
+      histogram_(std::make_unique<HistogramEstimator>(table)),
+      options_(options),
+      num_columns_(table.num_columns()),
+      metrics_(SharedMetrics()) {}
+
+void GuardedEstimator::AddFallback(const CardinalityEstimator& fallback) {
+  fallbacks_.push_back(&fallback);
+}
+
+std::string GuardedEstimator::name() const {
+  return "guarded(" + primary_->name() + ")";
+}
+
+bool GuardedEstimator::Sane(double v) {
+  return std::isfinite(v) && v >= 0.0;
+}
+
+bool GuardedEstimator::breaker_open() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_;
+}
+
+bool GuardedEstimator::AllowPrimary(bool* probe) const {
+  *probe = false;
+  if (options_.breaker_threshold <= 0) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return true;
+  if (cooldown_remaining_ > 0) {
+    --cooldown_remaining_;
+    return false;
+  }
+  *probe = true;
+  return true;
+}
+
+void GuardedEstimator::RecordPrimaryOutcome(bool ok, bool was_probe) const {
+  if (options_.breaker_threshold <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ok) {
+    consecutive_failures_ = 0;
+    if (open_) {
+      // A healthy probe closes the breaker.
+      open_ = false;
+      metrics_.breaker_recoveries.Increment();
+      metrics_.breaker_open.Set(0.0);
+    }
+    return;
+  }
+  if (open_) {
+    // A failed probe restarts the cooldown; the breaker stays open.
+    cooldown_remaining_ = options_.breaker_cooldown;
+    return;
+  }
+  if (++consecutive_failures_ >= options_.breaker_threshold) {
+    open_ = true;
+    cooldown_remaining_ = options_.breaker_cooldown;
+    metrics_.breaker_trips.Increment();
+    metrics_.breaker_open.Set(1.0);
+  }
+  (void)was_probe;
+}
+
+bool GuardedEstimator::TryPrimary(const Query& query, double* value) const {
+  const int attempts = 1 + std::max(options_.max_retries, 0);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    double v;
+    double elapsed_us;
+    {
+      Stopwatch watch;
+      if (attempt == 0) {
+        // Attempt 0 runs with the default retry salt so a guarded
+        // primary sees exactly the injection decisions the raw model
+        // would.
+        v = primary_->EstimateCardinality(query);
+      } else {
+        fault::ScopedRetrySalt salt(static_cast<uint64_t>(attempt));
+        v = primary_->EstimateCardinality(query);
+      }
+      elapsed_us = watch.ElapsedMicros();
+    }
+    bool ok = Sane(v);
+    if (!ok) {
+      (std::isnan(v) || std::isinf(v) ? metrics_.sanitized_nan
+                                      : metrics_.sanitized_negative)
+          .Increment();
+    } else if (options_.latency_budget_us > 0.0 &&
+               elapsed_us > options_.latency_budget_us) {
+      metrics_.budget_exceeded.Increment();
+      ok = false;
+    }
+    if (ok) {
+      if (attempt > 0) metrics_.retry_success.Increment();
+      *value = v;
+      return true;
+    }
+    if (attempt + 1 < attempts) metrics_.retries.Increment();
+  }
+  return false;
+}
+
+GuardedEstimate GuardedEstimator::ServeFallback(const Query& query) const {
+  metrics_.fallback_served.Increment();
+  for (size_t i = 0; i < fallbacks_.size(); ++i) {
+    const double v = fallbacks_[i]->EstimateCardinality(query);
+    if (Sane(v)) return {v, true, static_cast<int>(i) + 1};
+  }
+  double v = histogram_->EstimateCardinality(query);
+  if (!Sane(v)) v = 0.0;  // the AVI estimator is always sane; belt & braces
+  return {v, true, static_cast<int>(fallbacks_.size()) + 1};
+}
+
+void GuardedEstimator::EmitGuardRecord(const Query& query,
+                                       const GuardedEstimate& outcome,
+                                       const char* reason) const {
+  obs::EventLog& elog = obs::EventLog::Instance();
+  if (!elog.enabled()) return;
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("type").String("guard");
+  w.Key("model").String(primary_->name());
+  w.Key("reason").String(reason);
+  w.Key("qkey").Int(QueryContentKey(query));
+  w.Key("value").Number(outcome.value);
+  w.Key("degraded").Bool(outcome.degraded);
+  w.Key("source").Number(static_cast<double>(outcome.source));
+  w.EndObject();
+  elog.AppendRecord(w.TakeString());
+}
+
+// Everything EstimateGuarded does except the per-query counter bump —
+// the batched fast path re-enters here for queries whose batched output
+// failed sanitization, and must not double-count them.
+GuardedEstimate GuardedEstimator::GuardOne(const Query& query) const {
+  if (!ValidateQuery(query, num_columns_).ok()) {
+    metrics_.invalid_query.Increment();
+    // A malformed query has no meaningful cardinality; quarantine it
+    // with the empty-result answer rather than crashing an estimator.
+    GuardedEstimate out{0.0, true, -1};
+    EmitGuardRecord(query, out, "invalid_query");
+    return out;
+  }
+  Stopwatch watch;
+  bool probe = false;
+  if (!AllowPrimary(&probe)) {
+    GuardedEstimate out = ServeFallback(query);
+    EmitGuardRecord(query, out, "breaker_open");
+    metrics_.latency_us.Record(watch.ElapsedMicros());
+    return out;
+  }
+  if (probe) metrics_.breaker_probes.Increment();
+  double value = 0.0;
+  if (TryPrimary(query, &value)) {
+    RecordPrimaryOutcome(true, probe);
+    metrics_.primary_ok.Increment();
+    metrics_.latency_us.Record(watch.ElapsedMicros());
+    return {value, false, 0};
+  }
+  RecordPrimaryOutcome(false, probe);
+  GuardedEstimate out = ServeFallback(query);
+  EmitGuardRecord(query, out, probe ? "probe_failed" : "primary_failed");
+  metrics_.latency_us.Record(watch.ElapsedMicros());
+  return out;
+}
+
+GuardedEstimate GuardedEstimator::EstimateGuarded(const Query& query) const {
+  metrics_.queries.Increment();
+  return GuardOne(query);
+}
+
+void GuardedEstimator::EstimateBatchGuarded(const Query* queries, size_t n,
+                                            GuardedEstimate* out) const {
+  if (n == 0) return;
+  metrics_.queries.Increment(n);
+  // The primary's batched engine is only safe (and only bit-identical
+  // to the per-query guard) when nothing can intervene mid-batch: no
+  // injected faults, no per-query budget, breaker closed.
+  const bool fast = !fault::Enabled() && options_.latency_budget_us <= 0.0 &&
+                    !breaker_open();
+  if (!fast) {
+    for (size_t i = 0; i < n; ++i) out[i] = GuardOne(queries[i]);
+    return;
+  }
+
+  // Validate first: the primary may index columns without checks.
+  std::vector<size_t> valid;
+  valid.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (ValidateQuery(queries[i], num_columns_).ok()) {
+      valid.push_back(i);
+    } else {
+      metrics_.invalid_query.Increment();
+      out[i] = {0.0, true, -1};
+      EmitGuardRecord(queries[i], out[i], "invalid_query");
+    }
+  }
+  if (valid.empty()) return;
+
+  std::vector<double> values(valid.size());
+  if (valid.size() == n) {
+    primary_->EstimateBatch(queries, n, values.data());
+  } else {
+    std::vector<Query> compacted;
+    compacted.reserve(valid.size());
+    for (size_t idx : valid) compacted.push_back(queries[idx]);
+    primary_->EstimateBatch(compacted.data(), compacted.size(),
+                            values.data());
+  }
+  for (size_t k = 0; k < valid.size(); ++k) {
+    const size_t i = valid[k];
+    if (Sane(values[k])) {
+      metrics_.primary_ok.Increment();
+      out[i] = {values[k], false, 0};
+    } else {
+      // A real (un-injected) NaN/negative from the primary: run the full
+      // per-query ladder, which re-counts the sanitization and falls
+      // back.
+      out[i] = GuardOne(queries[i]);
+    }
+  }
+}
+
+double GuardedEstimator::EstimateCardinality(const Query& query) const {
+  return EstimateGuarded(query).value;
+}
+
+void GuardedEstimator::EstimateBatch(const Query* queries, size_t n,
+                                     double* out) const {
+  std::vector<GuardedEstimate> guarded(n);
+  EstimateBatchGuarded(queries, n, guarded.data());
+  for (size_t i = 0; i < n; ++i) out[i] = guarded[i].value;
+}
+
+}  // namespace confcard

@@ -1,0 +1,161 @@
+// Guarded estimation: a decorator that makes any CardinalityEstimator
+// safe to serve. The paper's models fail silently — NaN logits, exp()
+// blow-ups, pathological latencies — and a production serving path
+// (postgrespro/aqo is the model here) survives because it always has a
+// fallback to a native estimator. GuardedEstimator supplies exactly
+// that:
+//
+//   * queries are validated up front (column range, lo <= hi, no NaN
+//     bounds); invalid queries are quarantined instead of aborting,
+//   * primary outputs are sanitized — NaN/Inf/negative estimates never
+//     escape,
+//   * an optional per-query latency budget turns pathological slowness
+//     into a failure,
+//   * a failed primary is retried once (configurable), then falls back
+//     through a chain of alternates ending in an always-available
+//     histogram-AVI estimator built from the table,
+//   * a circuit breaker trips to fallback-only after K consecutive
+//     primary failures and recovers via a healthy probe after cooldown.
+//
+// Every intervention bumps a ce.guard.* metric and, when the event log
+// is armed, appends a guard record; healthy queries pay one validation
+// pass and one finiteness check. With no faults injected and no budget
+// configured, the guarded path is bit-identical to the raw estimator
+// (determinism_test enforces this).
+#ifndef CONFCARD_CE_GUARDED_H_
+#define CONFCARD_CE_GUARDED_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ce/estimator.h"
+#include "ce/histogram.h"
+#include "obs/metrics.h"
+
+namespace confcard {
+
+/// Guard policy knobs.
+struct GuardOptions {
+  /// Extra attempts on the primary after a failed one (0 = no retry).
+  int max_retries = 1;
+  /// Per-query wall-clock budget in microseconds for the primary; 0
+  /// disables budget enforcement (and keeps the guarded batch path on
+  /// the primary's batched fast path).
+  double latency_budget_us = 0.0;
+  /// Consecutive primary failures (counting each query once, after
+  /// retries) that trip the circuit breaker; <= 0 disables the breaker.
+  int breaker_threshold = 8;
+  /// Queries served fallback-only while the breaker is open before a
+  /// probe query is allowed through to the primary.
+  int breaker_cooldown = 32;
+};
+
+/// Outcome of one guarded estimate.
+struct GuardedEstimate {
+  /// Sanitized cardinality estimate (finite, >= 0).
+  double value = 0.0;
+  /// True when the primary did not produce this value (fallback chain,
+  /// open breaker, or quarantined invalid query). Degraded answers get
+  /// conservatively inflated prediction intervals downstream.
+  bool degraded = false;
+  /// 0: primary. 1..: index into the fallback chain (the final
+  /// histogram fallback is the last index). -1: quarantined invalid
+  /// query (no estimator ran).
+  int source = 0;
+};
+
+/// Decorator over a primary CardinalityEstimator. Neither the primary
+/// nor added fallbacks are owned; the terminal histogram fallback is
+/// built from the table and owned by the guard.
+class GuardedEstimator : public CardinalityEstimator {
+ public:
+  GuardedEstimator(const CardinalityEstimator& primary, const Table& table,
+                   GuardOptions options = {});
+
+  /// Inserts a fallback tried (in insertion order) before the terminal
+  /// histogram estimator. Not owned; must outlive the guard.
+  void AddFallback(const CardinalityEstimator& fallback);
+
+  std::string name() const override;
+  double EstimateCardinality(const Query& query) const override;
+  void EstimateBatch(const Query* queries, size_t n,
+                     double* out) const override;
+
+  /// Rich single-query path: value plus degradation provenance.
+  GuardedEstimate EstimateGuarded(const Query& query) const;
+  /// Rich batch path. When no faults are armed, no budget is set, and
+  /// the breaker is closed, this runs the primary's batched fast path
+  /// and only sanitizes; otherwise queries go through the full per-query
+  /// guard.
+  void EstimateBatchGuarded(const Query* queries, size_t n,
+                            GuardedEstimate* out) const;
+
+  /// Circuit-breaker state, for tests and monitors.
+  bool breaker_open() const;
+
+  const GuardOptions& options() const { return options_; }
+
+ private:
+  /// True iff `v` may be served as a cardinality.
+  static bool Sane(double v);
+
+  /// The full per-query guard (validate → breaker → primary ladder →
+  /// fallback), minus the queries-counter bump — shared by the single
+  /// and batch entry points.
+  GuardedEstimate GuardOne(const Query& query) const;
+  /// One guarded attempt ladder against the primary (including retries
+  /// and budget enforcement). Returns true and sets *value on success.
+  bool TryPrimary(const Query& query, double* value) const;
+  /// Walks the fallback chain; always produces a sane value.
+  GuardedEstimate ServeFallback(const Query& query) const;
+  /// Breaker bookkeeping after a query's primary outcome.
+  void RecordPrimaryOutcome(bool ok, bool was_probe) const;
+  /// Decides between primary and fallback for one query under the
+  /// breaker; sets *probe when this query is the post-cooldown probe.
+  bool AllowPrimary(bool* probe) const;
+
+  void EmitGuardRecord(const Query& query, const GuardedEstimate& outcome,
+                       const char* reason) const;
+
+  const CardinalityEstimator* primary_;
+  std::vector<const CardinalityEstimator*> fallbacks_;
+  std::unique_ptr<HistogramEstimator> histogram_;
+  GuardOptions options_;
+  size_t num_columns_;
+
+  // Breaker state. Guarded queries may run concurrently (the harness
+  // fans batches out); transitions are serialized by this mutex. With a
+  // healthy primary the state never changes, so faults-off parallel runs
+  // stay deterministic.
+  mutable std::mutex mu_;
+  mutable int consecutive_failures_ = 0;
+  mutable bool open_ = false;
+  mutable int cooldown_remaining_ = 0;
+
+  struct GuardMetrics {
+    obs::Counter& queries;
+    obs::Counter& primary_ok;
+    obs::Counter& sanitized_nan;
+    obs::Counter& sanitized_negative;
+    obs::Counter& budget_exceeded;
+    obs::Counter& retries;
+    obs::Counter& retry_success;
+    obs::Counter& fallback_served;
+    obs::Counter& invalid_query;
+    obs::Counter& breaker_trips;
+    obs::Counter& breaker_probes;
+    obs::Counter& breaker_recoveries;
+    obs::Gauge& breaker_open;
+    obs::Histogram& latency_us;
+    GuardMetrics();
+  };
+  static GuardMetrics& SharedMetrics();
+  GuardMetrics& metrics_;
+};
+
+}  // namespace confcard
+
+#endif  // CONFCARD_CE_GUARDED_H_

@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/rng.h"
+#include "query/validate.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "nn/serialize.h"
@@ -68,6 +70,7 @@ Status LwnnEstimator::Train(const Table& table, const Workload& workload) {
   }
   obs::TraceSpan span("train.lw-nn");
   span.SetAttr("train_queries", static_cast<double>(workload.size()));
+  CONFCARD_RETURN_NOT_OK(fault::Check("lwnn.train", options_.seed));
   PublishTrainMeta();
   obs::Metrics().GetCounter("ce.lw-nn.trainings").Increment();
   num_rows_ = static_cast<double>(table.num_rows());
@@ -145,7 +148,11 @@ double LwnnEstimator::EstimateCardinality(const Query& query) const {
   double card = std::exp(static_cast<double>(out.At(0, 0))) - 1.0;
   latency.Record(watch.ElapsedMicros());
   queries.Increment();
-  return std::clamp(card, 0.0, num_rows_);
+  card = std::clamp(card, 0.0, num_rows_);
+  if (fault::Enabled()) {
+    card = fault::PerturbValue("lwnn.forward", QueryContentKey(query), card);
+  }
+  return card;
 }
 
 void LwnnEstimator::EstimateBatch(const Query* queries, size_t n,
@@ -165,9 +172,14 @@ void LwnnEstimator::EstimateBatch(const Query* queries, size_t n,
     std::copy(f.begin(), f.end(), in.RowPtr(i));
   }
   nn::Tensor pred = net_->ApplyFused(in);
+  const bool faults = fault::Enabled();
   for (size_t i = 0; i < n; ++i) {
     const double card = std::exp(static_cast<double>(pred.At(i, 0))) - 1.0;
     out[i] = std::clamp(card, 0.0, num_rows_);
+    if (faults) {
+      out[i] = fault::PerturbValue("lwnn.forward",
+                                   QueryContentKey(queries[i]), out[i]);
+    }
   }
   const double per_query_us = watch.ElapsedMicros() / static_cast<double>(n);
   for (size_t i = 0; i < n; ++i) latency.Record(per_query_us);

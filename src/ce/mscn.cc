@@ -5,7 +5,9 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/stopwatch.h"
+#include "query/validate.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -50,6 +52,7 @@ Status MscnEstimator::Train(const Table& table, const Workload& workload) {
   }
   obs::TraceSpan span("train.mscn");
   span.SetAttr("train_queries", static_cast<double>(workload.size()));
+  CONFCARD_RETURN_NOT_OK(fault::Check("mscn.train", options_.model.seed));
   PublishTrainMeta();
   obs::Metrics().GetCounter("ce.mscn.trainings").Increment();
   num_rows_ = static_cast<double>(table.num_rows());
@@ -88,7 +91,11 @@ double MscnEstimator::EstimateCardinality(const Query& query) const {
   queries.Increment();
   // A single-table count can never exceed the table size; clamping also
   // guards against exp() blow-ups on out-of-distribution queries.
-  return std::clamp(std::exp(log_card) - 1.0, 0.0, num_rows_);
+  double card = std::clamp(std::exp(log_card) - 1.0, 0.0, num_rows_);
+  if (fault::Enabled()) {
+    card = fault::PerturbValue("mscn.forward", QueryContentKey(query), card);
+  }
+  return card;
 }
 
 void MscnEstimator::EstimateBatch(const Query* queries, size_t n,
@@ -130,8 +137,13 @@ void MscnEstimator::EstimateBatch(const Query* queries, size_t n,
     }
     model_->PredictLogCardPacked(packed, out + start);
   }
+  const bool faults = fault::Enabled();
   for (size_t i = 0; i < n; ++i) {
     out[i] = std::clamp(std::exp(out[i]) - 1.0, 0.0, num_rows_);
+    if (faults) {
+      out[i] = fault::PerturbValue("mscn.forward",
+                                   QueryContentKey(queries[i]), out[i]);
+    }
   }
   const double per_query_us = watch.ElapsedMicros() / static_cast<double>(n);
   for (size_t i = 0; i < n; ++i) latency.Record(per_query_us);

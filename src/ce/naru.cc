@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/fault.h"
 #include "common/rng.h"
+#include "query/validate.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "nn/serialize.h"
@@ -164,6 +166,7 @@ Status NaruEstimator::Train(const Table& table) {
   }
   obs::TraceSpan span("train.naru");
   span.SetAttr("rows", static_cast<double>(table.num_rows()));
+  CONFCARD_RETURN_NOT_OK(fault::Check("naru.train", config_.seed));
   obs::Metrics().SetMeta(
       "config.naru", "epochs=" + std::to_string(config_.epochs) +
                          " hidden=" + std::to_string(config_.hidden) +
@@ -451,7 +454,18 @@ double NaruEstimator::EstimateCardinality(const Query& query) const {
   const double selectivity = EstimateSelectivity(query);
   latency.Record(watch.ElapsedMicros());
   queries.Increment();
-  return selectivity * num_rows_;
+  double card = selectivity * num_rows_;
+  if (fault::Enabled()) {
+    const uint64_t key = QueryContentKey(query);
+    // sampler.step models a stall/failure inside progressive sampling —
+    // it only applies to queries that actually ran the sampling engine.
+    const PreparedQuery prepared = Prepare(query);
+    if (prepared.last_constrained >= 0 && !prepared.empty_range) {
+      card = fault::PerturbValue("sampler.step", key, card);
+    }
+    card = fault::PerturbValue("naru.forward", key, card);
+  }
+  return card;
 }
 
 void NaruEstimator::EstimateBatch(const Query* queries, size_t n,
@@ -497,6 +511,16 @@ void NaruEstimator::EstimateBatch(const Query* queries, size_t n,
                                           prepared[idx].last_constrained) *
                    num_rows_;
       }
+    }
+  }
+
+  if (fault::Enabled()) {
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t key = QueryContentKey(queries[i]);
+      if (prepared[i].last_constrained >= 0 && !prepared[i].empty_range) {
+        out[i] = fault::PerturbValue("sampler.step", key, out[i]);
+      }
+      out[i] = fault::PerturbValue("naru.forward", key, out[i]);
     }
   }
 

@@ -2,6 +2,8 @@
 
 #include <fstream>
 
+#include "common/fault.h"
+
 namespace confcard {
 
 ArchiveWriter::ArchiveWriter(uint32_t magic, uint32_t version) {
@@ -65,6 +67,9 @@ ArchiveReader::ArchiveReader(std::vector<uint8_t> bytes,
 Result<ArchiveReader> ArchiveReader::FromFile(const std::string& path,
                                               uint32_t expected_magic,
                                               uint32_t expected_version) {
+  if (fault::Enabled()) {
+    CONFCARD_RETURN_NOT_OK(fault::Check("io.archive", fault::KeyOf(path)));
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
   std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
@@ -76,7 +81,9 @@ Result<ArchiveReader> ArchiveReader::FromFile(const std::string& path,
 
 bool ArchiveReader::Take(void* out, size_t n) {
   if (!status_.ok()) return false;
-  if (pos_ + n > bytes_.size()) {
+  // pos_ <= bytes_.size() always holds; compare against the remaining
+  // byte count so an adversarial length can't overflow pos_ + n.
+  if (n > bytes_.size() - pos_) {
     Fail("truncated archive");
     return false;
   }
@@ -122,7 +129,7 @@ float ArchiveReader::ReadFloat() {
 std::string ArchiveReader::ReadString() {
   const uint64_t n = ReadU64();
   if (!status_.ok()) return "";
-  if (pos_ + n > bytes_.size()) {
+  if (n > bytes_.size() - pos_) {
     Fail("truncated string");
     return "";
   }
@@ -136,7 +143,9 @@ std::vector<double> ArchiveReader::ReadDoubleVec() {
   const uint64_t n = ReadU64();
   std::vector<double> v;
   if (!status_.ok()) return v;
-  if (pos_ + n * sizeof(double) > bytes_.size()) {
+  // Divide instead of multiplying: n * sizeof(double) can wrap for a
+  // corrupt length, making the bound check pass and resize() throw.
+  if (n > (bytes_.size() - pos_) / sizeof(double)) {
     Fail("truncated vector");
     return v;
   }
@@ -149,7 +158,7 @@ std::vector<float> ArchiveReader::ReadFloatVec() {
   const uint64_t n = ReadU64();
   std::vector<float> v;
   if (!status_.ok()) return v;
-  if (pos_ + n * sizeof(float) > bytes_.size()) {
+  if (n > (bytes_.size() - pos_) / sizeof(float)) {
     Fail("truncated vector");
     return v;
   }
@@ -165,7 +174,7 @@ void ArchiveReader::ReadFloatsInto(float* out, size_t n) {
     Fail("float vector length mismatch");
     return;
   }
-  if (pos_ + n * sizeof(float) > bytes_.size()) {
+  if (n > (bytes_.size() - pos_) / sizeof(float)) {
     Fail("truncated vector");
     return;
   }

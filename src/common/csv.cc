@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fault.h"
+
 namespace confcard {
 
 std::vector<std::string> SplitCsvLine(const std::string& line, char delim) {
@@ -38,6 +40,9 @@ std::vector<std::string> SplitCsvLine(const std::string& line, char delim) {
 Result<std::vector<std::vector<std::string>>> ReadCsv(
     const std::string& path, bool has_header,
     std::vector<std::string>* header, char delim) {
+  if (fault::Enabled()) {
+    CONFCARD_RETURN_NOT_OK(fault::Check("io.csv", fault::KeyOf(path)));
+  }
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open " + path);
   std::vector<std::vector<std::string>> rows;

@@ -1,0 +1,24 @@
+#include "conformal/validate.h"
+
+#include <cmath>
+#include <string>
+
+namespace confcard {
+
+Status ValidateAlpha(double alpha) {
+  if (!std::isfinite(alpha) || alpha <= 0.0 || alpha >= 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1); got " +
+                                   std::to_string(alpha));
+  }
+  return Status::OK();
+}
+
+Status ValidateFolds(int k) {
+  if (k < 2) {
+    return Status::InvalidArgument("jk_folds must be >= 2; got " +
+                                   std::to_string(k));
+  }
+  return Status::OK();
+}
+
+}  // namespace confcard

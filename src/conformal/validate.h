@@ -1,0 +1,20 @@
+// Config validation for the conformal layer. The method constructors
+// CHECK these invariants (library contract); user-facing entry points —
+// the harness factories, the CLI — validate first so a bad config comes
+// back as Status::InvalidArgument instead of aborting the process.
+#ifndef CONFCARD_CONFORMAL_VALIDATE_H_
+#define CONFCARD_CONFORMAL_VALIDATE_H_
+
+#include "common/status.h"
+
+namespace confcard {
+
+/// Miscoverage level: alpha must be strictly inside (0, 1).
+Status ValidateAlpha(double alpha);
+
+/// Fold count for JK-CV+: k must be at least 2.
+Status ValidateFolds(int k);
+
+}  // namespace confcard
+
+#endif  // CONFCARD_CONFORMAL_VALIDATE_H_

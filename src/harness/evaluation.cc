@@ -18,13 +18,24 @@ double EventClock::NowUs() const {
 
 void FinalizeMethodResult(MethodResult* result, double num_rows) {
   if (result->rows.empty()) return;
+  // Degraded rows (guard fallbacks with inflated intervals) are kept out
+  // of the headline aggregates so a fault sweep cannot flatter coverage
+  // with intentionally-wide intervals; they get their own slice below.
+  // With no degraded rows this loop is the historical all-rows pass.
   size_t covered = 0;
+  size_t healthy = 0;
+  size_t degraded_covered = 0;
   std::vector<double> widths, qerrs;
   widths.reserve(result->rows.size());
   qerrs.reserve(result->rows.size());
   double winkler = 0.0;
   const double penalty = 2.0 / std::max(result->alpha, 1e-9);
   for (const PiRow& r : result->rows) {
+    if (r.degraded) {
+      degraded_covered += r.covered() ? 1 : 0;
+      continue;
+    }
+    ++healthy;
     covered += r.covered() ? 1 : 0;
     widths.push_back(r.width() / num_rows);
     const double e = std::max(r.estimate, 1.0);
@@ -35,13 +46,21 @@ void FinalizeMethodResult(MethodResult* result, double num_rows) {
     if (r.truth > r.hi) score += penalty * (r.truth - r.hi);
     winkler += score / num_rows;
   }
-  result->winkler_sel = winkler / static_cast<double>(result->rows.size());
-  result->coverage =
-      static_cast<double>(covered) / static_cast<double>(result->rows.size());
-  result->mean_width_sel = Mean(widths);
-  result->median_width_sel = Percentile(widths, 50.0);
-  result->p90_width_sel = Percentile(widths, 90.0);
-  result->mean_qerror = Percentile(qerrs, 50.0);
+  result->num_degraded = result->rows.size() - healthy;
+  result->coverage_degraded =
+      result->num_degraded == 0
+          ? 0.0
+          : static_cast<double>(degraded_covered) /
+                static_cast<double>(result->num_degraded);
+  if (healthy > 0) {
+    result->winkler_sel = winkler / static_cast<double>(healthy);
+    result->coverage =
+        static_cast<double>(covered) / static_cast<double>(healthy);
+    result->mean_width_sel = Mean(widths);
+    result->median_width_sel = Percentile(widths, 50.0);
+    result->p90_width_sel = Percentile(widths, 90.0);
+    result->mean_qerror = Percentile(qerrs, 50.0);
+  }
 
   // Per-process method-run ordinal: benches finalize in a deterministic
   // order, so the same run reproduces the same sequence and obsdiff can
@@ -54,6 +73,16 @@ void FinalizeMethodResult(MethodResult* result, double num_rows) {
   obs::Metrics()
       .GetGauge("harness.width_sel" + suffix)
       .Set(result->mean_width_sel);
+  if (result->num_degraded > 0) {
+    // Registered only when degradation happened, so healthy runs keep a
+    // byte-identical metric namespace (the obsdiff gate relies on it).
+    obs::Metrics()
+        .GetGauge("harness.degraded" + suffix)
+        .Set(static_cast<double>(result->num_degraded));
+    obs::Metrics()
+        .GetGauge("harness.coverage_degraded" + suffix)
+        .Set(result->coverage_degraded);
+  }
 
   obs::EventLog& elog = obs::EventLog::Instance();
   if (elog.enabled()) {
@@ -73,6 +102,7 @@ void FinalizeMethodResult(MethodResult* result, double num_rows) {
       e.hi = r.hi;
       e.truth = r.truth;
       e.latency_us = r.latency_us;
+      e.degraded = r.degraded;
     }
     elog.AppendAll(events);
   }

@@ -24,6 +24,10 @@ struct PiRow {
   /// armed (see EventClock); 0 otherwise, so the hot loop stays free of
   /// clock syscalls in normal runs.
   double latency_us = 0.0;
+  /// True when the estimate came from a guard fallback (or quarantine)
+  /// and the interval was conservatively inflated. Degraded rows are
+  /// aggregated separately so healthy coverage stays unpolluted.
+  bool degraded = false;
 
   bool covered() const { return truth >= lo && truth <= hi; }
   double width() const { return hi - lo; }
@@ -55,6 +59,12 @@ struct MethodResult {
 
   double prep_millis = 0.0;   // extra training + calibration time
   double infer_micros = 0.0;  // per-query PI inference time
+
+  /// Degraded-row accounting (guarded runs only; both stay 0 otherwise).
+  /// When any row is degraded, the aggregates above are computed over
+  /// healthy rows only; the degraded slice is summarized here.
+  uint64_t num_degraded = 0;
+  double coverage_degraded = 0.0;
 
   std::vector<PiRow> rows;
 };

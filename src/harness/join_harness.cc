@@ -13,6 +13,7 @@
 #include "conformal/jackknife.h"
 #include "conformal/locally_weighted.h"
 #include "conformal/split.h"
+#include "conformal/validate.h"
 #include "obs/metrics.h"
 
 namespace confcard {
@@ -72,6 +73,21 @@ JoinHarness::JoinHarness(const Database& db, JoinWorkload train,
       scoring_(MakeScoring(options.score)) {
   CONFCARD_CHECK(!calib_.empty());
   CONFCARD_CHECK(!test_.empty());
+}
+
+Result<JoinHarness> JoinHarness::Make(const Database& db, JoinWorkload train,
+                                      JoinWorkload calib, JoinWorkload test,
+                                      Options options) {
+  CONFCARD_RETURN_NOT_OK(ValidateAlpha(options.alpha));
+  CONFCARD_RETURN_NOT_OK(ValidateFolds(options.jk_folds));
+  if (calib.empty()) {
+    return Status::InvalidArgument("calibration split is empty");
+  }
+  if (test.empty()) {
+    return Status::InvalidArgument("test split is empty");
+  }
+  return JoinHarness(db, std::move(train), std::move(calib), std::move(test),
+                     options);
 }
 
 const std::vector<double>& JoinHarness::Estimates(

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "ce/mscn.h"
+#include "common/status.h"
 #include "conformal/scoring.h"
 #include "gbdt/gbdt.h"
 #include "harness/evaluation.h"
@@ -31,6 +32,13 @@ class JoinHarness {
 
   JoinHarness(const Database& db, JoinWorkload train, JoinWorkload calib,
               JoinWorkload test, Options options);
+
+  /// Validating factory for user-supplied configs: checks alpha, fold
+  /// count, and non-empty calibration/test splits, returning
+  /// InvalidArgument instead of tripping the constructor's CHECKs.
+  static Result<JoinHarness> Make(const Database& db, JoinWorkload train,
+                                  JoinWorkload calib, JoinWorkload test,
+                                  Options options);
 
   MethodResult RunScp(const MscnJoinEstimator& model) const;
   MethodResult RunLwScp(const MscnJoinEstimator& model) const;

@@ -13,7 +13,9 @@
 #include "conformal/jackknife.h"
 #include "conformal/locally_weighted.h"
 #include "conformal/split.h"
+#include "conformal/validate.h"
 #include "obs/metrics.h"
+#include "query/validate.h"
 
 namespace confcard {
 namespace {
@@ -60,6 +62,31 @@ SingleTableHarness::SingleTableHarness(const Table& table, Workload train,
       num_rows_(static_cast<double>(table.num_rows())) {
   CONFCARD_CHECK(!calib_.empty());
   CONFCARD_CHECK(!test_.empty());
+}
+
+Result<SingleTableHarness> SingleTableHarness::Make(const Table& table,
+                                                    Workload train,
+                                                    Workload calib,
+                                                    Workload test,
+                                                    Options options) {
+  CONFCARD_RETURN_NOT_OK(ValidateAlpha(options.alpha));
+  CONFCARD_RETURN_NOT_OK(ValidateFolds(options.jk_folds));
+  if (!(options.degraded_inflation >= 1.0)) {
+    return Status::InvalidArgument(
+        "degraded_inflation must be >= 1 (intervals only widen)");
+  }
+  if (calib.empty()) {
+    return Status::InvalidArgument("calibration split is empty");
+  }
+  if (test.empty()) {
+    return Status::InvalidArgument("test split is empty");
+  }
+  const size_t cols = table.num_columns();
+  CONFCARD_RETURN_NOT_OK(ValidateWorkload(train, cols));
+  CONFCARD_RETURN_NOT_OK(ValidateWorkload(calib, cols));
+  CONFCARD_RETURN_NOT_OK(ValidateWorkload(test, cols));
+  return SingleTableHarness(table, std::move(train), std::move(calib),
+                            std::move(test), options);
 }
 
 const std::vector<double>& SingleTableHarness::Estimates(
@@ -162,6 +189,68 @@ MethodResult SingleTableHarness::RunScp(
       Interval iv = clip.Clip(scp.Predict(test_est[i]), num_rows_);
       result.rows.push_back({test_[i].cardinality, test_est[i], iv.lo,
                              iv.hi, clock.NowUs() - t0});
+    }
+  }
+  FinalizeMethodResult(&result, num_rows_);
+  return result;
+}
+
+MethodResult SingleTableHarness::RunScpGuarded(
+    const GuardedEstimator& guard) const {
+  MethodResult result = MakeResult(guard, "s-cp");
+  obs::TraceSpan span("harness.s-cp");
+  SplitConformal scp(scoring_, options_.alpha);
+
+  // Guarded estimates carry per-query degradation flags, so they bypass
+  // the plain Estimates() cache. The chunking matches Estimates() so the
+  // primary sees identical batches (bit-identity with RunScp when no
+  // faults are armed).
+  auto guarded_estimates = [&](const Workload& wl) {
+    std::vector<Query> queries(wl.size());
+    for (size_t i = 0; i < wl.size(); ++i) queries[i] = wl[i].query;
+    std::vector<GuardedEstimate> out(wl.size());
+    ParallelFor(wl.size(), 0, [&](size_t begin, size_t end) {
+      guard.EstimateBatchGuarded(queries.data() + begin, end - begin,
+                                 out.data() + begin);
+    });
+    return out;
+  };
+
+  std::vector<GuardedEstimate> calib_g, test_g;
+  {
+    PrepTimer prep(&result);
+    calib_g = guarded_estimates(calib_);
+    // Calibrate on healthy answers only: a fallback's residuals say
+    // nothing about the primary's error distribution, and folding them
+    // in would distort delta for every healthy query.
+    std::vector<double> est, truth;
+    est.reserve(calib_.size());
+    truth.reserve(calib_.size());
+    for (size_t i = 0; i < calib_.size(); ++i) {
+      if (calib_g[i].degraded) continue;
+      est.push_back(calib_g[i].value);
+      truth.push_back(calib_[i].cardinality);
+    }
+    CONFCARD_CHECK_MSG(!est.empty(),
+                       "guarded s-cp: no healthy calibration answers");
+    CONFCARD_CHECK(scp.Calibrate(est, truth).ok());
+  }
+
+  test_g = guarded_estimates(test_);
+  const double inflated_delta = scp.delta() * options_.degraded_inflation;
+  ClipCounter clip(result.method);
+  {
+    InferTimer infer(&result, test_.size());
+    EventClock clock;
+    for (size_t i = 0; i < test_.size(); ++i) {
+      const double t0 = clock.NowUs();
+      const double est = test_g[i].value;
+      Interval iv = test_g[i].degraded
+                        ? scoring_->Invert(est, inflated_delta)
+                        : scp.Predict(est);
+      iv = clip.Clip(iv, num_rows_);
+      result.rows.push_back({test_[i].cardinality, est, iv.lo, iv.hi,
+                             clock.NowUs() - t0, test_g[i].degraded});
     }
   }
   FinalizeMethodResult(&result, num_rows_);

@@ -15,6 +15,8 @@
 
 #include "ce/estimator.h"
 #include "ce/featurizer.h"
+#include "ce/guarded.h"
+#include "common/status.h"
 #include "conformal/scoring.h"
 #include "gbdt/gbdt.h"
 #include "harness/evaluation.h"
@@ -41,13 +43,34 @@ class SingleTableHarness {
     int perturbations = 8;
     gbdt::GbdtConfig gbdt;
     uint64_t seed = 5;
+    /// Multiplier applied to the calibrated quantile delta when building
+    /// the interval of a degraded (fallback-answered) test query, so
+    /// fallback answers get conservatively wider bands.
+    double degraded_inflation = 4.0;
   };
 
   SingleTableHarness(const Table& table, Workload train, Workload calib,
                      Workload test, Options options);
 
+  /// Validating factory for user-supplied configs: checks alpha, fold
+  /// count, non-empty calibration/test splits, and every workload query
+  /// against the table schema, returning InvalidArgument instead of
+  /// tripping the constructor's CHECKs. The table must outlive the
+  /// harness.
+  static Result<SingleTableHarness> Make(const Table& table, Workload train,
+                                         Workload calib, Workload test,
+                                         Options options);
+
   /// Split conformal prediction over the calibration split.
   MethodResult RunScp(const CardinalityEstimator& model) const;
+
+  /// S-CP through a guarded estimator. Calibrates on healthy calibration
+  /// answers only; test queries the guard degraded get an interval
+  /// inverted at delta * degraded_inflation and are flagged so
+  /// FinalizeMethodResult aggregates them separately. With no faults
+  /// armed this is row-for-row bit-identical to RunScp on the guard's
+  /// primary (determinism_test enforces it).
+  MethodResult RunScpGuarded(const GuardedEstimator& guard) const;
 
   /// Locally weighted S-CP; the difficulty model is fit on the training
   /// split's residuals (kGbdtMad) or derived from `prototype` retrains

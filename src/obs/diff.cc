@@ -91,6 +91,12 @@ Result<RunView> RunViewFromEvents(const std::vector<JsonValue>& events,
     if (e.kind != JsonValue::Kind::kObject) {
       return Status::InvalidArgument("event record is not an object");
     }
+    // Typed non-query records (the guard's intervention log) share the
+    // JSONL stream but are not per-query outcomes; skip them.
+    if (const JsonValue* type = e.Find("type");
+        type != nullptr && type->string_value != "query") {
+      continue;
+    }
     const JsonValue* model = e.Find("model");
     const JsonValue* method = e.Find("method");
     if (model == nullptr || method == nullptr) {
@@ -202,9 +208,10 @@ bool IsCoverageName(const std::string& name) {
 // result metric stays bit-identical, so pool.* never participates in
 // the diff in either direction. The batched-inference throughput gauge
 // is wall-clock-derived the same way and is excluded for the same
-// reason.
+// reason, as is the guard's wall-clock latency histogram.
 bool IsSchedulingName(const std::string& name) {
   return name.rfind("pool.", 0) == 0 ||
+         name.rfind("ce.guard.latency", 0) == 0 ||
          name == "ce.infer.batch_queries_per_sec";
 }
 

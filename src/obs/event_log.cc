@@ -30,6 +30,7 @@ std::string RenderQueryEvent(const QueryEvent& e) {
   w.Key("width").Number(width);
   w.Key("qerr").Number(qerr);
   w.Key("lat_us").Number(e.latency_us);
+  if (e.degraded) w.Key("deg").Bool(true);
   w.EndObject();
   return w.TakeString();
 }
@@ -56,6 +57,16 @@ EventLog::EventLog() {
 void EventLog::Append(const QueryEvent& e) {
   if (!enabled()) return;
   std::string line = RenderQueryEvent(e);
+  line += '\n';
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  buffer_ += line;
+  appended_.fetch_add(1, std::memory_order_relaxed);
+  if (buffer_.size() >= kFlushBytes) FlushLocked();
+}
+
+void EventLog::AppendRecord(std::string line) {
+  if (!enabled()) return;
   line += '\n';
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) return;

@@ -50,6 +50,11 @@ struct QueryEvent {
   /// Per-query PI-construction latency in microseconds (0 when the
   /// caller did not measure).
   double latency_us = 0.0;
+  /// True when the estimate came from a guard fallback and the interval
+  /// was conservatively inflated. Rendered as a trailing "deg":true only
+  /// when set, so logs from runs without degradation are byte-identical
+  /// to earlier versions.
+  bool degraded = false;
 };
 
 /// Renders one event as a single-line JSON object (no trailing newline):
@@ -68,6 +73,11 @@ class EventLog {
 
   /// Buffers one record; no-op when disabled.
   void Append(const QueryEvent& e);
+
+  /// Buffers one pre-rendered single-line JSON record (no trailing
+  /// newline) — for non-query records such as the guard's intervention
+  /// log, which carry a "type" discriminator. No-op when disabled.
+  void AppendRecord(std::string line);
 
   /// Buffers a batch under one lock acquisition: all lines are rendered
   /// up front, then spliced contiguously, so a batch is never

@@ -1,0 +1,60 @@
+#include "query/validate.h"
+
+#include <bit>
+#include <cmath>
+#include <string>
+
+namespace confcard {
+
+Status ValidateQuery(const Query& query, size_t num_columns) {
+  for (size_t i = 0; i < query.predicates.size(); ++i) {
+    const Predicate& p = query.predicates[i];
+    if (p.column < 0 || static_cast<size_t>(p.column) >= num_columns) {
+      return Status::InvalidArgument(
+          "predicate " + std::to_string(i) + " references column " +
+          std::to_string(p.column) + " of a " + std::to_string(num_columns) +
+          "-column table");
+    }
+    // NaN bounds fail both comparisons below, so they are rejected here
+    // too, not just inverted ranges.
+    if (!(p.lo <= p.hi)) {
+      return Status::InvalidArgument(
+          "predicate " + std::to_string(i) + " has lo > hi (or NaN bounds): " +
+          ToString(p));
+    }
+    if (p.op == PredOp::kEq && p.lo != p.hi) {
+      return Status::InvalidArgument("equality predicate " +
+                                     std::to_string(i) + " has lo != hi");
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateWorkload(const Workload& workload, size_t num_columns) {
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const Status st = ValidateQuery(workload[i].query, num_columns);
+    if (!st.ok()) {
+      return Status::InvalidArgument("workload query " + std::to_string(i) +
+                                     ": " + st.message());
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t QueryContentKey(const Query& query) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(query.predicates.size());
+  for (const Predicate& p : query.predicates) {
+    mix(static_cast<uint64_t>(static_cast<int64_t>(p.column)));
+    mix(static_cast<uint64_t>(p.op));
+    mix(std::bit_cast<uint64_t>(p.lo));
+    mix(std::bit_cast<uint64_t>(p.hi));
+  }
+  return h;
+}
+
+}  // namespace confcard

@@ -1,0 +1,34 @@
+// Query validation and content hashing, shared by the guarded serving
+// path and the harness factories. Library-internal code may still CHECK
+// on these invariants (programming errors fail fast); anything fed
+// user-supplied queries or configs validates first and surfaces
+// Status::InvalidArgument instead of aborting the process.
+#ifndef CONFCARD_QUERY_VALIDATE_H_
+#define CONFCARD_QUERY_VALIDATE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+#include "query/predicate.h"
+
+namespace confcard {
+
+/// Validates one query against a table with `num_columns` columns:
+/// every predicate's column index must be in [0, num_columns), its
+/// bounds finite-or-infinite (never NaN) with lo <= hi, and kEq
+/// predicates must have lo == hi.
+Status ValidateQuery(const Query& query, size_t num_columns);
+
+/// ValidateQuery over every query of a labeled workload; the message
+/// names the first offending query index.
+Status ValidateWorkload(const Workload& workload, size_t num_columns);
+
+/// FNV-1a content hash of a query (predicates only, not labels). Stable
+/// across runs, thread counts, and batching — the deterministic key for
+/// per-query fault injection.
+uint64_t QueryContentKey(const Query& query);
+
+}  // namespace confcard
+
+#endif  // CONFCARD_QUERY_VALIDATE_H_

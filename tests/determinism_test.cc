@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "ce/guarded.h"
 #include "ce/lwnn.h"
 #include "ce/mscn.h"
 #include "ce/naru.h"
@@ -245,6 +246,61 @@ TEST(DeterminismTest, BatchedSparseInferenceMatchesPerQueryDense) {
     for (size_t i = 0; i < queries.size(); ++i) {
       ASSERT_EQ(got[i], naru_ref[i]) << "naru default-loop query " << i;
     }
+  }
+  SetThreads(saved_threads);
+}
+
+// The guarded-path contract: with CONFCARD_FAULTS unset and no latency
+// budget, wrapping an estimator in GuardedEstimator must not change a
+// single bit — neither per query nor through the harness — at 1 and 4
+// threads, and must flag zero rows degraded.
+TEST(DeterminismTest, GuardedPathBitIdenticalToUnguardedWhenFaultsOff) {
+  const int saved_threads = CurrentThreads();
+  Fixture f = MakeFixture();
+
+  NaruConfig nc;
+  nc.hidden = 16;
+  nc.hidden_layers = 1;
+  nc.epochs = 2;
+  nc.num_samples = 8;
+  NaruEstimator naru(nc);
+  ASSERT_TRUE(naru.Train(f.table).ok());
+  GuardedEstimator guard(naru, f.table);
+
+  SingleTableHarness::Options opts;
+  opts.jk_folds = 3;
+  SingleTableHarness h(f.table, f.train, f.calib, f.test, opts);
+
+  SetThreads(1);
+  const MethodResult ref = h.RunScp(naru);
+  std::vector<double> raw;
+  raw.reserve(f.test.size());
+  for (const LabeledQuery& lq : f.test) {
+    raw.push_back(naru.EstimateCardinality(lq.query));
+  }
+
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    SetThreads(threads);
+
+    for (size_t i = 0; i < f.test.size(); ++i) {
+      const GuardedEstimate g = guard.EstimateGuarded(f.test[i].query);
+      ASSERT_EQ(g.value, raw[i]) << "query " << i;
+      ASSERT_FALSE(g.degraded) << "query " << i;
+    }
+
+    const MethodResult got = h.RunScpGuarded(guard);
+    EXPECT_EQ(got.num_degraded, 0u);
+    ASSERT_EQ(got.rows.size(), ref.rows.size());
+    for (size_t i = 0; i < ref.rows.size(); ++i) {
+      ASSERT_EQ(got.rows[i].truth, ref.rows[i].truth) << "query " << i;
+      ASSERT_EQ(got.rows[i].estimate, ref.rows[i].estimate) << "query " << i;
+      ASSERT_EQ(got.rows[i].lo, ref.rows[i].lo) << "query " << i;
+      ASSERT_EQ(got.rows[i].hi, ref.rows[i].hi) << "query " << i;
+      ASSERT_FALSE(got.rows[i].degraded) << "query " << i;
+    }
+    EXPECT_EQ(got.coverage, ref.coverage);
+    EXPECT_EQ(got.mean_width_sel, ref.mean_width_sel);
   }
   SetThreads(saved_threads);
 }

@@ -1,0 +1,214 @@
+// The fault-injection registry: grammar parsing, deterministic and
+// thread-count-independent Poll decisions, empirical rate accuracy, the
+// retry-salt re-roll, and the Train/IO Check sites end to end.
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ce/lwnn.h"
+#include "ce/mscn.h"
+#include "ce/naru.h"
+#include "common/archive.h"
+#include "common/csv.h"
+#include "common/parallel.h"
+#include "data/generators.h"
+#include "query/workload.h"
+
+namespace confcard {
+namespace {
+
+// Every test leaves the process registry clean: later tests (and any
+// code sharing this binary) must see faults disabled.
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::Registry::Instance().Clear(); }
+};
+
+TEST_F(FaultTest, ParsesWellFormedSpecs) {
+  auto specs = fault::ParseFaultSpecs(
+      "naru.forward:nan@0.02; mscn.train:fail@0.1 ;sampler.step:slow@0.05");
+  ASSERT_TRUE(specs.ok());
+  ASSERT_EQ(specs->size(), 3u);
+  EXPECT_EQ((*specs)[0].site, "naru.forward");
+  EXPECT_EQ((*specs)[0].kind, fault::Kind::kNan);
+  EXPECT_DOUBLE_EQ((*specs)[0].rate, 0.02);
+  EXPECT_EQ((*specs)[1].site, "mscn.train");
+  EXPECT_EQ((*specs)[1].kind, fault::Kind::kFail);
+  EXPECT_EQ((*specs)[2].kind, fault::Kind::kSlow);
+}
+
+TEST_F(FaultTest, EmptyAndTrailingSeparatorsAreFine) {
+  auto specs = fault::ParseFaultSpecs("");
+  ASSERT_TRUE(specs.ok());
+  EXPECT_TRUE(specs->empty());
+  specs = fault::ParseFaultSpecs("a:nan@1;;");
+  ASSERT_TRUE(specs.ok());
+  EXPECT_EQ(specs->size(), 1u);
+}
+
+TEST_F(FaultTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(fault::ParseFaultSpecs("noseparators").ok());
+  EXPECT_FALSE(fault::ParseFaultSpecs("site:badkind@0.5").ok());
+  EXPECT_FALSE(fault::ParseFaultSpecs("site:nan@1.5").ok());
+  EXPECT_FALSE(fault::ParseFaultSpecs("site:nan@-0.1").ok());
+  EXPECT_FALSE(fault::ParseFaultSpecs("site:nan@abc").ok());
+  EXPECT_FALSE(fault::ParseFaultSpecs(":nan@0.5").ok());
+  EXPECT_FALSE(fault::ParseFaultSpecs("site:nan@").ok());
+}
+
+TEST_F(FaultTest, PollIsDeterministicPerKeyAndClearDisables) {
+  fault::Registry& reg = fault::Registry::Instance();
+  ASSERT_TRUE(reg.ConfigureFromString("s:nan@0.5").ok());
+  ASSERT_TRUE(fault::Enabled());
+  for (uint64_t key = 0; key < 64; ++key) {
+    const fault::Kind first = reg.Poll("s", key);
+    for (int rep = 0; rep < 4; ++rep) {
+      EXPECT_EQ(reg.Poll("s", key), first) << "key " << key;
+    }
+  }
+  // Unknown sites never fire.
+  EXPECT_EQ(reg.Poll("other", 1), fault::Kind::kNone);
+  reg.Clear();
+  EXPECT_FALSE(fault::Enabled());
+  EXPECT_EQ(reg.Poll("s", 1), fault::Kind::kNone);
+}
+
+TEST_F(FaultTest, EmpiricalRateTracksConfiguredRate) {
+  fault::Registry& reg = fault::Registry::Instance();
+  ASSERT_TRUE(reg.ConfigureFromString("s:fail@0.2").ok());
+  const int kKeys = 20000;
+  int fired = 0;
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    if (reg.Poll("s", key) != fault::Kind::kNone) ++fired;
+  }
+  const double rate = static_cast<double>(fired) / kKeys;
+  EXPECT_NEAR(rate, 0.2, 0.02);
+}
+
+TEST_F(FaultTest, DecisionsAreIdenticalAcrossThreadCounts) {
+  fault::Registry& reg = fault::Registry::Instance();
+  ASSERT_TRUE(reg.ConfigureFromString("s:nan@0.3").ok());
+  const size_t kKeys = 4096;
+  std::vector<fault::Kind> serial(kKeys);
+  for (size_t key = 0; key < kKeys; ++key) {
+    serial[key] = reg.Poll("s", key);
+  }
+  for (int threads : {1, 4}) {
+    SetThreads(threads);
+    std::vector<fault::Kind> parallel(kKeys);
+    ParallelFor(kKeys, 0, [&](size_t begin, size_t end) {
+      for (size_t key = begin; key < end; ++key) {
+        parallel[key] = reg.Poll("s", key);
+      }
+    });
+    EXPECT_EQ(parallel, serial) << "threads=" << threads;
+  }
+  SetThreads(1);
+}
+
+TEST_F(FaultTest, RetrySaltRerollsDecisions) {
+  fault::Registry& reg = fault::Registry::Instance();
+  ASSERT_TRUE(reg.ConfigureFromString("s:nan@0.5").ok());
+  // With a fresh salt the per-key decisions must differ somewhere (they
+  // are independent 50% draws over 256 keys), and restoring the salt
+  // must restore the original decisions exactly.
+  std::vector<fault::Kind> base(256), salted(256), restored(256);
+  for (uint64_t k = 0; k < 256; ++k) base[k] = reg.Poll("s", k);
+  {
+    fault::ScopedRetrySalt salt(1);
+    for (uint64_t k = 0; k < 256; ++k) salted[k] = reg.Poll("s", k);
+  }
+  for (uint64_t k = 0; k < 256; ++k) restored[k] = reg.Poll("s", k);
+  EXPECT_EQ(restored, base);
+  EXPECT_NE(salted, base);
+}
+
+TEST_F(FaultTest, PerturbValueImplementsEachKind) {
+  fault::Registry& reg = fault::Registry::Instance();
+  reg.set_slow_micros(1);
+  ASSERT_TRUE(reg.ConfigureFromString("n:nan@1;f:fail@1;w:slow@1").ok());
+  EXPECT_TRUE(std::isnan(fault::PerturbValue("n", 7, 42.0)));
+  EXPECT_EQ(fault::PerturbValue("f", 7, 42.0), -1.0);
+  EXPECT_EQ(fault::PerturbValue("w", 7, 42.0), 42.0);  // slow keeps value
+  EXPECT_EQ(fault::PerturbValue("unknown", 7, 42.0), 42.0);
+}
+
+TEST_F(FaultTest, CheckImplementsFailAndSlow) {
+  fault::Registry& reg = fault::Registry::Instance();
+  reg.set_slow_micros(1);
+  ASSERT_TRUE(reg.ConfigureFromString("f:fail@1;w:slow@1;n:nan@1").ok());
+  const Status failed = fault::Check("f", 1);
+  EXPECT_EQ(failed.code(), StatusCode::kInternal);
+  EXPECT_NE(failed.message().find("f"), std::string::npos);
+  EXPECT_TRUE(fault::Check("w", 1).ok());
+  EXPECT_TRUE(fault::Check("n", 1).ok());  // nan has no Status meaning
+}
+
+TEST_F(FaultTest, TrainSitesFailAllThreeModels) {
+  TableSpec spec;
+  spec.name = "t";
+  spec.num_rows = 400;
+  spec.seed = 7;
+  ColumnSpec a;
+  a.name = "a";
+  a.domain_size = 4;
+  spec.columns = {a};
+  Table table = GenerateTable(spec).value();
+  WorkloadConfig wc;
+  wc.num_queries = 8;
+  wc.seed = 3;
+  Workload wl = GenerateWorkload(table, wc).value();
+
+  fault::Registry& reg = fault::Registry::Instance();
+  ASSERT_TRUE(
+      reg.ConfigureFromString(
+             "lwnn.train:fail@1;mscn.train:fail@1;naru.train:fail@1")
+          .ok());
+
+  LwnnEstimator lwnn;
+  EXPECT_EQ(lwnn.Train(table, wl).code(), StatusCode::kInternal);
+  MscnEstimator mscn;
+  EXPECT_EQ(mscn.Train(table, wl).code(), StatusCode::kInternal);
+  NaruEstimator naru;
+  EXPECT_EQ(naru.Train(table).code(), StatusCode::kInternal);
+
+  reg.Clear();
+  LwnnEstimator::Options lo;
+  lo.epochs = 1;
+  LwnnEstimator ok(lo);
+  EXPECT_TRUE(ok.Train(table, wl).ok());
+}
+
+TEST_F(FaultTest, IoSitesFailCsvAndArchiveReads) {
+  const std::string csv_path = ::testing::TempDir() + "fault_io.csv";
+  {
+    std::FILE* f = std::fopen(csv_path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("a,b\n1,2\n", f);
+    std::fclose(f);
+  }
+  const std::string arc_path = ::testing::TempDir() + "fault_io.bin";
+  {
+    ArchiveWriter w(0xABCD1234u, 1);
+    w.WriteU64(5);
+    ASSERT_TRUE(w.SaveToFile(arc_path).ok());
+  }
+
+  fault::Registry& reg = fault::Registry::Instance();
+  ASSERT_TRUE(reg.ConfigureFromString("io.csv:fail@1;io.archive:fail@1").ok());
+  EXPECT_EQ(ReadCsv(csv_path, true).status().code(), StatusCode::kInternal);
+  EXPECT_EQ(ArchiveReader::FromFile(arc_path, 0xABCD1234u, 1).status().code(),
+            StatusCode::kInternal);
+
+  reg.Clear();
+  EXPECT_TRUE(ReadCsv(csv_path, true).ok());
+  EXPECT_TRUE(ArchiveReader::FromFile(arc_path, 0xABCD1234u, 1).ok());
+}
+
+}  // namespace
+}  // namespace confcard

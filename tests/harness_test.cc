@@ -192,6 +192,82 @@ TEST(EstimatorInstanceIdTest, UniqueAcrossReusedStorage) {
   }
 }
 
+// The validating factory: user-supplied configs must come back as
+// InvalidArgument, not a CONFCARD_CHECK abort deep in split.cc.
+TEST(SingleTableHarnessTest, MakeRejectsInvalidConfigs) {
+  Fixture f = MakeFixture();
+  SingleTableHarness::Options opts;
+
+  auto make = [&](SingleTableHarness::Options o, Workload calib,
+                  Workload test) {
+    return SingleTableHarness::Make(f.table, f.train, std::move(calib),
+                                    std::move(test), o);
+  };
+
+  opts.alpha = 0.0;
+  EXPECT_EQ(make(opts, f.calib, f.test).status().code(),
+            StatusCode::kInvalidArgument);
+  opts.alpha = 1.5;
+  EXPECT_EQ(make(opts, f.calib, f.test).status().code(),
+            StatusCode::kInvalidArgument);
+
+  opts = {};
+  opts.jk_folds = 1;
+  EXPECT_EQ(make(opts, f.calib, f.test).status().code(),
+            StatusCode::kInvalidArgument);
+
+  opts = {};
+  opts.degraded_inflation = 0.5;
+  EXPECT_EQ(make(opts, f.calib, f.test).status().code(),
+            StatusCode::kInvalidArgument);
+
+  opts = {};
+  EXPECT_EQ(make(opts, Workload{}, f.test).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(make(opts, f.calib, Workload{}).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // A query referencing a column the table does not have.
+  Workload bad_test = f.test;
+  bad_test[0].query.predicates.push_back(Predicate::Between(42, 0.0, 1.0));
+  EXPECT_EQ(make(opts, f.calib, bad_test).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // The well-formed config builds and runs.
+  auto h = make(opts, f.calib, f.test);
+  ASSERT_TRUE(h.ok());
+  HistogramEstimator hist(f.table);
+  MethodResult r = h->RunScp(hist);
+  EXPECT_EQ(r.rows.size(), f.test.size());
+}
+
+TEST(JoinHarnessTest, MakeRejectsInvalidConfigs) {
+  Database db = MakeDsbLike(1500, 35).value();
+  JoinWorkloadConfig jc;
+  jc.queries_per_template = 4;
+  auto tpls = DsbTemplates();
+  tpls.resize(2);
+  jc.seed = 7;
+  JoinWorkload calib = GenerateJoinWorkload(db, tpls, jc).value();
+  jc.seed = 8;
+  JoinWorkload test = GenerateJoinWorkload(db, tpls, jc).value();
+
+  JoinHarness::Options opts;
+  opts.alpha = -0.1;
+  EXPECT_EQ(JoinHarness::Make(db, {}, calib, test, opts).status().code(),
+            StatusCode::kInvalidArgument);
+  opts = {};
+  opts.jk_folds = 0;
+  EXPECT_EQ(JoinHarness::Make(db, {}, calib, test, opts).status().code(),
+            StatusCode::kInvalidArgument);
+  opts = {};
+  EXPECT_EQ(JoinHarness::Make(db, {}, {}, test, opts).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(JoinHarness::Make(db, {}, calib, {}, opts).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(JoinHarness::Make(db, {}, calib, test, opts).ok());
+}
+
 TEST(FinalizeMethodResultTest, AggregatesCorrectly) {
   MethodResult r;
   r.rows = {{100.0, 90.0, 80.0, 120.0},   // covered, width 40
@@ -201,6 +277,22 @@ TEST(FinalizeMethodResultTest, AggregatesCorrectly) {
   EXPECT_NEAR(r.coverage, 2.0 / 3.0, 1e-12);
   EXPECT_NEAR(r.mean_width_sel, (0.04 + 0.01 + 0.02) / 3.0, 1e-12);
   EXPECT_NEAR(r.median_width_sel, 0.02, 1e-12);
+}
+
+// Degraded (fallback-answered) rows must not pollute the headline
+// aggregates: coverage/width come from healthy rows only, and the
+// degraded slice is reported on the side.
+TEST(FinalizeMethodResultTest, DegradedRowsAggregateSeparately) {
+  MethodResult r;
+  r.rows = {{100.0, 90.0, 80.0, 120.0},            // healthy, covered
+            {100.0, 90.0, 110.0, 120.0},           // healthy, not covered
+            {50.0, 50.0, 10.0, 90.0, 0.0, true},   // degraded, covered
+            {50.0, 50.0, 60.0, 90.0, 0.0, true}};  // degraded, not covered
+  FinalizeMethodResult(&r, 1000.0);
+  EXPECT_EQ(r.num_degraded, 2u);
+  EXPECT_NEAR(r.coverage, 0.5, 1e-12);
+  EXPECT_NEAR(r.coverage_degraded, 0.5, 1e-12);
+  EXPECT_NEAR(r.mean_width_sel, (0.04 + 0.01) / 2.0, 1e-12);
 }
 
 TEST(JoinHarnessTest, ScpOverDsbWorkload) {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ce/estimator.h"
 #include "ce/lwnn.h"
 #include "ce/mscn.h"
 #include "ce/naru.h"
@@ -164,6 +165,31 @@ TEST(InferenceBatchTest, MscnAndLwnnBatchMatchesLoop) {
     ASSERT_EQ(batched[i], lwnn.EstimateCardinality(queries[i]))
         << "lw-nn query " << i;
   }
+}
+
+// The base-class EstimateBatch (the per-query loop every estimator
+// without a batched engine inherits) must tolerate n == 0 — including
+// null pointers — and match the scalar path on a single-query batch.
+TEST(InferenceBatchTest, BaseClassEstimateBatchEdgeSizes) {
+  class CountingEstimator : public CardinalityEstimator {
+   public:
+    std::string name() const override { return "counting"; }
+    double EstimateCardinality(const Query& query) const override {
+      ++calls;
+      return static_cast<double>(query.predicates.size()) + 0.5;
+    }
+    mutable int calls = 0;
+  };
+
+  CountingEstimator est;
+  est.EstimateBatch(nullptr, 0, nullptr);
+  EXPECT_EQ(est.calls, 0);
+
+  const Query q{{Predicate::Between(0, 1.0, 2.0)}};
+  double out = 0.0;
+  est.EstimateBatch(&q, 1, &out);
+  EXPECT_EQ(est.calls, 1);
+  EXPECT_EQ(out, est.EstimateCardinality(q));
 }
 
 // Kernel-level contract: the sparse one-hot forward and the

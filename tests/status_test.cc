@@ -54,6 +54,23 @@ TEST(StatusTest, MovePreservesState) {
   EXPECT_EQ(t.message(), "disk");
 }
 
+TEST(StatusTest, SelfCopyAssignIsSafe) {
+  Status s = Status::NotFound("missing");
+  Status* alias = &s;  // defeat -Wself-assign without changing semantics
+  s = *alias;
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing");
+}
+
+TEST(StatusTest, MovedFromStatusIsReassignable) {
+  Status s = Status::Internal("boom");
+  Status t = std::move(s);
+  s = Status::InvalidArgument("again");  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "again");
+  EXPECT_EQ(t.message(), "boom");
+}
+
 TEST(StatusTest, CodeToStringCoversAllCodes) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
@@ -78,6 +95,30 @@ TEST(ResultTest, OkStatusIsRejected) {
   Result<int> r = Status::OK();
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, CopyAndMovePreserveBothStates) {
+  Result<std::string> value = std::string("payload");
+  Result<std::string> value_copy = value;
+  ASSERT_TRUE(value_copy.ok());
+  EXPECT_EQ(value_copy.value(), "payload");
+  EXPECT_EQ(value.value(), "payload");  // source untouched by the copy
+
+  Result<std::string> error = Status::NotFound("gone");
+  Result<std::string> error_moved = std::move(error);
+  ASSERT_FALSE(error_moved.ok());
+  EXPECT_EQ(error_moved.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(error_moved.status().message(), "gone");
+}
+
+TEST(ResultTest, AssignmentFlipsBetweenValueAndError) {
+  Result<int> r = 7;
+  r = Status::IOError("flip");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  r = Result<int>(9);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 9);
 }
 
 TEST(ResultTest, MoveOutValue) {
