@@ -150,7 +150,8 @@ GuardedEstimate GuardedEstimator::ServeFallback(const Query& query) const {
 
 void GuardedEstimator::EmitGuardRecord(const Query& query,
                                        const GuardedEstimate& outcome,
-                                       const char* reason) const {
+                                       const char* reason,
+                                       uint64_t order_key) const {
   obs::EventLog& elog = obs::EventLog::Instance();
   if (!elog.enabled()) return;
   obs::JsonWriter w;
@@ -163,26 +164,31 @@ void GuardedEstimator::EmitGuardRecord(const Query& query,
   w.Key("degraded").Bool(outcome.degraded);
   w.Key("source").Number(static_cast<double>(outcome.source));
   w.EndObject();
-  elog.AppendRecord(w.TakeString());
+  if (order_key != 0) {
+    elog.AppendRecordOrdered(w.TakeString(), order_key);
+  } else {
+    elog.AppendRecord(w.TakeString());
+  }
 }
 
 // Everything EstimateGuarded does except the per-query counter bump —
 // the batched fast path re-enters here for queries whose batched output
 // failed sanitization, and must not double-count them.
-GuardedEstimate GuardedEstimator::GuardOne(const Query& query) const {
+GuardedEstimate GuardedEstimator::GuardOne(const Query& query,
+                                           uint64_t order_key) const {
   if (!ValidateQuery(query, num_columns_).ok()) {
     metrics_.invalid_query.Increment();
     // A malformed query has no meaningful cardinality; quarantine it
     // with the empty-result answer rather than crashing an estimator.
     GuardedEstimate out{0.0, true, -1};
-    EmitGuardRecord(query, out, "invalid_query");
+    EmitGuardRecord(query, out, "invalid_query", order_key);
     return out;
   }
   Stopwatch watch;
   bool probe = false;
   if (!AllowPrimary(&probe)) {
     GuardedEstimate out = ServeFallback(query);
-    EmitGuardRecord(query, out, "breaker_open");
+    EmitGuardRecord(query, out, "breaker_open", order_key);
     metrics_.latency_us.Record(watch.ElapsedMicros());
     return out;
   }
@@ -196,7 +202,8 @@ GuardedEstimate GuardedEstimator::GuardOne(const Query& query) const {
   }
   RecordPrimaryOutcome(false, probe);
   GuardedEstimate out = ServeFallback(query);
-  EmitGuardRecord(query, out, probe ? "probe_failed" : "primary_failed");
+  EmitGuardRecord(query, out, probe ? "probe_failed" : "primary_failed",
+                  order_key);
   metrics_.latency_us.Record(watch.ElapsedMicros());
   return out;
 }
@@ -207,8 +214,15 @@ GuardedEstimate GuardedEstimator::EstimateGuarded(const Query& query) const {
 }
 
 void GuardedEstimator::EstimateBatchGuarded(const Query* queries, size_t n,
-                                            GuardedEstimate* out) const {
+                                            GuardedEstimate* out,
+                                            uint64_t order_key_base) const {
   if (n == 0) return;
+  // Key for query i's guard record: base + i composes with
+  // EventLog::OrderKey because batch sizes never approach 2^32. Base 0
+  // keeps the automatic per-thread keying.
+  const auto key_at = [order_key_base](size_t i) {
+    return order_key_base == 0 ? 0 : order_key_base + i;
+  };
   metrics_.queries.Increment(n);
   // The primary's batched engine is only safe (and only bit-identical
   // to the per-query guard) when nothing can intervene mid-batch: no
@@ -216,7 +230,7 @@ void GuardedEstimator::EstimateBatchGuarded(const Query* queries, size_t n,
   const bool fast = !fault::Enabled() && options_.latency_budget_us <= 0.0 &&
                     !breaker_open();
   if (!fast) {
-    for (size_t i = 0; i < n; ++i) out[i] = GuardOne(queries[i]);
+    for (size_t i = 0; i < n; ++i) out[i] = GuardOne(queries[i], key_at(i));
     return;
   }
 
@@ -229,7 +243,7 @@ void GuardedEstimator::EstimateBatchGuarded(const Query* queries, size_t n,
     } else {
       metrics_.invalid_query.Increment();
       out[i] = {0.0, true, -1};
-      EmitGuardRecord(queries[i], out[i], "invalid_query");
+      EmitGuardRecord(queries[i], out[i], "invalid_query", key_at(i));
     }
   }
   if (valid.empty()) return;
@@ -253,7 +267,7 @@ void GuardedEstimator::EstimateBatchGuarded(const Query* queries, size_t n,
       // A real (un-injected) NaN/negative from the primary: run the full
       // per-query ladder, which re-counts the sanitization and falls
       // back.
-      out[i] = GuardOne(queries[i]);
+      out[i] = GuardOne(queries[i], key_at(i));
     }
   }
 }

@@ -90,8 +90,16 @@ class GuardedEstimator : public CardinalityEstimator {
   /// the breaker is closed, this runs the primary's batched fast path
   /// and only sanitizes; otherwise queries go through the full per-query
   /// guard.
+  ///
+  /// `order_key_base`: event-log ordering key for guard records emitted
+  /// by query 0 of this batch (query i uses base + i); see
+  /// obs::EventLog::OrderKey. Callers that fan batches out across
+  /// threads pass keys derived from a shared order window so the merged
+  /// log is deterministic; 0 (the default) lets the log assign
+  /// per-thread automatic keys.
   void EstimateBatchGuarded(const Query* queries, size_t n,
-                            GuardedEstimate* out) const;
+                            GuardedEstimate* out,
+                            uint64_t order_key_base = 0) const;
 
   /// Circuit-breaker state, for tests and monitors.
   bool breaker_open() const;
@@ -104,8 +112,9 @@ class GuardedEstimator : public CardinalityEstimator {
 
   /// The full per-query guard (validate → breaker → primary ladder →
   /// fallback), minus the queries-counter bump — shared by the single
-  /// and batch entry points.
-  GuardedEstimate GuardOne(const Query& query) const;
+  /// and batch entry points. `order_key` keys any emitted guard record
+  /// (0 = automatic).
+  GuardedEstimate GuardOne(const Query& query, uint64_t order_key = 0) const;
   /// One guarded attempt ladder against the primary (including retries
   /// and budget enforcement). Returns true and sets *value on success.
   bool TryPrimary(const Query& query, double* value) const;
@@ -118,7 +127,7 @@ class GuardedEstimator : public CardinalityEstimator {
   bool AllowPrimary(bool* probe) const;
 
   void EmitGuardRecord(const Query& query, const GuardedEstimate& outcome,
-                       const char* reason) const;
+                       const char* reason, uint64_t order_key) const;
 
   const CardinalityEstimator* primary_;
   std::vector<const CardinalityEstimator*> fallbacks_;

@@ -9,6 +9,7 @@
 
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace confcard {
 namespace {
@@ -100,7 +101,7 @@ ThreadPool::ThreadPool(int num_threads) {
   obs::Metrics().GetGauge("pool.threads").Set(static_cast<double>(n));
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -144,7 +145,8 @@ size_t ThreadPool::queue_depth() const {
   return queue_.size();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker_index) {
+  obs::SetTraceThreadLabel("pool-worker-" + std::to_string(worker_index));
   obs::Counter& executed = obs::Metrics().GetCounter("pool.tasks_executed");
   obs::Counter& busy_us = obs::Metrics().GetCounter("pool.busy_us");
   obs::Gauge& depth_gauge = obs::Metrics().GetGauge("pool.queue_depth");

@@ -57,7 +57,7 @@ class ThreadPool {
   size_t queue_depth() const;
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <optional>
 #include <string>
 
 #include "common/check.h"
@@ -307,6 +308,12 @@ MethodResult JoinHarness::RunJkCv(const MscnJoinEstimator& prototype,
     }
     ParallelFor(static_cast<size_t>(k), 1, [&](size_t begin, size_t end) {
       for (size_t f = begin; f < end; ++f) {
+        // Timeline-only per-fold span (see single_table.cc).
+        std::optional<obs::TraceSpan> fold_span;
+        if (obs::TraceTimelineEnabled()) {
+          fold_span.emplace("fold.train");
+          fold_span->SetAttr("fold", static_cast<double>(f));
+        }
         JoinWorkload fold_train;
         fold_train.reserve(all.size());
         for (size_t i = 0; i < all.size(); ++i) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <optional>
 
 #include "common/check.h"
 #include "common/parallel.h"
@@ -14,7 +15,9 @@
 #include "conformal/locally_weighted.h"
 #include "conformal/split.h"
 #include "conformal/validate.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/validate.h"
 
 namespace confcard {
@@ -127,7 +130,22 @@ const std::vector<double>& SingleTableHarness::Estimates(
   }
   std::vector<double> out(workload.size());
   Stopwatch watch;
+  // Timeline-only: when a Chrome trace export is armed, the batched
+  // sweep gets its own span (and each worker chunk a per-thread child)
+  // so inference scheduling is visually inspectable. Gated to keep the
+  // artifact span tree unchanged on plain runs.
+  std::optional<obs::TraceSpan> sweep_span;
+  if (obs::TraceTimelineEnabled()) {
+    sweep_span.emplace("infer.batch");
+    sweep_span->SetAttr("queries", static_cast<double>(workload.size()));
+  }
   ParallelFor(workload.size(), 0, [&](size_t begin, size_t end) {
+    std::optional<obs::TraceSpan> chunk_span;
+    if (obs::TraceTimelineEnabled()) {
+      chunk_span.emplace("infer.batch.chunk");
+      chunk_span->SetAttr("begin", static_cast<double>(begin));
+      chunk_span->SetAttr("n", static_cast<double>(end - begin));
+    }
     model.EstimateBatch(queries.data() + begin, end - begin,
                         out.data() + begin);
   });
@@ -209,9 +227,15 @@ MethodResult SingleTableHarness::RunScpGuarded(
     std::vector<Query> queries(wl.size());
     for (size_t i = 0; i < wl.size(); ++i) queries[i] = wl[i].query;
     std::vector<GuardedEstimate> out(wl.size());
+    // One ordering window per sweep, allocated at this serial point:
+    // guard records staged by concurrent chunks merge into the event log
+    // keyed by query index, so the log order is identical at any thread
+    // count.
+    const uint64_t sweep = obs::EventLog::Instance().NextOrderWindow();
     ParallelFor(wl.size(), 0, [&](size_t begin, size_t end) {
       guard.EstimateBatchGuarded(queries.data() + begin, end - begin,
-                                 out.data() + begin);
+                                 out.data() + begin,
+                                 obs::EventLog::OrderKey(sweep, begin));
     });
     return out;
   };
@@ -482,6 +506,13 @@ MethodResult SingleTableHarness::RunJkCv(
     }
     ParallelFor(static_cast<size_t>(k), 1, [&](size_t begin, size_t end) {
       for (size_t f = begin; f < end; ++f) {
+        // Timeline-only per-fold span: shows which worker trained which
+        // fold and nests the model's own training spans beneath it.
+        std::optional<obs::TraceSpan> fold_span;
+        if (obs::TraceTimelineEnabled()) {
+          fold_span.emplace("fold.train");
+          fold_span->SetAttr("fold", static_cast<double>(f));
+        }
         Workload fold_train;
         fold_train.reserve(all.size());
         for (size_t i = 0; i < all.size(); ++i) {

@@ -203,16 +203,14 @@ bool IsCoverageName(const std::string& name) {
   return name.find("coverage") != std::string::npos;
 }
 
-// Thread-pool scheduling telemetry (queue depth, tasks executed, busy
-// fractions) legitimately varies with CONFCARD_THREADS while every
-// result metric stays bit-identical, so pool.* never participates in
-// the diff in either direction. The batched-inference throughput gauge
-// is wall-clock-derived the same way and is excluded for the same
-// reason, as is the guard's wall-clock latency histogram.
-bool IsSchedulingName(const std::string& name) {
-  return name.rfind("pool.", 0) == 0 ||
-         name.rfind("ce.guard.latency", 0) == 0 ||
-         name == "ce.infer.batch_queries_per_sec";
+// Exclusions are prefix matches against DiffOptions::exclude_prefixes;
+// the defaults cover scheduling/wall-clock telemetry that varies with
+// CONFCARD_THREADS while every result metric stays bit-identical.
+bool IsExcludedName(const std::string& name, const DiffOptions& opt) {
+  for (const std::string& prefix : opt.exclude_prefixes) {
+    if (name.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
 }
 
 void DiffQuantiles(const std::string& prefix, const RunView::HistView& a,
@@ -297,6 +295,25 @@ std::string DiffReport::ToJson() const {
   return w.TakeString();
 }
 
+Result<std::vector<std::string>> LoadExcludePrefixes(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open exclude file: " + path);
+  }
+  std::vector<std::string> prefixes;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t first = line.find_first_not_of(" \t\r\n");
+    if (first == std::string::npos) continue;
+    const size_t last = line.find_last_not_of(" \t\r\n");
+    line = line.substr(first, last - first + 1);
+    if (line[0] == '#') continue;
+    prefixes.push_back(std::move(line));
+  }
+  return prefixes;
+}
+
 DiffReport DiffRuns(const RunView& baseline, const RunView& candidate,
                     const DiffOptions& opt) {
   DiffReport report;
@@ -307,7 +324,7 @@ DiffReport DiffRuns(const RunView& baseline, const RunView& candidate,
 
   // Counters: exact by default.
   for (const auto& [name, old_v] : baseline.counters) {
-    if (IsSchedulingName(name)) continue;
+    if (IsExcludedName(name, opt)) continue;
     auto it = candidate.counters.find(name);
     const std::string metric = "counter/" + name;
     if (it == candidate.counters.end()) {
@@ -325,7 +342,7 @@ DiffReport DiffRuns(const RunView& baseline, const RunView& candidate,
     }
   }
   for (const auto& [name, new_v] : candidate.counters) {
-    if (IsSchedulingName(name)) continue;
+    if (IsExcludedName(name, opt)) continue;
     if (baseline.counters.count(name) == 0) {
       Add(&report, Severity::kNote, "counter/" + name, 0.0,
           static_cast<double>(new_v), "new counter in candidate");
@@ -335,7 +352,7 @@ DiffReport DiffRuns(const RunView& baseline, const RunView& candidate,
   // Gauges: coverage by absolute tolerance (drops only), the rest by
   // relative tolerance.
   for (const auto& [name, old_v] : baseline.gauges) {
-    if (IsSchedulingName(name)) continue;
+    if (IsExcludedName(name, opt)) continue;
     auto it = candidate.gauges.find(name);
     const std::string metric = "gauge/" + name;
     if (it == candidate.gauges.end()) {
@@ -376,7 +393,7 @@ DiffReport DiffRuns(const RunView& baseline, const RunView& candidate,
 
   // Histograms: sample counts exactly, quantiles with latency slack.
   for (const auto& [name, old_h] : baseline.histograms) {
-    if (IsSchedulingName(name)) continue;
+    if (IsExcludedName(name, opt)) continue;
     auto it = candidate.histograms.find(name);
     const std::string prefix = "histogram/" + name;
     if (it == candidate.histograms.end()) {

@@ -40,10 +40,17 @@ struct DiffOptions {
   /// When false, a metric present in the baseline but absent from the
   /// candidate is a note instead of a regression.
   bool fail_on_missing = true;
+  /// Metric-name prefixes excluded from the diff in both directions.
+  /// Defaults cover scheduling/wall-clock telemetry that legitimately
+  /// varies with CONFCARD_THREADS while result metrics stay identical:
+  /// thread-pool scheduling ("pool."), the guard's wall-clock latency
+  /// histogram, and the batched-inference throughput gauge. Override
+  /// wholesale (the defaults are not merged in) — the obsdiff CLI loads
+  /// replacements from a file via --exclude-file, falling back to the
+  /// repo's tools/obsdiff_exclude.txt when present.
+  std::vector<std::string> exclude_prefixes = {
+      "pool.", "ce.guard.latency", "ce.infer.batch_queries_per_sec"};
 };
-// Note: metrics under the "pool." prefix (thread-pool scheduling
-// telemetry) are excluded from DiffRuns in both directions — they vary
-// with CONFCARD_THREADS by design while result metrics stay identical.
 
 struct DiffFinding {
   enum class Severity { kNote, kRegression };
@@ -109,6 +116,13 @@ Result<RunView> LoadRunView(const std::string& path);
 /// Aligns the two views by metric name and applies the thresholds.
 DiffReport DiffRuns(const RunView& baseline, const RunView& candidate,
                     const DiffOptions& options);
+
+/// Reads exclusion prefixes for DiffOptions::exclude_prefixes from a
+/// text file: one prefix per line; blank lines and lines starting with
+/// '#' (after leading whitespace) are ignored; surrounding whitespace is
+/// trimmed.
+Result<std::vector<std::string>> LoadExcludePrefixes(
+    const std::string& path);
 
 }  // namespace obs
 }  // namespace confcard

@@ -1,7 +1,10 @@
 #include "obs/event_log.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 
@@ -35,6 +38,61 @@ std::string RenderQueryEvent(const QueryEvent& e) {
   return w.TakeString();
 }
 
+// ---------------------------------------------------------------------------
+// Fatal-signal flush chain
+
+namespace {
+
+constexpr int kCrashSignals[] = {SIGSEGV, SIGBUS, SIGFPE,
+                                 SIGILL,  SIGABRT, SIGTERM};
+constexpr int kMaxCrashFns = 8;
+
+std::atomic<void (*)()> g_crash_fns[kMaxCrashFns];
+std::atomic<int> g_crash_fn_count{0};
+std::atomic<bool> g_crash_chain_ran{false};
+
+void CrashHandler(int sig) {
+  // Run the flush chain at most once per process, even if a flush
+  // callback itself faults (the reentered handler skips straight to the
+  // re-raise below).
+  if (!g_crash_chain_ran.exchange(true)) {
+    int n = g_crash_fn_count.load(std::memory_order_acquire);
+    n = std::min(n, kMaxCrashFns);
+    for (int i = 0; i < n; ++i) {
+      void (*fn)() = g_crash_fns[i].load(std::memory_order_acquire);
+      if (fn != nullptr) fn();
+    }
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+// write(2) wrapper that survives -Wunused-result and short writes.
+void WriteAll(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n <= 0) return;
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+void RegisterCrashFlush(void (*fn)()) {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    for (int sig : kCrashSignals) std::signal(sig, &CrashHandler);
+  });
+  const int i = g_crash_fn_count.load(std::memory_order_acquire);
+  if (i >= kMaxCrashFns) return;
+  g_crash_fns[i].store(fn, std::memory_order_release);
+  g_crash_fn_count.store(i + 1, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// EventLog
+
 EventLog& EventLog::Instance() {
   static EventLog* log = new EventLog();  // never destroyed: atexit-safe
   return *log;
@@ -52,6 +110,72 @@ EventLog::EventLog() {
   buffer_.reserve(kFlushBytes + 4096);
   enabled_.store(true, std::memory_order_relaxed);
   std::atexit([] { Instance().Flush(); });
+  RegisterCrashFlush(&EventLog::CrashFlush);
+}
+
+EventLog::Stage* EventLog::ThreadStage() {
+  static thread_local std::shared_ptr<Stage> tls;
+  if (tls == nullptr) {
+    tls = std::make_shared<Stage>();
+    std::lock_guard<std::mutex> lock(stages_mu_);
+    stages_.push_back(tls);
+  }
+  return tls.get();
+}
+
+uint64_t EventLog::AutoOrderKey() {
+  struct AutoWindow {
+    uint64_t epoch = ~0ull;
+    uint64_t window = 0;
+    uint32_t next = 0;
+  };
+  static thread_local AutoWindow aw;
+  // Re-key after every drain so a serial producer that emits both before
+  // and after an explicitly-windowed sweep sorts on both sides of it
+  // instead of reusing a stale (smaller) window.
+  const uint64_t epoch = drain_epoch_.load(std::memory_order_relaxed);
+  if (aw.epoch != epoch || aw.next == 0xffffffffu) {
+    aw.epoch = epoch;
+    aw.window = NextOrderWindow();
+    aw.next = 0;
+  }
+  return OrderKey(aw.window, aw.next++);
+}
+
+void EventLog::StageRecord(std::string line, uint64_t key) {
+  Stage* stage = ThreadStage();
+  {
+    std::lock_guard<std::mutex> lock(stage->mu);
+    stage->records.push_back(StagedRecord{key, std::move(line)});
+  }
+  staged_count_.fetch_add(1, std::memory_order_release);
+  appended_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EventLog::DrainStagesLocked() {
+  if (staged_count_.load(std::memory_order_acquire) == 0) return;
+  std::vector<StagedRecord> pending;
+  {
+    std::lock_guard<std::mutex> reg(stages_mu_);
+    for (const auto& stage : stages_) {
+      std::lock_guard<std::mutex> sl(stage->mu);
+      for (StagedRecord& r : stage->records) pending.push_back(std::move(r));
+      stage->records.clear();
+    }
+  }
+  if (pending.empty()) return;
+  staged_count_.fetch_sub(pending.size(), std::memory_order_release);
+  drain_epoch_.fetch_add(1, std::memory_order_relaxed);
+  // Keys are unique per (window, index), so the merged order depends
+  // only on the keys, never on which stage held a record.
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const StagedRecord& a, const StagedRecord& b) {
+                     return a.key < b.key;
+                   });
+  for (StagedRecord& r : pending) {
+    buffer_ += r.line;
+    buffer_ += '\n';
+  }
 }
 
 void EventLog::Append(const QueryEvent& e) {
@@ -60,6 +184,7 @@ void EventLog::Append(const QueryEvent& e) {
   line += '\n';
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) return;
+  DrainStagesLocked();
   buffer_ += line;
   appended_.fetch_add(1, std::memory_order_relaxed);
   if (buffer_.size() >= kFlushBytes) FlushLocked();
@@ -67,12 +192,12 @@ void EventLog::Append(const QueryEvent& e) {
 
 void EventLog::AppendRecord(std::string line) {
   if (!enabled()) return;
-  line += '\n';
-  std::lock_guard<std::mutex> lock(mu_);
-  if (file_ == nullptr) return;
-  buffer_ += line;
-  appended_.fetch_add(1, std::memory_order_relaxed);
-  if (buffer_.size() >= kFlushBytes) FlushLocked();
+  StageRecord(std::move(line), AutoOrderKey());
+}
+
+void EventLog::AppendRecordOrdered(std::string line, uint64_t order_key) {
+  if (!enabled()) return;
+  StageRecord(std::move(line), order_key);
 }
 
 void EventLog::AppendAll(const std::vector<QueryEvent>& events) {
@@ -84,6 +209,7 @@ void EventLog::AppendAll(const std::vector<QueryEvent>& events) {
   }
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) return;
+  DrainStagesLocked();
   buffer_ += lines;
   appended_.fetch_add(events.size(), std::memory_order_relaxed);
   if (buffer_.size() >= kFlushBytes) FlushLocked();
@@ -91,6 +217,7 @@ void EventLog::AppendAll(const std::vector<QueryEvent>& events) {
 
 void EventLog::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
+  DrainStagesLocked();
   FlushLocked();
 }
 
@@ -101,8 +228,37 @@ void EventLog::FlushLocked() {
   buffer_.clear();
 }
 
+void EventLog::CrashFlush() {
+  // Best effort from a fatal-signal handler: only touch state we can
+  // acquire without blocking, and emit with raw write(2) — the FILE*
+  // stream's own buffer is always empty between FlushLocked calls, so
+  // writing the staging state directly cannot duplicate bytes.
+  static std::atomic<bool> ran{false};
+  if (ran.exchange(true)) return;
+  EventLog& log = Instance();
+  std::unique_lock<std::mutex> lock(log.mu_, std::try_to_lock);
+  if (!lock.owns_lock() || log.file_ == nullptr) return;
+  const int fd = ::fileno(log.file_);
+  if (!log.buffer_.empty()) {
+    WriteAll(fd, log.buffer_.data(), log.buffer_.size());
+    log.buffer_.clear();
+  }
+  std::unique_lock<std::mutex> reg(log.stages_mu_, std::try_to_lock);
+  if (!reg.owns_lock()) return;
+  for (const auto& stage : log.stages_) {
+    std::unique_lock<std::mutex> sl(stage->mu, std::try_to_lock);
+    if (!sl.owns_lock()) continue;
+    for (const StagedRecord& r : stage->records) {
+      WriteAll(fd, r.line.data(), r.line.size());
+      WriteAll(fd, "\n", 1);
+    }
+    stage->records.clear();
+  }
+}
+
 Status EventLog::OpenForTest(const std::string& path) {
   std::lock_guard<std::mutex> lock(mu_);
+  DrainStagesLocked();
   FlushLocked();
   if (file_ != nullptr) std::fclose(file_);
   file_ = std::fopen(path.c_str(), "wb");
@@ -110,6 +266,7 @@ Status EventLog::OpenForTest(const std::string& path) {
     enabled_.store(false, std::memory_order_relaxed);
     return Status::IOError("event log: cannot open " + path);
   }
+  RegisterCrashFlush(&EventLog::CrashFlush);
   appended_.store(0, std::memory_order_relaxed);
   enabled_.store(true, std::memory_order_relaxed);
   return Status::OK();
@@ -117,6 +274,7 @@ Status EventLog::OpenForTest(const std::string& path) {
 
 void EventLog::CloseForTest() {
   std::lock_guard<std::mutex> lock(mu_);
+  DrainStagesLocked();
   FlushLocked();
   if (file_ != nullptr) std::fclose(file_);
   file_ = nullptr;

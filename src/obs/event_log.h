@@ -1,25 +1,34 @@
 // Per-query event log: one JSONL record per evaluated query (identity,
 // point estimate, interval, truth, derived covered/width/q-error, and
 // PI-construction latency), streamed to the path named by
-// CONFCARD_EVENTS_JSONL. Appends are buffered behind a mutex and flushed
-// in 64 KiB chunks; with the variable unset, enabled() is a single
+// CONFCARD_EVENTS_JSONL. With the variable unset, enabled() is a single
 // relaxed atomic load and Append returns immediately, keeping the
 // per-query overhead of an un-instrumented run negligible. The JSONL
 // reader tolerates a truncated final line (crash mid-write) so partial
 // logs stay usable.
 //
-// Thread safety: Append/AppendAll/Flush may be called concurrently from
-// any thread — each record is rendered outside the lock and spliced into
-// the buffer whole, so lines never interleave. Concurrent appenders that
-// need a deterministic file order must serialize themselves (the harness
-// does: workers fill pre-sized row slots and a single thread emits the
-// events in index order via AppendAll).
+// Concurrency model: hot-path producers (e.g. guard interventions inside
+// a ParallelFor sweep) stage rendered lines in per-thread buffers keyed
+// by a 64-bit order key — no shared lock, no contention. Staged records
+// are merged into the central buffer in ascending key order at the next
+// serial point (Append/AppendAll/Flush/Close), so the file order is a
+// pure function of the keys and repeated runs at any thread count
+// produce identical logs. Serial producers (the harness finalizer, the
+// online stream) append directly; on a single-threaded run every staged
+// record drains before the next direct append, which reproduces the
+// historical append-at-emission file order byte for byte.
+//
+// Crash safety: arming the log registers both an atexit flush and a
+// best-effort fatal-signal flush (see RegisterCrashFlush) that writes
+// the central buffer plus any staged lines with raw write(2), so a
+// crashed bench leaves a parseable partial JSONL.
 #ifndef CONFCARD_OBS_EVENT_LOG_H_
 #define CONFCARD_OBS_EVENT_LOG_H_
 
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -63,6 +72,13 @@ struct QueryEvent {
 /// null per the JsonWriter convention.
 std::string RenderQueryEvent(const QueryEvent& e);
 
+/// Registers `fn` to run from the fatal-signal handler (SIGSEGV, SIGBUS,
+/// SIGFPE, SIGILL, SIGABRT, SIGTERM) before the default disposition is
+/// restored and the signal re-raised. Handlers must be best-effort
+/// re-entrancy-hardened; a reentry guard ensures the chain runs at most
+/// once per process. Installing the handlers happens on the first call.
+void RegisterCrashFlush(void (*fn)());
+
 /// Process-wide JSONL sink, armed by CONFCARD_EVENTS_JSONL at first use.
 class EventLog {
  public:
@@ -71,41 +87,95 @@ class EventLog {
   /// Cheap gate for hot paths: one relaxed atomic load.
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  /// Buffers one record; no-op when disabled.
+  /// Buffers one record; no-op when disabled. Serial point: staged
+  /// records drain (in key order) ahead of this record.
   void Append(const QueryEvent& e);
 
-  /// Buffers one pre-rendered single-line JSON record (no trailing
+  /// Stages one pre-rendered single-line JSON record (no trailing
   /// newline) — for non-query records such as the guard's intervention
-  /// log, which carry a "type" discriminator. No-op when disabled.
+  /// log, which carry a "type" discriminator — in the calling thread's
+  /// buffer under an automatically assigned order key. No lock on the
+  /// central buffer is taken. No-op when disabled.
   void AppendRecord(std::string line);
+
+  /// AppendRecord with an explicit order key (see NextOrderWindow):
+  /// concurrent producers that pass keys derived from deterministic
+  /// per-item indices get a deterministic merged file order regardless
+  /// of thread scheduling.
+  void AppendRecordOrdered(std::string line, uint64_t order_key);
 
   /// Buffers a batch under one lock acquisition: all lines are rendered
   /// up front, then spliced contiguously, so a batch is never
-  /// interleaved with concurrent appenders. No-op when disabled.
+  /// interleaved with concurrent appenders. Serial point: staged records
+  /// drain ahead of the batch. No-op when disabled.
   void AppendAll(const std::vector<QueryEvent>& events);
 
-  /// Flushes the buffer to disk (also registered atexit when armed).
+  /// Allocates a fresh ordering window. A parallel sweep takes one
+  /// window at its (serial) start and keys each staged record with
+  /// OrderKey(window, item_index); windows are globally ordered by
+  /// allocation, so successive sweeps never interleave.
+  uint64_t NextOrderWindow() {
+    return next_window_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Composes a sortable 64-bit key: window in the high 32 bits, item
+  /// index in the low 32.
+  static constexpr uint64_t OrderKey(uint64_t window, uint64_t index) {
+    return (window << 32) | (index & 0xffffffffull);
+  }
+
+  /// Drains staged records and flushes the buffer to disk (also
+  /// registered atexit when armed).
   void Flush();
 
-  /// Total records accepted since the log was armed.
+  /// Total records accepted (buffered or staged) since the log was
+  /// armed.
   uint64_t appended() const {
     return appended_.load(std::memory_order_relaxed);
   }
 
   /// Redirects the log to `path` regardless of the environment —
-  /// test-only. CloseForTest flushes, closes, and disables again.
+  /// test-only. CloseForTest drains, flushes, closes, and disables
+  /// again.
   Status OpenForTest(const std::string& path);
   void CloseForTest();
 
  private:
   EventLog();
 
+  struct StagedRecord {
+    uint64_t key = 0;
+    std::string line;
+  };
+  /// Per-thread staging buffer. Owned jointly by the registry (so
+  /// records survive thread exit until the next drain) and the
+  /// thread-local handle.
+  struct Stage {
+    std::mutex mu;
+    std::vector<StagedRecord> records;
+  };
+
+  Stage* ThreadStage();
+  uint64_t AutoOrderKey();
+  void StageRecord(std::string line, uint64_t key);
+  void DrainStagesLocked();
   void FlushLocked();
+  static void CrashFlush();
 
   static constexpr size_t kFlushBytes = 64 * 1024;
 
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> appended_{0};
+  // Window 0 is never allocated: order key 0 is reserved as the
+  // "assign automatically" sentinel used by the guard's serial paths.
+  std::atomic<uint64_t> next_window_{1};
+  std::atomic<uint64_t> staged_count_{0};
+  // Bumped on every drain; per-thread automatic windows re-key
+  // themselves afterwards so later serial emissions sort after earlier
+  // explicit windows.
+  std::atomic<uint64_t> drain_epoch_{0};
+  std::mutex stages_mu_;
+  std::vector<std::shared_ptr<Stage>> stages_;
   std::mutex mu_;
   std::string buffer_;
   std::FILE* file_ = nullptr;

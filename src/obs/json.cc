@@ -9,6 +9,7 @@
 #include <map>
 
 #include "common/stats.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -514,6 +515,11 @@ void EmitAtExit() {
 }  // namespace
 
 bool InstallExitEmitter() {
+  // Arm the trace timeline exporter alongside the artifact emitter, so
+  // any binary that opts into CONFCARD_METRICS_JSON also honors
+  // CONFCARD_TRACE_JSON without separate plumbing. Both installs are
+  // idempotent.
+  InstallTraceExporter();
   // The function-local static makes arming idempotent across every
   // caller — bench TUs, tests, and tools all funnel through this one
   // definition, so linking several TUs that arm via inline globals still
@@ -525,6 +531,9 @@ bool InstallExitEmitter() {
     TraceStore::Instance().SetEnabled(true);
     Metrics().GetCounter("obs.emitter.installs").Increment();
     std::atexit(&EmitAtExit);
+    // Best-effort artifact on fatal signals too: EmitAtExit's exchange
+    // guard keeps the later atexit pass from double-writing.
+    RegisterCrashFlush(&EmitAtExit);
     return true;
   }();
   return installed;

@@ -3,65 +3,110 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 namespace confcard {
 namespace obs {
-namespace {
+
+namespace internal {
+
+uint32_t AssignMetricShard() {
+  static std::atomic<uint32_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) %
+         static_cast<uint32_t>(kMetricShards);
+}
+
+}  // namespace internal
+
+void SetMetricsEnabled(bool enabled) {
+  internal::g_metrics_recording.store(enabled, std::memory_order_relaxed);
+}
+
+bool MetricsEnabled() { return internal::RecordingEnabled(); }
 
 // fetch_add on atomic<double> is C++20 but spotty in older libstdc++;
-// a relaxed CAS loop is portable and just as fast uncontended.
-void AtomicAdd(std::atomic<double>* target, double delta) {
+// a relaxed CAS loop is portable and just as fast uncontended. With the
+// histogram shards each loop runs against a thread-private slot, so the
+// exchange succeeds on the first try outside of shard-wraparound.
+void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  if (std::isnan(delta)) return;
   double cur = target->load(std::memory_order_relaxed);
   while (!target->compare_exchange_weak(cur, cur + delta,
                                         std::memory_order_relaxed)) {
   }
 }
 
-void AtomicMin(std::atomic<double>* target, double value) {
+// The min/max loops must re-test the bound after every failed exchange:
+// compare_exchange_weak reloads `cur`, and another thread may have
+// installed something smaller (resp. larger) in the meantime, making the
+// store not just unnecessary but wrong. NaN candidates are dropped, and
+// a NaN already in `target` (never written by the histograms, but
+// possible for external users) loses to any well-formed candidate so the
+// accumulator self-heals.
+void AtomicMinDouble(std::atomic<double>* target, double value) {
+  if (std::isnan(value)) return;
   double cur = target->load(std::memory_order_relaxed);
-  while (value < cur && !target->compare_exchange_weak(
-                            cur, value, std::memory_order_relaxed)) {
+  while (value < cur || std::isnan(cur)) {
+    if (target->compare_exchange_weak(cur, value,
+                                      std::memory_order_relaxed)) {
+      return;
+    }
   }
 }
 
-void AtomicMax(std::atomic<double>* target, double value) {
+void AtomicMaxDouble(std::atomic<double>* target, double value) {
+  if (std::isnan(value)) return;
   double cur = target->load(std::memory_order_relaxed);
-  while (value > cur && !target->compare_exchange_weak(
-                            cur, value, std::memory_order_relaxed)) {
+  while (value > cur || std::isnan(cur)) {
+    if (target->compare_exchange_weak(cur, value,
+                                      std::memory_order_relaxed)) {
+      return;
+    }
   }
 }
 
+namespace {
+
+// Bucket for `value`: i such that value is in (2^(i-1), 2^i]. Computed
+// from the IEEE-754 exponent field instead of frexp/ldexp — the libm
+// calls dominated the record path. With value > 1.0 the biased exponent
+// is >= the bias, so `e` is non-negative: a zero mantissa means value ==
+// 2^e exactly (its own bucket's upper bound), anything else lies above
+// 2^e and rounds up a bucket. Infinity decays to the last bucket via the
+// clamp.
 size_t BucketIndex(double value) {
   if (!(value > 1.0)) return 0;  // also catches NaN
-  int exp = 0;
-  std::frexp(value, &exp);  // value = m * 2^exp with m in [0.5, 1)
-  // 2^(exp-1) < value <= 2^exp unless value is an exact power of two,
-  // where frexp reports one higher than the containing bucket.
-  size_t idx = static_cast<size_t>(exp);
-  if (std::ldexp(1.0, exp - 1) == value) --idx;
-  return std::min(idx, Histogram::kNumBuckets - 1);
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  const uint64_t mantissa = bits & ((uint64_t{1} << 52) - 1);
+  const uint64_t e = ((bits >> 52) & 0x7ff) - 1023;
+  const uint64_t idx = e + (mantissa != 0 ? 1 : 0);
+  return static_cast<size_t>(
+      std::min<uint64_t>(idx, Histogram::kNumBuckets - 1));
 }
 
 }  // namespace
 
 void Histogram::Record(double value) {
+  if (!internal::RecordingEnabled()) return;
   if (std::isnan(value)) return;
   value = std::max(value, 0.0);
-  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  AtomicAdd(&sum_, value);
-  AtomicMin(&min_, value);
-  AtomicMax(&max_, value);
+  Shard& s = shards_[internal::MetricShardIndex()];
+  s.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&s.sum, value);
+  AtomicMinDouble(&s.min, value);
+  AtomicMaxDouble(&s.max, value);
 }
 
 void Histogram::Reset() {
-  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
-  sum_.store(0.0, std::memory_order_relaxed);
-  min_.store(std::numeric_limits<double>::infinity(),
-             std::memory_order_relaxed);
-  max_.store(-std::numeric_limits<double>::infinity(),
-             std::memory_order_relaxed);
+  for (auto& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+    s.min.store(std::numeric_limits<double>::infinity(),
+                std::memory_order_relaxed);
+    s.max.store(-std::numeric_limits<double>::infinity(),
+                std::memory_order_relaxed);
+  }
 }
 
 double Histogram::BucketUpperBound(size_t i) {
@@ -73,13 +118,22 @@ double Histogram::BucketUpperBound(size_t i) {
 
 Histogram::Snapshot Histogram::TakeSnapshot() const {
   Snapshot s;
-  s.count = count_.load(std::memory_order_relaxed);
-  s.sum = sum_.load(std::memory_order_relaxed);
-  s.min = s.count == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
-  s.max = s.count == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
-  for (size_t i = 0; i < kNumBuckets; ++i) {
-    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  // Shards are merged in slot order. A single-threaded run records into
+  // exactly one slot, and adding the other slots' 0.0 sums is exact, so
+  // the aggregate matches an unsharded accumulator bit for bit.
+  for (const Shard& shard : shards_) {
+    s.sum += shard.sum.load(std::memory_order_relaxed);
+    min = std::min(min, shard.min.load(std::memory_order_relaxed));
+    max = std::max(max, shard.max.load(std::memory_order_relaxed));
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      s.buckets[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
   }
+  for (uint64_t b : s.buckets) s.count += b;
+  s.min = s.count == 0 ? 0.0 : min;
+  s.max = s.count == 0 ? 0.0 : max;
   return s;
 }
 
@@ -163,6 +217,76 @@ MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
   s.meta.reserve(meta_.size());
   for (const auto& [key, value] : meta_) s.meta.emplace_back(key, value);
   return s;
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; our dot-separated paths
+// map dots (and anything else exotic) to underscores.
+std::string ExpositionName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  return out;
+}
+
+void AppendNumber(std::string* out, double v) {
+  char buf[64];
+  if (std::isnan(v)) {
+    std::snprintf(buf, sizeof(buf), "NaN");
+  } else if (std::isinf(v)) {
+    std::snprintf(buf, sizeof(buf), v > 0 ? "+Inf" : "-Inf");
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::WriteTextExposition() const {
+  const Snapshot snap = TakeSnapshot();
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [key, value] : snap.meta) {
+    out += "# meta ";
+    out += key;
+    out += " ";
+    out += value;
+    out += "\n";
+  }
+  for (const auto& [name, value] : snap.counters) {
+    const std::string n = ExpositionName(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string n = ExpositionName(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " ";
+    AppendNumber(&out, value);
+    out += "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string n = ExpositionName(name);
+    out += "# TYPE " + n + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      cumulative += h.buckets[i];
+      out += n + "_bucket{le=\"";
+      AppendNumber(&out, Histogram::BucketUpperBound(i));
+      out += "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += n + "_sum ";
+    AppendNumber(&out, h.sum);
+    out += "\n";
+    out += n + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
 }
 
 void MetricsRegistry::ResetForTest() {

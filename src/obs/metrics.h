@@ -1,8 +1,18 @@
 // Process-wide metrics: named counters, gauges, and fixed-bucket latency
 // histograms cheap enough for per-query hot paths. Registration goes
 // through a mutex-protected registry; recording touches only per-metric
-// atomics, so call sites should resolve a metric once (typically via a
+// storage, so call sites should resolve a metric once (typically via a
 // function-local static reference) and record lock-free afterwards.
+//
+// Counters and histograms are sharded: each metric owns kMetricShards
+// cache-line-padded slots and every thread records into a fixed slot
+// assigned round-robin at first use. The record path is a relaxed add on
+// the calling thread's slot — no CAS loop, no shared cache line below
+// kMetricShards concurrent threads — and aggregation across slots happens
+// only at snapshot/export time. Single-threaded runs use exactly one slot
+// per metric, so aggregated values (including floating-point sums) are
+// bit-identical to an unsharded implementation.
+//
 // Metric objects live for the whole process: Reset() zeroes values but
 // never invalidates references handed out by the registry.
 #ifndef CONFCARD_OBS_METRICS_H_
@@ -23,23 +33,85 @@
 namespace confcard {
 namespace obs {
 
-/// Monotonically increasing event count.
+/// Number of cache-line-padded slots each counter/histogram spreads its
+/// updates across. A power of two; threads wrap around when more than
+/// kMetricShards of them record concurrently.
+inline constexpr size_t kMetricShards = 16;
+
+/// Runtime kill switch for every metric record path. With recording
+/// disabled, Counter::Increment, Gauge::Set, and Histogram::Record
+/// reduce to one relaxed load and a branch — the "obs off" baseline that
+/// bench_obs compares against. Registration, snapshots, and metadata are
+/// unaffected. Defaults to enabled.
+void SetMetricsEnabled(bool enabled);
+bool MetricsEnabled();
+
+/// NaN-safe relaxed atomic helpers for doubles (used by the histogram
+/// shards; exposed for tests and benches). A NaN delta or candidate is
+/// dropped instead of poisoning the accumulator, and a NaN already in
+/// `target` is replaced by the first well-formed candidate.
+void AtomicAddDouble(std::atomic<double>* target, double delta);
+void AtomicMinDouble(std::atomic<double>* target, double value);
+void AtomicMaxDouble(std::atomic<double>* target, double value);
+
+namespace internal {
+
+/// Stable shard slot for the calling thread, assigned on first use.
+uint32_t AssignMetricShard();
+
+inline uint32_t MetricShardIndex() {
+  static thread_local const uint32_t idx = AssignMetricShard();
+  return idx;
+}
+
+/// Backing flag for SetMetricsEnabled, inline so the record-path check
+/// compiles to a single relaxed load without a function call.
+inline std::atomic<bool> g_metrics_recording{true};
+
+inline bool RecordingEnabled() {
+  return g_metrics_recording.load(std::memory_order_relaxed);
+}
+
+struct alignas(64) PaddedCount {
+  std::atomic<uint64_t> v{0};
+};
+
+}  // namespace internal
+
+/// Monotonically increasing event count. Increment is a relaxed add on
+/// the calling thread's padded slot; value() sums the slots.
 class Counter {
  public:
   void Increment(uint64_t n = 1) {
-    value_.fetch_add(n, std::memory_order_relaxed);
+    if (!internal::RecordingEnabled()) return;
+    shards_[internal::MetricShardIndex()].v.fetch_add(
+        n, std::memory_order_relaxed);
   }
-  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
-  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  uint64_t value() const {
+    uint64_t total = 0;
+    for (const auto& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void Reset() {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  std::atomic<uint64_t> value_{0};
+  std::array<internal::PaddedCount, kMetricShards> shards_{};
 };
 
 /// Last-write-wins scalar (calibration-set sizes, epoch losses, ...).
+/// Not sharded: "last write" has no useful meaning per-slot, and a single
+/// relaxed store is already wait-free; writers racing on the same gauge
+/// are rare and the winner is arbitrary either way.
 class Gauge {
  public:
-  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Set(double v) {
+    if (!internal::RecordingEnabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
   double value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0.0, std::memory_order_relaxed); }
 
@@ -49,9 +121,10 @@ class Gauge {
 
 /// Fixed power-of-two-bucket histogram for non-negative samples
 /// (canonically latencies in microseconds). Bucket i holds samples in
-/// (2^(i-1), 2^i]; the last bucket is unbounded. Recording is a handful
-/// of relaxed atomic operations; summary percentiles are interpolated
-/// from the bucket boundaries at snapshot time.
+/// (2^(i-1), 2^i]; the last bucket is unbounded. Recording updates only
+/// the calling thread's shard (one bucket add plus uncontended CAS loops
+/// for sum/min/max); summary percentiles are interpolated from the
+/// merged bucket boundaries at snapshot time.
 class Histogram {
  public:
   static constexpr size_t kNumBuckets = 40;
@@ -77,11 +150,16 @@ class Histogram {
   Snapshot TakeSnapshot() const;
 
  private:
-  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
-  std::atomic<uint64_t> count_{0};
-  std::atomic<double> sum_{0.0};
-  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
-  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  // No per-shard count: every record lands in exactly one bucket, so the
+  // sample count is the bucket total, summed at snapshot time instead of
+  // paying a third fetch_add per record.
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kNumBuckets> buckets{};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+  };
+  std::array<Shard, kMetricShards> shards_{};
 };
 
 /// Process-wide registry. Names are dot-separated paths, lowercase, with
@@ -108,9 +186,17 @@ class MetricsRegistry {
     std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
     std::vector<std::pair<std::string, std::string>> meta;
   };
-  /// Consistent-enough point-in-time view (each metric is read
-  /// atomically; the set of metrics is read under the registry lock).
+  /// Consistent-enough point-in-time view (each metric is aggregated
+  /// across its shards; the set of metrics is read under the registry
+  /// lock).
   Snapshot TakeSnapshot() const;
+
+  /// Prometheus text exposition (version 0.0.4) of the current snapshot:
+  /// `# TYPE` lines, cumulative `_bucket{le="..."}` series plus `_sum` /
+  /// `_count` per histogram, metric names sanitized to [a-z0-9_], run
+  /// metadata as leading comments. The integration point for a future
+  /// serving front-end's /metrics endpoint.
+  std::string WriteTextExposition() const;
 
   /// Zeroes every metric and clears metadata without destroying the
   /// metric objects (outstanding references stay valid). Test-only.

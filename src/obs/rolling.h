@@ -4,10 +4,19 @@
 // observation would be too expensive for the Fig. 8/11 streams. The
 // running sum is recomputed from the buffer once per wrap-around so
 // floating-point drift stays bounded on long streams.
+//
+// Thread safety: all operations serialize on an internal mutex, so a
+// window shared between an observer thread and a monitor/snapshot reader
+// is race-free (and TSan-clean). The online path pushes a handful of
+// values per observed query, so an uncontended lock is noise next to the
+// conformal update itself; values read after all writers have joined (or
+// otherwise synchronized) are deterministic because Push order fully
+// determines the state.
 #ifndef CONFCARD_OBS_ROLLING_H_
 #define CONFCARD_OBS_ROLLING_H_
 
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 namespace confcard {
@@ -19,6 +28,7 @@ class RollingWindow {
       : buf_(capacity > 0 ? capacity : 1) {}
 
   void Push(double v) {
+    std::lock_guard<std::mutex> lock(mu_);
     if (size_ == buf_.size()) {
       sum_ -= buf_[next_];
     } else {
@@ -33,21 +43,35 @@ class RollingWindow {
     }
   }
 
-  double Sum() const { return sum_; }
+  double Sum() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sum_;
+  }
   double Mean() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return size_ == 0 ? 0.0 : sum_ / static_cast<double>(size_);
   }
-  size_t size() const { return size_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
   size_t capacity() const { return buf_.size(); }
-  bool full() const { return size_ == buf_.size(); }
+  bool full() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_ == buf_.size();
+  }
 
   void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
     size_ = 0;
     next_ = 0;
     sum_ = 0.0;
   }
 
  private:
+  // buf_'s length is fixed after construction, so capacity() reads it
+  // without the lock.
+  mutable std::mutex mu_;
   std::vector<double> buf_;
   size_t next_ = 0;
   size_t size_ = 0;

@@ -1,5 +1,12 @@
 #include "obs/trace.h"
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/json.h"
+
 namespace confcard {
 namespace obs {
 namespace {
@@ -18,6 +25,17 @@ double TraceNowMicros() {
   return std::chrono::duration<double, std::micro>(
              std::chrono::steady_clock::now() - TraceEpoch())
       .count();
+}
+
+uint32_t CurrentTraceThreadId() {
+  static std::atomic<uint32_t> next{1};
+  static thread_local const uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void SetTraceThreadLabel(std::string_view label) {
+  TraceStore::Instance().SetThreadLabel(CurrentTraceThreadId(), label);
 }
 
 TraceStore& TraceStore::Instance() {
@@ -54,10 +72,28 @@ void TraceStore::Clear() {
   roots_.clear();
 }
 
+void TraceStore::SetThreadLabel(uint32_t tid, std::string_view label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [existing, name] : thread_labels_) {
+    if (existing == tid) {
+      name = std::string(label);
+      return;
+    }
+  }
+  thread_labels_.emplace_back(tid, std::string(label));
+}
+
+std::vector<std::pair<uint32_t, std::string>> TraceStore::ThreadLabels()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return thread_labels_;
+}
+
 TraceSpan::TraceSpan(std::string_view name) {
   if (!TraceStore::Instance().enabled()) return;
   node_ = std::make_unique<SpanNode>();
   node_->name = std::string(name);
+  node_->tid = CurrentTraceThreadId();
   node_->start_micros = TraceNowMicros();
   parent_ = tls_current_span;
   tls_current_span = node_.get();
@@ -90,6 +126,112 @@ ScopedTimer::~ScopedTimer() {
   const double micros = span_.ElapsedMicros();
   if (millis_out_ != nullptr) *millis_out_ = micros * 1e-3;
   if (histogram_ != nullptr) histogram_->Record(micros / divisor_);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export
+
+namespace {
+
+void WriteChromeSpan(JsonWriter* w, const SpanNode& span) {
+  w->BeginObject();
+  w->Key("ph").String("X");
+  w->Key("pid").Int(1);
+  w->Key("tid").Int(span.tid);
+  w->Key("name").String(span.name);
+  w->Key("ts").Number(span.start_micros);
+  w->Key("dur").Number(span.duration_micros);
+  if (!span.attrs.empty()) {
+    w->Key("args").BeginObject();
+    for (const auto& [key, value] : span.attrs) w->Key(key).Number(value);
+    w->EndObject();
+  }
+  w->EndObject();
+  for (const auto& child : span.children) WriteChromeSpan(w, *child);
+}
+
+}  // namespace
+
+std::string RenderChromeTrace() {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ms");
+  w.Key("traceEvents").BeginArray();
+  for (const auto& [tid, label] : TraceStore::Instance().ThreadLabels()) {
+    w.BeginObject();
+    w.Key("ph").String("M");
+    w.Key("pid").Int(1);
+    w.Key("tid").Int(tid);
+    w.Key("name").String("thread_name");
+    w.Key("args").BeginObject().Key("name").String(label).EndObject();
+    w.EndObject();
+  }
+  TraceStore::Instance().ForEachRoot(
+      [&](const SpanNode& root) { WriteChromeSpan(&w, root); });
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open trace output: " + path);
+  }
+  out << RenderChromeTrace() << '\n';
+  out.flush();
+  if (!out.good()) {
+    return Status::IOError("write failed for trace output: " + path);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Constant-initialized buffer for the same static-init-order reasons as
+// the artifact emitter's path (see json.cc).
+char g_trace_path[4096] = {0};
+std::atomic<bool> g_trace_emitted{false};
+
+void EmitTraceAtExit() {
+  if (g_trace_emitted.exchange(true)) return;
+  const Status st = WriteChromeTrace(g_trace_path);
+  if (st.ok()) {
+    std::fprintf(stderr, "trace timeline written to %s\n", g_trace_path);
+  } else {
+    std::fprintf(stderr, "trace timeline emission failed: %s\n",
+                 st.ToString().c_str());
+  }
+}
+
+}  // namespace
+
+namespace {
+
+std::atomic<bool> g_timeline_enabled{false};
+
+}  // namespace
+
+void SetTraceTimelineEnabled(bool enabled) {
+  g_timeline_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TraceTimelineEnabled() {
+  return g_timeline_enabled.load(std::memory_order_relaxed);
+}
+
+bool InstallTraceExporter() {
+  static const bool installed = [] {
+    const char* path = std::getenv("CONFCARD_TRACE_JSON");
+    if (path == nullptr || path[0] == '\0') return false;
+    std::snprintf(g_trace_path, sizeof(g_trace_path), "%s", path);
+    SetTraceThreadLabel("main");
+    TraceStore::Instance().SetEnabled(true);
+    SetTraceTimelineEnabled(true);
+    std::atexit(&EmitTraceAtExit);
+    return true;
+  }();
+  return installed;
 }
 
 }  // namespace obs

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
 
@@ -24,14 +25,25 @@ namespace obs {
 
 /// One completed (or in-flight) span in the trace tree. Durations are
 /// accumulated-run time (pauses excluded); start is relative to the
-/// process trace epoch.
+/// process trace epoch. `tid` is the small per-process ordinal of the
+/// recording thread (see CurrentTraceThreadId) — carried for the Chrome
+/// trace export; the run-artifact serialization omits it.
 struct SpanNode {
   std::string name;
+  uint32_t tid = 0;
   double start_micros = 0.0;
   double duration_micros = 0.0;
   std::vector<std::pair<std::string, double>> attrs;
   std::vector<std::unique_ptr<SpanNode>> children;
 };
+
+/// Small stable ordinal for the calling thread (1-based, assigned at
+/// first use). Used as the Chrome trace "tid".
+uint32_t CurrentTraceThreadId();
+
+/// Names the calling thread in trace timelines ("main", "pool-worker-2",
+/// ...). Safe to call whether or not tracing is enabled.
+void SetTraceThreadLabel(std::string_view label);
 
 /// Repository of completed root spans, one tree per outermost TraceSpan.
 class TraceStore {
@@ -48,7 +60,15 @@ class TraceStore {
   /// Visits every completed root under the store lock.
   void ForEachRoot(const std::function<void(const SpanNode&)>& fn) const;
   size_t NumRoots() const;
+  /// Drops collected roots. Thread labels persist (threads outlive
+  /// test-scoped clears).
   void Clear();
+
+  /// Associates a human-readable label with a trace thread ordinal.
+  /// Last write per tid wins.
+  void SetThreadLabel(uint32_t tid, std::string_view label);
+  /// Registered (tid, label) pairs in registration order.
+  std::vector<std::pair<uint32_t, std::string>> ThreadLabels() const;
 
  private:
   TraceStore() = default;
@@ -56,7 +76,33 @@ class TraceStore {
   std::atomic<bool> enabled_{false};
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<SpanNode>> roots_;
+  std::vector<std::pair<uint32_t, std::string>> thread_labels_;
 };
+
+/// Serializes every collected span tree as Chrome tracing / Perfetto
+/// JSON ({"traceEvents":[...]}): one "X" (complete) event per span with
+/// `ts`/`dur` in microseconds since the trace epoch, `pid` 1, `tid` from
+/// the recording thread, span attrs under `args`; plus one "M"
+/// thread_name metadata event per labeled thread. Load via
+/// chrome://tracing or ui.perfetto.dev.
+std::string RenderChromeTrace();
+
+/// RenderChromeTrace to a file.
+Status WriteChromeTrace(const std::string& path);
+
+/// Arms the trace timeline exporter when CONFCARD_TRACE_JSON names a
+/// path: enables the TraceStore, turns on timeline-only spans, and
+/// registers an atexit hook that writes the Chrome trace JSON there.
+/// Idempotent; returns whether armed.
+bool InstallTraceExporter();
+
+/// Gate for timeline-only instrumentation (per-fold training spans,
+/// batched-inference sweep spans, per-worker roots). Off by default so
+/// the run-artifact span tree — and therefore the artifact bytes — are
+/// unchanged unless a timeline export was requested. Armed by
+/// InstallTraceExporter; settable directly for tests.
+void SetTraceTimelineEnabled(bool enabled);
+bool TraceTimelineEnabled();
 
 /// Micros since the process trace epoch (first use).
 double TraceNowMicros();

@@ -52,6 +52,53 @@ TEST(DiffRunsTest, IdenticalRunsHaveNoFindings) {
   EXPECT_GT(report.compared, 0u);
 }
 
+TEST(DiffRunsTest, DefaultExclusionsSkipSchedulingTelemetry) {
+  RunView base = MakeBase();
+  base.counters["pool.tasks_executed"] = 100;
+  base.gauges["pool.queue_depth"] = 3.0;
+  RunView cand = base;
+  cand.counters["pool.tasks_executed"] = 900;  // varies with threads
+  cand.gauges["pool.queue_depth"] = 17.0;
+  const DiffReport report = DiffRuns(base, cand, DiffOptions());
+  EXPECT_FALSE(report.HasRegression()) << report.ToText();
+}
+
+TEST(DiffRunsTest, CustomExcludePrefixesReplaceDefaults) {
+  RunView base = MakeBase();
+  base.counters["pool.tasks_executed"] = 100;
+  RunView cand = base;
+  cand.counters["pool.tasks_executed"] = 900;
+  cand.counters["conformal.clip.s-cp.total"] = 999;
+  DiffOptions opt;
+  opt.exclude_prefixes = {"conformal."};
+  const DiffReport report = DiffRuns(base, cand, opt);
+  // The custom list excludes conformal.* but no longer shields pool.*.
+  ASSERT_TRUE(report.HasRegression());
+  const std::string text = report.ToText();
+  EXPECT_NE(text.find("counter/pool.tasks_executed"), std::string::npos);
+  EXPECT_EQ(text.find("conformal.clip"), std::string::npos);
+}
+
+TEST(DiffRunsTest, LoadExcludePrefixesParsesCommentsAndBlanks) {
+  const std::string path = ::testing::TempDir() + "exclude_prefixes.txt";
+  {
+    std::ofstream out(path);
+    out << "# comment line\n"
+        << "\n"
+        << "  pool.  \n"
+        << "ce.guard.latency\n"
+        << "   # indented comment\n";
+  }
+  auto prefixes = obs::LoadExcludePrefixes(path);
+  ASSERT_TRUE(prefixes.ok());
+  ASSERT_EQ(prefixes->size(), 2u);
+  EXPECT_EQ((*prefixes)[0], "pool.");
+  EXPECT_EQ((*prefixes)[1], "ce.guard.latency");
+  std::filesystem::remove(path);
+
+  EXPECT_FALSE(obs::LoadExcludePrefixes("/nonexistent/exclude.txt").ok());
+}
+
 TEST(DiffRunsTest, CounterChangeIsExactRegression) {
   RunView cand = MakeBase();
   cand.counters["conformal.clip.s-cp.total"] = 801;

@@ -1,0 +1,184 @@
+// Chrome-trace timeline exporter tests: the rendered JSON is valid and
+// carries one complete ("X") event per span with thread ids and
+// thread_name metadata, spans from worker threads get distinct tids, and
+// the timeline-only instrumentation gate defaults off.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace confcard {
+namespace obs {
+namespace {
+
+const JsonValue* FindEvent(const JsonValue& doc, const std::string& name) {
+  const JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr) return nullptr;
+  for (const JsonValue& e : events->elements) {
+    const JsonValue* n = e.Find("name");
+    if (n != nullptr && n->string_value == name) return &e;
+  }
+  return nullptr;
+}
+
+TEST(TraceExportTest, RendersCompleteEventsWithTidsAndNesting) {
+  TraceStore::Instance().SetEnabled(true);
+  TraceStore::Instance().Clear();
+  {
+    TraceSpan outer("export.outer");
+    outer.SetAttr("n", 3.0);
+    {
+      TraceSpan inner("export.inner");
+    }
+  }
+  const std::string json = RenderChromeTrace();
+  auto doc = ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("displayTimeUnit")->string_value, "ms");
+
+  const JsonValue* outer = FindEvent(*doc, "export.outer");
+  const JsonValue* inner = FindEvent(*doc, "export.inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  for (const JsonValue* e : {outer, inner}) {
+    EXPECT_EQ(e->Find("ph")->string_value, "X");
+    EXPECT_EQ(static_cast<int>(e->Find("pid")->number), 1);
+    EXPECT_GE(e->Find("tid")->number, 1.0);
+    EXPECT_GE(e->Find("dur")->number, 0.0);
+  }
+  // Same thread, and the child starts no earlier than its parent.
+  EXPECT_EQ(outer->Find("tid")->number, inner->Find("tid")->number);
+  EXPECT_GE(inner->Find("ts")->number, outer->Find("ts")->number);
+  EXPECT_DOUBLE_EQ(outer->Find("args")->Find("n")->number, 3.0);
+
+  TraceStore::Instance().SetEnabled(false);
+  TraceStore::Instance().Clear();
+}
+
+TEST(TraceExportTest, WorkerThreadsGetDistinctTidsAndLabels) {
+  TraceStore::Instance().SetEnabled(true);
+  TraceStore::Instance().Clear();
+  SetTraceThreadLabel("main-test");
+  {
+    TraceSpan main_span("export.main");
+  }
+  std::thread worker([] {
+    SetTraceThreadLabel("worker-test");
+    TraceSpan span("export.worker");
+  });
+  worker.join();
+  const std::string json = RenderChromeTrace();
+  auto doc = ParseJson(json);
+  ASSERT_TRUE(doc.ok());
+
+  const JsonValue* main_ev = FindEvent(*doc, "export.main");
+  const JsonValue* worker_ev = FindEvent(*doc, "export.worker");
+  ASSERT_NE(main_ev, nullptr);
+  ASSERT_NE(worker_ev, nullptr);
+  EXPECT_NE(main_ev->Find("tid")->number, worker_ev->Find("tid")->number);
+
+  // One thread_name metadata event per label, matching the span tids.
+  const JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  double main_label_tid = -1.0, worker_label_tid = -1.0;
+  for (const JsonValue& e : events->elements) {
+    const JsonValue* ph = e.Find("ph");
+    if (ph == nullptr || ph->string_value != "M") continue;
+    ASSERT_EQ(e.Find("name")->string_value, "thread_name");
+    const std::string& label = e.Find("args")->Find("name")->string_value;
+    if (label == "main-test") main_label_tid = e.Find("tid")->number;
+    if (label == "worker-test") worker_label_tid = e.Find("tid")->number;
+  }
+  EXPECT_EQ(main_label_tid, main_ev->Find("tid")->number);
+  EXPECT_EQ(worker_label_tid, worker_ev->Find("tid")->number);
+
+  TraceStore::Instance().SetEnabled(false);
+  TraceStore::Instance().Clear();
+}
+
+TEST(TraceExportTest, WriteChromeTraceRoundTripsThroughDisk) {
+  TraceStore::Instance().SetEnabled(true);
+  TraceStore::Instance().Clear();
+  {
+    TraceSpan span("export.disk");
+  }
+  const std::string path = ::testing::TempDir() + "trace_export.json";
+  ASSERT_TRUE(WriteChromeTrace(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  auto doc = ParseJson(text);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_NE(FindEvent(*doc, "export.disk"), nullptr);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(WriteChromeTrace("/nonexistent-dir-xyz/trace.json").ok());
+  TraceStore::Instance().SetEnabled(false);
+  TraceStore::Instance().Clear();
+}
+
+TEST(TraceExportTest, TimelineGateDefaultsOffAndToggles) {
+  // Off by default: plain runs must not grow new span trees (the run
+  // artifact serializes every root, so artifact bytes depend on this).
+  EXPECT_FALSE(TraceTimelineEnabled());
+  SetTraceTimelineEnabled(true);
+  EXPECT_TRUE(TraceTimelineEnabled());
+  SetTraceTimelineEnabled(false);
+  EXPECT_FALSE(TraceTimelineEnabled());
+}
+
+TEST(TraceExportTest, EmptyStoreRendersValidEmptyTrace) {
+  TraceStore::Instance().Clear();
+  const std::string json = RenderChromeTrace();
+  auto doc = ParseJson(json);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_NE(doc->Find("traceEvents"), nullptr);
+}
+
+// End to end: a real bench run with CONFCARD_TRACE_JSON set emits a
+// valid Chrome-trace file covering fold training and batched inference.
+TEST(TraceSmokeTest, BenchEmitsChromeTraceWithFoldAndInferSpans) {
+#ifndef CONFCARD_TRACE_BENCH_PATH
+  GTEST_SKIP() << "bench path not configured";
+#else
+  const std::string path = ::testing::TempDir() + "bench_trace.json";
+  std::remove(path.c_str());
+  const std::string cmd = std::string("CONFCARD_SCALE=0.01 ") +
+                          "CONFCARD_TRACE_JSON=" + path + " " +
+                          CONFCARD_TRACE_BENCH_PATH + " > /dev/null 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  std::ifstream in(path, std::ios::binary);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  auto doc = ParseJson(text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_NE(FindEvent(*doc, "fold.train"), nullptr);
+  const JsonValue* batch = FindEvent(*doc, "infer.batch");
+  const JsonValue* chunk = FindEvent(*doc, "infer.batch.chunk");
+  ASSERT_NE(batch, nullptr);
+  ASSERT_NE(chunk, nullptr);
+  // Nesting: the chunk lies inside its batch on the timeline.
+  EXPECT_GE(chunk->Find("ts")->number, batch->Find("ts")->number);
+  // Every event is well formed.
+  for (const JsonValue& e : doc->Find("traceEvents")->elements) {
+    const std::string& ph = e.Find("ph")->string_value;
+    ASSERT_TRUE(ph == "X" || ph == "M");
+    if (ph == "X") {
+      EXPECT_GE(e.Find("dur")->number, 0.0);
+    }
+  }
+  std::remove(path.c_str());
+#endif
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace confcard

@@ -12,6 +12,8 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/diff.h"
 
@@ -35,6 +37,11 @@ void PrintUsage() {
       "  --count-tol F         relative tolerance for counters and\n"
       "                        histogram sample counts (default 0)\n"
       "  --allow-missing       missing metrics are notes, not failures\n"
+      "  --exclude-file PATH   metric-name prefixes to exclude, one per\n"
+      "                        line ('#' comments); replaces the built-in\n"
+      "                        exclusions. Default: tools/obsdiff_exclude\n"
+      "                        .txt next to the working directory if it\n"
+      "                        exists, else the built-in list\n"
       "  --json PATH           also write a machine-readable report\n"
       "  --quiet               suppress notes in the text report\n");
 }
@@ -60,6 +67,7 @@ int main(int argc, char** argv) {
   size_t num_paths = 0;
   DiffOptions options;
   std::string json_out;
+  std::string exclude_file;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -91,6 +99,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       json_out = argv[++i];
+    } else if (arg == "--exclude-file") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "obsdiff: --exclude-file needs a path\n");
+        return 2;
+      }
+      exclude_file = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return 0;
@@ -109,6 +123,27 @@ int main(int argc, char** argv) {
   if (num_paths != 2) {
     PrintUsage();
     return 2;
+  }
+
+  // An explicit --exclude-file must load; the repo-default file is a
+  // silent best-effort fallback so a bare `obsdiff a b` works anywhere.
+  if (exclude_file.empty()) {
+    const char* kRepoDefault = "tools/obsdiff_exclude.txt";
+    if (std::ifstream(kRepoDefault).good()) exclude_file = kRepoDefault;
+  } else if (!std::ifstream(exclude_file).good()) {
+    std::fprintf(stderr, "obsdiff: cannot open exclude file: %s\n",
+                 exclude_file.c_str());
+    return 2;
+  }
+  if (!exclude_file.empty()) {
+    confcard::Result<std::vector<std::string>> prefixes =
+        confcard::obs::LoadExcludePrefixes(exclude_file);
+    if (!prefixes.ok()) {
+      std::fprintf(stderr, "obsdiff: %s\n",
+                   prefixes.status().ToString().c_str());
+      return 2;
+    }
+    options.exclude_prefixes = std::move(*prefixes);
   }
 
   confcard::Result<RunView> baseline =

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Builds the tree under ThreadSanitizer (-DCONFCARD_SANITIZE=thread) and
+# runs the concurrent-observability surface: every test labeled
+# obs-smoke (sharded metrics, event-log merge, trace export, rolling
+# windows) plus parallel-smoke (thread pool). A clean exit means TSan
+# saw no data races in the hot-path record/merge code.
+#
+# Usage: tools/run_tsan_obs.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-tsan}"
+
+cmake -S "${repo_root}" -B "${build_dir}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCONFCARD_SANITIZE=thread
+cmake --build "${build_dir}" -j "$(nproc)"
+
+# halt_on_error: fail the suite on the first race instead of logging on.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+# Tiny scale: TSan is ~10x slower and the races we hunt are scale-free.
+export CONFCARD_SCALE="${CONFCARD_SCALE:-0.05}"
+
+ctest --test-dir "${build_dir}" -L 'obs-smoke|parallel-smoke' \
+  --output-on-failure
+echo "TSan obs suite passed."
