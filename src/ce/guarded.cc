@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "common/fault.h"
 #include "common/stopwatch.h"
 #include "obs/event_log.h"
 #include "obs/json.h"
+#include "obs/trace.h"
 #include "query/validate.h"
 
 namespace confcard {
@@ -176,6 +178,12 @@ void GuardedEstimator::EmitGuardRecord(const Query& query,
 // failed sanitization, and must not double-count them.
 GuardedEstimate GuardedEstimator::GuardOne(const Query& query,
                                            uint64_t order_key) const {
+  // Detail-only span over the whole ladder (validation, the
+  // latency-budgeted primary attempt, retry, fallback): on trace
+  // timelines budget-exceeded queries show up as long guard.estimate
+  // spans, and the profiler attributes their CPU to this frame.
+  std::optional<obs::TraceSpan> guard_span;
+  if (obs::DetailSpansEnabled()) guard_span.emplace("guard.estimate");
   if (!ValidateQuery(query, num_columns_).ok()) {
     metrics_.invalid_query.Increment();
     // A malformed query has no meaningful cardinality; quarantine it

@@ -9,6 +9,7 @@
 
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace confcard {
@@ -75,6 +76,11 @@ struct LoopState {
 // the caller and on every helper; determinism does not depend on which
 // thread claims which chunk because callers write results by index.
 void DrainLoop(const std::shared_ptr<LoopState>& state) {
+  // One relaxed load when the profiler is off; arms this thread's
+  // sampling timer on its first chunk otherwise. Covers pool workers
+  // and the participating caller alike, including workers spawned
+  // before the profiler started.
+  obs::prof::RegisterCurrentThread();
   InWorkerScope scope;
   for (;;) {
     if (state->failed.load(std::memory_order_relaxed)) return;

@@ -122,7 +122,20 @@ const std::vector<double>& JoinHarness::Estimates(
   for (size_t i = 0; i < wl.size(); ++i) queries[i] = wl[i].query;
   std::vector<double> out(wl.size());
   Stopwatch watch;
+  // Detail-only sweep span (see single_table.cc): visible on trace
+  // timelines and attributing CPU samples when the profiler is armed.
+  std::optional<obs::TraceSpan> sweep_span;
+  if (obs::DetailSpansEnabled()) {
+    sweep_span.emplace("infer.batch");
+    sweep_span->SetAttr("queries", static_cast<double>(wl.size()));
+  }
   ParallelFor(wl.size(), 0, [&](size_t begin, size_t end) {
+    std::optional<obs::TraceSpan> chunk_span;
+    if (obs::DetailSpansEnabled()) {
+      chunk_span.emplace("infer.batch.chunk");
+      chunk_span->SetAttr("begin", static_cast<double>(begin));
+      chunk_span->SetAttr("n", static_cast<double>(end - begin));
+    }
     model.EstimateBatch(queries.data() + begin, end - begin,
                         out.data() + begin);
   });
@@ -308,9 +321,9 @@ MethodResult JoinHarness::RunJkCv(const MscnJoinEstimator& prototype,
     }
     ParallelFor(static_cast<size_t>(k), 1, [&](size_t begin, size_t end) {
       for (size_t f = begin; f < end; ++f) {
-        // Timeline-only per-fold span (see single_table.cc).
+        // Detail-only per-fold span (see single_table.cc).
         std::optional<obs::TraceSpan> fold_span;
-        if (obs::TraceTimelineEnabled()) {
+        if (obs::DetailSpansEnabled()) {
           fold_span.emplace("fold.train");
           fold_span->SetAttr("fold", static_cast<double>(f));
         }

@@ -130,18 +130,19 @@ const std::vector<double>& SingleTableHarness::Estimates(
   }
   std::vector<double> out(workload.size());
   Stopwatch watch;
-  // Timeline-only: when a Chrome trace export is armed, the batched
-  // sweep gets its own span (and each worker chunk a per-thread child)
-  // so inference scheduling is visually inspectable. Gated to keep the
-  // artifact span tree unchanged on plain runs.
+  // Detail-only: when a Chrome trace export or the sampling profiler is
+  // armed, the batched sweep gets its own span (and each worker chunk a
+  // per-thread child) so inference scheduling is visually inspectable
+  // and CPU samples attribute to the sweep. Gated to keep the artifact
+  // span tree unchanged on plain runs.
   std::optional<obs::TraceSpan> sweep_span;
-  if (obs::TraceTimelineEnabled()) {
+  if (obs::DetailSpansEnabled()) {
     sweep_span.emplace("infer.batch");
     sweep_span->SetAttr("queries", static_cast<double>(workload.size()));
   }
   ParallelFor(workload.size(), 0, [&](size_t begin, size_t end) {
     std::optional<obs::TraceSpan> chunk_span;
-    if (obs::TraceTimelineEnabled()) {
+    if (obs::DetailSpansEnabled()) {
       chunk_span.emplace("infer.batch.chunk");
       chunk_span->SetAttr("begin", static_cast<double>(begin));
       chunk_span->SetAttr("n", static_cast<double>(end - begin));
@@ -506,10 +507,10 @@ MethodResult SingleTableHarness::RunJkCv(
     }
     ParallelFor(static_cast<size_t>(k), 1, [&](size_t begin, size_t end) {
       for (size_t f = begin; f < end; ++f) {
-        // Timeline-only per-fold span: shows which worker trained which
+        // Detail-only per-fold span: shows which worker trained which
         // fold and nests the model's own training spans beneath it.
         std::optional<obs::TraceSpan> fold_span;
-        if (obs::TraceTimelineEnabled()) {
+        if (obs::DetailSpansEnabled()) {
           fold_span.emplace("fold.train");
           fold_span->SetAttr("fold", static_cast<double>(f));
         }

@@ -44,12 +44,14 @@ struct DiffOptions {
   /// Defaults cover scheduling/wall-clock telemetry that legitimately
   /// varies with CONFCARD_THREADS while result metrics stay identical:
   /// thread-pool scheduling ("pool."), the guard's wall-clock latency
-  /// histogram, and the batched-inference throughput gauge. Override
-  /// wholesale (the defaults are not merged in) — the obsdiff CLI loads
+  /// histogram, the batched-inference throughput gauge, and the
+  /// profiler's span resource accounting ("prof."). Override wholesale
+  /// (the defaults are not merged in) — the obsdiff CLI loads
   /// replacements from a file via --exclude-file, falling back to the
   /// repo's tools/obsdiff_exclude.txt when present.
   std::vector<std::string> exclude_prefixes = {
-      "pool.", "ce.guard.latency", "ce.infer.batch_queries_per_sec"};
+      "pool.", "ce.guard.latency", "ce.infer.batch_queries_per_sec",
+      "prof."};
 };
 
 struct DiffFinding {

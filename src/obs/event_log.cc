@@ -241,7 +241,6 @@ void EventLog::CrashFlush() {
   const int fd = ::fileno(log.file_);
   if (!log.buffer_.empty()) {
     WriteAll(fd, log.buffer_.data(), log.buffer_.size());
-    log.buffer_.clear();
   }
   std::unique_lock<std::mutex> reg(log.stages_mu_, std::try_to_lock);
   if (!reg.owns_lock()) return;
@@ -252,7 +251,10 @@ void EventLog::CrashFlush() {
       WriteAll(fd, r.line.data(), r.line.size());
       WriteAll(fd, "\n", 1);
     }
-    stage->records.clear();
+    // Deliberately no clear(): destroying the staged strings would call
+    // free() inside a signal handler (signal-unsafe; TSan aborts on it),
+    // and the handler chain re-raises fatally right after — no later
+    // flush runs that could duplicate these bytes.
   }
 }
 

@@ -11,6 +11,7 @@
 #include "common/stats.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace confcard {
@@ -515,10 +516,14 @@ void EmitAtExit() {
 }  // namespace
 
 bool InstallExitEmitter() {
-  // Arm the trace timeline exporter alongside the artifact emitter, so
-  // any binary that opts into CONFCARD_METRICS_JSON also honors
-  // CONFCARD_TRACE_JSON without separate plumbing. Both installs are
-  // idempotent.
+  // Arm the trace timeline exporter and the sampling profiler alongside
+  // the artifact emitter, so any binary that opts into
+  // CONFCARD_METRICS_JSON also honors CONFCARD_TRACE_JSON and
+  // CONFCARD_PROFILE without separate plumbing. All installs are
+  // idempotent. The profiler is armed LAST: atexit hooks run LIFO, so
+  // registering its drain after EmitAtExit below makes the drain run
+  // first and the artifact snapshot see the prof.samples/prof.hz gauges
+  // it sets.
   InstallTraceExporter();
   // The function-local static makes arming idempotent across every
   // caller — bench TUs, tests, and tools all funnel through this one
@@ -536,6 +541,7 @@ bool InstallExitEmitter() {
     RegisterCrashFlush(&EmitAtExit);
     return true;
   }();
+  prof::InstallProfiler();
   return installed;
 }
 

@@ -246,6 +246,47 @@ void AppendNumber(std::string* out, double v) {
   out->append(buf);
 }
 
+// Label values per the text-format spec (version 0.0.4): backslash,
+// double-quote, and newline must be escaped or a scraper will misparse
+// the series — or worse, splice the rest of the value into a new line.
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// HELP text escapes only backslash and newline (quotes are legal there).
+std::string EscapeHelpText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// The dotted source name doubles as the help string: exposition names
+// flatten dots to underscores, so this is the one place a scraper's user
+// can recover the original registry path.
+void AppendHeader(std::string* out, const std::string& exposition_name,
+                  const std::string& source_name, const char* type) {
+  *out += "# HELP " + exposition_name + " confcard metric " +
+          EscapeHelpText(source_name) + "\n";
+  *out += "# TYPE " + exposition_name + " " + type + "\n";
+}
+
 }  // namespace
 
 std::string MetricsRegistry::WriteTextExposition() const {
@@ -253,33 +294,36 @@ std::string MetricsRegistry::WriteTextExposition() const {
   std::string out;
   out.reserve(4096);
   for (const auto& [key, value] : snap.meta) {
+    // Comment lines, but still line-oriented: a raw newline in a meta
+    // value would splice arbitrary text into the exposition body.
     out += "# meta ";
     out += key;
     out += " ";
-    out += value;
+    out += EscapeHelpText(value);
     out += "\n";
   }
   for (const auto& [name, value] : snap.counters) {
     const std::string n = ExpositionName(name);
-    out += "# TYPE " + n + " counter\n";
+    AppendHeader(&out, n, name, "counter");
     out += n + " " + std::to_string(value) + "\n";
   }
   for (const auto& [name, value] : snap.gauges) {
     const std::string n = ExpositionName(name);
-    out += "# TYPE " + n + " gauge\n";
+    AppendHeader(&out, n, name, "gauge");
     out += n + " ";
     AppendNumber(&out, value);
     out += "\n";
   }
   for (const auto& [name, h] : snap.histograms) {
     const std::string n = ExpositionName(name);
-    out += "# TYPE " + n + " histogram\n";
+    AppendHeader(&out, n, name, "histogram");
     uint64_t cumulative = 0;
     for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
       cumulative += h.buckets[i];
-      out += n + "_bucket{le=\"";
-      AppendNumber(&out, Histogram::BucketUpperBound(i));
-      out += "\"} " + std::to_string(cumulative) + "\n";
+      std::string le;
+      AppendNumber(&le, Histogram::BucketUpperBound(i));
+      out += n + "_bucket{le=\"" + EscapeLabelValue(le) + "\"} " +
+             std::to_string(cumulative) + "\n";
     }
     out += n + "_sum ";
     AppendNumber(&out, h.sum);

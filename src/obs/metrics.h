@@ -192,8 +192,10 @@ class MetricsRegistry {
   Snapshot TakeSnapshot() const;
 
   /// Prometheus text exposition (version 0.0.4) of the current snapshot:
-  /// `# TYPE` lines, cumulative `_bucket{le="..."}` series plus `_sum` /
-  /// `_count` per histogram, metric names sanitized to [a-z0-9_], run
+  /// `# HELP` (carrying the original dotted name) and `# TYPE` per
+  /// metric, cumulative `_bucket{le="..."}` series plus `_sum` /
+  /// `_count` per histogram, metric names sanitized to [a-z0-9_], label
+  /// values escaped per the spec (backslash, double-quote, newline), run
   /// metadata as leading comments. The integration point for a future
   /// serving front-end's /metrics endpoint.
   std::string WriteTextExposition() const;

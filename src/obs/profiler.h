@@ -1,0 +1,144 @@
+// In-process sampling CPU profiler with span-attributed resource
+// accounting. Arming (CONFCARD_PROFILE=<path>[:hz], default 99 Hz)
+// creates one POSIX per-thread CPU-time timer (CLOCK_THREAD_CPUTIME_ID,
+// SIGEV_THREAD_ID) per registered thread; each expiry delivers SIGPROF
+// to that thread, whose handler captures the native call stack plus the
+// innermost open TraceSpan labels into a per-thread lock-free ring
+// buffer. Nothing in the handler allocates, locks, or formats: capture
+// is a backtrace() into preallocated storage plus relaxed atomics (the
+// libgcc unwinder is preloaded at arming so its one-time dlopen cannot
+// fire inside a handler). Symbolization (dladdr + demangling) and
+// aggregation happen at drain time, producing collapsed-stack "folded"
+// output (`frame;frame;...;leaf count`) ready for flamegraph.pl or
+// speedscope; `tools/profcat` merges, summarizes, and diffs such files.
+//
+// Sampling uses the *thread CPU clock*, so blocked threads accumulate no
+// samples — the profile answers "where do cycles go", while the span
+// resource counters (voluntary/involuntary context switches, below)
+// answer "where do threads stall".
+//
+// Span attribution: TraceSpan construction pushes the span name onto an
+// async-signal-safe thread-local label stack (interned ids, plain
+// stores, signal fences); samples carry the open label ids and the
+// folded stacks lead with `thread;span;...` pseudo-frames, so flame
+// graphs split by harness phase (fold.train vs infer.batch vs
+// calibrate) before descending into native frames.
+//
+// Resource accounting: when armed (by the profiler, the trace timeline
+// exporter, or SetSpanResourceAccountingEnabled), every TraceSpan also
+// records its on-CPU time (thread CPU clock delta), allocation
+// count/bytes (thread-local operator new/delete counters), and
+// voluntary/involuntary context switches (getrusage(RUSAGE_THREAD)
+// deltas) — exported as `args` on the Chrome-trace timeline and as
+// prof.* metrics (obsdiff-excluded). Off, a span pays nothing and
+// artifact bytes are unchanged.
+//
+// Crash safety: arming registers the drain on RegisterCrashFlush, so a
+// crashed run still leaves a parseable partial folded profile — the
+// same guarantee the event log gives JSONL.
+#ifndef CONFCARD_OBS_PROFILER_H_
+#define CONFCARD_OBS_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace confcard {
+namespace obs {
+namespace prof {
+
+/// Hard caps on what one sample can carry. Deeper native stacks are
+/// truncated at the root end (the leaf frames are the interesting ones);
+/// deeper span nests keep the outermost labels.
+inline constexpr int kMaxFramesPerSample = 48;
+inline constexpr int kMaxSpanDepth = 12;
+
+namespace internal {
+inline std::atomic<bool> g_profiling{false};
+}  // namespace internal
+
+/// True while sampling is armed. One relaxed load — the gate TraceSpan
+/// uses to decide whether to maintain the label stack, and the harnesses
+/// use to open the detail spans (fold.train, infer.batch) that sampling
+/// attributes work to.
+inline bool ProfilerEnabled() {
+  return internal::g_profiling.load(std::memory_order_relaxed);
+}
+
+/// Arms the profiler when CONFCARD_PROFILE names an output path
+/// (`<path>` or `<path>:<hz>`). Idempotent; returns whether armed.
+/// Arming registers the calling thread, installs the SIGPROF handler,
+/// schedules an atexit drain, and chains the ring drain onto
+/// RegisterCrashFlush.
+bool InstallProfiler();
+
+/// Programmatic arming for tests and benches. Fails if already running.
+/// `hz` is clamped to [1, 4000].
+Status StartProfiler(const std::string& path, int hz = 99);
+
+/// Stops sampling (deletes every registered thread timer), drains all
+/// rings, symbolizes, and writes the folded profile to the path given at
+/// start. No-op Status::OK when the profiler was never started.
+Status StopProfilerAndWrite();
+
+/// Registers the calling thread for sampling: creates its CPU-clock
+/// timer and ring buffer. Cheap no-op when the profiler is off or the
+/// thread is already registered — pool workers and ParallelFor
+/// participants call it unconditionally on entry.
+void RegisterCurrentThread();
+
+/// Number of samples currently captured across all rings (approximate
+/// under concurrent sampling; exact once stopped).
+uint64_t SampleCount();
+
+/// Samples dropped due to full rings since arming.
+uint64_t DroppedSampleCount();
+
+/// Sampling interval actually armed, in Hz (0 when off).
+int SamplingHz();
+
+/// Drains every ring and renders the folded profile ("stack count"
+/// lines, lexicographically sorted for determinism). Does not stop
+/// sampling; safe to call at any time (in-flight samples may be missed,
+/// never torn).
+std::string RenderFoldedProfile();
+
+// --- Span label stack (maintained by TraceSpan; exposed for tests) ---
+
+/// Pushes/pops a span label for the calling thread. Push interns the
+/// name (mutex-protected, warm path); the stack itself is plain stores
+/// with signal fences, safe against the thread's own SIGPROF handler.
+void PushSpanLabel(std::string_view name);
+void PopSpanLabel();
+/// Current depth of the calling thread's label stack.
+int SpanLabelDepth();
+
+// --- Thread-local resource counters (always maintained; read by
+// TraceSpan when resource accounting is armed) ---
+
+/// Monotonic allocation count/bytes for the calling thread, maintained
+/// by the global operator new/delete replacements in profiler.cc.
+uint64_t ThreadAllocCount();
+uint64_t ThreadAllocBytes();
+
+/// Thread CPU time in microseconds (CLOCK_THREAD_CPUTIME_ID).
+double ThreadCpuMicros();
+
+/// Voluntary / involuntary context switches for the calling thread
+/// (getrusage(RUSAGE_THREAD)).
+void ThreadContextSwitches(uint64_t* voluntary, uint64_t* involuntary);
+
+}  // namespace prof
+
+/// Arms/queries span-attributed resource accounting (see file comment).
+/// Armed automatically by InstallProfiler and InstallTraceExporter.
+void SetSpanResourceAccountingEnabled(bool enabled);
+bool SpanResourceAccountingEnabled();
+
+}  // namespace obs
+}  // namespace confcard
+
+#endif  // CONFCARD_OBS_PROFILER_H_

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "obs/json.h"
+#include "obs/profiler.h"
 
 namespace confcard {
 namespace obs {
@@ -90,6 +91,22 @@ std::vector<std::pair<uint32_t, std::string>> TraceStore::ThreadLabels()
 }
 
 TraceSpan::TraceSpan(std::string_view name) {
+  if (prof::ProfilerEnabled()) {
+    // Label first: CPU samples taken during the span's own setup should
+    // already attribute to it.
+    prof::PushSpanLabel(name);
+    label_pushed_ = true;
+  }
+  if (SpanResourceAccountingEnabled()) {
+    res_armed_ = true;
+    res_name_.assign(name);
+    // Baselines last, so the bookkeeping above (label interning, the
+    // name copy) stays out of this span's own deltas.
+    res_allocs_ = prof::ThreadAllocCount();
+    res_alloc_bytes_ = prof::ThreadAllocBytes();
+    prof::ThreadContextSwitches(&res_vol_csw_, &res_invol_csw_);
+    res_cpu_us_ = prof::ThreadCpuMicros();
+  }
   if (!TraceStore::Instance().enabled()) return;
   node_ = std::make_unique<SpanNode>();
   node_->name = std::string(name);
@@ -100,14 +117,43 @@ TraceSpan::TraceSpan(std::string_view name) {
 }
 
 TraceSpan::~TraceSpan() {
-  if (node_ == nullptr) return;
-  node_->duration_micros = watch_.ElapsedMicros();
-  tls_current_span = parent_;
-  if (parent_ != nullptr) {
-    parent_->children.push_back(std::move(node_));
-  } else {
-    TraceStore::Instance().AddRoot(std::move(node_));
+  if (res_armed_) {
+    const double cpu_us = prof::ThreadCpuMicros() - res_cpu_us_;
+    const uint64_t allocs = prof::ThreadAllocCount() - res_allocs_;
+    const uint64_t alloc_bytes = prof::ThreadAllocBytes() - res_alloc_bytes_;
+    uint64_t vol = 0;
+    uint64_t invol = 0;
+    prof::ThreadContextSwitches(&vol, &invol);
+    const uint64_t vol_csw = vol - res_vol_csw_;
+    const uint64_t invol_csw = invol - res_invol_csw_;
+    MetricsRegistry& reg = Metrics();
+    reg.GetHistogram("prof." + res_name_ + ".cpu_us").Record(cpu_us);
+    reg.GetCounter("prof." + res_name_ + ".allocs").Increment(allocs);
+    reg.GetCounter("prof." + res_name_ + ".alloc_bytes")
+        .Increment(alloc_bytes);
+    reg.GetCounter("prof." + res_name_ + ".vol_ctxsw").Increment(vol_csw);
+    reg.GetCounter("prof." + res_name_ + ".invol_ctxsw")
+        .Increment(invol_csw);
+    if (node_ != nullptr) {
+      node_->attrs.emplace_back("cpu_us", cpu_us);
+      node_->attrs.emplace_back("allocs", static_cast<double>(allocs));
+      node_->attrs.emplace_back("alloc_bytes",
+                                static_cast<double>(alloc_bytes));
+      node_->attrs.emplace_back("vol_ctxsw", static_cast<double>(vol_csw));
+      node_->attrs.emplace_back("invol_ctxsw",
+                                static_cast<double>(invol_csw));
+    }
   }
+  if (node_ != nullptr) {
+    node_->duration_micros = watch_.ElapsedMicros();
+    tls_current_span = parent_;
+    if (parent_ != nullptr) {
+      parent_->children.push_back(std::move(node_));
+    } else {
+      TraceStore::Instance().AddRoot(std::move(node_));
+    }
+  }
+  if (label_pushed_) prof::PopSpanLabel();
 }
 
 void TraceSpan::SetAttr(std::string_view key, double value) {
@@ -220,6 +266,10 @@ bool TraceTimelineEnabled() {
   return g_timeline_enabled.load(std::memory_order_relaxed);
 }
 
+bool DetailSpansEnabled() {
+  return TraceTimelineEnabled() || prof::ProfilerEnabled();
+}
+
 bool InstallTraceExporter() {
   static const bool installed = [] {
     const char* path = std::getenv("CONFCARD_TRACE_JSON");
@@ -228,6 +278,9 @@ bool InstallTraceExporter() {
     SetTraceThreadLabel("main");
     TraceStore::Instance().SetEnabled(true);
     SetTraceTimelineEnabled(true);
+    // A requested timeline also gets per-span resource args (cpu_us,
+    // allocs, ctxsw...). prof.* metrics ride along, obsdiff-excluded.
+    SetSpanResourceAccountingEnabled(true);
     std::atexit(&EmitTraceAtExit);
     return true;
   }();

@@ -104,6 +104,13 @@ bool InstallTraceExporter();
 void SetTraceTimelineEnabled(bool enabled);
 bool TraceTimelineEnabled();
 
+/// True when detail spans (fold.train, infer.batch[.chunk],
+/// guard.estimate) should be opened: either the Chrome-trace timeline or
+/// the sampling profiler is armed. The profiler needs these spans even
+/// without trace collection — their labels feed the per-thread span
+/// stack that attributes CPU samples to harness phases.
+bool DetailSpansEnabled();
+
 /// Micros since the process trace epoch (first use).
 double TraceNowMicros();
 
@@ -132,6 +139,19 @@ class TraceSpan {
   Stopwatch watch_;
   std::unique_ptr<SpanNode> node_;  // null when collection is disabled
   SpanNode* parent_ = nullptr;
+  // Whether this span pushed its name onto the profiler's span-label
+  // stack (latched at construction so push/pop stay balanced even if
+  // the profiler is stopped mid-span).
+  bool label_pushed_ = false;
+  // Resource-accounting baselines (see obs/profiler.h); armed_ latches
+  // SpanResourceAccountingEnabled at construction.
+  bool res_armed_ = false;
+  std::string res_name_;
+  double res_cpu_us_ = 0.0;
+  uint64_t res_allocs_ = 0;
+  uint64_t res_alloc_bytes_ = 0;
+  uint64_t res_vol_csw_ = 0;
+  uint64_t res_invol_csw_ = 0;
 };
 
 /// TraceSpan that additionally reports its elapsed time on destruction:

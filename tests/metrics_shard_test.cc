@@ -229,6 +229,38 @@ TEST(TextExpositionTest, FormatsCountersGaugesAndHistograms) {
   Metrics().ResetForTest();
 }
 
+TEST(TextExpositionTest, HelpLinesPrecedeTypeAndCarryDottedName) {
+  Metrics().ResetForTest();
+  Metrics().GetCounter("expo.help.count").Increment();
+  Metrics().GetHistogram("expo.help.lat_us").Record(2.0);
+  const std::string text = Metrics().WriteTextExposition();
+  // HELP carries the original dotted path (the exposition name flattens
+  // dots), immediately before the matching TYPE line.
+  const size_t help = text.find(
+      "# HELP expo_help_count confcard metric expo.help.count\n");
+  const size_t type = text.find("# TYPE expo_help_count counter\n");
+  ASSERT_NE(help, std::string::npos);
+  ASSERT_NE(type, std::string::npos);
+  EXPECT_LT(help, type);
+  EXPECT_NE(
+      text.find("# HELP expo_help_lat_us confcard metric expo.help.lat_us\n"),
+      std::string::npos);
+  Metrics().ResetForTest();
+}
+
+TEST(TextExpositionTest, EscapesNewlinesAndBackslashesInFreeText) {
+  Metrics().ResetForTest();
+  // A raw newline in a meta value would splice arbitrary text into the
+  // exposition body; backslashes must round-trip under scrapers that
+  // unescape. (Label values get the same treatment plus double-quote,
+  // but the only labels emitted today are numeric `le` bounds.)
+  Metrics().SetMeta("note", "line1\nline2\\tail");
+  const std::string text = Metrics().WriteTextExposition();
+  EXPECT_NE(text.find("# meta note line1\\nline2\\\\tail\n"),
+            std::string::npos);
+  Metrics().ResetForTest();
+}
+
 TEST(TextExpositionTest, NonFiniteGaugesUsePrometheusSpellings) {
   Metrics().ResetForTest();
   Metrics().GetGauge("expo.inf").Set(

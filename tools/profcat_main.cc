@@ -1,0 +1,234 @@
+// profcat: swiss-army knife for the collapsed-stack ("folded") profiles
+// the sampling profiler writes (see src/obs/profiler.h and
+// docs/OBSERVABILITY.md).
+//
+//   profcat A.folded B.folded ...           merge: summed folded to stdout
+//   profcat --top N FILE...                 top-N frames by self/total samples
+//   profcat --diff BASE CAND [--top N]      per-frame self-sample delta
+//
+// Merged output is itself a valid folded profile (sorted, deterministic),
+// so profcat composes with flamegraph.pl / speedscope and with itself.
+// Lines that do not parse (e.g. a truncated crash flush tail) are
+// skipped with a note on stderr, never fatal: a partial profile from a
+// crashed run should still be readable.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace confcard {
+namespace {
+
+using FoldedProfile = std::map<std::string, uint64_t>;
+
+// Parses one folded file into stack -> count, accumulating into `out`.
+Result<size_t> LoadFolded(const std::string& path, FoldedProfile* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open folded profile: " + path);
+  }
+  size_t skipped = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    // The count is the suffix after the LAST space: frame names may
+    // contain spaces (template parameters), counts may not.
+    const size_t space = line.find_last_of(' ');
+    bool ok = space != std::string::npos && space + 1 < line.size() &&
+              space > 0;
+    uint64_t count = 0;
+    if (ok) {
+      const std::string suffix = line.substr(space + 1);
+      ok = suffix.find_first_not_of("0123456789") == std::string::npos;
+      if (ok) count = std::strtoull(suffix.c_str(), nullptr, 10);
+    }
+    if (!ok || count == 0) {
+      ++skipped;
+      continue;
+    }
+    (*out)[line.substr(0, space)] += count;
+  }
+  if (skipped > 0) {
+    std::fprintf(stderr, "profcat: %zu malformed line(s) skipped in %s\n",
+                 skipped, path.c_str());
+  }
+  return skipped;
+}
+
+struct FrameStats {
+  uint64_t self = 0;   // samples with this frame as the leaf
+  uint64_t total = 0;  // samples with this frame anywhere on the stack
+};
+
+// Splits a folded stack on ';'. Every stack has at least one frame.
+std::vector<std::string> SplitStack(const std::string& stack) {
+  std::vector<std::string> frames;
+  size_t begin = 0;
+  for (;;) {
+    const size_t semi = stack.find(';', begin);
+    if (semi == std::string::npos) {
+      frames.push_back(stack.substr(begin));
+      return frames;
+    }
+    frames.push_back(stack.substr(begin, semi - begin));
+    begin = semi + 1;
+  }
+}
+
+std::map<std::string, FrameStats> PerFrame(const FoldedProfile& profile) {
+  std::map<std::string, FrameStats> stats;
+  for (const auto& [stack, count] : profile) {
+    const std::vector<std::string> frames = SplitStack(stack);
+    stats[frames.back()].self += count;
+    // A frame recursing within one stack still contributes its count
+    // only once to `total`.
+    std::set<std::string> seen;
+    for (const std::string& f : frames) {
+      if (seen.insert(f).second) stats[f].total += count;
+    }
+  }
+  return stats;
+}
+
+uint64_t TotalSamples(const FoldedProfile& profile) {
+  uint64_t total = 0;
+  for (const auto& [stack, count] : profile) total += count;
+  return total;
+}
+
+void PrintTop(const FoldedProfile& profile, size_t top_n) {
+  const uint64_t total = TotalSamples(profile);
+  if (total == 0) {
+    std::printf("no samples\n");
+    return;
+  }
+  const std::map<std::string, FrameStats> stats = PerFrame(profile);
+  std::vector<std::pair<std::string, FrameStats>> rows(stats.begin(),
+                                                       stats.end());
+  std::printf("%" PRIu64 " samples, %zu unique stacks, %zu unique frames\n",
+              total, profile.size(), stats.size());
+
+  auto print_table = [&](const char* title, auto key) {
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&](const auto& a, const auto& b) {
+                       return key(a.second) > key(b.second);
+                     });
+    std::printf("\n%-7s %-7s %-6s %s\n", title, "samples", "pct", "frame");
+    const size_t n = std::min(top_n, rows.size());
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t v = key(rows[i].second);
+      if (v == 0) break;
+      std::printf("%-7zu %-7" PRIu64 " %5.1f%% %s\n", i + 1, v,
+                  100.0 * static_cast<double>(v) / static_cast<double>(total),
+                  rows[i].first.c_str());
+    }
+  };
+  print_table("self", [](const FrameStats& s) { return s.self; });
+  print_table("total", [](const FrameStats& s) { return s.total; });
+}
+
+void PrintDiff(const FoldedProfile& base, const FoldedProfile& cand,
+               size_t top_n) {
+  const uint64_t base_total = TotalSamples(base);
+  const uint64_t cand_total = TotalSamples(cand);
+  std::printf("base: %" PRIu64 " samples   cand: %" PRIu64 " samples\n",
+              base_total, cand_total);
+  const std::map<std::string, FrameStats> bs = PerFrame(base);
+  const std::map<std::string, FrameStats> cs = PerFrame(cand);
+  // Delta in self samples per frame, candidate minus base. Raw sample
+  // counts, deliberately unnormalized: at a fixed sampling rate they are
+  // proportional to CPU time, which is what a regression hunt compares.
+  std::map<std::string, int64_t> delta;
+  for (const auto& [frame, s] : bs) {
+    delta[frame] -= static_cast<int64_t>(s.self);
+  }
+  for (const auto& [frame, s] : cs) {
+    delta[frame] += static_cast<int64_t>(s.self);
+  }
+  std::vector<std::pair<std::string, int64_t>> rows(delta.begin(),
+                                                    delta.end());
+  std::stable_sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return std::llabs(a.second) > std::llabs(b.second);
+  });
+  std::printf("\n%-8s %s\n", "d(self)", "frame");
+  const size_t n = std::min(top_n, rows.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (rows[i].second == 0) break;
+    std::printf("%+-8" PRId64 " %s\n", rows[i].second, rows[i].first.c_str());
+  }
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: profcat [--top N] FILE...         merge folded profiles\n"
+      "       profcat --diff BASE CAND [--top N]  frame-level delta\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  size_t top_n = 0;
+  bool diff = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--top") {
+      if (i + 1 >= argc) return Usage();
+      top_n = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+      if (top_n == 0) return Usage();
+    } else if (arg == "--diff") {
+      diff = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty() || (diff && files.size() != 2)) return Usage();
+
+  if (diff) {
+    FoldedProfile base;
+    FoldedProfile cand;
+    for (size_t i = 0; i < 2; ++i) {
+      const auto loaded = LoadFolded(files[i], i == 0 ? &base : &cand);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "profcat: %s\n",
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+    }
+    PrintDiff(base, cand, top_n == 0 ? 20 : top_n);
+    return 0;
+  }
+
+  FoldedProfile merged;
+  for (const std::string& file : files) {
+    const auto loaded = LoadFolded(file, &merged);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "profcat: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+  }
+  if (top_n > 0) {
+    PrintTop(merged, top_n);
+  } else {
+    for (const auto& [stack, count] : merged) {
+      std::printf("%s %" PRIu64 "\n", stack.c_str(), count);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace confcard
+
+int main(int argc, char** argv) { return confcard::Main(argc, argv); }

@@ -2,8 +2,10 @@
 # Builds the tree under ThreadSanitizer (-DCONFCARD_SANITIZE=thread) and
 # runs the concurrent-observability surface: every test labeled
 # obs-smoke (sharded metrics, event-log merge, trace export, rolling
-# windows) plus parallel-smoke (thread pool). A clean exit means TSan
-# saw no data races in the hot-path record/merge code.
+# windows), parallel-smoke (thread pool), and prof-smoke (sampling
+# profiler: SIGPROF handler + lock-free rings under an oversubscribed
+# hammer). A clean exit means TSan saw no data races in the hot-path
+# record/merge/sample code.
 #
 # Usage: tools/run_tsan_obs.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -21,6 +23,6 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 # Tiny scale: TSan is ~10x slower and the races we hunt are scale-free.
 export CONFCARD_SCALE="${CONFCARD_SCALE:-0.05}"
 
-ctest --test-dir "${build_dir}" -L 'obs-smoke|parallel-smoke' \
+ctest --test-dir "${build_dir}" -L 'obs-smoke|parallel-smoke|prof-smoke' \
   --output-on-failure
 echo "TSan obs suite passed."
