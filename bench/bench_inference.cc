@@ -15,6 +15,7 @@
 #include "bench_common.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
+#include "nn/simd.h"
 
 namespace confcard {
 namespace {
@@ -115,6 +116,81 @@ Comparison BenchMscnEstimateBatch(const MscnEstimator& mscn,
   return cmp;
 }
 
+// Scalar vs SIMD kernels on an already-optimized engine path: the same
+// batched estimator run with the vector kernels disabled and enabled.
+// Both settings are bit-identical by the simd.h contract, so the
+// comparison doubles as an end-to-end identity check through a full
+// model forward.
+template <typename Fn>
+Comparison BenchSimdToggle(const char* label, const std::vector<Query>& queries,
+                           const Fn& run) {
+  Comparison cmp;
+  std::vector<double> scalar(queries.size());
+  std::vector<double> simd(queries.size());
+  TimeInterleaved(
+      [&] {
+        nn::SetSimdEnabled(false);
+        run(scalar.data());
+      },
+      [&] {
+        nn::SetSimdEnabled(true);
+        run(simd.data());
+      },
+      &cmp);
+  nn::SetSimdEnabled(true);
+  std::printf("%-7s scalar kernels    %8.1f ms (%zu queries)\n", label,
+              cmp.baseline_millis, queries.size());
+  std::printf("%-7s %s kernels      %8.1f ms  (%.2fx)\n", label,
+              nn::SimdIsaName(), cmp.optimized_millis, cmp.speedup());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (simd[i] != scalar[i]) cmp.identical = false;
+  }
+  return cmp;
+}
+
+// Training-step SIMD toggle. The batched inference paths above are
+// dominated by broadcast-row GEMMs whose scalar loops the compiler
+// already auto-vectorizes (independent output lanes), so the runtime
+// toggle shows ~1x there. Fold training is different: its profiled
+// hotspot (48.6% self, docs/PERFORMANCE.md) is the MatMulTransB
+// dot-product reduction, which auto-vectorization CANNOT touch without
+// reassociating the p-sum — only the transpose-tile vector kernel
+// speeds it up while preserving bit identity. Trained weights are
+// deterministic, so the post-training estimates double as an
+// end-to-end identity check over thousands of vectorized GEMMs.
+Comparison BenchMscnTrainSimd(const Table& table, const bench::Splits& splits,
+                              const std::vector<Query>& queries) {
+  Comparison cmp;
+  MscnEstimator::Options opts = bench::MscnDefaults();
+  opts.model.epochs = 6;  // the ratio is epoch-invariant; keep reps quick
+  std::vector<double> scalar(queries.size());
+  std::vector<double> simd(queries.size());
+  auto train_and_estimate = [&](double* out) {
+    MscnEstimator est(opts);
+    CONFCARD_CHECK(est.Train(table, splits.train).ok());
+    est.EstimateBatch(queries.data(), queries.size(), out);
+  };
+  TimeInterleaved(
+      [&] {
+        nn::SetSimdEnabled(false);
+        train_and_estimate(scalar.data());
+      },
+      [&] {
+        nn::SetSimdEnabled(true);
+        train_and_estimate(simd.data());
+      },
+      &cmp);
+  nn::SetSimdEnabled(true);
+  std::printf("mscn-tr scalar kernels    %8.1f ms (%d epochs)\n",
+              cmp.baseline_millis, opts.model.epochs);
+  std::printf("mscn-tr %s kernels      %8.1f ms  (%.2fx)\n", nn::SimdIsaName(),
+              cmp.optimized_millis, cmp.speedup());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (simd[i] != scalar[i]) cmp.identical = false;
+  }
+  return cmp;
+}
+
 void WriteComparison(obs::JsonWriter* w, const char* name,
                      const char* baseline, const char* optimized,
                      const Comparison& cmp) {
@@ -150,6 +226,16 @@ int Main() {
   CONFCARD_CHECK(mscn.Train(table, splits.train).ok());
   Comparison mscn_cmp = BenchMscnEstimateBatch(mscn, queries);
 
+  // SIMD off/on at 1 thread on the two kernel-bound engine paths.
+  naru.set_sparse_inference(true);
+  Comparison naru_simd = BenchSimdToggle("naru", queries, [&](double* out) {
+    naru.EstimateBatch(queries.data(), queries.size(), out);
+  });
+  Comparison mscn_simd = BenchSimdToggle("mscn", queries, [&](double* out) {
+    mscn.EstimateBatch(queries.data(), queries.size(), out);
+  });
+  Comparison train_simd = BenchMscnTrainSimd(table, splits, queries);
+
   SetThreads(saved_threads);
 
   obs::JsonWriter w;
@@ -158,10 +244,17 @@ int Main() {
   w.Key("scale").Number(bench::BenchScale());
   w.Key("threads").Int(1);
   w.Key("queries").Int(static_cast<uint64_t>(queries.size()));
+  w.Key("simd_isa").String(nn::SimdIsaName());
   WriteComparison(&w, "naru_progressive_sample", "dense per-query",
                   "sparse batched engine", naru_cmp);
   WriteComparison(&w, "mscn_estimate_batch", "per-query loop",
                   "batched forward", mscn_cmp);
+  WriteComparison(&w, "naru_batched_simd", "scalar kernels", "simd kernels",
+                  naru_simd);
+  WriteComparison(&w, "mscn_batched_simd", "scalar kernels", "simd kernels",
+                  mscn_simd);
+  WriteComparison(&w, "mscn_train_simd", "scalar kernels", "simd kernels",
+                  train_simd);
   w.EndObject();
 
   const char* path = "BENCH_inference.json";
@@ -171,6 +264,18 @@ int Main() {
   std::printf("wrote %s\n", path);
   CONFCARD_CHECK_MSG(naru_cmp.identical && mscn_cmp.identical,
                      "optimized inference produced non-identical results");
+  CONFCARD_CHECK_MSG(
+      naru_simd.identical && mscn_simd.identical && train_simd.identical,
+      "SIMD kernels produced non-identical estimates");
+  // The vector kernels must buy a real single-thread win on at least
+  // one kernel-bound path (trivially inapplicable in scalar-only
+  // builds, where both sides run the same code).
+  if (nn::SimdCompiledIn()) {
+    CONFCARD_CHECK_MSG(naru_simd.speedup() >= 1.5 ||
+                           mscn_simd.speedup() >= 1.5 ||
+                           train_simd.speedup() >= 1.5,
+                       "SIMD kernels under 1.5x on every kernel-bound path");
+  }
   return 0;
 }
 

@@ -7,6 +7,7 @@
 #include "common/fault.h"
 #include "common/rng.h"
 #include "query/validate.h"
+#include "nn/arena.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "nn/serialize.h"
@@ -130,6 +131,9 @@ Status LwnnEstimator::Train(const Table& table, const Workload& workload) {
     epoch_span.SetAttr("loss", mean_loss);
     loss_gauge.Set(mean_loss);
     last_loss_ = mean_loss;
+    // Epoch boundary: return idle recycled tensor buffers so cache
+    // residency never outlives the epoch that shaped it.
+    nn::ArenaTrim();
   }
   return Status::OK();
 }

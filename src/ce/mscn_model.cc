@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "nn/arena.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "nn/serialize.h"
@@ -220,6 +221,7 @@ Status MscnModel::Train(const std::vector<MscnInput>& inputs,
     epoch_span.SetAttr("loss", mean_loss);
     loss_gauge.Set(mean_loss);
     last_loss_ = mean_loss;
+    nn::ArenaTrim();  // epoch boundary: release idle recycled buffers
   }
   return Status::OK();
 }

@@ -7,6 +7,7 @@
 #include "common/fault.h"
 #include "common/rng.h"
 #include "query/validate.h"
+#include "nn/arena.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "nn/serialize.h"
@@ -231,6 +232,7 @@ Status NaruEstimator::Train(const Table& table) {
         num_batches == 0 ? 0.0 : loss_sum / static_cast<double>(num_batches);
     epoch_span.SetAttr("loss", mean_loss);
     loss_gauge.Set(mean_loss);
+    nn::ArenaTrim();  // epoch boundary: release idle recycled buffers
   }
   return Status::OK();
 }

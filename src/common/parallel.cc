@@ -1,7 +1,7 @@
 #include "common/parallel.h"
 
-#include <atomic>
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <memory>
@@ -50,7 +50,7 @@ int ResolveThreadsFromEnv() {
 
 // Returns a pool with at least `helpers` workers, creating or growing
 // the process-wide pool on demand. Never shrinks: a larger pool is
-// harmless because ParallelFor only submits as many helper tasks as it
+// harmless because ParallelFor only submits as many helper slots as it
 // wants.
 ThreadPool* PoolWithCapacity(int helpers) {
   std::lock_guard<std::mutex> lock(g_pool_mu);
@@ -61,21 +61,10 @@ ThreadPool* PoolWithCapacity(int helpers) {
   return g_pool.get();
 }
 
-struct LoopState {
-  std::atomic<size_t> next_chunk{0};
-  std::atomic<bool> failed{false};
-  size_t n = 0;
-  size_t chunk = 0;
-  size_t num_chunks = 0;
-  const std::function<void(size_t, size_t)>* body = nullptr;
-  std::mutex error_mu;
-  std::exception_ptr error;
-};
-
 // Claims chunks until the range (or an error) exhausts them. Runs on
 // the caller and on every helper; determinism does not depend on which
 // thread claims which chunk because callers write results by index.
-void DrainLoop(const std::shared_ptr<LoopState>& state) {
+void DrainLoop(internal::LoopState* state) {
   // One relaxed load when the profiler is off; arms this thread's
   // sampling timer on its first chunk otherwise. Covers pool workers
   // and the participating caller alike, including workers spawned
@@ -89,14 +78,24 @@ void DrainLoop(const std::shared_ptr<LoopState>& state) {
     const size_t begin = c * state->chunk;
     const size_t end = std::min(state->n, begin + state->chunk);
     try {
-      (*state->body)(begin, end);
+      state->body(state->ctx, begin, end);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(state->error_mu);
+      std::lock_guard<std::mutex> lock(state->done_mu);
       if (!state->error) state->error = std::current_exception();
       state->failed.store(true, std::memory_order_relaxed);
       return;
     }
   }
+}
+
+// Helper-slot execution: drain chunks, then retire the slot. The loop
+// state may be destroyed by the waiting caller the moment it observes
+// outstanding == 0, so the decrement-and-notify happens under done_mu
+// and nothing touches `state` after the lock is released.
+void RunLoopHelper(internal::LoopState* state) {
+  DrainLoop(state);
+  std::lock_guard<std::mutex> lock(state->done_mu);
+  if (--state->outstanding == 0) state->done_cv.notify_one();
 }
 
 }  // namespace
@@ -105,6 +104,12 @@ ThreadPool::ThreadPool(int num_threads) {
   const int n = std::max(1, num_threads);
   start_micros_ = NowMicros();
   obs::Metrics().GetGauge("pool.threads").Set(static_cast<double>(n));
+  depth_gauge_ = &obs::Metrics().GetGauge("pool.queue_depth");
+  // The slab: helper slots per loop are bounded by the thread count, so
+  // this capacity only fills when many top-level loops are in flight at
+  // once — and a full ring degrades gracefully (the caller runs the
+  // chunks itself), it never blocks or allocates.
+  ring_.assign(std::max<size_t>(256, static_cast<size_t>(n) * 8), nullptr);
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -134,40 +139,75 @@ ThreadPool::~ThreadPool() {
 std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   std::packaged_task<void()> task(std::move(fn));
   std::future<void> fut = task.get_future();
-  size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     CONFCARD_CHECK_MSG(!stop_, "ThreadPool::Submit after shutdown began");
     queue_.push_back(std::move(task));
-    depth = queue_.size();
+    // Published under the lock: submits and pops serialize on mu_, so
+    // the gauge can never go backwards relative to the queue's true
+    // depth (the old publish-after-release pattern could).
+    depth_gauge_->Set(static_cast<double>(DepthLocked()));
   }
-  obs::Metrics().GetGauge("pool.queue_depth").Set(static_cast<double>(depth));
   cv_.notify_one();
   return fut;
 }
 
+int ThreadPool::SubmitLoopHelpers(internal::LoopState* loop, int count) {
+  int enqueued = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CONFCARD_CHECK_MSG(!stop_,
+                       "ThreadPool::SubmitLoopHelpers after shutdown began");
+    const size_t cap = ring_.size();
+    while (enqueued < count && ring_size_ < cap) {
+      ring_[(ring_head_ + ring_size_) % cap] = loop;
+      ++ring_size_;
+      ++enqueued;
+    }
+    depth_gauge_->Set(static_cast<double>(DepthLocked()));
+  }
+  if (enqueued == 1) {
+    cv_.notify_one();
+  } else if (enqueued > 1) {
+    cv_.notify_all();
+  }
+  return enqueued;
+}
+
 size_t ThreadPool::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return DepthLocked();
 }
 
 void ThreadPool::WorkerLoop(int worker_index) {
   obs::SetTraceThreadLabel("pool-worker-" + std::to_string(worker_index));
   obs::Counter& executed = obs::Metrics().GetCounter("pool.tasks_executed");
   obs::Counter& busy_us = obs::Metrics().GetCounter("pool.busy_us");
-  obs::Gauge& depth_gauge = obs::Metrics().GetGauge("pool.queue_depth");
   for (;;) {
+    internal::LoopState* loop = nullptr;
     std::packaged_task<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ && drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      depth_gauge.Set(static_cast<double>(queue_.size()));
+      cv_.wait(lock,
+               [this] { return stop_ || ring_size_ > 0 || !queue_.empty(); });
+      if (ring_size_ > 0) {
+        loop = ring_[ring_head_];
+        ring_head_ = (ring_head_ + 1) % ring_.size();
+        --ring_size_;
+      } else if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      } else {
+        return;  // stop_ && drained
+      }
+      depth_gauge_->Set(static_cast<double>(DepthLocked()));
     }
     const double t0 = NowMicros();
-    task();  // exceptions land in the task's future
+    if (loop != nullptr) {
+      RunLoopHelper(loop);
+    } else {
+      task();  // exceptions land in the task's future
+    }
     busy_us.Increment(static_cast<uint64_t>(NowMicros() - t0));
     executed.Increment();
   }
@@ -197,8 +237,9 @@ void SetThreads(int n) {
 
 bool InParallelWorker() { return t_in_parallel_worker; }
 
-void ParallelFor(size_t n, size_t chunk,
-                 const std::function<void(size_t, size_t)>& fn) {
+void ParallelForErased(size_t n, size_t chunk,
+                       void (*body)(void* ctx, size_t begin, size_t end),
+                       void* ctx) {
   if (n == 0) return;
   const int threads = CurrentThreads();
   if (chunk == 0) {
@@ -208,28 +249,41 @@ void ParallelFor(size_t n, size_t chunk,
   const size_t num_chunks = (n + chunk - 1) / chunk;
   if (threads <= 1 || num_chunks <= 1 || t_in_parallel_worker) {
     InWorkerScope scope;
-    fn(0, n);
+    body(ctx, 0, n);
     return;
   }
 
-  obs::Metrics().GetCounter("pool.parallel_for_calls").Increment();
-  auto state = std::make_shared<LoopState>();
-  state->n = n;
-  state->chunk = chunk;
-  state->num_chunks = num_chunks;
-  state->body = &fn;  // outlives the loop: we join every helper below
+  // Function-local static: one registry lookup ever, so the steady-state
+  // dispatch path performs no allocation and no map probe.
+  static obs::Counter& parallel_for_calls =
+      obs::Metrics().GetCounter("pool.parallel_for_calls");
+  parallel_for_calls.Increment();
+
+  internal::LoopState state;
+  state.n = n;
+  state.chunk = chunk;
+  state.num_chunks = num_chunks;
+  state.body = body;
+  state.ctx = ctx;
 
   const int helpers = static_cast<int>(std::min<size_t>(
       static_cast<size_t>(threads - 1), num_chunks - 1));
   ThreadPool* pool = PoolWithCapacity(helpers);
-  std::vector<std::future<void>> futures;
-  futures.reserve(static_cast<size_t>(helpers));
-  for (int i = 0; i < helpers; ++i) {
-    futures.push_back(pool->Submit([state] { DrainLoop(state); }));
+  // `outstanding` is written before SubmitLoopHelpers publishes the
+  // state pointer (the pool mutex orders the two), so helpers always see
+  // the full count.
+  state.outstanding = helpers;
+  const int enqueued = pool->SubmitLoopHelpers(&state, helpers);
+  if (enqueued < helpers) {
+    std::lock_guard<std::mutex> lock(state.done_mu);
+    state.outstanding -= helpers - enqueued;
   }
-  DrainLoop(state);  // the caller participates
-  for (std::future<void>& f : futures) f.get();
-  if (state->error) std::rethrow_exception(state->error);
+  DrainLoop(&state);  // the caller participates
+  {
+    std::unique_lock<std::mutex> lock(state.done_mu);
+    state.done_cv.wait(lock, [&state] { return state.outstanding == 0; });
+  }
+  if (state.error) std::rethrow_exception(state.error);
 }
 
 }  // namespace confcard

@@ -1,0 +1,115 @@
+#include "nn/arena.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <unordered_map>
+#include <vector>
+
+namespace confcard {
+namespace nn {
+namespace {
+
+bool ResolveEnabled() {
+  const char* env = std::getenv("CONFCARD_ARENA");
+  if (env == nullptr) return true;
+  return !(std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+           std::strcmp(env, "false") == 0);
+}
+
+// One per thread. The alive flag guards against releases that arrive
+// during/after thread_local destruction (e.g. a static Tensor destroyed
+// after the cache): Get() returns nullptr once the cache is gone and
+// callers fall through to plain delete.
+struct ThreadCache {
+  std::unordered_map<size_t, std::vector<void*>> free_lists;
+  size_t cached_bytes = 0;
+  size_t cached_buffers = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t recycled = 0;
+  bool* alive;
+
+  explicit ThreadCache(bool* alive_flag) : alive(alive_flag) {
+    *alive = true;
+  }
+  ~ThreadCache() {
+    *alive = false;
+    FreeAll();
+  }
+
+  void FreeAll() noexcept {
+    for (auto& [bytes, list] : free_lists) {
+      for (void* p : list) ::operator delete(p);
+    }
+    free_lists.clear();
+    cached_bytes = 0;
+    cached_buffers = 0;
+  }
+};
+
+ThreadCache* Get() {
+  thread_local bool alive = false;
+  thread_local ThreadCache cache(&alive);
+  return alive ? &cache : nullptr;
+}
+
+}  // namespace
+
+bool ArenaEnabled() {
+  static const bool enabled = ResolveEnabled();
+  return enabled;
+}
+
+void* ArenaAllocate(size_t bytes) {
+  if (bytes >= kArenaMinBytes && ArenaEnabled()) {
+    if (ThreadCache* cache = Get()) {
+      auto it = cache->free_lists.find(bytes);
+      if (it != cache->free_lists.end() && !it->second.empty()) {
+        void* p = it->second.back();
+        it->second.pop_back();
+        cache->cached_bytes -= bytes;
+        --cache->cached_buffers;
+        ++cache->hits;
+        return p;
+      }
+      ++cache->misses;
+    }
+  }
+  return ::operator new(bytes);
+}
+
+void ArenaRelease(void* ptr, size_t bytes) noexcept {
+  if (ptr == nullptr) return;
+  if (bytes >= kArenaMinBytes && ArenaEnabled()) {
+    if (ThreadCache* cache = Get()) {
+      if (cache->cached_bytes + bytes <= kArenaMaxCachedBytes) {
+        cache->free_lists[bytes].push_back(ptr);
+        cache->cached_bytes += bytes;
+        ++cache->cached_buffers;
+        ++cache->recycled;
+        return;
+      }
+    }
+  }
+  ::operator delete(ptr);
+}
+
+void ArenaTrim() noexcept {
+  if (ThreadCache* cache = Get()) cache->FreeAll();
+}
+
+ArenaStats ArenaThreadStats() {
+  ArenaStats stats;
+  if (ThreadCache* cache = Get()) {
+    stats.hits = cache->hits;
+    stats.misses = cache->misses;
+    stats.recycled = cache->recycled;
+    stats.cached_bytes = cache->cached_bytes;
+    stats.cached_buffers = cache->cached_buffers;
+  }
+  return stats;
+}
+
+}  // namespace nn
+}  // namespace confcard

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "nn/simd.h"
 
 namespace confcard {
 namespace nn {
@@ -32,8 +33,8 @@ Tensor LinearForward(const Tensor& input, const Parameter& weight,
 // independent, so fanning them out cannot change any value.
 constexpr size_t kMinFlopsToParallelize = size_t{1} << 18;
 
-void ForEachRow(size_t rows, size_t flops,
-                const std::function<void(size_t, size_t)>& kernel) {
+template <typename Kernel>
+void ForEachRow(size_t rows, size_t flops, const Kernel& kernel) {
   if (flops >= kMinFlopsToParallelize && rows >= 8) {
     ParallelFor(rows, 0, kernel);
   } else {
@@ -41,13 +42,44 @@ void ForEachRow(size_t rows, size_t flops,
   }
 }
 
+// Vector j-sweeps for the engine-only forward paths below. Same
+// bit-identity rule as the tensor.cc kernels: lanes span independent
+// output columns, each element keeps its scalar accumulation sequence
+// (one rounding per op, tails scalar).
+
+// orow[0:m) += wrow[0:m).
+template <typename L>
+inline void AddRowVec(const float* wrow, size_t m, float* orow) {
+  constexpr size_t W = L::kWidth;
+  size_t j = 0;
+  for (; j + W <= m; j += W) {
+    L::Store(orow + j, L::Add(L::Load(orow + j), L::Load(wrow + j)));
+  }
+  for (; j < m; ++j) orow[j] += wrow[j];
+}
+
+// orow[0:m) += av * wrow[0:m).
+template <typename L>
+inline void AddScaledRowVec(const float* wrow, size_t m, float av,
+                            float* orow) {
+  constexpr size_t W = L::kWidth;
+  const typename L::Vec bav = L::Broadcast(av);
+  size_t j = 0;
+  for (; j + W <= m; j += W) {
+    L::Store(orow + j,
+             L::Add(L::Load(orow + j), L::Mul(bav, L::Load(wrow + j))));
+  }
+  for (; j < m; ++j) orow[j] += av * wrow[j];
+}
+
 // out[r] = sum over the row's set indices p (ascending) of W[p, c0:c1),
 // then + bias — the exact accumulation sequence the dense GEMM performs
 // on the equivalent one-hot tensor (1.0f * w == w, and skipped zero
 // terms cannot perturb an accumulator that is never -0.0), restricted to
 // the requested output columns.
-Tensor OneHotForwardCols(const SparseRows& input, const Parameter& weight,
-                         const Parameter& bias, size_t c0, size_t c1) {
+template <typename L>
+Tensor OneHotForwardColsImpl(const SparseRows& input, const Parameter& weight,
+                             const Parameter& bias, size_t c0, size_t c1) {
   const size_t m = c1 - c0;
   size_t nnz_total = input.rows == 0 ? 0 : input.row_offsets[input.rows];
   Tensor out = Tensor::Uninitialized(input.rows, m);
@@ -59,21 +91,33 @@ Tensor OneHotForwardCols(const SparseRows& input, const Parameter& weight,
       const uint32_t* idx = input.RowIndices(r);
       const size_t nnz = input.RowNnz(r);
       for (size_t t = 0; t < nnz; ++t) {
-        const float* wrow = weight.value.RowPtr(idx[t]) + c0;
-        for (size_t j = 0; j < m; ++j) orow[j] += wrow[j];
+        AddRowVec<L>(weight.value.RowPtr(idx[t]) + c0, m, orow);
       }
-      for (size_t j = 0; j < m; ++j) orow[j] += brow[j];
+      AddRowVec<L>(brow, m, orow);
     }
   });
   return out;
+}
+
+Tensor OneHotForwardCols(const SparseRows& input, const Parameter& weight,
+                         const Parameter& bias, size_t c0, size_t c1) {
+  if constexpr (simd::kHaveNativeLanes) {
+    if (SimdEnabled()) {
+      return OneHotForwardColsImpl<simd::NativeLanes>(input, weight, bias, c0,
+                                                      c1);
+    }
+  }
+  // The W=1 instantiation is the scalar reference loop, unchanged.
+  return OneHotForwardColsImpl<simd::ScalarLanes>(input, weight, bias, c0, c1);
 }
 
 // Dense forward restricted to output columns [c0, c1): per element a
 // p-ascending sum with the same zero-input skip as the GEMM kernels,
 // then + bias — bit-identical to the corresponding slice of
 // LinearForward for finite weights.
-Tensor DenseForwardCols(const Tensor& input, const Parameter& weight,
-                        const Parameter& bias, size_t c0, size_t c1) {
+template <typename L>
+Tensor DenseForwardColsImpl(const Tensor& input, const Parameter& weight,
+                            const Parameter& bias, size_t c0, size_t c1) {
   const size_t k = input.cols(), m = c1 - c0;
   Tensor out = Tensor::Uninitialized(input.rows(), m);
   ForEachRow(input.rows(), 2 * input.rows() * k * m,
@@ -86,13 +130,24 @@ Tensor DenseForwardCols(const Tensor& input, const Parameter& weight,
                  for (size_t p = 0; p < k; ++p) {
                    const float av = arow[p];
                    if (av == 0.0f) continue;
-                   const float* wrow = weight.value.RowPtr(p) + c0;
-                   for (size_t j = 0; j < m; ++j) orow[j] += av * wrow[j];
+                   AddScaledRowVec<L>(weight.value.RowPtr(p) + c0, m, av,
+                                      orow);
                  }
-                 for (size_t j = 0; j < m; ++j) orow[j] += brow[j];
+                 AddRowVec<L>(brow, m, orow);
                }
              });
   return out;
+}
+
+Tensor DenseForwardCols(const Tensor& input, const Parameter& weight,
+                        const Parameter& bias, size_t c0, size_t c1) {
+  if constexpr (simd::kHaveNativeLanes) {
+    if (SimdEnabled()) {
+      return DenseForwardColsImpl<simd::NativeLanes>(input, weight, bias, c0,
+                                                     c1);
+    }
+  }
+  return DenseForwardColsImpl<simd::ScalarLanes>(input, weight, bias, c0, c1);
 }
 
 }  // namespace
@@ -115,21 +170,48 @@ Tensor Dense::Apply(const Tensor& input) const {
   return LinearForward(input, weight_, bias_);
 }
 
-Tensor Dense::ApplyActivated(const Tensor& input, bool relu) const {
-  CONFCARD_DCHECK(input.cols() == weight_.value.rows());
-  Tensor out = MatMul(input, weight_.value);
-  const float* b = bias_.value.RowPtr(0);
-  for (size_t r = 0; r < out.rows(); ++r) {
-    float* row = out.RowPtr(r);
+namespace {
+
+// The fused bias(+ReLU) sweep of ApplyActivated. L::Relu reproduces the
+// scalar `v < 0.0f ? 0.0f : v` clamp exactly (including -0.0 and NaN;
+// see simd.h), so the vector sweep is bit-identical to the scalar one.
+template <typename L>
+void BiasActivateRows(Tensor* out, const float* b, bool relu) {
+  constexpr size_t W = L::kWidth;
+  const size_t m = out->cols();
+  for (size_t r = 0; r < out->rows(); ++r) {
+    float* row = out->RowPtr(r);
+    size_t c = 0;
     if (relu) {
-      for (size_t c = 0; c < out.cols(); ++c) {
+      for (; c + W <= m; c += W) {
+        L::Store(row + c, L::Relu(L::Add(L::Load(row + c), L::Load(b + c))));
+      }
+      for (; c < m; ++c) {
         const float v = row[c] + b[c];
         row[c] = v < 0.0f ? 0.0f : v;
       }
     } else {
-      for (size_t c = 0; c < out.cols(); ++c) row[c] += b[c];
+      for (; c + W <= m; c += W) {
+        L::Store(row + c, L::Add(L::Load(row + c), L::Load(b + c)));
+      }
+      for (; c < m; ++c) row[c] += b[c];
     }
   }
+}
+
+}  // namespace
+
+Tensor Dense::ApplyActivated(const Tensor& input, bool relu) const {
+  CONFCARD_DCHECK(input.cols() == weight_.value.rows());
+  Tensor out = MatMul(input, weight_.value);
+  const float* b = bias_.value.RowPtr(0);
+  if constexpr (simd::kHaveNativeLanes) {
+    if (SimdEnabled()) {
+      BiasActivateRows<simd::NativeLanes>(&out, b, relu);
+      return out;
+    }
+  }
+  BiasActivateRows<simd::ScalarLanes>(&out, b, relu);
   return out;
 }
 

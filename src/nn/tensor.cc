@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
-#include <functional>
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "nn/simd.h"
 
 namespace confcard {
 namespace nn {
@@ -64,8 +64,8 @@ size_t RowChunk(size_t rows) {
   return (chunk + 3) & ~size_t{3};
 }
 
-void ForEachRowBlock(size_t rows, size_t flops,
-                     const std::function<void(size_t, size_t)>& kernel) {
+template <typename Kernel>
+void ForEachRowBlock(size_t rows, size_t flops, const Kernel& kernel) {
   if (flops >= kMinFlopsToParallelize && rows >= 8) {
     ParallelFor(rows, RowChunk(rows), kernel);
   } else {
@@ -195,12 +195,185 @@ void MatMulTransBRows(const Tensor& a, const Tensor& b, Tensor* c, size_t r0,
   }
 }
 
+// ---------------------------------------------------------------------
+// Vector variants. Bit identity with the scalar kernels above rests on
+// two invariants: (1) vector lanes only span independent OUTPUT columns
+// (the j dimension), so every output element still accumulates its
+// p-terms one at a time in ascending p order with one rounding per
+// mul and per add (simd.h lane ops never fuse); (2) the outer blocking
+// — 4-row micro blocks and their zero-skip tests in MatMul/MatMulTransA
+// — is copied verbatim from the scalar kernels, so exactly the same
+// terms are skipped. Guarded by `if constexpr (kHaveNativeLanes)` at
+// the dispatch sites so scalar-only builds never instantiate them.
+// ---------------------------------------------------------------------
+
+// Broadcast-row inner sweep shared by the MatMul and MatMulTransA
+// vector kernels: c{0..3}[j..j+W) += v{0..3} * brow[j..j+W), j-tail
+// scalar. Identical arithmetic per element to the scalar j-loop.
+template <typename L>
+inline void AccumulateBlock4(const float* brow, size_t m, float v0, float v1,
+                             float v2, float v3, float* c0, float* c1,
+                             float* c2, float* c3) {
+  constexpr size_t W = L::kWidth;
+  const typename L::Vec bv0 = L::Broadcast(v0);
+  const typename L::Vec bv1 = L::Broadcast(v1);
+  const typename L::Vec bv2 = L::Broadcast(v2);
+  const typename L::Vec bv3 = L::Broadcast(v3);
+  size_t j = 0;
+  for (; j + W <= m; j += W) {
+    const typename L::Vec bj = L::Load(brow + j);
+    L::Store(c0 + j, L::Add(L::Load(c0 + j), L::Mul(bv0, bj)));
+    L::Store(c1 + j, L::Add(L::Load(c1 + j), L::Mul(bv1, bj)));
+    L::Store(c2 + j, L::Add(L::Load(c2 + j), L::Mul(bv2, bj)));
+    L::Store(c3 + j, L::Add(L::Load(c3 + j), L::Mul(bv3, bj)));
+  }
+  for (; j < m; ++j) {
+    const float bj = brow[j];
+    c0[j] += v0 * bj;
+    c1[j] += v1 * bj;
+    c2[j] += v2 * bj;
+    c3[j] += v3 * bj;
+  }
+}
+
+template <typename L>
+inline void AccumulateRow(const float* brow, size_t m, float av, float* crow) {
+  constexpr size_t W = L::kWidth;
+  const typename L::Vec bav = L::Broadcast(av);
+  size_t j = 0;
+  for (; j + W <= m; j += W) {
+    L::Store(crow + j, L::Add(L::Load(crow + j), L::Mul(bav, L::Load(brow + j))));
+  }
+  for (; j < m; ++j) crow[j] += av * brow[j];
+}
+
+template <typename L>
+void MatMulRowsVec(const Tensor& a, const Tensor& b, Tensor* c, size_t r0,
+                   size_t r1) {
+  const size_t k = a.cols(), m = b.cols();
+  size_t i = r0;
+  for (; i + 4 <= r1; i += 4) {
+    const float* a0 = a.RowPtr(i);
+    const float* a1 = a.RowPtr(i + 1);
+    const float* a2 = a.RowPtr(i + 2);
+    const float* a3 = a.RowPtr(i + 3);
+    float* c0 = c->RowPtr(i);
+    float* c1 = c->RowPtr(i + 1);
+    float* c2 = c->RowPtr(i + 2);
+    float* c3 = c->RowPtr(i + 3);
+    std::memset(c0, 0, 4 * m * sizeof(float));
+    for (size_t p = 0; p < k; ++p) {
+      const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+      if (v0 == 0.0f && v1 == 0.0f && v2 == 0.0f && v3 == 0.0f) continue;
+      AccumulateBlock4<L>(b.RowPtr(p), m, v0, v1, v2, v3, c0, c1, c2, c3);
+    }
+  }
+  for (; i < r1; ++i) {
+    const float* arow = a.RowPtr(i);
+    float* crow = c->RowPtr(i);
+    std::memset(crow, 0, m * sizeof(float));
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      AccumulateRow<L>(b.RowPtr(p), m, av, crow);
+    }
+  }
+}
+
+template <typename L>
+void MatMulTransARowsVec(const Tensor& a, const Tensor& b, Tensor* c,
+                         size_t r0, size_t r1) {
+  const size_t k = a.rows(), m = b.cols();
+  size_t i = r0;
+  for (; i + 4 <= r1; i += 4) {
+    float* c0 = c->RowPtr(i);
+    float* c1 = c->RowPtr(i + 1);
+    float* c2 = c->RowPtr(i + 2);
+    float* c3 = c->RowPtr(i + 3);
+    std::memset(c0, 0, 4 * m * sizeof(float));
+    for (size_t p = 0; p < k; ++p) {
+      const float* arow = a.RowPtr(p);
+      const float v0 = arow[i], v1 = arow[i + 1], v2 = arow[i + 2],
+                  v3 = arow[i + 3];
+      if (v0 == 0.0f && v1 == 0.0f && v2 == 0.0f && v3 == 0.0f) continue;
+      AccumulateBlock4<L>(b.RowPtr(p), m, v0, v1, v2, v3, c0, c1, c2, c3);
+    }
+  }
+  for (; i < r1; ++i) {
+    float* crow = c->RowPtr(i);
+    std::memset(crow, 0, m * sizeof(float));
+    for (size_t p = 0; p < k; ++p) {
+      const float av = a.At(p, i);
+      if (av == 0.0f) continue;
+      AccumulateRow<L>(b.RowPtr(p), m, av, crow);
+    }
+  }
+}
+
+// Dot-product kernel: W independent accumulator lanes, one per output
+// column j..j+W. For each W-wide strip of p, LoadTransposed turns the
+// W x W tile of B (rows j.., cols p..) into W column vectors so lane t
+// receives B[j+t][p] — each lane's sum is still one term per p in
+// ascending order, exactly the scalar accumulator's sequence. The
+// p-tail spills the vector accumulator and continues scalar per lane,
+// preserving that order; the j-tail is the scalar dot product.
+template <typename L>
+void MatMulTransBRowsVec(const Tensor& a, const Tensor& b, Tensor* c,
+                         size_t r0, size_t r1) {
+  constexpr size_t W = L::kWidth;
+  const size_t k = a.cols(), m = b.rows();
+  const size_t bstride = b.cols();  // == k
+  for (size_t i = r0; i < r1; ++i) {
+    const float* arow = a.RowPtr(i);
+    float* crow = c->RowPtr(i);
+    size_t j = 0;
+    for (; j + W <= m; j += W) {
+      const float* btile = b.RowPtr(j);
+      typename L::Vec acc = L::Zero();
+      typename L::Vec bcols[W];
+      size_t p = 0;
+      for (; p + W <= k; p += W) {
+        L::LoadTransposed(btile + p, bstride, bcols);
+        for (size_t t = 0; t < W; ++t) {
+          acc = L::Add(acc, L::Mul(L::Broadcast(arow[p + t]), bcols[t]));
+        }
+      }
+      if (p < k) {
+        alignas(32) float accs[W];
+        L::Store(accs, acc);
+        for (size_t t = 0; t < W; ++t) {
+          const float* brow = btile + t * bstride;
+          float lane = accs[t];
+          for (size_t q = p; q < k; ++q) lane += arow[q] * brow[q];
+          crow[j + t] = lane;
+        }
+      } else {
+        L::Store(crow + j, acc);
+      }
+    }
+    for (; j < m; ++j) {
+      const float* brow = b.RowPtr(j);
+      float acc = 0.0f;
+      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+}
+
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   CONFCARD_DCHECK(a.cols() == b.rows());
   const size_t n = a.rows(), k = a.cols(), m = b.cols();
   Tensor c = Tensor::Uninitialized(n, m);
+  if constexpr (simd::kHaveNativeLanes) {
+    if (SimdEnabled()) {
+      ForEachRowBlock(n, 2 * n * k * m, [&](size_t r0, size_t r1) {
+        MatMulRowsVec<simd::NativeLanes>(a, b, &c, r0, r1);
+      });
+      return c;
+    }
+  }
   ForEachRowBlock(n, 2 * n * k * m, [&](size_t r0, size_t r1) {
     MatMulRows(a, b, &c, r0, r1);
   });
@@ -211,6 +384,14 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   CONFCARD_DCHECK(a.rows() == b.rows());
   const size_t k = a.rows(), n = a.cols(), m = b.cols();
   Tensor c = Tensor::Uninitialized(n, m);
+  if constexpr (simd::kHaveNativeLanes) {
+    if (SimdEnabled()) {
+      ForEachRowBlock(n, 2 * n * k * m, [&](size_t r0, size_t r1) {
+        MatMulTransARowsVec<simd::NativeLanes>(a, b, &c, r0, r1);
+      });
+      return c;
+    }
+  }
   ForEachRowBlock(n, 2 * n * k * m, [&](size_t r0, size_t r1) {
     MatMulTransARows(a, b, &c, r0, r1);
   });
@@ -221,6 +402,14 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   CONFCARD_DCHECK(a.cols() == b.cols());
   const size_t n = a.rows(), k = a.cols(), m = b.rows();
   Tensor c = Tensor::Uninitialized(n, m);
+  if constexpr (simd::kHaveNativeLanes) {
+    if (SimdEnabled()) {
+      ForEachRowBlock(n, 2 * n * k * m, [&](size_t r0, size_t r1) {
+        MatMulTransBRowsVec<simd::NativeLanes>(a, b, &c, r0, r1);
+      });
+      return c;
+    }
+  }
   ForEachRowBlock(n, 2 * n * k * m, [&](size_t r0, size_t r1) {
     MatMulTransBRows(a, b, &c, r0, r1);
   });

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "nn/arena.h"
 
 namespace confcard {
 namespace nn {
@@ -20,6 +21,9 @@ namespace nn {
 /// elements uninitialized, so FloatBuffer::resize skips the zero-fill
 /// pass. Tensor::Uninitialized relies on this; everything else is
 /// unchanged because explicit-value construction still value-initializes.
+/// Storage comes from the thread-local recycling arena (nn/arena.h), so
+/// the per-step tensor temporaries of a training loop stop hitting the
+/// global allocator once each thread has warmed its cache.
 template <typename T>
 class DefaultInitAllocator : public std::allocator<T> {
  public:
@@ -27,6 +31,14 @@ class DefaultInitAllocator : public std::allocator<T> {
   struct rebind {
     using other = DefaultInitAllocator<U>;
   };
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(ArenaAllocate(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, size_t n) noexcept {
+    ArenaRelease(p, n * sizeof(T));
+  }
 
   template <typename U, typename... Args>
   void construct(U* p, Args&&... args) {

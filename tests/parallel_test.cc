@@ -11,6 +11,7 @@
 #include <fstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/event_log.h"
@@ -149,6 +150,40 @@ TEST(ParallelForTest, SlotResultsIdenticalAcrossThreadCounts) {
     return out;
   };
   EXPECT_EQ(run(1), run(4));
+}
+
+// Hammer for the allocation-free dispatch path: several external
+// threads issue top-level ParallelFors against the shared pool at once,
+// so stack LoopStates from different issuers interleave in the helper
+// ring and retire out of order. Every loop must still cover its range
+// exactly and unwind its own state (run under TSan via the
+// parallel-smoke label).
+TEST(ParallelForTest, ConcurrentTopLevelLoopsFromManyThreads) {
+  ThreadsRestorer restore;
+  SetThreads(4);
+  // Warm the pool once so all issuers race against one instance.
+  ParallelFor(64, 1, [](size_t, size_t) {});
+  constexpr int kIssuers = 6;
+  constexpr int kRounds = 40;
+  constexpr size_t kN = 257;
+  std::atomic<long> grand_total{0};
+  std::vector<std::thread> issuers;
+  issuers.reserve(kIssuers);
+  for (int t = 0; t < kIssuers; ++t) {
+    issuers.emplace_back([&grand_total] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::atomic<long> covered{0};
+        ParallelFor(kN, 4, [&covered](size_t begin, size_t end) {
+          covered.fetch_add(static_cast<long>(end - begin));
+        });
+        EXPECT_EQ(covered.load(), static_cast<long>(kN));
+        grand_total.fetch_add(covered.load());
+      }
+    });
+  }
+  for (std::thread& th : issuers) th.join();
+  EXPECT_EQ(grand_total.load(),
+            static_cast<long>(kIssuers) * kRounds * static_cast<long>(kN));
 }
 
 TEST(EventLogTest, ConcurrentAppendsNeverInterleaveLines) {

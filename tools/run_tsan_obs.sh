@@ -1,28 +1,34 @@
 #!/usr/bin/env bash
-# Builds the tree under ThreadSanitizer (-DCONFCARD_SANITIZE=thread) and
-# runs the concurrent-observability surface: every test labeled
-# obs-smoke (sharded metrics, event-log merge, trace export, rolling
-# windows), parallel-smoke (thread pool), and prof-smoke (sampling
+# Builds the tree under a sanitizer and runs the concurrent hot-path
+# surface: every test labeled obs-smoke (sharded metrics, event-log
+# merge, trace export, rolling windows), parallel-smoke (thread pool
+# dispatch + the tensor-buffer arena), and prof-smoke (sampling
 # profiler: SIGPROF handler + lock-free rings under an oversubscribed
-# hammer). A clean exit means TSan saw no data races in the hot-path
-# record/merge/sample code.
+# hammer). A clean exit means the sanitizer saw no races (tsan) or
+# memory errors (asan) in the hot-path record/merge/sample code.
 #
-# Usage: tools/run_tsan_obs.sh [build-dir]   (default: build-tsan)
+# Usage: tools/run_tsan_obs.sh [preset]   (default: tsan)
+#
+# The argument is a CMakePresets.json preset name. `tsan` is the
+# historical default; `asan` runs the same labeled suite under
+# AddressSanitizer — its test preset exports CONFCARD_ARENA=off, since
+# buffer recycling would otherwise mask use-after-free on freed tensor
+# storage (the arena_test cases that need recycling GTEST_SKIP there).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-${repo_root}/build-tsan}"
+preset="${1:-tsan}"
 
-cmake -S "${repo_root}" -B "${build_dir}" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCONFCARD_SANITIZE=thread
-cmake --build "${build_dir}" -j "$(nproc)"
+cd "${repo_root}"
+cmake --preset "${preset}"
+cmake --build --preset "${preset}" -j "$(nproc)"
 
 # halt_on_error: fail the suite on the first race instead of logging on.
+# Harmless under non-TSan presets.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
-# Tiny scale: TSan is ~10x slower and the races we hunt are scale-free.
+# Tiny scale: sanitizers are ~10x slower and the bugs we hunt are
+# scale-free.
 export CONFCARD_SCALE="${CONFCARD_SCALE:-0.05}"
 
-ctest --test-dir "${build_dir}" -L 'obs-smoke|parallel-smoke|prof-smoke' \
-  --output-on-failure
-echo "TSan obs suite passed."
+ctest --preset "${preset}" --output-on-failure
+echo "Sanitizer suite passed (preset: ${preset})."
