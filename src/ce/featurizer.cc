@@ -25,11 +25,18 @@ FlatQueryFeaturizer::FlatQueryFeaturizer(const Table& table)
 
 std::vector<float> FlatQueryFeaturizer::Featurize(const Query& query) const {
   std::vector<float> out(dim(), 0.0f);
+  FeaturizeInto(query, out.data());
+  return out;
+}
+
+void FlatQueryFeaturizer::FeaturizeInto(const Query& query,
+                                        float* dst) const {
+  std::fill(dst, dst + dim(), 0.0f);
   // Unconstrained columns read as the full range [0, 1].
   for (size_t c = 0; c < num_columns_; ++c) {
-    out[5 * c + 2] = 0.0f;  // lo
-    out[5 * c + 3] = 1.0f;  // hi
-    out[5 * c + 4] = 1.0f;  // width
+    dst[5 * c + 2] = 0.0f;  // lo
+    dst[5 * c + 3] = 1.0f;  // hi
+    dst[5 * c + 4] = 1.0f;  // width
   }
   for (const Predicate& p : query.predicates) {
     CONFCARD_DCHECK(p.column >= 0 &&
@@ -39,15 +46,14 @@ std::vector<float> FlatQueryFeaturizer::Featurize(const Query& query) const {
     double hi = (p.hi - col_min_[c]) / col_span_[c];
     lo = std::clamp(lo, 0.0, 1.0);
     hi = std::clamp(hi, 0.0, 1.0);
-    out[5 * c + 0] = 1.0f;
-    out[5 * c + 1] = p.op == PredOp::kEq ? 1.0f : 0.0f;
-    out[5 * c + 2] = static_cast<float>(lo);
-    out[5 * c + 3] = static_cast<float>(hi);
-    out[5 * c + 4] = static_cast<float>(hi - lo);
+    dst[5 * c + 0] = 1.0f;
+    dst[5 * c + 1] = p.op == PredOp::kEq ? 1.0f : 0.0f;
+    dst[5 * c + 2] = static_cast<float>(lo);
+    dst[5 * c + 3] = static_cast<float>(hi);
+    dst[5 * c + 4] = static_cast<float>(hi - lo);
   }
-  out[5 * num_columns_] = static_cast<float>(query.predicates.size()) /
+  dst[5 * num_columns_] = static_cast<float>(query.predicates.size()) /
                           static_cast<float>(num_columns_);
-  return out;
 }
 
 MscnFeaturizer::MscnFeaturizer(const Table& table,

@@ -26,6 +26,11 @@ class FlatQueryFeaturizer {
   size_t dim() const { return 5 * num_columns_ + 1; }
   std::vector<float> Featurize(const Query& query) const;
 
+  /// Writes the query's dim() features straight into `dst` — the same
+  /// values as Featurize(query), without the per-query heap vector.
+  /// The allocation-free building block for batched/serving hot paths.
+  void FeaturizeInto(const Query& query, float* dst) const;
+
  private:
   size_t num_columns_;
   std::vector<double> col_min_;

@@ -57,46 +57,68 @@ bool GuardedEstimator::Sane(double v) {
 }
 
 bool GuardedEstimator::breaker_open() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return open_;
+  return open_.load(std::memory_order_acquire);
 }
 
 bool GuardedEstimator::AllowPrimary(bool* probe) const {
   *probe = false;
   if (options_.breaker_threshold <= 0) return true;
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!open_) return true;
-  if (cooldown_remaining_ > 0) {
-    --cooldown_remaining_;
-    return false;
+  if (!open_.load(std::memory_order_acquire)) return true;
+  // Open: either burn one cooldown tick, claim the probe slot, or (when
+  // another thread holds the probe slot) stay on the fallback. Every
+  // transition is a CAS so concurrent callers each take exactly one of
+  // those actions — the cooldown never goes negative and at most one
+  // probe is in flight.
+  int c = cooldown_remaining_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (c > 0) {
+      if (cooldown_remaining_.compare_exchange_weak(
+              c, c - 1, std::memory_order_acq_rel)) {
+        return false;
+      }
+      continue;  // c reloaded by the failed CAS
+    }
+    if (c == kProbeInFlight) return false;
+    // c == 0: cooldown drained; claim the probe slot.
+    if (cooldown_remaining_.compare_exchange_weak(
+            c, kProbeInFlight, std::memory_order_acq_rel)) {
+      *probe = true;
+      return true;
+    }
   }
-  *probe = true;
-  return true;
 }
 
 void GuardedEstimator::RecordPrimaryOutcome(bool ok, bool was_probe) const {
   if (options_.breaker_threshold <= 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
   if (ok) {
-    consecutive_failures_ = 0;
-    if (open_) {
-      // A healthy probe closes the breaker.
-      open_ = false;
+    consecutive_failures_.store(0, std::memory_order_relaxed);
+    if (open_.load(std::memory_order_acquire) &&
+        open_.exchange(false, std::memory_order_acq_rel)) {
+      // A healthy probe closes the breaker (exactly one thread observes
+      // the open->closed edge and owns the metrics update).
+      cooldown_remaining_.store(0, std::memory_order_release);
       metrics_.breaker_recoveries.Increment();
       metrics_.breaker_open.Set(0.0);
     }
     return;
   }
-  if (open_) {
+  if (open_.load(std::memory_order_acquire)) {
     // A failed probe restarts the cooldown; the breaker stays open.
-    cooldown_remaining_ = options_.breaker_cooldown;
+    cooldown_remaining_.store(options_.breaker_cooldown,
+                              std::memory_order_release);
     return;
   }
-  if (++consecutive_failures_ >= options_.breaker_threshold) {
-    open_ = true;
-    cooldown_remaining_ = options_.breaker_cooldown;
-    metrics_.breaker_trips.Increment();
-    metrics_.breaker_open.Set(1.0);
+  const int failures =
+      consecutive_failures_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (failures >= options_.breaker_threshold) {
+    bool expected = false;
+    if (open_.compare_exchange_strong(expected, true,
+                                      std::memory_order_acq_rel)) {
+      cooldown_remaining_.store(options_.breaker_cooldown,
+                                std::memory_order_release);
+      metrics_.breaker_trips.Increment();
+      metrics_.breaker_open.Set(1.0);
+    }
   }
   (void)was_probe;
 }
@@ -223,7 +245,8 @@ GuardedEstimate GuardedEstimator::EstimateGuarded(const Query& query) const {
 
 void GuardedEstimator::EstimateBatchGuarded(const Query* queries, size_t n,
                                             GuardedEstimate* out,
-                                            uint64_t order_key_base) const {
+                                            uint64_t order_key_base,
+                                            GuardBatchScratch* scratch) const {
   if (n == 0) return;
   // Key for query i's guard record: base + i composes with
   // EventLog::OrderKey because batch sizes never approach 2^32. Base 0
@@ -242,8 +265,14 @@ void GuardedEstimator::EstimateBatchGuarded(const Query* queries, size_t n,
     return;
   }
 
+  // A caller-provided scratch keeps capacity across batches, so a
+  // steady-state serving loop pays no heap traffic here.
+  GuardBatchScratch local;
+  GuardBatchScratch& s = scratch != nullptr ? *scratch : local;
+
   // Validate first: the primary may index columns without checks.
-  std::vector<size_t> valid;
+  std::vector<size_t>& valid = s.valid;
+  valid.clear();
   valid.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     if (ValidateQuery(queries[i], num_columns_).ok()) {
@@ -256,15 +285,20 @@ void GuardedEstimator::EstimateBatchGuarded(const Query* queries, size_t n,
   }
   if (valid.empty()) return;
 
-  std::vector<double> values(valid.size());
+  std::vector<double>& values = s.values;
+  values.clear();
+  values.resize(valid.size());
   if (valid.size() == n) {
     primary_->EstimateBatch(queries, n, values.data());
   } else {
-    std::vector<Query> compacted;
-    compacted.reserve(valid.size());
-    for (size_t idx : valid) compacted.push_back(queries[idx]);
-    primary_->EstimateBatch(compacted.data(), compacted.size(),
-                            values.data());
+    // Element-wise assignment into resized (not reconstructed) slots so
+    // each Query's predicate vector reuses its capacity batch to batch.
+    std::vector<Query>& compacted = s.compacted;
+    if (compacted.size() < valid.size()) compacted.resize(valid.size());
+    for (size_t k = 0; k < valid.size(); ++k) {
+      compacted[k] = queries[valid[k]];
+    }
+    primary_->EstimateBatch(compacted.data(), valid.size(), values.data());
   }
   for (size_t k = 0; k < valid.size(); ++k) {
     const size_t i = valid[k];

@@ -25,9 +25,9 @@
 #ifndef CONFCARD_CE_GUARDED_H_
 #define CONFCARD_CE_GUARDED_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,6 +51,16 @@ struct GuardOptions {
   /// Queries served fallback-only while the breaker is open before a
   /// probe query is allowed through to the primary.
   int breaker_cooldown = 32;
+};
+
+/// Caller-owned reusable buffers for EstimateBatchGuarded's fast path.
+/// A serving loop that keeps one scratch per worker pays zero heap
+/// allocations per batch once the vectors have grown to the loop's
+/// steady-state batch size (bench_serving gates this).
+struct GuardBatchScratch {
+  std::vector<size_t> valid;
+  std::vector<double> values;
+  std::vector<Query> compacted;
 };
 
 /// Outcome of one guarded estimate.
@@ -97,9 +107,13 @@ class GuardedEstimator : public CardinalityEstimator {
   /// threads pass keys derived from a shared order window so the merged
   /// log is deterministic; 0 (the default) lets the log assign
   /// per-thread automatic keys.
+  ///
+  /// `scratch`: optional reusable buffers for the fast path; pass a
+  /// per-worker GuardBatchScratch to make steady-state batches
+  /// allocation-free. Null falls back to call-local vectors.
   void EstimateBatchGuarded(const Query* queries, size_t n,
-                            GuardedEstimate* out,
-                            uint64_t order_key_base = 0) const;
+                            GuardedEstimate* out, uint64_t order_key_base = 0,
+                            GuardBatchScratch* scratch = nullptr) const;
 
   /// Circuit-breaker state, for tests and monitors.
   bool breaker_open() const;
@@ -135,14 +149,20 @@ class GuardedEstimator : public CardinalityEstimator {
   GuardOptions options_;
   size_t num_columns_;
 
-  // Breaker state. Guarded queries may run concurrently (the harness
-  // fans batches out); transitions are serialized by this mutex. With a
-  // healthy primary the state never changes, so faults-off parallel runs
-  // stay deterministic.
-  mutable std::mutex mu_;
-  mutable int consecutive_failures_ = 0;
-  mutable bool open_ = false;
-  mutable int cooldown_remaining_ = 0;
+  // Breaker state. Guarded queries run concurrently (the harness fans
+  // batches out; the serving front-end hammers one guard from every
+  // shard producer), so transitions are lock-free atomics: AllowPrimary
+  // claims cooldown ticks and the single in-flight probe slot via CAS,
+  // and breaker_open() is a relaxed-load admission check cheap enough
+  // for a serving submit path. With a healthy primary the state never
+  // changes, so faults-off parallel runs stay deterministic.
+  // cooldown_remaining_ uses kProbeInFlight (-1) to mark that a probe
+  // query has been admitted and its outcome is still pending; other
+  // callers stay on the fallback until the probe resolves.
+  static constexpr int kProbeInFlight = -1;
+  mutable std::atomic<int> consecutive_failures_{0};
+  mutable std::atomic<bool> open_{false};
+  mutable std::atomic<int> cooldown_remaining_{0};
 
   struct GuardMetrics {
     obs::Counter& queries;

@@ -49,6 +49,9 @@ class LwnnEstimator : public SupervisedEstimator {
 
   /// The heuristic feature vector for a query (exposed for tests).
   std::vector<float> Features(const Query& query) const;
+  /// Writes the same `flat_->dim() + 2` features straight into `dst`;
+  /// the allocation-free path EstimateBatch packs tensor rows with.
+  void FeaturesInto(const Query& query, float* dst) const;
 
   /// Persists the trained estimator (options + network weights);
   /// histogram statistics are rebuilt from the table at load time.

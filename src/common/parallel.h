@@ -126,6 +126,20 @@ class ThreadPool {
 /// std::thread::hardware_concurrency() floored at 1.
 int HardwareThreads();
 
+/// One spin-wait pause. Emits the architectural pause/yield hint so a
+/// polling loop (the serving micro-batcher's flush-timeout wait, queue
+/// backoff) releases pipeline resources to the sibling hyperthread
+/// without a syscall. Compiles to a plain no-op where no hint exists.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
 /// The effective thread count: the last SetThreads() value if any, else
 /// CONFCARD_THREADS (clamped to [1, 256]), else HardwareThreads().
 int CurrentThreads();

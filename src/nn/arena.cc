@@ -62,13 +62,19 @@ bool ArenaEnabled() {
 }
 
 void* ArenaAllocate(size_t bytes) {
-  if (bytes >= kArenaMinBytes && ArenaEnabled()) {
+  // Sub-minimum requests share one kArenaMinBytes size class instead of
+  // bypassing to malloc: batched inference produces a sub-256B output
+  // tensor (batch x 1 floats) EVERY cycle, and the serving front-end's
+  // zero-alloc contract counts malloc's fast path all the same. The
+  // round-up also means all small sizes hit one warm free-list.
+  const size_t key = bytes < kArenaMinBytes ? kArenaMinBytes : bytes;
+  if (ArenaEnabled()) {
     if (ThreadCache* cache = Get()) {
-      auto it = cache->free_lists.find(bytes);
+      auto it = cache->free_lists.find(key);
       if (it != cache->free_lists.end() && !it->second.empty()) {
         void* p = it->second.back();
         it->second.pop_back();
-        cache->cached_bytes -= bytes;
+        cache->cached_bytes -= key;
         --cache->cached_buffers;
         ++cache->hits;
         return p;
@@ -76,16 +82,17 @@ void* ArenaAllocate(size_t bytes) {
       ++cache->misses;
     }
   }
-  return ::operator new(bytes);
+  return ::operator new(key);
 }
 
 void ArenaRelease(void* ptr, size_t bytes) noexcept {
   if (ptr == nullptr) return;
-  if (bytes >= kArenaMinBytes && ArenaEnabled()) {
+  const size_t key = bytes < kArenaMinBytes ? kArenaMinBytes : bytes;
+  if (ArenaEnabled()) {
     if (ThreadCache* cache = Get()) {
-      if (cache->cached_bytes + bytes <= kArenaMaxCachedBytes) {
-        cache->free_lists[bytes].push_back(ptr);
-        cache->cached_bytes += bytes;
+      if (cache->cached_bytes + key <= kArenaMaxCachedBytes) {
+        cache->free_lists[key].push_back(ptr);
+        cache->cached_bytes += key;
         ++cache->cached_buffers;
         ++cache->recycled;
         return;

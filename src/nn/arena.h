@@ -22,8 +22,12 @@
 // Bounds and lifecycle:
 //   * Each thread caches at most kArenaMaxCachedBytes (64 MB); releases
 //     beyond the cap fall through to operator delete.
-//   * Buffers below kArenaMinBytes (256 B) bypass the arena — the
-//     free-list probe costs more than malloc's small-size fast path.
+//   * Requests below kArenaMinBytes (256 B) are rounded up to one
+//     shared 256 B size class: the serving hot path emits a sub-256B
+//     prediction tensor (batch x 1) every micro-batch, and its
+//     zero-allocation contract counts malloc's small-size fast path
+//     like any other allocation. The round-up costs < 256 B of slack
+//     per cached buffer and lets all small sizes reuse one warm list.
 //   * ArenaTrim() frees the calling thread's cache; the training epoch
 //     loops call it at epoch boundaries so memory parked in the cache
 //     never outlives the phase that shaped it.
@@ -46,7 +50,7 @@ namespace nn {
 /// Per-thread cache cap; releases past it go straight to the allocator.
 inline constexpr size_t kArenaMaxCachedBytes = size_t{64} << 20;
 
-/// Buffers smaller than this bypass the arena entirely.
+/// Requests smaller than this are rounded up to this shared size class.
 inline constexpr size_t kArenaMinBytes = 256;
 
 /// Returns a buffer of exactly `bytes` bytes — recycled from this

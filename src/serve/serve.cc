@@ -1,0 +1,395 @@
+#include "serve/serve.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "conformal/interval.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "query/validate.h"
+
+namespace confcard {
+namespace serve {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double MicrosBetween(SteadyClock::time_point from, SteadyClock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+int ReadIntEnv(const char* name, int fallback, int lo, int hi) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<int>(std::clamp<long>(v, lo, hi));
+}
+
+}  // namespace
+
+void Request::Wait() const {
+  int spins = 0;
+  while (!done()) {
+    CpuRelax();
+    // Oversubscribed hosts (single-core CI) need the worker scheduled in.
+    if ((++spins & 0xFF) == 0) std::this_thread::yield();
+  }
+}
+
+int ShardsFromEnv() {
+  return ReadIntEnv("CONFCARD_SERVE_SHARDS", 1, 1, 64);
+}
+
+ServeFrontEnd::Options ServeFrontEnd::Options::FromEnv() {
+  Options o;
+  o.max_batch = ReadIntEnv("CONFCARD_SERVE_BATCH", o.max_batch, 1, 4096);
+  o.flush_timeout_us =
+      ReadIntEnv("CONFCARD_SERVE_TIMEOUT_US", o.flush_timeout_us, 0, 1000000);
+  return o;
+}
+
+struct ServeFrontEnd::ServeMetrics {
+  obs::Counter& requests;
+  obs::Counter& accepted;
+  obs::Counter& shed_queue_full;
+  obs::Counter& shed_breaker;
+  obs::Counter& shed_stopped;
+  obs::Counter& degraded;
+  obs::Counter& batches;
+  obs::Counter& drained_on_stop;
+  obs::Histogram& batch_size;
+  obs::Histogram& queue_us;
+  obs::Histogram& total_us;
+  ServeMetrics()
+      : requests(obs::Metrics().GetCounter("serve.requests")),
+        accepted(obs::Metrics().GetCounter("serve.accepted")),
+        shed_queue_full(obs::Metrics().GetCounter("serve.shed.queue_full")),
+        shed_breaker(obs::Metrics().GetCounter("serve.shed.breaker")),
+        shed_stopped(obs::Metrics().GetCounter("serve.shed.stopped")),
+        degraded(obs::Metrics().GetCounter("serve.degraded")),
+        batches(obs::Metrics().GetCounter("serve.batch.count")),
+        drained_on_stop(obs::Metrics().GetCounter("serve.drain.stop_served")),
+        batch_size(obs::Metrics().GetHistogram("serve.batch.size")),
+        queue_us(obs::Metrics().GetHistogram("serve.latency.queue_us")),
+        total_us(obs::Metrics().GetHistogram("serve.latency.total_us")) {}
+};
+
+ServeFrontEnd::ServeMetrics& ServeFrontEnd::SharedMetrics() {
+  static ServeMetrics* metrics = new ServeMetrics();
+  return *metrics;
+}
+
+struct ServeFrontEnd::Shard {
+  explicit Shard(size_t queue_capacity) : queue(queue_capacity) {}
+
+  MpmcBoundedQueue<Request*> queue;
+  const GuardedEstimator* guard = nullptr;
+  int index = 0;
+  /// Approximate occupancy (push increments, pop decrements); drives the
+  /// wake predicate and the breaker admission watermark only, never
+  /// correctness.
+  std::atomic<int> depth{0};
+  std::mutex wake_mu;
+  std::condition_variable wake_cv;
+  /// Set under wake_mu right before the worker sleeps; producers only
+  /// pay the notify mutex when a sleeper might exist.
+  std::atomic<bool> idle{false};
+  std::thread worker;
+
+  // Worker-private buffers, preallocated to max_batch so the batch cycle
+  // never grows them. Stats are read by the front-end only when the
+  // shard is quiesced.
+  std::vector<Request*> batch;
+  std::vector<Query> queries;
+  std::vector<GuardedEstimate> outs;
+  GuardBatchScratch scratch;
+  std::vector<uint64_t> batch_size_counts;
+  std::atomic<uint64_t> hot_allocs{0};
+};
+
+ServeFrontEnd::ServeFrontEnd(std::vector<const GuardedEstimator*> shard_guards,
+                             const SplitConformal& conformal, double num_rows,
+                             Options options)
+    : conformal_(&conformal),
+      scoring_(&conformal.scoring()),
+      num_rows_(num_rows),
+      options_(options),
+      metrics_(SharedMetrics()) {
+  CONFCARD_CHECK_MSG(!shard_guards.empty(),
+                     "serve: need at least one shard replica");
+  CONFCARD_CHECK_MSG(conformal.calibrated(),
+                     "serve: conformal predictor must be calibrated");
+  CONFCARD_CHECK_MSG(options_.max_batch >= 1, "serve: max_batch must be >= 1");
+  CONFCARD_CHECK_MSG(options_.flush_timeout_us >= 0,
+                     "serve: flush_timeout_us must be >= 0");
+  CONFCARD_CHECK_MSG(options_.queue_capacity >= 1,
+                     "serve: queue_capacity must be >= 1");
+  CONFCARD_CHECK_MSG(options_.degraded_inflation >= 1.0,
+                     "serve: degraded_inflation must be >= 1");
+  inflated_delta_ = conformal.delta() * options_.degraded_inflation;
+  breaker_shed_depth_ = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(options_.queue_capacity) *
+                             std::clamp(options_.breaker_shed_watermark, 0.0,
+                                        1.0)));
+  const size_t b = static_cast<size_t>(options_.max_batch);
+  shards_.reserve(shard_guards.size());
+  for (size_t i = 0; i < shard_guards.size(); ++i) {
+    CONFCARD_CHECK_MSG(shard_guards[i] != nullptr, "serve: null shard guard");
+    auto shard = std::make_unique<Shard>(options_.queue_capacity);
+    shard->guard = shard_guards[i];
+    shard->index = static_cast<int>(i);
+    shard->batch.reserve(b);
+    shard->queries.resize(b);
+    shard->outs.resize(b);
+    shard->batch_size_counts.assign(b + 1, 0);
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, s = shard.get()] { WorkerLoop(s); });
+  }
+}
+
+ServeFrontEnd::~ServeFrontEnd() { Stop(); }
+
+int ServeFrontEnd::ShardFor(const Query& query) const {
+  return static_cast<int>(QueryContentKey(query) %
+                          static_cast<uint64_t>(shards_.size()));
+}
+
+Admit ServeFrontEnd::Submit(Request* request) {
+  metrics_.requests.Increment();
+  const int shard_idx = ShardFor(request->query);
+  Shard& s = *shards_[shard_idx];
+  request->submitted_at = SteadyClock::now();
+  request->state.store(Request::kPending, std::memory_order_relaxed);
+  // The in-flight count lets Stop() order itself after every Submit that
+  // passed the stopping check, closing the submit/drain race.
+  inflight_submits_.fetch_add(1, std::memory_order_acq_rel);
+  Admit result;
+  if (stopping_.load(std::memory_order_acquire)) {
+    metrics_.shed_stopped.Increment();
+    PublishShed(request, shard_idx);
+    result = Admit::kRejectedStopped;
+  } else if (s.guard->breaker_open() &&
+             s.depth.load(std::memory_order_relaxed) >=
+                 static_cast<int>(breaker_shed_depth_)) {
+    // Admission control under degradation: a sick primary serves
+    // fallback answers more slowly than healthy batched ones, so once
+    // the backlog crosses the watermark we fail fast instead of letting
+    // the queue absorb (and then time out) the overload.
+    metrics_.shed_breaker.Increment();
+    PublishShed(request, shard_idx);
+    result = Admit::kShedBreaker;
+  } else if (!s.queue.TryPush(request)) {
+    metrics_.shed_queue_full.Increment();
+    PublishShed(request, shard_idx);
+    result = Admit::kShedQueueFull;
+  } else {
+    s.depth.fetch_add(1, std::memory_order_relaxed);
+    metrics_.accepted.Increment();
+    if (s.idle.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(s.wake_mu);
+      s.wake_cv.notify_one();
+    }
+    result = Admit::kAccepted;
+  }
+  inflight_submits_.fetch_sub(1, std::memory_order_acq_rel);
+  return result;
+}
+
+void ServeFrontEnd::WorkerLoop(Shard* shard) {
+  for (;;) {
+    Request* first = nullptr;
+    if (shard->queue.TryPop(&first)) {
+      shard->depth.fetch_sub(1, std::memory_order_relaxed);
+      // The whole batch cycle — assembly, guarded batched inference,
+      // interval inversion, publication — is alloc-counted; after
+      // warmup the delta must be zero (bench_serving gates it).
+      const uint64_t allocs_before = obs::prof::ThreadAllocCount();
+      ProcessFrom(shard, first);
+      shard->hot_allocs.fetch_add(
+          obs::prof::ThreadAllocCount() - allocs_before,
+          std::memory_order_relaxed);
+      continue;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      // Recheck once: a Submit racing Stop() may have pushed between the
+      // failed pop and the flag read. Anything later is caught by the
+      // post-join drain in Stop().
+      if (!shard->queue.TryPop(&first)) break;
+      shard->depth.fetch_sub(1, std::memory_order_relaxed);
+      const uint64_t allocs_before = obs::prof::ThreadAllocCount();
+      ProcessFrom(shard, first);
+      shard->hot_allocs.fetch_add(
+          obs::prof::ThreadAllocCount() - allocs_before,
+          std::memory_order_relaxed);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(shard->wake_mu);
+    shard->idle.store(true, std::memory_order_relaxed);
+    // The timeout is a belt-and-braces recheck: the idle-flag handshake
+    // makes missed wakeups unlikely, and a stray one costs 500 µs, not a
+    // hang.
+    shard->wake_cv.wait_for(lock, std::chrono::microseconds(500), [&] {
+      return shard->depth.load(std::memory_order_relaxed) > 0 ||
+             stopping_.load(std::memory_order_acquire);
+    });
+    shard->idle.store(false, std::memory_order_relaxed);
+  }
+}
+
+void ServeFrontEnd::ProcessFrom(Shard* shard, Request* first) {
+  shard->batch.clear();
+  shard->batch.push_back(first);
+  const size_t max_batch = static_cast<size_t>(options_.max_batch);
+  if (max_batch > 1 && shard->batch.size() < max_batch) {
+    // Dynamic micro-batching: drain whatever is queued, then wait up to
+    // the flush timeout for stragglers. T=0 degenerates to "one drain
+    // pass, no waiting".
+    const bool may_wait = options_.flush_timeout_us > 0;
+    const SteadyClock::time_point deadline =
+        may_wait ? SteadyClock::now() +
+                       std::chrono::microseconds(options_.flush_timeout_us)
+                 : SteadyClock::time_point{};
+    int spins = 0;
+    for (;;) {
+      Request* next = nullptr;
+      if (shard->queue.TryPop(&next)) {
+        shard->depth.fetch_sub(1, std::memory_order_relaxed);
+        shard->batch.push_back(next);
+        if (shard->batch.size() >= max_batch) break;
+        continue;
+      }
+      if (!may_wait || stopping_.load(std::memory_order_relaxed) ||
+          SteadyClock::now() >= deadline) {
+        break;
+      }
+      CpuRelax();
+      // Yield periodically so producers on oversubscribed hosts can
+      // actually deliver the stragglers this wait is for.
+      if ((++spins & 0x3F) == 0) std::this_thread::yield();
+    }
+  }
+
+  const SteadyClock::time_point dispatched = SteadyClock::now();
+  const size_t m = shard->batch.size();
+  // queries/outs were sized to max_batch at construction; element-wise
+  // assignment reuses each slot's predicate capacity batch to batch.
+  for (size_t i = 0; i < m; ++i) {
+    shard->queries[i] = shard->batch[i]->query;
+  }
+  shard->guard->EstimateBatchGuarded(shard->queries.data(), m,
+                                     shard->outs.data(), /*order_key_base=*/0,
+                                     &shard->scratch);
+  const SteadyClock::time_point completed = SteadyClock::now();
+  for (size_t i = 0; i < m; ++i) {
+    Publish(shard->batch[i], shard->outs[i], shard->index,
+            static_cast<uint32_t>(m), dispatched, completed);
+  }
+  shard->batch_size_counts[m] += 1;
+  metrics_.batches.Increment();
+  metrics_.batch_size.Record(static_cast<double>(m));
+}
+
+void ServeFrontEnd::Publish(Request* request, const GuardedEstimate& estimate,
+                            int shard, uint32_t batch_size,
+                            SteadyClock::time_point dispatched,
+                            SteadyClock::time_point completed) const {
+  Response& resp = request->response;
+  resp.estimate = estimate.value;
+  Interval iv = estimate.degraded
+                    ? scoring_->Invert(estimate.value, inflated_delta_)
+                    : conformal_->Predict(estimate.value);
+  iv = ClipToCardinality(iv, num_rows_);
+  resp.lo = iv.lo;
+  resp.hi = iv.hi;
+  resp.degraded = estimate.degraded;
+  resp.shed = false;
+  resp.source = estimate.source;
+  resp.shard = shard;
+  resp.batch_size = batch_size;
+  resp.queue_us = MicrosBetween(request->submitted_at, dispatched);
+  resp.total_us = MicrosBetween(request->submitted_at, completed);
+  if (estimate.degraded) metrics_.degraded.Increment();
+  metrics_.queue_us.Record(resp.queue_us);
+  metrics_.total_us.Record(resp.total_us);
+  request->state.store(Request::kDone, std::memory_order_release);
+}
+
+void ServeFrontEnd::PublishShed(Request* request, int shard) const {
+  Response& resp = request->response;
+  resp = Response{};
+  resp.shed = true;
+  resp.degraded = true;
+  resp.estimate = 0.0;
+  resp.lo = 0.0;
+  resp.hi = num_rows_;  // trivially valid: shed answers never miscovers
+  resp.shard = shard;
+  request->state.store(Request::kDone, std::memory_order_release);
+}
+
+void ServeFrontEnd::Stop() {
+  stopping_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  if (joined_) return;
+  joined_ = true;
+  // Order after every Submit that passed the stopping check: once the
+  // in-flight count drains, all accepted requests are in their queues.
+  while (inflight_submits_.load(std::memory_order_acquire) > 0) {
+    std::this_thread::yield();
+  }
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> wake(shard->wake_mu);
+    shard->wake_cv.notify_all();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  // Serve any stragglers that slipped in behind a worker's exit check,
+  // per query on this thread — Stop() returns only after every accepted
+  // request has a published response.
+  for (auto& shard : shards_) {
+    Request* request = nullptr;
+    while (shard->queue.TryPop(&request)) {
+      shard->depth.fetch_sub(1, std::memory_order_relaxed);
+      const SteadyClock::time_point now = SteadyClock::now();
+      Publish(request, shard->guard->EstimateGuarded(request->query),
+              shard->index, /*batch_size=*/1, now, SteadyClock::now());
+      metrics_.drained_on_stop.Increment();
+    }
+  }
+}
+
+uint64_t ServeFrontEnd::HotPathAllocs() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->hot_allocs.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<uint64_t> ServeFrontEnd::BatchSizeCounts() const {
+  std::vector<uint64_t> counts(static_cast<size_t>(options_.max_batch) + 1, 0);
+  for (const auto& shard : shards_) {
+    for (size_t b = 0; b < shard->batch_size_counts.size(); ++b) {
+      counts[b] += shard->batch_size_counts[b];
+    }
+  }
+  return counts;
+}
+
+void ServeFrontEnd::ResetStats() {
+  for (auto& shard : shards_) {
+    shard->hot_allocs.store(0, std::memory_order_relaxed);
+    std::fill(shard->batch_size_counts.begin(),
+              shard->batch_size_counts.end(), 0);
+  }
+}
+
+}  // namespace serve
+}  // namespace confcard

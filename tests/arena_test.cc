@@ -69,16 +69,20 @@ TEST(ArenaTest, DifferentSizeMissesTheCache) {
   ArenaTrim();
 }
 
-TEST(ArenaTest, SmallBuffersBypassTheArena) {
+TEST(ArenaTest, SmallBuffersShareTheMinimumSizeClass) {
   SKIP_IF_ARENA_DISABLED();
   ArenaTrim();
   const ArenaStats before = ArenaThreadStats();
-  { Tensor t = Tensor::Uninitialized(2, 2); }  // 16 B < kArenaMinBytes
+  { Tensor t = Tensor::Uninitialized(2, 2); }  // 16 B, rounds up to 256
+  const ArenaStats mid = ArenaThreadStats();
+  EXPECT_EQ(mid.recycled, before.recycled + 1);
+  EXPECT_EQ(mid.cached_bytes, before.cached_bytes + kArenaMinBytes);
+  // A DIFFERENT sub-minimum size reuses the same parked buffer: every
+  // small request shares the one kArenaMinBytes class.
+  { Tensor t = Tensor::Uninitialized(3, 5); }  // 60 B, same class
   const ArenaStats after = ArenaThreadStats();
-  EXPECT_EQ(after.recycled, before.recycled);
-  EXPECT_EQ(after.hits, before.hits);
-  EXPECT_EQ(after.misses, before.misses);
-  EXPECT_EQ(after.cached_bytes, before.cached_bytes);
+  EXPECT_EQ(after.hits, mid.hits + 1);
+  ArenaTrim();
 }
 
 TEST(ArenaTest, TrimEmptiesTheCallingThreadsCache) {

@@ -1,0 +1,111 @@
+// The serving front-end's bounded lock-free MPMC queue: FIFO order for
+// a single producer/consumer, full/empty edge behavior, capacity
+// rounding, and a multi-producer/multi-consumer hammer that checks
+// every pushed value is popped exactly once.
+#include "serve/mpmc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace confcard {
+namespace serve {
+namespace {
+
+TEST(MpmcQueueTest, PushPopFifoSingleThread) {
+  MpmcBoundedQueue<int*> q(8);
+  int values[5] = {0, 1, 2, 3, 4};
+  for (int& v : values) EXPECT_TRUE(q.TryPush(&v));
+  for (int i = 0; i < 5; ++i) {
+    int* out = nullptr;
+    ASSERT_TRUE(q.TryPop(&out));
+    EXPECT_EQ(*out, i);
+  }
+  int* out = nullptr;
+  EXPECT_FALSE(q.TryPop(&out));
+}
+
+TEST(MpmcQueueTest, FullQueueFailsPushUntilPopped) {
+  MpmcBoundedQueue<int*> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  int values[5] = {0, 1, 2, 3, 4};
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.TryPush(&values[i]));
+  EXPECT_FALSE(q.TryPush(&values[4]));  // full: shed, do not block
+  int* out = nullptr;
+  ASSERT_TRUE(q.TryPop(&out));
+  EXPECT_TRUE(q.TryPush(&values[4]));  // one slot freed
+}
+
+TEST(MpmcQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  MpmcBoundedQueue<int*> q(5);
+  EXPECT_EQ(q.capacity(), 8u);
+  MpmcBoundedQueue<int*> q1(1);
+  EXPECT_EQ(q1.capacity(), 2u);
+}
+
+TEST(MpmcQueueTest, EmptyAfterWrapAround) {
+  MpmcBoundedQueue<int*> q(2);
+  int v = 7;
+  // Cycle through several wraps of the tiny ring.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(q.TryPush(&v));
+    int* out = nullptr;
+    ASSERT_TRUE(q.TryPop(&out));
+    EXPECT_EQ(out, &v);
+    EXPECT_FALSE(q.TryPop(&out));
+  }
+}
+
+// Multi-producer/multi-consumer hammer: every value pushed by any
+// producer must be popped by exactly one consumer. Failed pushes (full
+// queue) are retried so the totals balance.
+TEST(MpmcQueueTest, ConcurrentHammerDeliversEachValueOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 2;
+  constexpr int kPerProducer = 2000;
+  constexpr int kTotal = kProducers * kPerProducer;
+
+  MpmcBoundedQueue<uint64_t*> q(64);
+  std::vector<uint64_t> values(kTotal);
+  for (int i = 0; i < kTotal; ++i) values[i] = static_cast<uint64_t>(i);
+
+  std::vector<std::atomic<uint32_t>> seen(kTotal);
+  for (auto& s : seen) s.store(0);
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        uint64_t* v = &values[p * kPerProducer + i];
+        while (!q.TryPush(v)) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      uint64_t* out = nullptr;
+      while (popped.load(std::memory_order_relaxed) < kTotal) {
+        if (q.TryPop(&out)) {
+          seen[*out].fetch_add(1, std::memory_order_relaxed);
+          popped.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(popped.load(), kTotal);
+  for (int i = 0; i < kTotal; ++i) {
+    ASSERT_EQ(seen[i].load(), 1u) << "value " << i;
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace confcard

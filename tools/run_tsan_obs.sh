@@ -2,10 +2,13 @@
 # Builds the tree under a sanitizer and runs the concurrent hot-path
 # surface: every test labeled obs-smoke (sharded metrics, event-log
 # merge, trace export, rolling windows), parallel-smoke (thread pool
-# dispatch + the tensor-buffer arena), and prof-smoke (sampling
+# dispatch + the tensor-buffer arena), prof-smoke (sampling
 # profiler: SIGPROF handler + lock-free rings under an oversubscribed
-# hammer). A clean exit means the sanitizer saw no races (tsan) or
-# memory errors (asan) in the hot-path record/merge/sample code.
+# hammer), and serve-smoke (serving front-end: MPMC queue hammer,
+# micro-batcher/shard pipeline, lock-free circuit breaker, plus the
+# bench_serving smoke with its bit-identity and zero-alloc gates). A
+# clean exit means the sanitizer saw no races (tsan) or memory errors
+# (asan) in the hot-path record/merge/sample/serve code.
 #
 # Usage: tools/run_tsan_obs.sh [preset]   (default: tsan)
 #
