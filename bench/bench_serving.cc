@@ -48,6 +48,7 @@
 #include "conformal/interval.h"
 #include "conformal/scoring.h"
 #include "conformal/split.h"
+#include "data/drift.h"
 #include "serve/serve.h"
 
 namespace confcard {
@@ -425,6 +426,26 @@ int Main() {
   w.Key("max_batch").Int(static_cast<uint64_t>(options.max_batch));
   w.Key("flush_timeout_us").Int(static_cast<uint64_t>(options.flush_timeout_us));
   w.Key("queue_capacity").Int(static_cast<uint64_t>(options.queue_capacity));
+  // Everything needed to replay this run bit-for-bit: arrival seeds,
+  // sweep shape, and the drift/feedback configuration in effect.
+  w.Key("config").BeginObject();
+  w.Key("poisson_seed_base").Int(97);  // level i draws arrivals at 97+i
+  w.Key("level_requests").Int(static_cast<uint64_t>(level_requests));
+  w.Key("rate_fractions").BeginArray();
+  for (const double f : fractions) w.Number(f);
+  w.EndArray();
+  w.Key("slo_p99_us").Int(static_cast<uint64_t>(slo_p99_us));
+  w.Key("drift_spec").String(drift::RenderDriftSpecs(drift::DriftSpecsFromEnv()));
+  w.Key("feedback").BeginObject();
+  w.Key("enabled").Bool(options.feedback);
+  w.Key("feedback_capacity")
+      .Int(static_cast<uint64_t>(options.feedback_capacity));
+  w.Key("recal_window").Int(static_cast<uint64_t>(options.recal_window));
+  w.Key("monitor_window").Int(static_cast<uint64_t>(options.monitor_window));
+  w.Key("drift_inflation").Number(options.drift_inflation);
+  w.Key("degraded_inflation").Number(options.degraded_inflation);
+  w.EndObject();
+  w.EndObject();
   w.Key("bit_identity").BeginObject();
   w.Key("queries").Int(static_cast<uint64_t>(identity.queries));
   w.Key("passed").Bool(identity.passed);

@@ -115,7 +115,27 @@ class GuardedEstimator : public CardinalityEstimator {
                             GuardedEstimate* out, uint64_t order_key_base = 0,
                             GuardBatchScratch* scratch = nullptr) const;
 
-  /// Circuit-breaker state, for tests and monitors.
+  /// Fallback-tier batch path for staged drift degradation: every query
+  /// is validated and served from the fallback chain (histogram-AVI
+  /// terminal tier) without touching the primary — no breaker
+  /// bookkeeping, no probes. Guard records carry reason
+  /// "drift_fallback". Allocation-free.
+  void EstimateFallbackTier(const Query* queries, size_t n,
+                            GuardedEstimate* out,
+                            uint64_t order_key_base = 0) const;
+
+  /// Forces the breaker open (true) or releases the force (false). While
+  /// forced, breaker_open() reports open, AllowPrimary denies every
+  /// query (no probes), and the organic breaker state underneath is
+  /// untouched — releasing the force restores whatever the consecutive-
+  /// failure machinery last decided. The drift ladder's terminal stage
+  /// uses this to shed load at admission without fabricating failures.
+  void ForceBreaker(bool open) const;
+  /// True while ForceBreaker(true) is in effect.
+  bool breaker_forced() const;
+
+  /// Circuit-breaker state, for tests and monitors (true when organic
+  /// OR forced open).
   bool breaker_open() const;
 
   const GuardOptions& options() const { return options_; }
@@ -163,6 +183,9 @@ class GuardedEstimator : public CardinalityEstimator {
   mutable std::atomic<int> consecutive_failures_{0};
   mutable std::atomic<bool> open_{false};
   mutable std::atomic<int> cooldown_remaining_{0};
+  // Drift-ladder force: ORed into breaker_open(), short-circuits
+  // AllowPrimary. Independent of the organic state above.
+  mutable std::atomic<bool> forced_open_{false};
 
   struct GuardMetrics {
     obs::Counter& queries;

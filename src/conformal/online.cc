@@ -20,6 +20,12 @@ OnlineConformal::OnlineConformal(
       score_window_(options_.monitor_window) {
   CONFCARD_CHECK(scoring_ != nullptr);
   CONFCARD_CHECK(options_.alpha > 0.0 && options_.alpha < 1.0);
+  if (options_.window > 0) {
+    ring_.resize(options_.window);
+    // An Observe at full occupancy inserts before it evicts, so the
+    // sorted multiset transiently holds window + 1 scores.
+    sorted_.reserve(options_.window + 1);
+  }
 }
 
 Status OnlineConformal::Warmup(const std::vector<double>& estimates,
@@ -45,17 +51,9 @@ void OnlineConformal::Observe(double estimate, double truth) {
       obs::Metrics().GetCounter("conformal.online.observations");
   static obs::Counter& evictions =
       obs::Metrics().GetCounter("conformal.online.evictions");
-  static obs::Gauge& occupancy =
-      obs::Metrics().GetGauge("conformal.online.window_occupancy");
-  static obs::Gauge& rolling_cov =
-      obs::Metrics().GetGauge("conformal.online.rolling_coverage");
-  static obs::Gauge& rolling_width =
-      obs::Metrics().GetGauge("conformal.online.rolling_width");
-  static obs::Gauge& drift =
-      obs::Metrics().GetGauge("conformal.online.score_drift");
 
   obs::EventLog& elog = obs::EventLog::Instance();
-  const bool log_events = elog.enabled();
+  const bool log_events = options_.publish_metrics && elog.enabled();
   const double t0 = log_events ? obs::TraceNowMicros() : 0.0;
 
   // Prequential monitoring: judge the interval the caller would have
@@ -69,22 +67,45 @@ void OnlineConformal::Observe(double estimate, double truth) {
   score_window_.Push(score);
   score_sum_ += score;
   ++observed_;
-  recency_.push_back(score);
+
   sorted_.insert(std::lower_bound(sorted_.begin(), sorted_.end(), score),
                  score);
-  if (options_.window > 0 && recency_.size() > options_.window) {
-    const double evicted = recency_.front();
-    recency_.pop_front();
-    auto it = std::lower_bound(sorted_.begin(), sorted_.end(), evicted);
-    CONFCARD_DCHECK(it != sorted_.end() && *it == evicted);
-    sorted_.erase(it);
-    evictions.Increment();
+  if (options_.window > 0) {
+    double evicted = 0.0;
+    bool evict = false;
+    if (ring_size_ == options_.window) {
+      evicted = ring_[ring_head_];
+      ring_[ring_head_] = score;
+      ring_head_ = (ring_head_ + 1) % options_.window;
+      evict = true;
+    } else {
+      ring_[(ring_head_ + ring_size_) % options_.window] = score;
+      ++ring_size_;
+    }
+    if (evict) {
+      auto it = std::lower_bound(sorted_.begin(), sorted_.end(), evicted);
+      CONFCARD_DCHECK(it != sorted_.end() && *it == evicted);
+      sorted_.erase(it);
+      evictions.Increment();
+    }
+  } else {
+    recency_.push_back(score);
   }
 
-  occupancy.Set(static_cast<double>(recency_.size()));
-  rolling_cov.Set(coverage_window_.Mean());
-  if (width_window_.size() > 0) rolling_width.Set(width_window_.Mean());
-  drift.Set(score_drift());
+  if (options_.publish_metrics) {
+    static obs::Gauge& occupancy =
+        obs::Metrics().GetGauge("conformal.online.window_occupancy");
+    static obs::Gauge& rolling_cov =
+        obs::Metrics().GetGauge("conformal.online.rolling_coverage");
+    static obs::Gauge& rolling_width =
+        obs::Metrics().GetGauge("conformal.online.rolling_width");
+    static obs::Gauge& drift =
+        obs::Metrics().GetGauge("conformal.online.score_drift");
+    occupancy.Set(static_cast<double>(size()));
+    rolling_cov.Set(coverage_window_.Mean());
+    if (width_window_.size() > 0) rolling_width.Set(width_window_.Mean());
+    drift.Set(score_drift());
+  }
 
   if (log_events) {
     obs::QueryEvent e;
@@ -100,6 +121,23 @@ void OnlineConformal::Observe(double estimate, double truth) {
     e.latency_us = obs::TraceNowMicros() - t0;
     elog.Append(e);
   }
+}
+
+void OnlineConformal::ResetWindowTo(size_t keep_last) {
+  if (options_.window > 0) {
+    const size_t keep = std::min(keep_last, ring_size_);
+    const size_t drop = ring_size_ - keep;
+    ring_head_ = (ring_head_ + drop) % options_.window;
+    ring_size_ = keep;
+    sorted_.resize(keep);
+    for (size_t i = 0; i < keep; ++i) sorted_[i] = RingAt(i);
+  } else {
+    const size_t keep = std::min(keep_last, recency_.size());
+    recency_.erase(recency_.begin(),
+                   recency_.end() - static_cast<ptrdiff_t>(keep));
+    sorted_.assign(recency_.begin(), recency_.end());
+  }
+  std::sort(sorted_.begin(), sorted_.end());
 }
 
 double OnlineConformal::delta() const {

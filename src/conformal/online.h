@@ -11,6 +11,13 @@
 // occupancy, and eviction counts — so the Fig. 8/11 shift experiments
 // expose their degradation live instead of only in final tables. See
 // docs/OBSERVABILITY.md ("conformal.online.*").
+//
+// Windowed instances are allocation-free after construction: the recency
+// order lives in a fixed ring buffer and the sorted multiset in a vector
+// reserved one past the window (an insert transiently holds window + 1
+// scores before the eviction erase). This is what lets the serving
+// feedback path recalibrate per micro-batch under a zero-steady-state-
+// allocation gate.
 #ifndef CONFCARD_CONFORMAL_ONLINE_H_
 #define CONFCARD_CONFORMAL_ONLINE_H_
 
@@ -41,6 +48,12 @@ class OnlineConformal {
     /// Label recorded as the `model` field of per-query events emitted
     /// from Observe (the estimator is not visible at this layer).
     std::string estimator_label = "online";
+    /// When false, Observe neither sets conformal.online.* gauges nor
+    /// emits per-query events. Serving shards each own a recalibrator
+    /// and publish their own serve.drift.* view instead — concurrent
+    /// last-writer gauge races would make runs non-replayable, and the
+    /// event append allocates.
+    bool publish_metrics = true;
   };
 
   OnlineConformal(std::shared_ptr<const ScoringFunction> scoring,
@@ -63,24 +76,46 @@ class OnlineConformal {
   /// Current conformal quantile delta.
   double delta() const;
 
-  size_t size() const { return recency_.size(); }
+  /// Drops all but the newest `keep_last` calibration scores (stage-1
+  /// drift recalibration: stale pre-drift scores stop diluting the
+  /// quantile). Lifetime counters and rolling monitors are untouched.
+  /// Allocation-free in windowed mode.
+  void ResetWindowTo(size_t keep_last);
+
+  size_t size() const {
+    return options_.window > 0 ? ring_size_ : recency_.size();
+  }
 
   /// Lifetime observation count (never decremented by eviction).
   uint64_t observed() const { return observed_; }
   /// Prequential coverage over the last monitor_window observations.
   double rolling_coverage() const { return coverage_window_.Mean(); }
+  /// Observations currently in the rolling coverage window.
+  size_t rolling_observations() const { return coverage_window_.size(); }
   /// Mean finite interval width over the same horizon.
   double rolling_width() const { return width_window_.Mean(); }
   /// Rolling mean score divided by lifetime mean score (~1 when the
   /// stream is stationary; rises under residual drift).
   double score_drift() const;
 
+  const Options& options() const { return options_; }
+  const ScoringFunction& scoring() const { return *scoring_; }
+
  private:
+  /// Oldest-first access into the windowed ring.
+  double RingAt(size_t i) const {
+    return ring_[(ring_head_ + i) % options_.window];
+  }
+
   std::shared_ptr<const ScoringFunction> scoring_;
   Options options_;
-  // Scores in arrival order (for window eviction) and in sorted order
-  // (multiset semantics via a sorted vector) for O(log n) quantiles.
+  // Scores in arrival order: a fixed ring buffer in windowed mode, an
+  // unbounded deque otherwise. The sorted multiset (sorted vector, for
+  // O(log n) quantiles) is shared by both modes.
   std::deque<double> recency_;
+  std::vector<double> ring_;
+  size_t ring_head_ = 0;
+  size_t ring_size_ = 0;
   std::vector<double> sorted_;
   // Rolling monitors (prequential: judged before the update).
   obs::RollingWindow coverage_window_;

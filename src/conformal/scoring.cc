@@ -25,7 +25,13 @@ Interval QErrorScore::Invert(double estimate, double delta) const {
   const double e = std::max(estimate, 1.0);
   if (!(delta >= 1.0)) delta = 1.0;  // q-error scores are always >= 1
   if (std::isinf(delta)) return Interval::Infinite();
-  return {e / delta, e * delta};
+  // Faithful inversion of the >= 1 flooring in Score: every y in [0, 1]
+  // scores max(e, 1/e) = e, so once e <= delta the inversion set
+  // includes all of [0, 1] and the bound below it — lo = e/delta > 0
+  // would wrongly exclude zero-cardinality truths whose score is within
+  // the quantile (the dominant post-drift miss mode in bench_drift).
+  const double lo = e / delta;
+  return {lo <= 1.0 ? 0.0 : lo, e * delta};
 }
 
 double RelativeErrorScore::Score(double estimate, double y) const {

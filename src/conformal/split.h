@@ -34,6 +34,11 @@ class SplitConformal {
   double delta() const { return delta_; }
   double alpha() const { return alpha_; }
   const ScoringFunction& scoring() const { return *scoring_; }
+  /// Shared handle for composing predictors (e.g. per-shard online
+  /// recalibrators) over the same scoring function.
+  std::shared_ptr<const ScoringFunction> scoring_ptr() const {
+    return scoring_;
+  }
 
  private:
   std::shared_ptr<const ScoringFunction> scoring_;

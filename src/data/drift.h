@@ -1,0 +1,140 @@
+// Deterministic drift injection for dynamic-data and workload-shift
+// scenarios ("Are We Ready For Learned CE?" faults learned estimators
+// exactly here: updates and distribution drift). A drift scenario turns
+// the repo's frozen train-once workloads into a replayable *stream*: a
+// pre-drift table the models train and calibrate on, a post-drift table
+// produced by seeded data transformations, and an arrival-ordered query
+// stream whose ground truths always reflect the live data state.
+//
+// Drift is configured from the CONFCARD_DRIFT environment variable (or
+// programmatically, for tests and bench_drift) as a semicolon-separated
+// list modeled on the CONFCARD_FAULTS grammar:
+//
+//   <kind>:<magnitude>@<onset>   e.g.  zipf:0.6@0.5;update:0.3@0.5
+//
+// where <kind> is one of
+//   append    — append magnitude * num_rows fresh rows drawn from the
+//               (possibly distribution-shifted) generator spec
+//   update    — rewrite magnitude * num_rows deterministically selected
+//               rows with fresh draws from the shifted spec
+//   delete    — drop magnitude * num_rows deterministically selected rows
+//   zipf      — shift every categorical column's Zipf skew by
+//               magnitude * kZipfSkewSpan
+//   corr      — move every correlated column's correlation toward its
+//               opposite extreme: c' = c + magnitude * (1 - 2c)
+//   template  — post-onset queries come (with per-index probability
+//               magnitude) from a shifted workload template
+//               (uniform-centered literals, flipped range probability,
+//               one extra predicate)
+// <magnitude> is a severity in [0, 1] and <onset> the fraction of the
+// query stream at which the drift takes effect, in [0, 1).
+//
+// Determinism: every transformation is a pure function of (base spec,
+// drift specs, stream options); repeated generation is bit-identical,
+// which is what lets bench_drift gate replays at 1 and 4 shards.
+#ifndef CONFCARD_DATA_DRIFT_H_
+#define CONFCARD_DATA_DRIFT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "data/generators.h"
+#include "data/table.h"
+#include "query/predicate.h"
+#include "query/workload.h"
+
+namespace confcard {
+namespace drift {
+
+/// How far a zipf arm at magnitude 1 shifts each categorical column's
+/// skew parameter.
+inline constexpr double kZipfSkewSpan = 1.5;
+
+/// One drift transformation.
+enum class DriftKind {
+  kAppend,
+  kUpdate,
+  kDelete,
+  kZipf,
+  kCorrelation,
+  kTemplate,
+};
+
+/// "append" / "update" / "delete" / "zipf" / "corr" / "template".
+const char* DriftKindToString(DriftKind kind);
+
+/// One parsed arm of a CONFCARD_DRIFT spec.
+struct DriftSpec {
+  DriftKind kind = DriftKind::kUpdate;
+  /// Severity in [0, 1]; per-kind meaning documented above.
+  double magnitude = 0.0;
+  /// Fraction of the stream at which the drift takes effect, in [0, 1).
+  /// All data arms (everything but template) are applied atomically at
+  /// the earliest data onset; a template arm uses its own onset.
+  double onset = 0.5;
+};
+
+/// Parses the CONFCARD_DRIFT grammar ("kind:magnitude@onset;...").
+/// Empty input yields an empty list; malformed entries produce
+/// InvalidArgument naming the offending token.
+Result<std::vector<DriftSpec>> ParseDriftSpecs(std::string_view text);
+
+/// Specs from the CONFCARD_DRIFT environment variable. A malformed
+/// value is reported on stderr and treated as empty.
+std::vector<DriftSpec> DriftSpecsFromEnv();
+
+/// Canonical rendering of `specs` back into the grammar (for bench
+/// config blocks and replay logs).
+std::string RenderDriftSpecs(const std::vector<DriftSpec>& specs);
+
+/// Stream-shape knobs for GenerateDriftStream.
+struct DriftStreamOptions {
+  /// Total queries in the arrival-ordered stream.
+  size_t num_queries = 1000;
+  /// Base query template; per-segment workloads derive their seeds and
+  /// sizes from it, so the option's own seed/num_queries are ignored.
+  WorkloadConfig workload;
+  /// Seed for everything stream-side (segment workload seeds, row
+  /// selection, template mixing). Independent of the table spec's seed.
+  uint64_t seed = 1;
+};
+
+/// A fully materialized drift scenario.
+struct DriftStream {
+  /// Data state the models train and calibrate on.
+  Table pre_table;
+  /// Data state after every data arm has been applied.
+  Table post_table;
+  /// First stream index at which any arm is in effect (num_queries when
+  /// no arm fires within the stream).
+  size_t onset_index = 0;
+  /// First stream index whose truths come from post_table.
+  size_t data_onset_index = 0;
+  /// Arrival-ordered executed-query stream; each truth is the exact
+  /// cardinality under the table state live at that stream position.
+  Workload stream;
+};
+
+/// Materializes the scenario: generates the pre table from `base`,
+/// applies every data arm (update, then delete, then append; fresh draws
+/// come from the zipf/corr-shifted spec — a zipf/corr arm with no row
+/// churn regenerates the whole table from the shifted spec), and builds
+/// the labeled stream with truths from the live data state. Bit-identical
+/// for fixed inputs.
+Result<DriftStream> GenerateDriftStream(const TableSpec& base,
+                                        const DriftStreamOptions& options,
+                                        const std::vector<DriftSpec>& specs);
+
+/// The distribution-shifted generator spec the data arms draw fresh rows
+/// from (exposed for tests): zipf arms shift categorical skew, corr arms
+/// move correlations toward their opposite extreme.
+TableSpec ShiftedTableSpec(const TableSpec& base,
+                           const std::vector<DriftSpec>& specs);
+
+}  // namespace drift
+}  // namespace confcard
+
+#endif  // CONFCARD_DATA_DRIFT_H_

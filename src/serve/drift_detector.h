@@ -1,0 +1,133 @@
+// Staged degradation ladder for serving under data drift. The detector
+// watches the per-shard recalibrator's rolling prequential monitors
+// (coverage dip below nominal, residual score drift) and maps them onto
+// an escalating response:
+//
+//   kHealthy      →  serve normally
+//   kRecalibrate  →  shrink the calibration window to recent scores and
+//                    reset the residual corrector (cheap, reversible)
+//   kInflate      →  multiply interval widths (honest about uncertainty
+//                    while the recalibrator catches up)
+//   kFallback     →  serve the histogram-AVI fallback tier; the learned
+//                    primary is no longer trusted
+//   kBreak        →  force the guard's breaker open; admission sheds
+//                    excess load until coverage recovers
+//
+// Escalation can jump multiple stages at once (a deep dip goes straight
+// to kFallback); de-escalation steps down one stage at a time, and only
+// after `recovery_hold` consecutive healthy observations — a flapping
+// ladder would churn the recalibrator and make replays unreadable.
+// Update() is a pure function of the observation sequence, so a replayed
+// stream walks the identical stage path (bench_drift gates this).
+#ifndef CONFCARD_SERVE_DRIFT_DETECTOR_H_
+#define CONFCARD_SERVE_DRIFT_DETECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace confcard {
+namespace serve {
+
+/// Ladder stages, ordered by severity.
+enum class DriftStage : int {
+  kHealthy = 0,
+  kRecalibrate = 1,
+  kInflate = 2,
+  kFallback = 3,
+  kBreak = 4,
+};
+
+/// "healthy" / "recalibrate" / "inflate" / "fallback" / "break".
+inline const char* DriftStageToString(DriftStage stage) {
+  switch (stage) {
+    case DriftStage::kHealthy: return "healthy";
+    case DriftStage::kRecalibrate: return "recalibrate";
+    case DriftStage::kInflate: return "inflate";
+    case DriftStage::kFallback: return "fallback";
+    case DriftStage::kBreak: return "break";
+  }
+  return "unknown";
+}
+
+struct DriftDetectorOptions {
+  /// Target coverage (1 - alpha); dips are measured against this.
+  double nominal_coverage = 0.9;
+  /// Observations the rolling window needs before the detector acts.
+  size_t min_observations = 64;
+  /// Coverage dip (nominal - rolling) that triggers each stage.
+  double recalibrate_dip = 0.03;
+  double inflate_dip = 0.08;
+  double fallback_dip = 0.15;
+  double breaker_dip = 0.30;
+  /// Rolling/lifetime score ratio that triggers kRecalibrate even while
+  /// coverage still looks nominal (drift shows in residuals first).
+  double score_drift_ratio = 2.0;
+  /// Consecutive healthy observations before stepping down one stage.
+  size_t recovery_hold = 96;
+  /// "Healthy" = rolling coverage within this of nominal (or above).
+  double recovered_within = 0.01;
+};
+
+/// Per-shard stage machine. Single-writer: only the shard's worker calls
+/// Update (at micro-batch boundaries); stage() is a plain read.
+class DriftDetector {
+ public:
+  DriftDetector() = default;
+  explicit DriftDetector(DriftDetectorOptions options) : options_(options) {}
+
+  /// Folds one prequential observation's monitor state into the ladder
+  /// and returns the (possibly changed) stage. `observations` is the
+  /// rolling window's current occupancy.
+  DriftStage Update(double rolling_coverage, double score_drift,
+                    size_t observations) {
+    if (observations < options_.min_observations) return stage_;
+    const double dip = options_.nominal_coverage - rolling_coverage;
+    DriftStage target = DriftStage::kHealthy;
+    if (dip >= options_.breaker_dip) {
+      target = DriftStage::kBreak;
+    } else if (dip >= options_.fallback_dip) {
+      target = DriftStage::kFallback;
+    } else if (dip >= options_.inflate_dip) {
+      target = DriftStage::kInflate;
+    } else if (dip >= options_.recalibrate_dip ||
+               score_drift >= options_.score_drift_ratio) {
+      target = DriftStage::kRecalibrate;
+    }
+    if (static_cast<int>(target) > static_cast<int>(stage_)) {
+      stage_ = target;   // escalate immediately, as far as the dip says
+      healthy_streak_ = 0;
+      ++escalations_;
+      return stage_;
+    }
+    if (dip <= options_.recovered_within) {
+      if (++healthy_streak_ >= options_.recovery_hold &&
+          stage_ != DriftStage::kHealthy) {
+        stage_ = static_cast<DriftStage>(static_cast<int>(stage_) - 1);
+        healthy_streak_ = 0;
+        ++deescalations_;
+      }
+    } else {
+      healthy_streak_ = 0;
+    }
+    return stage_;
+  }
+
+  DriftStage stage() const { return stage_; }
+  /// Lifetime stage transitions (up / down).
+  uint64_t escalations() const { return escalations_; }
+  uint64_t deescalations() const { return deescalations_; }
+
+  const DriftDetectorOptions& options() const { return options_; }
+
+ private:
+  DriftDetectorOptions options_;
+  DriftStage stage_ = DriftStage::kHealthy;
+  size_t healthy_streak_ = 0;
+  uint64_t escalations_ = 0;
+  uint64_t deescalations_ = 0;
+};
+
+}  // namespace serve
+}  // namespace confcard
+
+#endif  // CONFCARD_SERVE_DRIFT_DETECTOR_H_

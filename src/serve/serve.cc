@@ -1,12 +1,15 @@
 #include "serve/serve.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <string>
 
 #include "common/check.h"
 #include "common/parallel.h"
 #include "conformal/interval.h"
+#include "obs/event_log.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "query/validate.h"
@@ -30,6 +33,21 @@ int ReadIntEnv(const char* name, int fallback, int lo, int hi) {
   return static_cast<int>(std::clamp<long>(v, lo, hi));
 }
 
+bool ReadBoolEnv(const char* name, bool fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  const std::string v(raw);
+  return v == "1" || v == "on" || v == "true" || v == "ON" || v == "TRUE";
+}
+
+/// One queued executed-query observation. Slots are preallocated per
+/// shard and recycled through a free ring, so a steady-state Observe
+/// reuses each slot's predicate capacity and allocates nothing.
+struct alignas(64) FeedbackSlot {
+  Query query;
+  double truth = 0.0;
+};
+
 }  // namespace
 
 void Request::Wait() const {
@@ -50,6 +68,7 @@ ServeFrontEnd::Options ServeFrontEnd::Options::FromEnv() {
   o.max_batch = ReadIntEnv("CONFCARD_SERVE_BATCH", o.max_batch, 1, 4096);
   o.flush_timeout_us =
       ReadIntEnv("CONFCARD_SERVE_TIMEOUT_US", o.flush_timeout_us, 0, 1000000);
+  o.feedback = ReadBoolEnv("CONFCARD_SERVE_FEEDBACK", o.feedback);
   return o;
 }
 
@@ -62,9 +81,17 @@ struct ServeFrontEnd::ServeMetrics {
   obs::Counter& degraded;
   obs::Counter& batches;
   obs::Counter& drained_on_stop;
+  obs::Counter& feedback_observed;
+  obs::Counter& feedback_applied;
+  obs::Counter& feedback_dropped;
+  obs::Counter& drift_up;
+  obs::Counter& drift_down;
+  obs::Counter& drift_recalibrations;
   obs::Histogram& batch_size;
   obs::Histogram& queue_us;
   obs::Histogram& total_us;
+  obs::Histogram& feedback_apply_us;
+  obs::Histogram& drift_time_in_stage_us;
   ServeMetrics()
       : requests(obs::Metrics().GetCounter("serve.requests")),
         accepted(obs::Metrics().GetCounter("serve.accepted")),
@@ -74,9 +101,19 @@ struct ServeFrontEnd::ServeMetrics {
         degraded(obs::Metrics().GetCounter("serve.degraded")),
         batches(obs::Metrics().GetCounter("serve.batch.count")),
         drained_on_stop(obs::Metrics().GetCounter("serve.drain.stop_served")),
+        feedback_observed(obs::Metrics().GetCounter("feedback.observed")),
+        feedback_applied(obs::Metrics().GetCounter("feedback.applied")),
+        feedback_dropped(obs::Metrics().GetCounter("feedback.dropped")),
+        drift_up(obs::Metrics().GetCounter("serve.drift.transitions.up")),
+        drift_down(obs::Metrics().GetCounter("serve.drift.transitions.down")),
+        drift_recalibrations(
+            obs::Metrics().GetCounter("serve.drift.recalibrations")),
         batch_size(obs::Metrics().GetHistogram("serve.batch.size")),
         queue_us(obs::Metrics().GetHistogram("serve.latency.queue_us")),
-        total_us(obs::Metrics().GetHistogram("serve.latency.total_us")) {}
+        total_us(obs::Metrics().GetHistogram("serve.latency.total_us")),
+        feedback_apply_us(obs::Metrics().GetHistogram("feedback.apply_us")),
+        drift_time_in_stage_us(
+            obs::Metrics().GetHistogram("serve.drift.time_in_stage_us")) {}
 };
 
 ServeFrontEnd::ServeMetrics& ServeFrontEnd::SharedMetrics() {
@@ -110,6 +147,27 @@ struct ServeFrontEnd::Shard {
   GuardBatchScratch scratch;
   std::vector<uint64_t> batch_size_counts;
   std::atomic<uint64_t> hot_allocs{0};
+
+  // ---- drift-adaptation state (engaged only when Options::feedback).
+  // recal/corrector/detector/stage are worker-owned: touched by the
+  // shard's worker at micro-batch boundaries, by WarmupFeedback while
+  // quiesced, and by Stop() after the join. stage_atomic mirrors stage
+  // for cross-thread observers.
+  std::unique_ptr<OnlineConformal> recal;
+  std::unique_ptr<ResidualCorrector> corrector;
+  DriftDetector detector;
+  DriftStage stage = DriftStage::kHealthy;
+  std::atomic<int> stage_atomic{0};
+  std::chrono::steady_clock::time_point stage_since{};
+  // Feedback rings: producers move preallocated slots free -> pending;
+  // the worker drains pending and recycles slots back to free. Slot
+  // count == ring capacity, so the pending push can never fail.
+  std::vector<FeedbackSlot> fb_slots;
+  std::unique_ptr<MpmcBoundedQueue<FeedbackSlot*>> fb_pending;
+  std::unique_ptr<MpmcBoundedQueue<FeedbackSlot*>> fb_free;
+  std::atomic<uint64_t> fb_dropped{0};
+  // Worker-private scratch for the per-observation re-estimate.
+  GuardBatchScratch fb_scratch;
 };
 
 ServeFrontEnd::ServeFrontEnd(std::vector<const GuardedEstimator*> shard_guards,
@@ -132,6 +190,16 @@ ServeFrontEnd::ServeFrontEnd(std::vector<const GuardedEstimator*> shard_guards,
   CONFCARD_CHECK_MSG(options_.degraded_inflation >= 1.0,
                      "serve: degraded_inflation must be >= 1");
   inflated_delta_ = conformal.delta() * options_.degraded_inflation;
+  if (options_.feedback) {
+    CONFCARD_CHECK_MSG(options_.feedback_capacity >= 1,
+                       "serve: feedback_capacity must be >= 1");
+    CONFCARD_CHECK_MSG(options_.recal_window >= 1,
+                       "serve: recal_window must be >= 1");
+    CONFCARD_CHECK_MSG(options_.drift_inflation >= 1.0,
+                       "serve: drift_inflation must be >= 1");
+    // The ladder measures dips against the predictor's own target.
+    options_.detector.nominal_coverage = 1.0 - conformal.alpha();
+  }
   breaker_shed_depth_ = std::max<size_t>(
       1, static_cast<size_t>(static_cast<double>(options_.queue_capacity) *
                              std::clamp(options_.breaker_shed_watermark, 0.0,
@@ -147,6 +215,28 @@ ServeFrontEnd::ServeFrontEnd(std::vector<const GuardedEstimator*> shard_guards,
     shard->queries.resize(b);
     shard->outs.resize(b);
     shard->batch_size_counts.assign(b + 1, 0);
+    if (options_.feedback) {
+      OnlineConformal::Options ro;
+      ro.alpha = conformal.alpha();
+      ro.window = options_.recal_window;
+      ro.monitor_window = options_.monitor_window;
+      ro.estimator_label = "serve-recal";
+      ro.publish_metrics = false;  // per-shard state; gauges would race
+      shard->recal =
+          std::make_unique<OnlineConformal>(conformal.scoring_ptr(), ro);
+      shard->corrector =
+          std::make_unique<ResidualCorrector>(options_.corrector);
+      shard->detector = DriftDetector(options_.detector);
+      shard->stage_since = SteadyClock::now();
+      const size_t fc = options_.feedback_capacity;
+      shard->fb_slots.resize(fc);
+      shard->fb_pending =
+          std::make_unique<MpmcBoundedQueue<FeedbackSlot*>>(fc);
+      shard->fb_free = std::make_unique<MpmcBoundedQueue<FeedbackSlot*>>(fc);
+      for (FeedbackSlot& slot : shard->fb_slots) {
+        shard->fb_free->TryPush(&slot);
+      }
+    }
     shards_.push_back(std::move(shard));
   }
   for (auto& shard : shards_) {
@@ -202,6 +292,138 @@ Admit ServeFrontEnd::Submit(Request* request) {
   return result;
 }
 
+bool ServeFrontEnd::Observe(const Query& query, double true_card) {
+  if (!options_.feedback) return false;
+  if (stopping_.load(std::memory_order_acquire)) return false;
+  metrics_.feedback_observed.Increment();
+  Shard& s = *shards_[ShardFor(query)];
+  FeedbackSlot* slot = nullptr;
+  if (!s.fb_free->TryPop(&slot)) {
+    // Backpressure by dropping, never by blocking the executor thread:
+    // a lost observation only delays adaptation.
+    s.fb_dropped.fetch_add(1, std::memory_order_relaxed);
+    metrics_.feedback_dropped.Increment();
+    return false;
+  }
+  slot->query = query;  // element-wise copy reuses the slot's capacity
+  slot->truth = true_card;
+  s.fb_pending->TryPush(slot);  // slots == capacity: cannot fail
+  return true;
+}
+
+void ServeFrontEnd::WarmupFeedback(const Workload& calibration) {
+  if (!options_.feedback) return;
+  for (const LabeledQuery& lq : calibration) {
+    Shard& s = *shards_[ShardFor(lq.query)];
+    FeedOne(&s, lq.query, s.guard->EstimateGuarded(lq.query), lq.cardinality);
+  }
+}
+
+DriftStage ServeFrontEnd::ShardStage(int shard) const {
+  return static_cast<DriftStage>(
+      shards_[static_cast<size_t>(shard)]->stage_atomic.load(
+          std::memory_order_acquire));
+}
+
+uint64_t ServeFrontEnd::FeedbackDropped() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->fb_dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void ServeFrontEnd::ApplyStageTransition(Shard* shard, DriftStage from,
+                                         DriftStage to) {
+  const SteadyClock::time_point now = SteadyClock::now();
+  metrics_.drift_time_in_stage_us.Record(
+      MicrosBetween(shard->stage_since, now));
+  shard->stage_since = now;
+  shard->stage = to;
+  shard->stage_atomic.store(static_cast<int>(to), std::memory_order_release);
+  if (static_cast<int>(to) > static_cast<int>(from)) {
+    metrics_.drift_up.Increment();
+    if (from == DriftStage::kHealthy) {
+      // Entering the ladder: stale pre-drift calibration scores dilute
+      // the quantile and stale corrections point the wrong way — keep
+      // only the freshest quarter of the window and relearn biases.
+      shard->recal->ResetWindowTo(options_.recal_window / 4);
+      shard->corrector->Reset();
+      metrics_.drift_recalibrations.Increment();
+    }
+    if (to == DriftStage::kBreak) shard->guard->ForceBreaker(true);
+  } else {
+    metrics_.drift_down.Increment();
+    if (from == DriftStage::kBreak) shard->guard->ForceBreaker(false);
+  }
+  obs::EventLog& elog = obs::EventLog::Instance();
+  if (elog.enabled()) {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("type").String("drift");
+    w.Key("shard").Int(shard->index);
+    w.Key("from").String(DriftStageToString(from));
+    w.Key("to").String(DriftStageToString(to));
+    w.Key("coverage").Number(shard->recal->rolling_coverage());
+    w.Key("score_drift").Number(shard->recal->score_drift());
+    w.Key("observed").Int(static_cast<int64_t>(shard->recal->observed()));
+    w.EndObject();
+    elog.AppendRecord(w.TakeString());
+  }
+}
+
+void ServeFrontEnd::FeedOne(Shard* shard, const Query& query,
+                            const GuardedEstimate& estimate, double truth) {
+  double served = estimate.value;
+  if (estimate.source == 0) {
+    // AQO-style residual learning applies only to the primary: fallback
+    // tiers have their own (unlearned) biases, and mixing them into one
+    // subspace entry would poison the correction.
+    const uint64_t fss = ResidualCorrector::SubspaceHash(query);
+    served = shard->corrector->Correct(fss, estimate.value);
+    shard->corrector->Observe(fss, estimate.value, truth);
+  }
+  // The recalibrator scores what we would have served (post-correction),
+  // so its quantile calibrates the intervals actually produced.
+  shard->recal->Observe(served, truth);
+  const DriftStage before = shard->detector.stage();
+  const DriftStage after = shard->detector.Update(
+      shard->recal->rolling_coverage(), shard->recal->score_drift(),
+      shard->recal->rolling_observations());
+  if (after != before) ApplyStageTransition(shard, before, after);
+}
+
+void ServeFrontEnd::ApplyFeedback(Shard* shard) {
+  if (!options_.feedback) return;
+  FeedbackSlot* slot = nullptr;
+  if (!shard->fb_pending->TryPop(&slot)) return;
+  const SteadyClock::time_point t0 = SteadyClock::now();
+  const size_t cap = options_.feedback_capacity;
+  size_t k = 0;
+  do {
+    // Estimate with the tier currently serving (the recalibrator must
+    // score the estimates clients are getting), one observation at a
+    // time so the adaptive trajectory — corrector, recalibrator,
+    // detector, and the tier each estimate used — is a pure function of
+    // the per-shard feedback sequence, not of how micro-batch timing
+    // happened to group the applications (EstimateBatchGuarded is
+    // bit-identical at any partition, so n=1 loses nothing).
+    GuardedEstimate ge;
+    if (shard->stage >= DriftStage::kFallback) {
+      shard->guard->EstimateFallbackTier(&slot->query, 1, &ge);
+    } else {
+      shard->guard->EstimateBatchGuarded(&slot->query, 1, &ge,
+                                         /*order_key_base=*/0,
+                                         &shard->fb_scratch);
+    }
+    FeedOne(shard, slot->query, ge, slot->truth);
+    shard->fb_free->TryPush(slot);
+    ++k;
+  } while (k < cap && shard->fb_pending->TryPop(&slot));
+  metrics_.feedback_applied.Increment(k);
+  metrics_.feedback_apply_us.Record(MicrosBetween(t0, SteadyClock::now()));
+}
+
 void ServeFrontEnd::WorkerLoop(Shard* shard) {
   for (;;) {
     Request* first = nullptr;
@@ -244,6 +466,11 @@ void ServeFrontEnd::WorkerLoop(Shard* shard) {
 }
 
 void ServeFrontEnd::ProcessFrom(Shard* shard, Request* first) {
+  // Micro-batch boundary: fold queued executed-query truth into the
+  // recalibrator/corrector/detector before computing this batch, so the
+  // adaptation point is a deterministic function of the request and
+  // feedback sequences.
+  ApplyFeedback(shard);
   shard->batch.clear();
   shard->batch.push_back(first);
   const size_t max_batch = static_cast<size_t>(options_.max_batch);
@@ -283,12 +510,28 @@ void ServeFrontEnd::ProcessFrom(Shard* shard, Request* first) {
   for (size_t i = 0; i < m; ++i) {
     shard->queries[i] = shard->batch[i]->query;
   }
-  shard->guard->EstimateBatchGuarded(shard->queries.data(), m,
-                                     shard->outs.data(), /*order_key_base=*/0,
-                                     &shard->scratch);
+  if (options_.feedback && shard->stage >= DriftStage::kFallback) {
+    // Ladder stage 3+: the learned primary is no longer trusted; serve
+    // the histogram-AVI tier directly.
+    shard->guard->EstimateFallbackTier(shard->queries.data(), m,
+                                       shard->outs.data());
+  } else {
+    shard->guard->EstimateBatchGuarded(shard->queries.data(), m,
+                                       shard->outs.data(),
+                                       /*order_key_base=*/0, &shard->scratch);
+  }
+  if (options_.feedback) {
+    // Learned point-estimate correction (primary-sourced answers only).
+    for (size_t i = 0; i < m; ++i) {
+      if (shard->outs[i].source != 0) continue;
+      shard->outs[i].value = shard->corrector->Correct(
+          ResidualCorrector::SubspaceHash(shard->queries[i]),
+          shard->outs[i].value);
+    }
+  }
   const SteadyClock::time_point completed = SteadyClock::now();
   for (size_t i = 0; i < m; ++i) {
-    Publish(shard->batch[i], shard->outs[i], shard->index,
+    Publish(shard->batch[i], shard->outs[i], *shard,
             static_cast<uint32_t>(m), dispatched, completed);
   }
   shard->batch_size_counts[m] += 1;
@@ -297,21 +540,36 @@ void ServeFrontEnd::ProcessFrom(Shard* shard, Request* first) {
 }
 
 void ServeFrontEnd::Publish(Request* request, const GuardedEstimate& estimate,
-                            int shard, uint32_t batch_size,
+                            const Shard& shard, uint32_t batch_size,
                             SteadyClock::time_point dispatched,
                             SteadyClock::time_point completed) const {
   Response& resp = request->response;
   resp.estimate = estimate.value;
-  Interval iv = estimate.degraded
-                    ? scoring_->Invert(estimate.value, inflated_delta_)
-                    : conformal_->Predict(estimate.value);
+  Interval iv;
+  if (options_.feedback) {
+    // Intervals come from the shard's sliding-window recalibrator (the
+    // frozen SplitConformal only seeds the delta until feedback
+    // arrives), degraded answers widen by degraded_inflation, and the
+    // ladder's kInflate+ stages widen everything by drift_inflation.
+    double delta = shard.recal->delta();
+    if (std::isinf(delta)) delta = conformal_->delta();
+    double inflation = estimate.degraded ? options_.degraded_inflation : 1.0;
+    if (shard.stage >= DriftStage::kInflate) {
+      inflation *= options_.drift_inflation;
+    }
+    iv = scoring_->Invert(estimate.value, delta * inflation);
+  } else {
+    iv = estimate.degraded
+             ? scoring_->Invert(estimate.value, inflated_delta_)
+             : conformal_->Predict(estimate.value);
+  }
   iv = ClipToCardinality(iv, num_rows_);
   resp.lo = iv.lo;
   resp.hi = iv.hi;
   resp.degraded = estimate.degraded;
   resp.shed = false;
   resp.source = estimate.source;
-  resp.shard = shard;
+  resp.shard = shard.index;
   resp.batch_size = batch_size;
   resp.queue_us = MicrosBetween(request->submitted_at, dispatched);
   resp.total_us = MicrosBetween(request->submitted_at, completed);
@@ -331,6 +589,20 @@ void ServeFrontEnd::PublishShed(Request* request, int shard) const {
   resp.hi = num_rows_;  // trivially valid: shed answers never miscovers
   resp.shard = shard;
   request->state.store(Request::kDone, std::memory_order_release);
+  // Shed bursts must be diagnosable from the event log alone: record
+  // each one (off the alloc-gated worker path — shedding happens on the
+  // submitting thread).
+  obs::EventLog& elog = obs::EventLog::Instance();
+  if (elog.enabled()) {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("type").String("serve");
+    w.Key("shed").Bool(true);
+    w.Key("shard").Int(shard);
+    w.Key("qkey").Int(QueryContentKey(request->query));
+    w.EndObject();
+    elog.AppendRecord(w.TakeString());
+  }
 }
 
 void ServeFrontEnd::Stop() {
@@ -359,8 +631,17 @@ void ServeFrontEnd::Stop() {
       shard->depth.fetch_sub(1, std::memory_order_relaxed);
       const SteadyClock::time_point now = SteadyClock::now();
       Publish(request, shard->guard->EstimateGuarded(request->query),
-              shard->index, /*batch_size=*/1, now, SteadyClock::now());
+              *shard, /*batch_size=*/1, now, SteadyClock::now());
       metrics_.drained_on_stop.Increment();
+    }
+    // Feedback accepted before the stop flag is applied, not lost:
+    // Observe() rejects once stopping_, and the ring holds at most one
+    // capacity's worth, so one drain pass empties it.
+    ApplyFeedback(shard.get());
+    // The guards outlive this front-end; do not leave a drift-forced
+    // breaker latched into whatever serves from them next.
+    if (options_.feedback && shard->guard->breaker_forced()) {
+      shard->guard->ForceBreaker(false);
     }
   }
 }

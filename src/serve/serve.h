@@ -22,9 +22,19 @@
 //   * Stop() drains: every accepted request gets a response before the
 //     workers join.
 //
+// With Options::feedback enabled the front-end closes the drift loop
+// (docs/ROBUSTNESS.md "Drift & self-healing"): Observe(query, truth)
+// queues executed-query ground truth on the owning shard's lock-free
+// feedback ring; each worker drains its ring at micro-batch boundaries
+// into a sliding-window OnlineConformal recalibrator (intervals adapt),
+// an AQO-style feature-subspace residual corrector (point estimates
+// adapt), and a staged drift detector (recalibrate → inflate →
+// fallback tier → forced breaker) whose transitions are recorded as
+// "type":"drift" events and serve.drift.* metrics.
+//
 // Env knobs (read by Options::FromEnv / ShardsFromEnv, see
 // docs/SERVING.md): CONFCARD_SERVE_SHARDS, CONFCARD_SERVE_BATCH,
-// CONFCARD_SERVE_TIMEOUT_US.
+// CONFCARD_SERVE_TIMEOUT_US, CONFCARD_SERVE_FEEDBACK.
 #ifndef CONFCARD_SERVE_SERVE_H_
 #define CONFCARD_SERVE_SERVE_H_
 
@@ -38,8 +48,11 @@
 #include <vector>
 
 #include "ce/guarded.h"
+#include "ce/residual.h"
+#include "conformal/online.h"
 #include "conformal/split.h"
 #include "query/predicate.h"
+#include "serve/drift_detector.h"
 #include "serve/mpmc_queue.h"
 
 namespace confcard {
@@ -136,9 +149,34 @@ class ServeFrontEnd {
     /// SingleTableHarness::Options::degraded_inflation).
     double degraded_inflation = 4.0;
 
+    // ---- drift-adaptation loop (off by default; enabling it switches
+    // interval production from the frozen SplitConformal to a per-shard
+    // sliding-window recalibrator fed by Observe()) ----
+
+    /// Master switch for the online feedback loop.
+    bool feedback = false;
+    /// Per-shard feedback ring capacity; a full ring drops observations
+    /// (counted in feedback.dropped) instead of blocking the producer.
+    size_t feedback_capacity = 1024;
+    /// Sliding calibration window of each shard's OnlineConformal
+    /// recalibrator.
+    size_t recal_window = 512;
+    /// Rolling-monitor horizon feeding the drift detector.
+    size_t monitor_window = 256;
+    /// Extra interval-width multiplier while the ladder is at kInflate
+    /// or beyond (composes with degraded_inflation).
+    double drift_inflation = 2.0;
+    /// Ladder thresholds. nominal_coverage is overwritten with
+    /// 1 - alpha from the conformal predictor at construction.
+    DriftDetectorOptions detector;
+    /// Residual-corrector knobs (AQO-style executed-query feedback).
+    ResidualCorrector::Options corrector;
+
     /// max_batch from CONFCARD_SERVE_BATCH (clamped [1, 4096], default
-    /// 32) and flush_timeout_us from CONFCARD_SERVE_TIMEOUT_US (clamped
-    /// [0, 1000000], default 200); everything else stays at defaults.
+    /// 32), flush_timeout_us from CONFCARD_SERVE_TIMEOUT_US (clamped
+    /// [0, 1000000], default 200), and feedback from
+    /// CONFCARD_SERVE_FEEDBACK ("1"/"on"/"true" enables); everything
+    /// else stays at defaults.
     static Options FromEnv();
   };
 
@@ -166,6 +204,26 @@ class ServeFrontEnd {
   /// Routes and enqueues `request` (whose `query` must be populated).
   /// On any shed outcome the response is published before returning.
   Admit Submit(Request* request);
+
+  /// Executed-query ground truth: queues (query, true_card) on the
+  /// owning shard's lock-free feedback ring, to be applied at that
+  /// shard's next micro-batch boundary (recalibrator + residual
+  /// corrector + drift detector). Returns false when feedback is
+  /// disabled, the front-end has stopped, or the ring is full (the
+  /// observation is dropped and feedback.dropped counted). Thread-safe;
+  /// allocation-free once slot capacity has warmed.
+  bool Observe(const Query& query, double true_card);
+
+  /// Synchronously seeds every shard's recalibrator and corrector from
+  /// a labeled calibration workload (each query routed to its owning
+  /// shard, estimated by that shard's guard). Call while quiesced — no
+  /// requests in flight. No-op unless feedback is enabled.
+  void WarmupFeedback(const Workload& calibration);
+
+  /// Current ladder stage of `shard` (kHealthy when feedback is off).
+  DriftStage ShardStage(int shard) const;
+  /// Observations dropped on full feedback rings, summed over shards.
+  uint64_t FeedbackDropped() const;
 
   /// Rejects new requests, serves everything already accepted, joins
   /// the workers. Idempotent.
@@ -195,10 +253,23 @@ class ServeFrontEnd {
 
   void WorkerLoop(Shard* shard);
   /// Assembles one micro-batch starting from `first`, runs the guarded
-  /// batched estimate, and publishes every response.
+  /// batched estimate, and publishes every response. When feedback is on
+  /// the cycle starts by draining the shard's feedback ring into the
+  /// recalibrator/corrector/detector (micro-batch-boundary application
+  /// keeps the ordering deterministic for a fixed request sequence).
   void ProcessFrom(Shard* shard, Request* first);
-  void Publish(Request* request, const GuardedEstimate& estimate, int shard,
-               uint32_t batch_size,
+  /// Drains and applies queued feedback for `shard` (worker thread
+  /// only).
+  void ApplyFeedback(Shard* shard);
+  /// Applies one executed-query observation to `shard`'s adaptive state
+  /// and steps the drift detector.
+  void FeedOne(Shard* shard, const Query& query,
+               const GuardedEstimate& estimate, double truth);
+  /// Runs the entry/exit actions of a ladder stage change and records
+  /// the serve.drift.* transition metrics + event.
+  void ApplyStageTransition(Shard* shard, DriftStage from, DriftStage to);
+  void Publish(Request* request, const GuardedEstimate& estimate,
+               const Shard& shard, uint32_t batch_size,
                std::chrono::steady_clock::time_point dispatched,
                std::chrono::steady_clock::time_point completed) const;
   void PublishShed(Request* request, int shard) const;

@@ -1,0 +1,375 @@
+// The serving feedback loop's contracts: Observe routing and
+// backpressure, warmup seeding, replay determinism of the adaptive
+// trajectory (including out-of-order cross-shard feedback and 1-vs-4
+// CONFCARD_THREADS), recalibration with a window of 1, an all-degraded
+// primary (every answer from the fallback chain) keeping the loop
+// functional, forced-breaker release on Stop, and the "shed":true JSONL
+// record satellite.
+#include "serve/serve.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ce/histogram.h"
+#include "ce/lwnn.h"
+#include "common/fault.h"
+#include "common/parallel.h"
+#include "conformal/scoring.h"
+#include "conformal/split.h"
+#include "data/generators.h"
+#include "obs/event_log.h"
+#include "query/workload.h"
+
+namespace confcard {
+namespace serve {
+namespace {
+
+struct Base {
+  Table table;
+  Workload workload;
+};
+
+Base MakeBase(size_t num_queries = 60) {
+  TableSpec spec;
+  spec.name = "fb";
+  spec.num_rows = 1500;
+  spec.seed = 19;
+  ColumnSpec a;
+  a.name = "a";
+  a.domain_size = 5;
+  ColumnSpec b;
+  b.name = "b";
+  b.kind = ColumnKind::kNumeric;
+  b.num_min = 0.0;
+  b.num_max = 30.0;
+  spec.columns = {a, b};
+  Table table = GenerateTable(spec).value();
+
+  WorkloadConfig wc;
+  wc.num_queries = num_queries;
+  wc.seed = 5;
+  Workload wl = GenerateWorkload(table, wc).value();
+  return {std::move(table), std::move(wl)};
+}
+
+// Histogram primary + guard + q-error conformal calibrated on the
+// fixture workload (the same scoring the drift loop recalibrates).
+struct FeedbackFixture {
+  Base base = MakeBase();
+  HistogramEstimator primary{base.table};
+  GuardedEstimator guard{primary, base.table};
+  SplitConformal scp{MakeScoring(ScoreKind::kQError), 0.1};
+  double num_rows = static_cast<double>(base.table.num_rows());
+
+  FeedbackFixture() {
+    std::vector<double> estimates;
+    std::vector<double> truths;
+    for (const LabeledQuery& lq : base.workload) {
+      estimates.push_back(primary.EstimateCardinality(lq.query));
+      truths.push_back(lq.cardinality);
+    }
+    const Status st = scp.Calibrate(estimates, truths);
+    EXPECT_TRUE(st.ok()) << st.message();
+  }
+
+  ServeFrontEnd::Options FeedbackOptions() const {
+    ServeFrontEnd::Options o;
+    o.feedback = true;
+    o.flush_timeout_us = 0;
+    return o;
+  }
+};
+
+struct Served {
+  double estimate = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  bool degraded = false;
+  int source = 0;
+
+  bool operator==(const Served& other) const {
+    return estimate == other.estimate && lo == other.lo && hi == other.hi &&
+           degraded == other.degraded && source == other.source;
+  }
+};
+
+// Lockstep submit -> wait -> Observe over the fixture workload, cycled
+// `rounds` times so the recalibrator sees a long stream.
+std::vector<Served> RunLockstep(ServeFrontEnd* front, const Workload& wl,
+                                int rounds) {
+  std::vector<Served> served;
+  Request r;
+  for (int round = 0; round < rounds; ++round) {
+    for (const LabeledQuery& lq : wl) {
+      r.Reset();
+      r.query = lq.query;
+      front->Submit(&r);
+      r.Wait();
+      served.push_back({r.response.estimate, r.response.lo, r.response.hi,
+                        r.response.degraded, r.response.source});
+      front->Observe(lq.query, lq.cardinality);
+    }
+  }
+  return served;
+}
+
+TEST(ServeFeedbackTest, ObserveRequiresFeedbackEnabled) {
+  FeedbackFixture f;
+  ServeFrontEnd front({&f.guard}, f.scp, f.num_rows);
+  EXPECT_FALSE(front.Observe(f.base.workload[0].query, 10.0));
+  front.Stop();
+  EXPECT_FALSE(front.Observe(f.base.workload[0].query, 10.0));
+}
+
+TEST(ServeFeedbackTest, FullRingDropsInsteadOfBlocking) {
+  FeedbackFixture f;
+  ServeFrontEnd::Options o = f.FeedbackOptions();
+  o.feedback_capacity = 4;
+  ServeFrontEnd front({&f.guard}, f.scp, f.num_rows, o);
+  // No requests flow, so no worker ever drains the ring: pushes beyond
+  // capacity must fail fast and be counted, never block.
+  size_t accepted = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (front.Observe(f.base.workload[0].query, 5.0)) ++accepted;
+  }
+  EXPECT_LE(accepted, 4u);
+  EXPECT_EQ(front.FeedbackDropped(), 64u - accepted);
+  front.Stop();
+}
+
+TEST(ServeFeedbackTest, WarmupSeedsHealthyStage) {
+  FeedbackFixture f;
+  ServeFrontEnd front({&f.guard}, f.scp, f.num_rows, f.FeedbackOptions());
+  front.WarmupFeedback(f.base.workload);
+  EXPECT_EQ(front.ShardStage(0), DriftStage::kHealthy);
+  // A served request after warmup gets a finite adaptive interval.
+  Request r;
+  r.query = f.base.workload[0].query;
+  front.Submit(&r);
+  r.Wait();
+  EXPECT_FALSE(std::isinf(r.response.hi));
+  EXPECT_LE(r.response.lo, r.response.hi);
+  front.Stop();
+}
+
+TEST(ServeFeedbackTest, ReplayIsBitIdentical) {
+  FeedbackFixture f;
+  auto run = [&f]() {
+    ServeFrontEnd front({&f.guard}, f.scp, f.num_rows, f.FeedbackOptions());
+    front.WarmupFeedback(f.base.workload);
+    std::vector<Served> s = RunLockstep(&front, f.base.workload, 3);
+    front.Stop();
+    return s;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// The adaptive trajectory must be a pure function of each shard's
+// feedback order. Observing the same per-shard sequences through a
+// different *global* interleaving (all of shard A's truths before all
+// of shard B's, vs stream order) must not change any response.
+TEST(ServeFeedbackTest, CrossShardFeedbackOrderIsIndependent) {
+  FeedbackFixture f;
+  // Four shards over one shared (hence trivially identical) replica,
+  // guarded independently so each shard owns its adaptive state.
+  std::vector<std::unique_ptr<GuardedEstimator>> guards;
+  std::vector<const GuardedEstimator*> shard_guards;
+  HistogramEstimator replica(f.base.table);
+  for (int i = 0; i < 4; ++i) {
+    guards.push_back(std::make_unique<GuardedEstimator>(replica, f.base.table));
+    shard_guards.push_back(guards.back().get());
+  }
+
+  auto run = [&](bool grouped_by_shard) {
+    ServeFrontEnd front(shard_guards, f.scp, f.num_rows,
+                        f.FeedbackOptions());
+    front.WarmupFeedback(f.base.workload);
+    std::vector<Served> served;
+    Request r;
+    for (int round = 0; round < 3; ++round) {
+      // Serve the whole round first (estimates only depend on frozen
+      // models), then feed truths back in the chosen global order.
+      for (const LabeledQuery& lq : f.base.workload) {
+        r.Reset();
+        r.query = lq.query;
+        front.Submit(&r);
+        r.Wait();
+        served.push_back({r.response.estimate, r.response.lo, r.response.hi,
+                          r.response.degraded, r.response.source});
+      }
+      if (grouped_by_shard) {
+        for (int shard = 0; shard < front.num_shards(); ++shard) {
+          for (const LabeledQuery& lq : f.base.workload) {
+            if (front.ShardFor(lq.query) != shard) continue;
+            EXPECT_TRUE(front.Observe(lq.query, lq.cardinality));
+          }
+        }
+      } else {
+        for (const LabeledQuery& lq : f.base.workload) {
+          EXPECT_TRUE(front.Observe(lq.query, lq.cardinality));
+        }
+      }
+      // Quiesce: one served request per shard forces every worker
+      // through a batch boundary, applying the queued feedback before
+      // the next round's responses.
+      for (const LabeledQuery& lq : f.base.workload) {
+        r.Reset();
+        r.query = lq.query;
+        front.Submit(&r);
+        r.Wait();
+      }
+    }
+    front.Stop();
+    return served;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(ServeFeedbackTest, ThreadCountDoesNotChangeTrajectory) {
+  FeedbackFixture f;
+  auto run = [&f](int threads) {
+    SetThreads(threads);
+    ServeFrontEnd front({&f.guard}, f.scp, f.num_rows, f.FeedbackOptions());
+    front.WarmupFeedback(f.base.workload);
+    std::vector<Served> s = RunLockstep(&front, f.base.workload, 3);
+    front.Stop();
+    return s;
+  };
+  const std::vector<Served> one = run(1);
+  const std::vector<Served> four = run(4);
+  SetThreads(0);  // restore the hardware default
+  EXPECT_EQ(one, four);
+}
+
+TEST(ServeFeedbackTest, RecalWindowOfOneServesFiniteIntervals) {
+  FeedbackFixture f;
+  ServeFrontEnd::Options o = f.FeedbackOptions();
+  o.recal_window = 1;
+  ServeFrontEnd front({&f.guard}, f.scp, f.num_rows, o);
+  front.WarmupFeedback(f.base.workload);
+  const std::vector<Served> served = RunLockstep(&front, f.base.workload, 2);
+  front.Stop();
+  for (const Served& s : served) {
+    EXPECT_LE(s.lo, s.hi);
+    EXPECT_GE(s.lo, 0.0);
+    // A size-1 calibration window at alpha 0.1 cannot produce a finite
+    // quantile, so the loop must fall back to the frozen delta rather
+    // than serve infinite or inverted intervals.
+    EXPECT_FALSE(std::isinf(s.hi));
+  }
+}
+
+// Every primary estimate NaN-faulted: the guard serves the entire
+// stream from the fallback chain (all-degraded window) and the feedback
+// loop keeps recalibrating on fallback scores instead of wedging.
+TEST(ServeFeedbackTest, AllDegradedWindowKeepsAdapting) {
+  Base base = MakeBase();
+  LwnnEstimator::Options lo;
+  lo.histogram_buckets = 6;
+  lo.hidden1 = 8;
+  lo.hidden2 = 4;
+  lo.epochs = 4;
+  LwnnEstimator primary(lo);
+  ASSERT_TRUE(primary.Train(base.table, base.workload).ok());
+  GuardedEstimator guard(primary, base.table);
+  SplitConformal scp(MakeScoring(ScoreKind::kQError), 0.1);
+  std::vector<double> estimates;
+  std::vector<double> truths;
+  for (const LabeledQuery& lq : base.workload) {
+    estimates.push_back(primary.EstimateCardinality(lq.query));
+    truths.push_back(lq.cardinality);
+  }
+  ASSERT_TRUE(scp.Calibrate(estimates, truths).ok());
+
+  ASSERT_TRUE(fault::Registry::Instance()
+                  .ConfigureFromString("lwnn.forward:nan@1")
+                  .ok());
+  ServeFrontEnd::Options o;
+  o.feedback = true;
+  o.flush_timeout_us = 0;
+  ServeFrontEnd front({&guard}, scp,
+                      static_cast<double>(base.table.num_rows()), o);
+  front.WarmupFeedback(base.workload);
+  std::vector<Served> served;
+  Request r;
+  for (int round = 0; round < 3; ++round) {
+    for (const LabeledQuery& lq : base.workload) {
+      r.Reset();
+      r.query = lq.query;
+      front.Submit(&r);
+      r.Wait();
+      served.push_back({r.response.estimate, r.response.lo, r.response.hi,
+                        r.response.degraded, r.response.source});
+      front.Observe(lq.query, lq.cardinality);
+    }
+  }
+  front.Stop();
+  fault::Registry::Instance().Clear();
+  for (const Served& s : served) {
+    EXPECT_TRUE(s.degraded);
+    EXPECT_NE(s.source, 0);
+    EXPECT_LE(s.lo, s.hi);
+  }
+}
+
+// A ladder that forced the breaker open must not leave the shared guard
+// latched after the front-end is gone (guards outlive front-ends).
+TEST(ServeFeedbackTest, StopReleasesForcedBreaker) {
+  FeedbackFixture f;
+  {
+    ServeFrontEnd front({&f.guard}, f.scp, f.num_rows, f.FeedbackOptions());
+    front.WarmupFeedback(f.base.workload);
+    // Feed wildly wrong truths: coverage collapses, the ladder climbs
+    // to kBreak, and the guard's breaker is forced open.
+    Request r;
+    for (int round = 0; round < 8; ++round) {
+      for (const LabeledQuery& lq : f.base.workload) {
+        r.Reset();
+        r.query = lq.query;
+        front.Submit(&r);
+        r.Wait();
+        front.Observe(lq.query, f.num_rows);  // truth pinned at N
+      }
+    }
+    EXPECT_GT(static_cast<int>(front.ShardStage(0)), 0);
+    front.Stop();
+  }
+  EXPECT_FALSE(f.guard.breaker_forced());
+  EXPECT_FALSE(f.guard.breaker_open());
+}
+
+// Satellite: shed responses leave a "shed":true record in the JSONL
+// event stream so load-shedding is auditable offline.
+TEST(ServeFeedbackTest, ShedResponsesEmitJsonlRecords) {
+  FeedbackFixture f;
+  const std::string path = ::testing::TempDir() + "/shed_events.jsonl";
+  ASSERT_TRUE(obs::EventLog::Instance().OpenForTest(path).ok());
+  {
+    ServeFrontEnd front({&f.guard}, f.scp, f.num_rows);
+    front.Stop();  // stopped front: every Submit is shed
+    Request r;
+    r.query = f.base.workload[0].query;
+    EXPECT_EQ(front.Submit(&r), Admit::kRejectedStopped);
+    EXPECT_TRUE(r.response.shed);
+  }
+  obs::EventLog::Instance().CloseForTest();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string contents = ss.str();
+  EXPECT_NE(contents.find("\"shed\":true"), std::string::npos) << contents;
+  EXPECT_NE(contents.find("\"type\":\"serve\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace confcard
